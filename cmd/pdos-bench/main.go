@@ -1,0 +1,142 @@
+// Command pdos-bench regenerates every table and figure of the paper's
+// evaluation (§4): Figs. 1–4, 6–10, and 12 plus the Proposition 3
+// cross-validation, the design ablations, and the extension studies. Series
+// are written as CSV files into -out, with an optional single-page SVG
+// report (-html); summary notes are printed to stdout.
+//
+// Example:
+//
+//	pdos-bench -scale quick -out results/ -html
+//	pdos-bench -scale full -figures fig6,fig12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// builders maps figure ids to their regeneration functions, in paper order.
+func builders() []struct {
+	id    string
+	build func(experiments.Scale) (*experiments.FigureResult, error)
+} {
+	return []struct {
+		id    string
+		build func(experiments.Scale) (*experiments.FigureResult, error)
+	}{
+		{"fig1", experiments.Figure1},
+		{"fig2", experiments.Figure2},
+		{"fig3a", experiments.Figure3a},
+		{"fig3b", experiments.Figure3b},
+		{"fig4", experiments.Figure4},
+		{"fig6", experiments.Figure6},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+		{"fig9", experiments.Figure9},
+		{"fig10", experiments.Figure10},
+		{"fig12", experiments.Figure12},
+		{"prop3", func(experiments.Scale) (*experiments.FigureResult, error) {
+			return experiments.OptimalityCheck()
+		}},
+		{"ablation-aqm", experiments.AblationREDvsDropTail},
+		{"ablation-dack", experiments.AblationDelayedACK},
+		{"ablation-aimd", experiments.AblationAIMD},
+		{"ablation-pktsize", experiments.AblationAttackPacketSize},
+		{"ext-defense", experiments.DefenseFigure},
+		{"ext-mice", experiments.MiceFigure},
+		{"ext-maximization", experiments.MaximizationFigure},
+		{"ext-sensitivity", experiments.SensitivityFigure},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdos-bench", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "quick", "quick or full")
+		out       = fs.String("out", "results", "output directory for CSV series")
+		only      = fs.String("figures", "", "comma-separated figure ids (default: all)")
+		htmlOut   = fs.Bool("html", false, "also write <out>/index.html with SVG charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var generated []*experiments.FigureResult
+	for _, b := range builders() {
+		if len(wanted) > 0 && !wanted[b.id] {
+			continue
+		}
+		start := time.Now()
+		fig, err := b.build(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.id, err)
+		}
+		generated = append(generated, fig)
+		path := filepath.Join(*out, fig.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		writeErr := experiments.WriteSeriesCSV(f, fig.Series)
+		closeErr := f.Close()
+		if writeErr != nil {
+			return writeErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		fmt.Printf("== %s: %s (%.1fs) -> %s\n", fig.ID, fig.Title, time.Since(start).Seconds(), path)
+		for _, n := range fig.Notes {
+			fmt.Printf("   %s\n", n)
+		}
+	}
+	if *htmlOut {
+		path := filepath.Join(*out, "index.html")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		writeErr := report.WriteHTML(f, "pulsedos — regenerated figures ("+*scaleName+" scale)", generated)
+		closeErr := f.Close()
+		if writeErr != nil {
+			return writeErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		fmt.Printf("== report -> %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAnalyticFigures(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scale", "quick", "-out", dir, "-figures", "fig4,prop3"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig4", "prop3"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.HasPrefix(string(data), "series,x,y\n") {
+			t.Errorf("%s: missing CSV header", id)
+		}
+		if len(strings.Split(string(data), "\n")) < 10 {
+			t.Errorf("%s: too few rows", id)
+		}
+	}
+	// Unselected figures must not be generated.
+	if _, err := os.Stat(filepath.Join(dir, "fig6.csv")); !os.IsNotExist(err) {
+		t.Error("fig6 generated despite the filter")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestBuildersCoverAllFigures(t *testing.T) {
+	want := map[string]bool{
+		"fig1": true, "fig2": true, "fig3a": true, "fig3b": true, "fig4": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"fig12": true, "prop3": true,
+	}
+	for _, b := range builders() {
+		delete(want, b.id)
+	}
+	if len(want) != 0 {
+		t.Errorf("builders missing figures: %v", want)
+	}
+}
+
+func TestRunHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-figures", "fig4", "-html"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := string(data)
+	if !strings.Contains(page, "<svg") || !strings.Contains(page, "fig4") {
+		t.Error("report missing chart or figure id")
+	}
+}

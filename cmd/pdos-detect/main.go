@@ -1,0 +1,132 @@
+// Command pdos-detect validates the paper's risk-model premise: it runs the
+// same PDoS attack at increasing γ and feeds the bottleneck traffic series
+// to three detector archetypes (volume threshold, CUSUM change-point, DTW
+// pulse matching), printing how detection evidence grows with the attack's
+// average rate — the behaviour the (1-γ)^κ risk factor abstracts.
+//
+// Example:
+//
+//	pdos-detect -flows 15 -rate 35e6 -extent 75ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pulsedos"
+	"pulsedos/internal/detect"
+	"pulsedos/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdos-detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdos-detect", flag.ContinueOnError)
+	var (
+		flows   = fs.Int("flows", 15, "number of victim TCP flows")
+		rate    = fs.Float64("rate", 35e6, "pulse rate R_attack (bps)")
+		extent  = fs.Duration("extent", 75*time.Millisecond, "pulse width T_extent")
+		warmup  = fs.Duration("warmup", 8*time.Second, "warm-up before the attack")
+		measure = fs.Duration("measure", 20*time.Second, "observation window")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := pulsedos.DefaultDumbbellConfig(*flows)
+	cfg.Seed = *seed
+
+	// Volume detectors alarm on arrival rates above capacity: a saturated
+	// TCP aggregate already arrives at ~1.0·C, while a flooding attack (the
+	// paper's γ > 1 regime) pushes arrivals well beyond it.
+	threshold, err := detect.NewThreshold(cfg.BottleneckRate, 1.2, 20) // 1 s window at 50 ms bins
+	if err != nil {
+		return err
+	}
+	cusum, err := detect.NewCUSUM(100, 0.5, 8)
+	if err != nil {
+		return err
+	}
+	dtw, err := detect.NewDTW(40, 0.1, 0.6)
+	if err != nil {
+		return err
+	}
+	spectral, err := detect.NewSpectral(0.3, 0.1, 5)
+	if err != nil {
+		return err
+	}
+
+	points, err := experiments.DetectionStudy(experiments.DetectionStudyConfig{
+		Factory: func() (pulsedos.Environment, error) {
+			return pulsedos.BuildDumbbell(cfg)
+		},
+		AttackRate: *rate,
+		Extent:     *extent,
+		Gammas:     []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Warmup:     *warmup,
+		Measure:    *measure,
+		RateBin:    50 * time.Millisecond,
+		Detectors:  []detect.Detector{threshold, cusum, dtw, spectral},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-8s %-22s %-22s %-22s %-22s\n", "gamma", "threshold", "cusum", "dtw", "spectral")
+	for _, p := range points {
+		fmt.Printf("%-8.2f %-22s %-22s %-22s %-22s\n", p.Gamma,
+			verdict(p, "threshold"), verdict(p, "cusum"), verdict(p, "dtw"), verdict(p, "spectral"))
+	}
+	// Flood reference: the same pulse rate sent continuously is the
+	// traditional attack (γ = R_attack/R_bottle > 1) every volume detector
+	// is built for.
+	floodEnv, err := pulsedos.BuildDumbbell(cfg)
+	if err != nil {
+		return err
+	}
+	flood := pulsedos.FloodTrain(*rate, *measure+2*time.Second)
+	res, err := pulsedos.Run(floodEnv, pulsedos.RunOptions{
+		Warmup:  *warmup,
+		Measure: *measure,
+		Train:   &flood,
+		RateBin: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	floodPt := pulsedos.DetectionPoint{
+		Gamma:  *rate / cfg.BottleneckRate,
+		Scores: map[string]float64{},
+		Alarms: map[string]bool{},
+	}
+	for _, d := range []detect.Detector{threshold, cusum, dtw, spectral} {
+		v := d.Detect(res.Rate.Bytes(), 0.05)
+		floodPt.Scores[d.Name()] = v.Score
+		floodPt.Alarms[d.Name()] = v.Attack
+	}
+	fmt.Printf("%-8s %-22s %-22s %-22s %-22s  <- flood baseline\n",
+		fmt.Sprintf("%.2f", floodPt.Gamma),
+		verdict(floodPt, "threshold"), verdict(floodPt, "cusum"),
+		verdict(floodPt, "dtw"), verdict(floodPt, "spectral"))
+
+	fmt.Println("\nexpectation: the volume threshold trips only for the flood (gamma > 1);")
+	fmt.Println("a tuned PDoS attack stays below it, while shape/periodicity detectors")
+	fmt.Println("(dtw, spectral) are the ones that see mid-gamma pulse trains.")
+	return nil
+}
+
+func verdict(p pulsedos.DetectionPoint, name string) string {
+	mark := " "
+	if p.Alarms[name] {
+		mark = "ALARM"
+	}
+	return fmt.Sprintf("score=%.2f %s", p.Scores[name], mark)
+}

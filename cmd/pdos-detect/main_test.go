@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunDetectionTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	err := run([]string{"-flows", "3", "-warmup", "2s", "-measure", "3s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

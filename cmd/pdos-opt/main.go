@@ -1,0 +1,91 @@
+// Command pdos-opt computes optimal PDoS attack parameters from the paper's
+// closed forms (Propositions 3–4): given a victim population and a risk
+// preference κ, it reports γ*, μ*, the attack period T_AIMD, and the
+// predicted gain — the attacker's planning step of §3.
+//
+// Example:
+//
+//	pdos-opt -bottleneck 15e6 -rate 35e6 -extent 75ms -kappa 1 \
+//	         -flows 25 -rtt-min 20ms -rtt-max 460ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pulsedos"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdos-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdos-opt", flag.ContinueOnError)
+	var (
+		bottleneck = fs.Float64("bottleneck", 15e6, "bottleneck capacity R_bottle (bps)")
+		rate       = fs.Float64("rate", 35e6, "pulse rate R_attack (bps)")
+		extent     = fs.Duration("extent", 75*time.Millisecond, "pulse width T_extent")
+		kappa      = fs.Float64("kappa", 1, "risk preference kappa (>1 averse, 1 neutral, <1 loving)")
+		flows      = fs.Int("flows", 25, "number of victim TCP flows")
+		rttMin     = fs.Duration("rtt-min", 20*time.Millisecond, "smallest victim RTT")
+		rttMax     = fs.Duration("rtt-max", 460*time.Millisecond, "largest victim RTT")
+		packet     = fs.Float64("packet", 1040, "victim packet size S_packet (bytes)")
+		ackRatio   = fs.Float64("d", 1, "delayed-ACK ratio d")
+		aimdA      = fs.Float64("a", 1, "AIMD additive increase a")
+		aimdB      = fs.Float64("b", 0.5, "AIMD multiplicative decrease b")
+		curve      = fs.Bool("curve", false, "also print the analytic gain curve as CSV (gamma,degradation,risk,gain)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *flows < 1 {
+		return fmt.Errorf("flows must be >= 1, got %d", *flows)
+	}
+	rtts := make([]float64, *flows)
+	for i := range rtts {
+		rtt := *rttMin
+		if *flows > 1 {
+			rtt += time.Duration(int64(*rttMax-*rttMin) * int64(i) / int64(*flows-1))
+		}
+		rtts[i] = rtt.Seconds()
+	}
+	params := pulsedos.ModelParams{
+		AIMD:       pulsedos.AIMD{A: *aimdA, B: *aimdB},
+		AckRatio:   *ackRatio,
+		PacketSize: *packet,
+		Bottleneck: *bottleneck,
+		RTTs:       rtts,
+	}
+	plan, err := pulsedos.PlanAttack(params, extent.Seconds(), *rate, *kappa)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attacker profile        : %s (kappa = %g)\n", pulsedos.ClassifyRisk(*kappa), *kappa)
+	fmt.Printf("victim constant C_victim: %.6f\n", params.CVictim())
+	fmt.Printf("attack constant C_Psi   : %.6f\n", plan.CPsi)
+	fmt.Printf("optimal gamma*          : %.4f\n", plan.Gamma)
+	fmt.Printf("optimal mu* (Tspace/Text): %.4f\n", plan.Mu)
+	fmt.Printf("optimal period T_AIMD   : %.4f s  (T_extent = %v, T_space = %.4f s)\n",
+		plan.Period, *extent, plan.Period-extent.Seconds())
+	fmt.Printf("predicted degradation   : %.4f\n", pulsedos.Degradation(plan.CPsi, plan.Gamma))
+	fmt.Printf("predicted attack gain   : %.4f\n", plan.Gain)
+	fmt.Printf("average attack rate     : %.2f Mbps (%.1f%% of bottleneck)\n",
+		plan.Gamma**bottleneck/1e6, 100*plan.Gamma)
+	if *curve {
+		fmt.Println("\ngamma,degradation,risk,gain")
+		for g := 0.01; g < 1; g += 0.01 {
+			fmt.Printf("%.2f,%.4f,%.4f,%.4f\n",
+				g,
+				pulsedos.Degradation(plan.CPsi, g),
+				pulsedos.RiskFactor(g, *kappa),
+				pulsedos.Gain(plan.CPsi, g, *kappa))
+		}
+	}
+	return nil
+}

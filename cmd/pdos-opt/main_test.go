@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRiskProfiles(t *testing.T) {
+	for _, kappa := range []string{"0.3", "1", "5"} {
+		if err := run([]string{"-kappa", kappa, "-flows", "5"}); err != nil {
+			t.Errorf("kappa %s: %v", kappa, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-flows", "0"}); err == nil {
+		t.Error("zero flows accepted")
+	}
+	if err := run([]string{"-kappa", "0"}); err == nil {
+		t.Error("zero kappa accepted")
+	}
+	// A pulse rate below the bottleneck cannot realize the optimum for a
+	// strongly risk-loving attacker.
+	if err := run([]string{"-rate", "1e6", "-kappa", "0.001"}); err == nil {
+		t.Error("unreachable plan accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	if err := run([]string{"-flows", "5", "-curve"}); err != nil {
+		t.Fatal(err)
+	}
+}

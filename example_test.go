@@ -1,0 +1,89 @@
+package pulsedos_test
+
+import (
+	"fmt"
+
+	"pulsedos"
+)
+
+// ExampleOptimalGamma demonstrates Corollary 3: for a risk-neutral attacker
+// the optimal normalized attack rate is the square root of the victim
+// constant C_Ψ.
+func ExampleOptimalGamma() {
+	gamma, err := pulsedos.OptimalGamma(0.04, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("gamma* = %.2f\n", gamma)
+	// Output: gamma* = 0.20
+}
+
+// ExampleGain evaluates the attack-gain trade-off of Eq. 5/12 at the
+// optimum and away from it.
+func ExampleGain() {
+	const cPsi, kappa = 0.04, 1.0
+	gStar, _ := pulsedos.OptimalGamma(cPsi, kappa)
+	fmt.Printf("at gamma*: %.3f\n", pulsedos.Gain(cPsi, gStar, kappa))
+	fmt.Printf("too timid: %.3f\n", pulsedos.Gain(cPsi, 0.05, kappa))
+	fmt.Printf("too loud : %.3f\n", pulsedos.Gain(cPsi, 0.95, kappa))
+	// Output:
+	// at gamma*: 0.640
+	// too timid: 0.190
+	// too loud : 0.048
+}
+
+// ExamplePlanAttack plans the full attack for a concrete victim population:
+// the pulse period T_AIMD that realizes γ* for 75 ms pulses at 35 Mbps.
+func ExamplePlanAttack() {
+	params := pulsedos.ModelParams{
+		AIMD:       pulsedos.TCPAIMD(),
+		AckRatio:   1,
+		PacketSize: 1040,
+		Bottleneck: 15e6,
+		RTTs:       []float64{0.1, 0.2, 0.3},
+	}
+	plan, err := pulsedos.PlanAttack(params, 0.075, 35e6, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("gamma* = %.3f\n", plan.Gamma)
+	fmt.Printf("T_AIMD = %.0f ms\n", plan.Period*1000)
+	// Output:
+	// gamma* = 0.141
+	// T_AIMD = 1243 ms
+}
+
+// ExampleClassifyRisk maps the paper's κ parameter to attacker profiles.
+func ExampleClassifyRisk() {
+	for _, kappa := range []float64{0.5, 1, 3} {
+		fmt.Println(kappa, pulsedos.ClassifyRisk(kappa))
+	}
+	// Output:
+	// 0.5 risk-loving
+	// 1 risk-neutral
+	// 3 risk-averse
+}
+
+// ExamplePAA compresses a series with the piecewise aggregate approximation
+// used to visualize quasi-global synchronization (Fig. 3).
+func ExamplePAA() {
+	series := []float64{1, 1, 5, 5, 2, 2, 6, 6}
+	frames, err := pulsedos.PAA(series, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(frames)
+	// Output: [1 5 2 6]
+}
+
+// ExampleRiskFactor shows the detection-risk weighting (1-γ)^κ of Fig. 4.
+func ExampleRiskFactor() {
+	fmt.Printf("risk-neutral at gamma=0.5: %.2f\n", pulsedos.RiskFactor(0.5, 1))
+	fmt.Printf("risk-averse  at gamma=0.5: %.2f\n", pulsedos.RiskFactor(0.5, 3))
+	// Output:
+	// risk-neutral at gamma=0.5: 0.50
+	// risk-averse  at gamma=0.5: 0.12
+}

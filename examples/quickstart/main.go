@@ -1,0 +1,81 @@
+// Quickstart: plan an optimal PDoS attack analytically, then validate it in
+// simulation — the paper's core workflow in ~60 lines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pulsedos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Describe the victims: 15 TCP NewReno flows sharing a 15 Mbps
+	//    bottleneck, RTTs from 20 ms to 460 ms (the paper's Fig. 5 setup).
+	cfg := pulsedos.DefaultDumbbellConfig(15)
+
+	// 2. Plan the attack analytically for a risk-neutral attacker (κ = 1):
+	//    75 ms pulses at 35 Mbps, optimal period from Proposition 4.
+	env, err := pulsedos.BuildDumbbell(cfg)
+	if err != nil {
+		return err
+	}
+	params := env.ModelParams()
+	extent := 75 * time.Millisecond
+	const rate, kappa = 35e6, 1.0
+	plan, err := pulsedos.PlanAttack(params, extent.Seconds(), rate, kappa)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planned attack: gamma*=%.3f  T_AIMD=%.0f ms  predicted gain=%.3f\n",
+		plan.Gamma, plan.Period*1000, plan.Gain)
+
+	// 3. Validate in simulation: baseline throughput vs attacked throughput.
+	const warmup, measure = 8 * time.Second, 20 * time.Second
+	base, err := pulsedos.Run(env, pulsedos.RunOptions{Warmup: warmup, Measure: measure})
+	if err != nil {
+		return err
+	}
+
+	period := time.Duration(plan.Period * float64(time.Second))
+	train, err := pulsedos.AIMDTrain(extent, rate, period, int(measure/period)+2)
+	if err != nil {
+		return err
+	}
+	attacked, err := pulsedos.BuildDumbbell(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := pulsedos.Run(attacked, pulsedos.RunOptions{
+		Warmup:  warmup,
+		Measure: measure,
+		Train:   &train,
+	})
+	if err != nil {
+		return err
+	}
+
+	deg := 1 - float64(res.Delivered)/float64(base.Delivered)
+	fmt.Printf("baseline: %.2f Mbps   attacked: %.2f Mbps\n",
+		mbps(base.Delivered, measure), mbps(res.Delivered, measure))
+	fmt.Printf("measured degradation=%.3f  measured gain=%.3f\n",
+		deg, deg*pulsedos.RiskFactor(plan.Gamma, kappa))
+	fmt.Printf("attack cost: %d packets, average rate %.2f Mbps (%.0f%% of bottleneck)\n",
+		res.AttackStats.PacketsSent,
+		plan.Gamma*params.Bottleneck/1e6, 100*plan.Gamma)
+	return nil
+}
+
+func mbps(bytes uint64, span time.Duration) float64 {
+	return float64(bytes) * 8 / span.Seconds() / 1e6
+}

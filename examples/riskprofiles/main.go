@@ -1,0 +1,63 @@
+// Riskprofiles: explore the paper's §3.2 corollaries. For attackers ranging
+// from strongly risk-loving (κ → 0) through risk-neutral (κ = 1) to strongly
+// risk-averse (κ → ∞), compute the optimal γ*, the optimal attack period,
+// and the resulting gain — showing the limits γ* → 1 (Corollary 2) and
+// γ* → C_Ψ (Corollary 1), and γ* = √C_Ψ at κ = 1 (Corollary 3).
+//
+// Run with: go run ./examples/riskprofiles
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pulsedos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "riskprofiles:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Victim population: the paper's test-bed (10 flows, 10 Mbps, ~300 ms
+	// RTT, Linux delayed ACKs).
+	env, err := pulsedos.BuildTestbed(pulsedos.DefaultTestbedConfig(10))
+	if err != nil {
+		return err
+	}
+	params := env.ModelParams()
+	extent := 150 * time.Millisecond
+	const rate = 20e6
+	cPsi := params.CPsi(extent.Seconds(), rate)
+
+	fmt.Printf("victims: %d flows, C_victim=%.4f, C_Psi=%.4f (Textent=%v, Rattack=%.0f Mbps)\n\n",
+		len(params.RTTs), params.CVictim(), cPsi, extent, rate/1e6)
+	fmt.Printf("%-10s %-14s %-9s %-9s %-12s %-9s\n",
+		"kappa", "profile", "gamma*", "mu*", "T_AIMD (s)", "gain")
+
+	for _, kappa := range []float64{0.01, 0.1, 0.5, 1, 2, 5, 20, 100} {
+		plan, err := pulsedos.PlanAttack(params, extent.Seconds(), rate, kappa)
+		if err != nil {
+			fmt.Printf("%-10.2f %-14s (infeasible: %v)\n", kappa, pulsedos.ClassifyRisk(kappa), err)
+			continue
+		}
+		fmt.Printf("%-10.2f %-14s %-9.4f %-9.3f %-12.3f %-9.4f\n",
+			kappa, pulsedos.ClassifyRisk(kappa), plan.Gamma, plan.Mu, plan.Period, plan.Gain)
+	}
+
+	// Corollary limits.
+	fmt.Printf("\nCorollary 1 (kappa→inf): gamma* → C_Psi = %.4f\n", cPsi)
+	fmt.Printf("Corollary 2 (kappa→0)  : gamma* → 1\n")
+	gStar, err := pulsedos.OptimalGamma(cPsi, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Corollary 3 (kappa=1)  : gamma* = sqrt(C_Psi) = %.4f (closed form %.4f)\n",
+		math.Sqrt(cPsi), gStar)
+	return nil
+}

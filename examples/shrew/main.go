@@ -1,0 +1,104 @@
+// Shrew: contrast the AIMD-based PDoS attack with the timeout-based shrew
+// attack (§4.1.3, Fig. 10). Both replay the same pulse shape, but the shrew
+// tunes its period to the victims' minimum RTO so that every retransmission
+// after a timeout collides with the next pulse, pinning senders in the TO
+// state — and beating the AIMD analysis's prediction at those resonant
+// periods.
+//
+// Run with: go run ./examples/shrew
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pulsedos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "shrew:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		flows   = 15
+		rate    = 50e6
+		extent  = 50 * time.Millisecond
+		minRTO  = time.Second // the ns-2 stack's RTO_min
+		warmup  = 8 * time.Second
+		measure = 20 * time.Second
+	)
+	cfg := pulsedos.DefaultDumbbellConfig(flows)
+
+	baseEnv, err := pulsedos.BuildDumbbell(cfg)
+	if err != nil {
+		return err
+	}
+	base, err := pulsedos.Run(baseEnv, pulsedos.RunOptions{Warmup: warmup, Measure: measure})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline: %.2f Mbps across %d flows\n\n", mbps(base.Delivered, measure), flows)
+	fmt.Printf("%-26s %-10s %-8s %-12s %-10s %-8s\n",
+		"attack", "period", "gamma", "throughput", "degrade", "TO/FR")
+
+	type scenario struct {
+		name  string
+		train pulsedos.Train
+	}
+	var scenarios []scenario
+
+	// Shrew harmonics: period = minRTO/n.
+	for n := 1; n <= 3; n++ {
+		train, err := pulsedos.ShrewTrain(extent, rate, minRTO, n, int(measure/(minRTO/time.Duration(n)))+2)
+		if err != nil {
+			return err
+		}
+		scenarios = append(scenarios, scenario{fmt.Sprintf("shrew minRTO/%d", n), train})
+	}
+	// Non-resonant AIMD attack with the same γ as the minRTO/1 shrew.
+	gamma := rate * extent.Seconds() / (cfg.BottleneckRate * minRTO.Seconds())
+	offPeriod := 700 * time.Millisecond // off-resonance on purpose
+	offGamma := rate * extent.Seconds() / (cfg.BottleneckRate * offPeriod.Seconds())
+	aimdTrain, err := pulsedos.AIMDTrain(extent, rate, offPeriod, int(measure/offPeriod)+2)
+	if err != nil {
+		return err
+	}
+	scenarios = append(scenarios, scenario{"AIMD off-resonance", aimdTrain})
+	// Flooding baseline at the same average rate as the shrew.
+	flood := pulsedos.FloodTrain(gamma*cfg.BottleneckRate, measure+warmup)
+	scenarios = append(scenarios, scenario{"flood (same avg rate)", flood})
+
+	for _, sc := range scenarios {
+		env, err := pulsedos.BuildDumbbell(cfg)
+		if err != nil {
+			return err
+		}
+		train := sc.train
+		res, err := pulsedos.Run(env, pulsedos.RunOptions{Warmup: warmup, Measure: measure, Train: &train})
+		if err != nil {
+			return err
+		}
+		deg := 1 - float64(res.Delivered)/float64(base.Delivered)
+		var period, g float64
+		if len(train.Pulses) > 0 {
+			period = train.Pulses[0].Period().Seconds()
+			g = train.MeanGamma(cfg.BottleneckRate)
+		}
+		fmt.Printf("%-26s %-10.3f %-8.3f %-12.2f %-10.3f %d/%d\n",
+			sc.name, period, g, mbps(res.Delivered, measure), deg,
+			res.Timeouts, res.FastRecoveries)
+	}
+	fmt.Printf("\n(resonant shrew periods force timeouts: at the same average rate gamma=%.2f\n", gamma)
+	fmt.Printf(" the flood does far less damage than the shrew; the off-resonance AIMD attack\n")
+	fmt.Printf(" at gamma=%.2f relies on FR-state window cuts instead of TO-state starvation)\n", offGamma)
+	return nil
+}
+
+func mbps(bytes uint64, span time.Duration) float64 {
+	return float64(bytes) * 8 / span.Seconds() / 1e6
+}

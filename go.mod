@@ -1,0 +1,3 @@
+module pulsedos
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package analysis provides the time-series tools the paper uses to exhibit
+// the quasi-global synchronization phenomenon (§2.3, Fig. 3): zero-mean
+// normalization followed by a piecewise aggregate approximation (PAA, Keogh
+// et al., SIGMOD 2001), plus peak counting and autocorrelation-based period
+// estimation used to verify that the incoming traffic oscillates at the
+// attack period T_AIMD.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+
+	"pulsedos/internal/stats"
+)
+
+// ErrShortSeries is returned when a series is too short for the requested
+// transform.
+var ErrShortSeries = errors.New("analysis: series too short")
+
+// PAA computes the piecewise aggregate approximation of xs with the given
+// number of frames: the series is divided into equal-width windows and each
+// window is replaced by its mean. Fractional frame boundaries weight the
+// straddling sample proportionally, so PAA preserves the series mean exactly
+// for any frame count.
+func PAA(xs []float64, frames int) ([]float64, error) {
+	n := len(xs)
+	if frames < 1 {
+		return nil, fmt.Errorf("analysis: PAA frames must be >= 1, got %d", frames)
+	}
+	if n == 0 {
+		return nil, ErrShortSeries
+	}
+	if frames >= n {
+		out := make([]float64, n)
+		copy(out, xs)
+		return out, nil
+	}
+	out := make([]float64, frames)
+	width := float64(n) / float64(frames)
+	for f := 0; f < frames; f++ {
+		lo := float64(f) * width
+		hi := float64(f+1) * width
+		sum := 0.0
+		for i := int(lo); i < n && float64(i) < hi; i++ {
+			// Overlap of sample i's unit interval [i, i+1) with [lo, hi).
+			a := float64(i)
+			b := float64(i + 1)
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if b > a {
+				sum += xs[i] * (b - a)
+			}
+		}
+		out[f] = sum / width
+	}
+	return out, nil
+}
+
+// NormalizePAA reproduces the paper's Fig. 3 pre-processing: shift the
+// series to zero mean, then PAA-compress it to the given frame count.
+func NormalizePAA(xs []float64, frames int) ([]float64, error) {
+	return PAA(stats.Normalize(xs), frames)
+}
+
+// CountPeaks counts maximal runs of consecutive samples strictly above
+// threshold — the "pinnacles" the paper counts in Fig. 3 to recover the
+// attack period (e.g. 30 peaks in 60 s ⇒ T_AIMD = 2 s).
+func CountPeaks(xs []float64, threshold float64) int {
+	peaks := 0
+	above := false
+	for _, x := range xs {
+		if x > threshold {
+			if !above {
+				peaks++
+				above = true
+			}
+		} else {
+			above = false
+		}
+	}
+	return peaks
+}
+
+// Autocorrelation returns the normalized autocorrelation r(k) of xs for lags
+// 0..maxLag. r(0) is 1 for any series with positive variance.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, ErrShortSeries
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 1 {
+		return nil, fmt.Errorf("analysis: maxLag must be >= 1, got %d", maxLag)
+	}
+	mean, err := stats.Mean(xs)
+	if err != nil {
+		return nil, err
+	}
+	denom := 0.0
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		out[0] = 1
+		return out, nil
+	}
+	for k := 0; k <= maxLag; k++ {
+		num := 0.0
+		for i := 0; i+k < n; i++ {
+			num += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		out[k] = num / denom
+	}
+	return out, nil
+}
+
+// DominantPeriod estimates the fundamental period of xs in samples: the
+// positive lag at which the autocorrelation attains its first local maximum
+// above minCorr. It returns 0 when no periodicity above the bar is found.
+func DominantPeriod(xs []float64, maxLag int, minCorr float64) (int, error) {
+	ac, err := Autocorrelation(xs, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	// Skip the zero-lag peak: wait until the correlation first dips, then
+	// take the first local maximum beyond it.
+	k := 1
+	for k < len(ac) && ac[k] > ac[k-1]*0.999 {
+		k++
+	}
+	bestLag, bestVal := 0, minCorr
+	for ; k < len(ac)-1; k++ {
+		if ac[k] >= ac[k-1] && ac[k] >= ac[k+1] && ac[k] > bestVal {
+			bestLag, bestVal = k, ac[k]
+			break
+		}
+	}
+	return bestLag, nil
+}
+
+// PeriodSeconds converts a lag in bins into seconds given the bin width.
+func PeriodSeconds(lagBins int, binWidthSec float64) float64 {
+	return float64(lagBins) * binWidthSec
+}

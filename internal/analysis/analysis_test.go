@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pulsedos/internal/stats"
+)
+
+func TestPAABasic(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	got, err := PAA(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("PAA = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPAAFractionalBoundaries(t *testing.T) {
+	// 5 samples into 2 frames: boundary splits sample 2 in half.
+	xs := []float64{2, 2, 4, 6, 6}
+	got, err := PAA(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame width 2.5: frame0 = (2+2+4/2)/2.5 = 2.4; frame1 = (4/2+6+6)/2.5 = 5.6.
+	if math.Abs(got[0]-2.4) > 1e-12 || math.Abs(got[1]-5.6) > 1e-12 {
+		t.Errorf("PAA = %v, want [2.4 5.6]", got)
+	}
+}
+
+func TestPAAIdentityWhenFramesExceedLength(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	got, err := PAA(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Errorf("identity PAA changed values: %v", got)
+		}
+	}
+	// And the output must be a copy, not an alias.
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("PAA aliases its input")
+	}
+}
+
+func TestPAAErrors(t *testing.T) {
+	if _, err := PAA(nil, 4); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := PAA([]float64{1}, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+// TestPAAPreservesMean is the transform's defining property: the weighted
+// frame means average back to the series mean for any frame count.
+func TestPAAPreservesMean(t *testing.T) {
+	property := func(raw []float64, framesRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		frames := int(framesRaw%64) + 1
+		out, err := PAA(xs, frames)
+		if err != nil {
+			return false
+		}
+		inMean, err := stats.Mean(xs)
+		if err != nil {
+			return false
+		}
+		outMean, err := stats.Mean(out)
+		if err != nil {
+			return false
+		}
+		if frames >= len(xs) {
+			return outMean == inMean
+		}
+		return math.Abs(inMean-outMean) < 1e-6*math.Max(1, math.Abs(inMean))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(59))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePAAZeroMean(t *testing.T) {
+	xs := []float64{10, 12, 8, 14, 6, 10, 12, 8}
+	out, err := NormalizePAA(xs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := stats.Mean(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("NormalizePAA mean = %g", mean)
+	}
+}
+
+func TestCountPeaks(t *testing.T) {
+	tests := []struct {
+		name      string
+		xs        []float64
+		threshold float64
+		want      int
+	}{
+		{"empty", nil, 0, 0},
+		{"flat below", []float64{0, 0, 0}, 0.5, 0},
+		{"single run", []float64{0, 1, 1, 0}, 0.5, 1},
+		{"two runs", []float64{0, 1, 0, 1, 0}, 0.5, 2},
+		{"run at edges", []float64{1, 0, 1}, 0.5, 2},
+		{"all above", []float64{1, 1, 1}, 0.5, 1},
+		{"exact threshold not above", []float64{0.5, 0.5}, 0.5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CountPeaks(tt.xs, tt.threshold); got != tt.want {
+				t.Errorf("CountPeaks = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func squareWave(n, period int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		if i%period < period/4 {
+			xs[i] = 10
+		}
+	}
+	return xs
+}
+
+func TestAutocorrelationOfPeriodicSignal(t *testing.T) {
+	xs := squareWave(400, 40)
+	ac, err := Autocorrelation(xs, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ac[0]-1) > 1e-12 {
+		t.Errorf("r(0) = %g", ac[0])
+	}
+	// r at the true period must dominate r at off-period lags.
+	if ac[40] < 0.8 {
+		t.Errorf("r(40) = %g, want strong", ac[40])
+	}
+	if ac[20] > ac[40] {
+		t.Errorf("half-period lag stronger than period: r(20)=%g r(40)=%g", ac[20], ac[40])
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 5); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("short: %v", err)
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("zero maxLag accepted")
+	}
+	// Constant series: r(0)=1, rest zero, no NaNs.
+	ac, err := Autocorrelation([]float64{5, 5, 5, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac[0] != 1 || ac[1] != 0 || ac[2] != 0 {
+		t.Errorf("constant-series autocorrelation = %v", ac)
+	}
+}
+
+func TestDominantPeriodSquareWave(t *testing.T) {
+	xs := squareWave(400, 40)
+	lag, err := DominantPeriod(xs, 150, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 40 {
+		t.Errorf("dominant period = %d, want 40", lag)
+	}
+	if sec := PeriodSeconds(lag, 0.05); math.Abs(sec-2.0) > 1e-12 {
+		t.Errorf("period seconds = %g", sec)
+	}
+}
+
+func TestDominantPeriodNoisyPulseTrain(t *testing.T) {
+	// Pulses of width 1 every 50 bins on a noisy floor: the PDoS signature.
+	rnd := rand.New(rand.NewSource(61))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rnd.Float64()
+		if i%50 == 0 {
+			xs[i] += 20
+		}
+	}
+	lag, err := DominantPeriod(xs, 200, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 50 {
+		t.Errorf("dominant period = %d, want 50", lag)
+	}
+}
+
+func TestDominantPeriodAperiodic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(67))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rnd.NormFloat64()
+	}
+	lag, err := DominantPeriod(xs, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 0 {
+		t.Errorf("white noise produced period %d", lag)
+	}
+}
+
+func TestPeriodogramParseval(t *testing.T) {
+	// Sum of PSD over all bins ≈ total signal energy / N (Parseval); verify
+	// on a simple cosine at an exact bin frequency.
+	n := 64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Cos(2 * math.Pi * 4 * float64(i) / float64(n))
+	}
+	psd, err := Periodogram(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure cosine at bin 4 concentrates its power there.
+	for k := 1; k < len(psd); k++ {
+		if k == 4 {
+			if psd[k] < 10 {
+				t.Errorf("PSD at signal bin = %g, want large", psd[k])
+			}
+		} else if psd[k] > 1e-6 {
+			t.Errorf("leakage at bin %d: %g", k, psd[k])
+		}
+	}
+	if _, err := Periodogram([]float64{1}); !errors.Is(err, ErrShortSeries) {
+		t.Errorf("short series: %v", err)
+	}
+}
+
+func TestSpectralPeakOnPulseTrain(t *testing.T) {
+	xs := squareWave(400, 40)
+	period, frac, err := SpectralPeak(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-40) > 1 {
+		t.Errorf("spectral period = %g samples, want 40", period)
+	}
+	if frac < 0.3 {
+		t.Errorf("dominant fraction = %g, want concentrated", frac)
+	}
+	// Flat series: no dominant component.
+	flat := make([]float64, 64)
+	_, fracFlat, err := SpectralPeak(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracFlat != 0 {
+		t.Errorf("flat series fraction = %g", fracFlat)
+	}
+}
+
+func TestSpectralPeriodSeconds(t *testing.T) {
+	xs := squareWave(400, 40)
+	sec, err := SpectralPeriod(xs, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sec-2.0) > 0.1 {
+		t.Errorf("spectral period = %g s, want 2", sec)
+	}
+	// Noise stays silent.
+	rnd := rand.New(rand.NewSource(91))
+	noise := make([]float64, 300)
+	for i := range noise {
+		noise[i] = rnd.NormFloat64()
+	}
+	sec, err = SpectralPeriod(noise, 0.05, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec != 0 {
+		t.Errorf("noise produced period %g", sec)
+	}
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"pulsedos/internal/stats"
+)
+
+// FuzzPAA exercises the transform with arbitrary byte-derived series: it
+// must never panic, never emit NaN for finite input, and preserve the mean.
+func FuzzPAA(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0}, uint8(1))
+	f.Add([]byte{255, 0, 255, 0}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, framesRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b) - 128
+		}
+		frames := int(framesRaw%100) + 1
+		out, err := PAA(xs, frames)
+		if err != nil {
+			t.Fatalf("PAA error on valid input: %v", err)
+		}
+		inMean, _ := stats.Mean(xs)
+		outMean, _ := stats.Mean(out)
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("PAA produced %v", v)
+			}
+		}
+		if frames < len(xs) && math.Abs(inMean-outMean) > 1e-6*math.Max(1, math.Abs(inMean)) {
+			t.Fatalf("mean not preserved: %g vs %g", inMean, outMean)
+		}
+	})
+}
+
+// FuzzAutocorrelation checks r(0) = 1 and |r(k)| <= 1 + eps for arbitrary
+// non-constant series.
+func FuzzAutocorrelation(f *testing.F) {
+	f.Add([]byte{1, 9, 1, 9, 1, 9})
+	f.Add([]byte{3, 3, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			return
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		ac, err := Autocorrelation(xs, len(xs)-1)
+		if err != nil {
+			t.Fatalf("error: %v", err)
+		}
+		if math.Abs(ac[0]-1) > 1e-9 && ac[0] != 1 {
+			// Constant series report r(0)=1 by construction too.
+			t.Fatalf("r(0) = %g", ac[0])
+		}
+		for k, r := range ac {
+			if math.IsNaN(r) || math.Abs(r) > 1+1e-9 {
+				t.Fatalf("r(%d) = %g", k, r)
+			}
+		}
+	})
+}

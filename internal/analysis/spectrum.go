@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"math"
+
+	"pulsedos/internal/stats"
+)
+
+// Periodogram computes the discrete power spectrum of xs: P[k] =
+// |DFT(x)[k]|²/N for k = 0..N/2. The direct O(N²) evaluation is deliberate —
+// experiment series are a few thousand bins, and avoiding an FFT keeps the
+// code obviously correct.
+func Periodogram(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, ErrShortSeries
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		var re, im float64
+		w := -2 * math.Pi * float64(k) / float64(n)
+		for i, x := range xs {
+			angle := w * float64(i)
+			re += x * math.Cos(angle)
+			im += x * math.Sin(angle)
+		}
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out, nil
+}
+
+// SpectralPeak locates the dominant non-DC component of xs and reports its
+// period in samples and the fraction of total (non-DC) power it carries.
+// High concentration at one frequency is the spectral signature of a
+// periodic pulse train.
+func SpectralPeak(xs []float64) (periodSamples float64, powerFraction float64, err error) {
+	psd, err := Periodogram(stats.Normalize(xs))
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(psd) < 3 {
+		return 0, 0, ErrShortSeries
+	}
+	total := 0.0
+	bestK, bestP := 0, 0.0
+	for k := 1; k < len(psd); k++ { // skip DC
+		total += psd[k]
+		if psd[k] > bestP {
+			bestK, bestP = k, psd[k]
+		}
+	}
+	if total == 0 || bestK == 0 {
+		return 0, 0, nil
+	}
+	return float64(len(xs)) / float64(bestK), bestP / total, nil
+}
+
+// SpectralPeriod estimates the fundamental period of xs in seconds, given
+// the sample width; 0 when no component dominates above minFraction.
+func SpectralPeriod(xs []float64, sampleWidthSec, minFraction float64) (float64, error) {
+	period, frac, err := SpectralPeak(xs)
+	if err != nil {
+		return 0, err
+	}
+	if frac < minFraction || period == 0 {
+		return 0, nil
+	}
+	return period * sampleWidthSec, nil
+}

@@ -1,0 +1,265 @@
+// Package attack implements the paper's pulsing denial-of-service traffic
+// sources. A pulse train A(Textent(n), Rattack(n), Tspace(n), N) — the
+// formal attack model of §2.1 — is a sequence of short, high-rate bursts
+// injected toward a bottleneck router. Constructors cover the three attack
+// archetypes the paper discusses: the AIMD-based PDoS attack with a fixed
+// period T_AIMD, the timeout-based shrew attack whose period resonates with
+// the victims' minimum RTO, and the traditional flooding attack (Tspace = 0)
+// used as the baseline the PDoS attack is smarter than.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// FlowID is the packet flow identifier used for attack traffic. Attack flows
+// are negative so they can never collide with victim TCP flows.
+const FlowID = -1
+
+// Pulse describes one burst in a train: transmit at Rate bps for Extent,
+// then stay silent for Space before the next pulse begins.
+type Pulse struct {
+	Extent sim.Time // pulse width, the paper's Textent(n)
+	Rate   float64  // sending rate in bps, the paper's Rattack(n)
+	Space  sim.Time // gap to the next pulse, the paper's Tspace(n)
+}
+
+// Period reports Extent + Space, the paper's T_AIMD for uniform trains.
+func (p Pulse) Period() sim.Time { return p.Extent + p.Space }
+
+// Train is a finite sequence of pulses.
+type Train struct {
+	Pulses []Pulse
+}
+
+// Uniform builds the identical-pulse train the paper's analysis assumes:
+// N pulses of the given width and rate separated by space.
+func Uniform(extent sim.Time, rate float64, space sim.Time, n int) Train {
+	pulses := make([]Pulse, n)
+	for i := range pulses {
+		pulses[i] = Pulse{Extent: extent, Rate: rate, Space: space}
+	}
+	return Train{Pulses: pulses}
+}
+
+// AIMDTrain builds a uniform train parameterized by the attack period
+// T_AIMD = Textent + Tspace, the natural knob of the AIMD-based attack.
+func AIMDTrain(extent sim.Time, rate float64, period sim.Time, n int) (Train, error) {
+	if period < extent {
+		return Train{}, fmt.Errorf("attack: period %v shorter than pulse extent %v", period, extent)
+	}
+	return Uniform(extent, rate, period-extent, n), nil
+}
+
+// ShrewTrain builds a timeout-based (shrew) attack: the period is minRTO/k
+// for the chosen harmonic k ≥ 1, so that pulses land exactly when victims'
+// retransmission timers expire (Kuzmanovic & Knightly; paper §4.1.3).
+func ShrewTrain(extent sim.Time, rate float64, minRTO sim.Time, harmonic, n int) (Train, error) {
+	if harmonic < 1 {
+		return Train{}, fmt.Errorf("attack: shrew harmonic must be >= 1, got %d", harmonic)
+	}
+	period := minRTO / sim.Time(harmonic)
+	return AIMDTrain(extent, rate, period, n)
+}
+
+// FloodTrain builds the traditional flooding baseline: one continuous burst
+// (Tspace = 0) lasting the given duration.
+func FloodTrain(rate float64, duration sim.Time) Train {
+	return Train{Pulses: []Pulse{{Extent: duration, Rate: rate}}}
+}
+
+// JitteredTrain builds a train whose inter-pulse gaps are uniformly jittered
+// by ±jitterFrac·space, keeping the mean period (and hence γ) unchanged.
+// The paper's analysis assumes identical pulses; jitter is the natural
+// counter-move against pulse-shape detectors such as the DTW scheme of
+// §1.1 [8], and the ablation benches quantify what it costs in attack gain.
+func JitteredTrain(extent sim.Time, rate float64, space sim.Time, n int, jitterFrac float64, rand *rng.Source) (Train, error) {
+	if jitterFrac < 0 || jitterFrac > 1 {
+		return Train{}, fmt.Errorf("attack: jitter fraction %g outside [0,1]", jitterFrac)
+	}
+	if rand == nil {
+		return Train{}, errors.New("attack: jittered train requires a random source")
+	}
+	pulses := make([]Pulse, n)
+	for i := range pulses {
+		jitter := sim.Time(0)
+		if space > 0 && jitterFrac > 0 {
+			span := int64(jitterFrac * float64(space))
+			if span > 0 {
+				jitter = sim.Time(rand.Int63n(2*span+1) - span)
+			}
+		}
+		pulses[i] = Pulse{Extent: extent, Rate: rate, Space: space + jitter}
+	}
+	return Train{Pulses: pulses}, nil
+}
+
+// Duration reports the span from the first pulse's start to the last pulse's
+// end (the paper's (N-1)·T_AIMD + Textent for uniform trains).
+func (t Train) Duration() sim.Time {
+	var d sim.Time
+	for i, p := range t.Pulses {
+		d += p.Extent
+		if i < len(t.Pulses)-1 {
+			d += p.Space
+		}
+	}
+	return d
+}
+
+// MeanGamma reports the normalized average attack rate γ =
+// Rattack·Textent / (Rbottle·T_AIMD) averaged across the train (Eq. 4).
+func (t Train) MeanGamma(bottleneckRate float64) float64 {
+	if bottleneckRate <= 0 || len(t.Pulses) == 0 {
+		return 0
+	}
+	var sent, span float64
+	for i, p := range t.Pulses {
+		sent += p.Rate * p.Extent.Seconds()
+		span += p.Extent.Seconds()
+		if i < len(t.Pulses)-1 {
+			span += p.Space.Seconds()
+		}
+	}
+	if span <= 0 {
+		return 0
+	}
+	return sent / span / bottleneckRate
+}
+
+// GeneratorStats aggregates attack-source counters.
+type GeneratorStats struct {
+	PulsesSent  int
+	PacketsSent uint64
+	BytesSent   uint64
+}
+
+// Generator replays a pulse train onto a link. Within a pulse, packets of
+// PacketSize bytes are emitted back-to-back at the pulse rate; between
+// pulses the source is silent. Attack packets are UDP-like: no
+// acknowledgments, no congestion response.
+type Generator struct {
+	k          *sim.Kernel
+	out        *netem.Link
+	train      Train
+	packetSize int
+	flow       int
+
+	pulseIdx int
+	stopped  bool
+	next     *sim.Timer
+	stats    GeneratorStats
+}
+
+// NewGenerator builds an attack source that emits packets of packetSize
+// bytes (wire size) into out.
+func NewGenerator(k *sim.Kernel, out *netem.Link, train Train, packetSize int) (*Generator, error) {
+	if k == nil || out == nil {
+		return nil, errors.New("attack: nil kernel or link")
+	}
+	if packetSize <= 0 {
+		return nil, fmt.Errorf("attack: packet size must be positive, got %d", packetSize)
+	}
+	for i, p := range train.Pulses {
+		if p.Rate <= 0 {
+			return nil, fmt.Errorf("attack: pulse %d has non-positive rate %g", i, p.Rate)
+		}
+		if p.Extent <= 0 {
+			return nil, fmt.Errorf("attack: pulse %d has non-positive extent %v", i, p.Extent)
+		}
+		if p.Space < 0 {
+			return nil, fmt.Errorf("attack: pulse %d has negative space %v", i, p.Space)
+		}
+	}
+	return &Generator{
+		k:          k,
+		out:        out,
+		train:      train,
+		packetSize: packetSize,
+		flow:       FlowID,
+	}, nil
+}
+
+// Stats returns a snapshot of the generator counters.
+func (g *Generator) Stats() GeneratorStats { return g.stats }
+
+// Train exposes the generator's pulse train.
+func (g *Generator) Train() Train { return g.train }
+
+// Start schedules the train's first pulse at the given virtual instant.
+func (g *Generator) Start(at sim.Time) error {
+	if g.next != nil || g.pulseIdx > 0 {
+		return errors.New("attack: generator already started")
+	}
+	if len(g.train.Pulses) == 0 {
+		return nil
+	}
+	t, err := g.k.At(at, g.beginPulse)
+	if err != nil {
+		return fmt.Errorf("attack: start: %w", err)
+	}
+	g.next = t
+	return nil
+}
+
+// Stop cancels any pending transmission; in-flight packets still arrive.
+func (g *Generator) Stop() {
+	g.stopped = true
+	if g.next != nil {
+		g.next.Cancel()
+	}
+}
+
+// beginPulse starts emitting the current pulse's packets.
+func (g *Generator) beginPulse() {
+	if g.stopped || g.pulseIdx >= len(g.train.Pulses) {
+		return
+	}
+	pulse := g.train.Pulses[g.pulseIdx]
+	g.stats.PulsesSent++
+	end := g.k.Now().Add(pulse.Extent)
+	g.emit(pulse, end)
+}
+
+// emit sends one attack packet and chains the next emission, spacing packets
+// at the pulse's line rate until the pulse window closes.
+func (g *Generator) emit(pulse Pulse, end sim.Time) {
+	if g.stopped {
+		return
+	}
+	now := g.k.Now()
+	if now >= end {
+		g.finishPulse(pulse, end)
+		return
+	}
+	g.stats.PacketsSent++
+	g.stats.BytesSent += uint64(g.packetSize)
+	g.out.Send(&netem.Packet{
+		Flow:   g.flow,
+		Class:  netem.ClassAttack,
+		Dir:    netem.DirForward,
+		Size:   g.packetSize,
+		SentAt: now,
+	})
+	gap := sim.FromSeconds(float64(g.packetSize) * 8 / pulse.Rate)
+	if gap < 1 {
+		gap = 1 // at least one nanosecond between emissions
+	}
+	g.next = g.k.AfterTicks(gap, func() { g.emit(pulse, end) })
+}
+
+// finishPulse schedules the next pulse after the inter-pulse gap.
+func (g *Generator) finishPulse(pulse Pulse, end sim.Time) {
+	g.pulseIdx++
+	if g.pulseIdx >= len(g.train.Pulses) {
+		return
+	}
+	startNext := end.Add(pulse.Space)
+	delta := startNext.Sub(g.k.Now())
+	g.next = g.k.AfterTicks(delta, g.beginPulse)
+}

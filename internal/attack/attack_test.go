@@ -1,0 +1,281 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+func TestUniformTrain(t *testing.T) {
+	tr := Uniform(50*sim.Millisecond, 40e6, 1950*sim.Millisecond, 30)
+	if len(tr.Pulses) != 30 {
+		t.Fatalf("pulses = %d", len(tr.Pulses))
+	}
+	for i, p := range tr.Pulses {
+		if p.Extent != 50*sim.Millisecond || p.Rate != 40e6 || p.Space != 1950*sim.Millisecond {
+			t.Fatalf("pulse %d = %+v", i, p)
+		}
+		if p.Period() != 2*sim.Second {
+			t.Fatalf("period = %v", p.Period())
+		}
+	}
+	// Duration: 30 extents + 29 spaces = 1.5s + 56.55s = 58.05s.
+	want := 30*50*sim.Millisecond + 29*1950*sim.Millisecond
+	if got := tr.Duration(); got != want {
+		t.Errorf("duration = %v, want %v", got, want)
+	}
+}
+
+func TestAIMDTrain(t *testing.T) {
+	tr, err := AIMDTrain(75*sim.Millisecond, 35e6, 350*sim.Millisecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pulses[0].Space != 275*sim.Millisecond {
+		t.Errorf("space = %v", tr.Pulses[0].Space)
+	}
+	if _, err := AIMDTrain(100*sim.Millisecond, 35e6, 50*sim.Millisecond, 10); err == nil {
+		t.Error("period < extent should fail")
+	}
+}
+
+func TestShrewTrain(t *testing.T) {
+	tr, err := ShrewTrain(50*sim.Millisecond, 50e6, sim.Second, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Pulses[0].Period(); got != 500*sim.Millisecond {
+		t.Errorf("shrew period = %v, want minRTO/2", got)
+	}
+	if _, err := ShrewTrain(50*sim.Millisecond, 50e6, sim.Second, 0, 5); err == nil {
+		t.Error("harmonic 0 should fail")
+	}
+}
+
+func TestFloodTrain(t *testing.T) {
+	tr := FloodTrain(100e6, 10*sim.Second)
+	if len(tr.Pulses) != 1 || tr.Pulses[0].Space != 0 {
+		t.Fatalf("flood train = %+v", tr)
+	}
+	if tr.Duration() != 10*sim.Second {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+}
+
+func TestMeanGamma(t *testing.T) {
+	tr := Uniform(50*sim.Millisecond, 100e6, 1950*sim.Millisecond, 10)
+	got := tr.MeanGamma(15e6)
+	// Exact over the train span (no trailing space after the last pulse):
+	// γ = N·R·E / ((N·E + (N-1)·S)·B).
+	want := 10 * 100e6 * 0.05 / ((10*0.05 + 9*1.95) * 15e6)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("MeanGamma = %.6f, want %.6f", got, want)
+	}
+	// For long trains it converges to the per-period value R·E/(B·T).
+	long := Uniform(50*sim.Millisecond, 100e6, 1950*sim.Millisecond, 1000)
+	perPeriod := 100e6 * 0.05 / (15e6 * 2.0)
+	if g := long.MeanGamma(15e6); math.Abs(g-perPeriod)/perPeriod > 0.01 {
+		t.Errorf("long-train MeanGamma = %.4f, want ≈ %.4f", g, perPeriod)
+	}
+	if Uniform(sim.Millisecond, 1e6, 0, 1).MeanGamma(0) != 0 {
+		t.Error("zero bottleneck should yield 0")
+	}
+	if (Train{}).MeanGamma(1e6) != 0 {
+		t.Error("empty train should yield 0")
+	}
+	// A flood's γ is Rate/Bottleneck.
+	if g := FloodTrain(15e6, sim.Second).MeanGamma(15e6); math.Abs(g-1) > 1e-9 {
+		t.Errorf("flood gamma = %g, want 1", g)
+	}
+}
+
+func TestGeneratorEmitsExpectedPackets(t *testing.T) {
+	k := sim.New()
+	sink := &netem.Sink{}
+	link, err := netem.NewLink(k, "atk", 1e9, 0, netem.NewDropTail(1<<20), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 pulses: 10 ms at 8 Mbps with 1000-byte packets → packet gap 1 ms →
+	// 10 packets per pulse.
+	tr := Uniform(10*sim.Millisecond, 8e6, 90*sim.Millisecond, 2)
+	g, err := NewGenerator(k, link, tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.PulsesSent != 2 {
+		t.Errorf("pulses = %d", st.PulsesSent)
+	}
+	if st.PacketsSent != 20 {
+		t.Errorf("packets = %d, want 20", st.PacketsSent)
+	}
+	if st.BytesSent != 20000 {
+		t.Errorf("bytes = %d", st.BytesSent)
+	}
+	if sink.Packets != 20 {
+		t.Errorf("delivered = %d", sink.Packets)
+	}
+}
+
+func TestGeneratorPulseTiming(t *testing.T) {
+	k := sim.New()
+	var arrivals []sim.Time
+	capture := netem.NodeFunc(func(*netem.Packet) { arrivals = append(arrivals, k.Now()) })
+	link, err := netem.NewLink(k, "atk", 1e12, 0, netem.NewDropTail(1<<20), capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Uniform(2*sim.Millisecond, 8e6, 98*sim.Millisecond, 3) // 2 pkts/pulse
+	g, err := NewGenerator(k, link, tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 6 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// Pulses begin at 10 ms, 110 ms, 210 ms.
+	for i, wantStart := range []sim.Time{10 * sim.Millisecond, 110 * sim.Millisecond, 210 * sim.Millisecond} {
+		got := arrivals[2*i]
+		if got < wantStart || got > wantStart+sim.Millisecond {
+			t.Errorf("pulse %d first packet at %v, want ≈ %v", i, got, wantStart)
+		}
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	k := sim.New()
+	sink := &netem.Sink{}
+	link, err := netem.NewLink(k, "atk", 1e9, 0, netem.NewDropTail(1<<20), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Uniform(sim.Second, 8e6, 0, 1)
+	g, err := NewGenerator(k, link, tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	sent := g.Stats().PacketsSent
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Stats().PacketsSent; got != sent {
+		t.Errorf("generator kept sending after Stop: %d -> %d", sent, got)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	k := sim.New()
+	link, err := netem.NewLink(k, "atk", 1e9, 0, netem.NewDropTail(16), &netem.Sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Uniform(sim.Millisecond, 1e6, 0, 1)
+	if _, err := NewGenerator(nil, link, good, 1000); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := NewGenerator(k, nil, good, 1000); err == nil {
+		t.Error("nil link accepted")
+	}
+	if _, err := NewGenerator(k, link, good, 0); err == nil {
+		t.Error("zero packet size accepted")
+	}
+	bad := Train{Pulses: []Pulse{{Extent: sim.Millisecond, Rate: 0}}}
+	if _, err := NewGenerator(k, link, bad, 1000); err == nil {
+		t.Error("zero-rate pulse accepted")
+	}
+	bad = Train{Pulses: []Pulse{{Extent: 0, Rate: 1e6}}}
+	if _, err := NewGenerator(k, link, bad, 1000); err == nil {
+		t.Error("zero-extent pulse accepted")
+	}
+	bad = Train{Pulses: []Pulse{{Extent: sim.Millisecond, Rate: 1e6, Space: -1}}}
+	if _, err := NewGenerator(k, link, bad, 1000); err == nil {
+		t.Error("negative-space pulse accepted")
+	}
+	g, err := NewGenerator(k, link, good, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(0); err == nil {
+		t.Error("double start accepted")
+	}
+	// Empty train: Start is a no-op, not an error.
+	g2, err := NewGenerator(k, link, Train{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Start(0); err != nil {
+		t.Errorf("empty-train start: %v", err)
+	}
+}
+
+func TestJitteredTrain(t *testing.T) {
+	src := rng.New(5)
+	tr, err := JitteredTrain(50*sim.Millisecond, 40e6, 450*sim.Millisecond, 50, 0.3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Pulses) != 50 {
+		t.Fatalf("pulses = %d", len(tr.Pulses))
+	}
+	varied := false
+	var sum sim.Time
+	for _, p := range tr.Pulses {
+		if p.Space != 450*sim.Millisecond {
+			varied = true
+		}
+		lo, hi := sim.Time(float64(450*sim.Millisecond)*0.699), sim.Time(float64(450*sim.Millisecond)*1.301)
+		if p.Space < lo || p.Space > hi {
+			t.Fatalf("space %v outside jitter band [%v, %v]", p.Space, lo, hi)
+		}
+		sum += p.Space
+	}
+	if !varied {
+		t.Error("no jitter applied")
+	}
+	mean := float64(sum) / 50
+	if mean < float64(400*sim.Millisecond) || mean > float64(500*sim.Millisecond) {
+		t.Errorf("mean space %.0f drifted from 450ms", mean/1e6)
+	}
+	// Zero jitter reduces to the uniform train.
+	uz, err := JitteredTrain(50*sim.Millisecond, 40e6, 450*sim.Millisecond, 5, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range uz.Pulses {
+		if p.Space != 450*sim.Millisecond {
+			t.Error("zero-jitter train varied")
+		}
+	}
+	if _, err := JitteredTrain(sim.Millisecond, 1e6, sim.Millisecond, 1, 1.5, src); err == nil {
+		t.Error("jitter > 1 accepted")
+	}
+	if _, err := JitteredTrain(sim.Millisecond, 1e6, sim.Millisecond, 1, 0.5, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}

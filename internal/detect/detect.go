@@ -1,0 +1,445 @@
+// Package detect implements three attack-detector archetypes from the
+// literature the paper positions PDoS attacks against. The paper models
+// detection risk abstractly as (1-γ)^κ; these detectors make the premise
+// concrete — detection probability grows with the normalized average attack
+// rate γ — and let the experiment harness quantify how much stealth a tuned
+// PDoS attack buys over flooding.
+//
+//   - Threshold: the classic flooding detector — alarm when the windowed
+//     average arrival rate exceeds a fraction of capacity (Wang et al. style
+//     volume detection).
+//   - CUSUM: cumulative-sum change-point detection on the rate series,
+//     sensitive to sustained shifts but blind to short pulses.
+//   - DTW: dynamic-time-warping template matching against a rectangular
+//     pulse, after Sun, Lui & Yau (ICNP 2004) — the defense the paper notes
+//     fails when pulses are shorter than the sampling period.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pulsedos/internal/analysis"
+	"pulsedos/internal/stats"
+)
+
+// Verdict is a detector's judgement over one observation window.
+type Verdict struct {
+	Attack bool    // detector raised an alarm
+	Score  float64 // detector-specific evidence (higher = more suspicious)
+	AtBin  int     // first bin at which the alarm fired (-1 if none)
+}
+
+// Detector consumes a binned byte-count series (bytes per bin, as produced
+// by trace.RateSeries) and renders a verdict.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Detect scans the series; binWidthSec is the bin resolution.
+	Detect(bytesPerBin []float64, binWidthSec float64) Verdict
+}
+
+// Threshold alarms when the average arrival rate over any sliding window of
+// WindowBins bins exceeds Fraction of the link capacity.
+type Threshold struct {
+	Capacity   float64 // link capacity, bps
+	Fraction   float64 // alarm level as a fraction of capacity, e.g. 0.9
+	WindowBins int     // sliding-window length in bins
+}
+
+var _ Detector = (*Threshold)(nil)
+
+// NewThreshold builds the volume detector.
+func NewThreshold(capacityBps, fraction float64, windowBins int) (*Threshold, error) {
+	if capacityBps <= 0 || fraction <= 0 || windowBins < 1 {
+		return nil, errors.New("detect: threshold needs positive capacity, fraction, window")
+	}
+	return &Threshold{Capacity: capacityBps, Fraction: fraction, WindowBins: windowBins}, nil
+}
+
+// Name implements Detector.
+func (t *Threshold) Name() string { return "threshold" }
+
+// Detect implements Detector.
+func (t *Threshold) Detect(bins []float64, binWidthSec float64) Verdict {
+	v := Verdict{AtBin: -1}
+	if len(bins) == 0 || binWidthSec <= 0 {
+		return v
+	}
+	w := t.WindowBins
+	if w > len(bins) {
+		w = len(bins)
+	}
+	limit := t.Fraction * t.Capacity
+	sum := 0.0
+	for i, b := range bins {
+		sum += b
+		if i >= w {
+			sum -= bins[i-w]
+		}
+		if i+1 < w {
+			// Judge only full windows: a lone high-rate bin inside a
+			// partially filled window is not a sustained volume anomaly.
+			continue
+		}
+		rate := sum * 8 / (float64(w) * binWidthSec)
+		if score := rate / limit; score > v.Score {
+			v.Score = score
+		}
+		if rate > limit && !v.Attack {
+			v.Attack = true
+			v.AtBin = i
+		}
+	}
+	return v
+}
+
+// CUSUM alarms when the one-sided cumulative sum of positive deviations from
+// the calibrated mean exceeds a threshold of H standard deviations. Drift
+// (in σ) is subtracted per step, so brief pulses decay while sustained
+// volume accumulates.
+type CUSUM struct {
+	CalibBins int     // leading bins used to estimate mean and σ
+	Drift     float64 // slack per step, in σ (typical 0.5)
+	H         float64 // alarm threshold, in σ (typical 5)
+}
+
+var _ Detector = (*CUSUM)(nil)
+
+// NewCUSUM builds the change-point detector.
+func NewCUSUM(calibBins int, drift, h float64) (*CUSUM, error) {
+	if calibBins < 2 || drift < 0 || h <= 0 {
+		return nil, errors.New("detect: CUSUM needs calibBins >= 2, drift >= 0, h > 0")
+	}
+	return &CUSUM{CalibBins: calibBins, Drift: drift, H: h}, nil
+}
+
+// Name implements Detector.
+func (c *CUSUM) Name() string { return "cusum" }
+
+// Detect implements Detector.
+func (c *CUSUM) Detect(bins []float64, _ float64) Verdict {
+	v := Verdict{AtBin: -1}
+	if len(bins) <= c.CalibBins {
+		return v
+	}
+	calib := bins[:c.CalibBins]
+	mean, err := stats.Mean(calib)
+	if err != nil {
+		return v
+	}
+	sd, err := stats.StdDev(calib)
+	if err != nil || sd == 0 {
+		sd = math.Max(mean*0.05, 1) // degenerate calm baseline
+	}
+	s := 0.0
+	for i := c.CalibBins; i < len(bins); i++ {
+		z := (bins[i] - mean) / sd
+		s += z - c.Drift
+		if s < 0 {
+			s = 0
+		}
+		if s > v.Score {
+			v.Score = s
+		}
+		if s > c.H && !v.Attack {
+			v.Attack = true
+			v.AtBin = i
+		}
+	}
+	v.Score /= c.H
+	return v
+}
+
+// DTW matches sliding windows of the (z-scored) rate series against a
+// rectangular pulse template via dynamic time warping; a warped distance
+// below Threshold marks the window as containing an attack pulse.
+type DTW struct {
+	TemplateBins int     // pulse-template length in bins
+	DutyCycle    float64 // fraction of the template that is "high"
+	Threshold    float64 // alarm distance (per-bin normalized)
+}
+
+var _ Detector = (*DTW)(nil)
+
+// NewDTW builds the pulse-shape detector.
+func NewDTW(templateBins int, dutyCycle, threshold float64) (*DTW, error) {
+	if templateBins < 2 || dutyCycle <= 0 || dutyCycle >= 1 || threshold <= 0 {
+		return nil, errors.New("detect: DTW needs templateBins >= 2, duty in (0,1), threshold > 0")
+	}
+	return &DTW{TemplateBins: templateBins, DutyCycle: dutyCycle, Threshold: threshold}, nil
+}
+
+// Name implements Detector.
+func (d *DTW) Name() string { return "dtw" }
+
+// template returns the z-scored rectangular pulse.
+func (d *DTW) template() []float64 {
+	tpl := make([]float64, d.TemplateBins)
+	high := int(float64(d.TemplateBins) * d.DutyCycle)
+	if high < 1 {
+		high = 1
+	}
+	for i := 0; i < high; i++ {
+		tpl[i] = 1
+	}
+	return stats.ZScore(tpl)
+}
+
+// Detect implements Detector: slide the template across the series and take
+// the minimum per-bin DTW distance.
+func (d *DTW) Detect(bins []float64, _ float64) Verdict {
+	v := Verdict{AtBin: -1, Score: 0}
+	if len(bins) < d.TemplateBins {
+		return v
+	}
+	tpl := d.template()
+	best := math.Inf(1)
+	bestAt := -1
+	for start := 0; start+d.TemplateBins <= len(bins); start += d.TemplateBins / 2 {
+		window := stats.ZScore(bins[start : start+d.TemplateBins])
+		dist := Distance(window, tpl) / float64(d.TemplateBins)
+		if dist < best {
+			best = dist
+			bestAt = start
+		}
+	}
+	if math.IsInf(best, 1) {
+		return v
+	}
+	// Lower distance = better match = more suspicious; report an inverted
+	// score so "higher is more suspicious" holds across detectors.
+	v.Score = 1 / (1 + best)
+	if best < d.Threshold {
+		v.Attack = true
+		v.AtBin = bestAt
+	}
+	return v
+}
+
+// Distance computes the classic O(n·m) dynamic-time-warping distance between
+// two series under the absolute-difference local cost.
+func Distance(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m+1)
+	curr := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		curr[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			cost := math.Abs(a[i-1] - b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if curr[j-1] < best {
+				best = curr[j-1] // deletion
+			}
+			if i == 1 && j == 1 {
+				best = 0
+			}
+			curr[j] = cost + best
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m]
+}
+
+// HitRate runs a detector across a set of series and reports the fraction
+// that triggered an alarm — the empirical detection probability the risk
+// model (1-γ)^κ abstracts.
+func HitRate(d Detector, series [][]float64, binWidthSec float64) (float64, error) {
+	if d == nil {
+		return 0, errors.New("detect: nil detector")
+	}
+	if len(series) == 0 {
+		return 0, fmt.Errorf("detect: %s: no series", d.Name())
+	}
+	hits := 0
+	for _, s := range series {
+		if d.Detect(s, binWidthSec).Attack {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(series)), nil
+}
+
+// Spectral is the power-spectral-density detector used against shrew-style
+// periodic attacks in the literature (Chen & Hwang; Cheng et al.): a pulse
+// train concentrates traffic power at its fundamental frequency, so a single
+// dominant spectral component carrying a large fraction of the non-DC power
+// flags an attack. It catches what volume detectors miss (low average rate)
+// as long as the pulses stay periodic — which is exactly why the jittered
+// trains exist.
+type Spectral struct {
+	// MinFraction of the non-DC power the dominant component must carry.
+	MinFraction float64
+	// MinPeriodSec/MaxPeriodSec bound the periods considered plausible for
+	// a PDoS attack; components outside the band are ignored.
+	MinPeriodSec float64
+	MaxPeriodSec float64
+}
+
+var _ Detector = (*Spectral)(nil)
+
+// NewSpectral builds the PSD detector.
+func NewSpectral(minFraction, minPeriodSec, maxPeriodSec float64) (*Spectral, error) {
+	if minFraction <= 0 || minFraction >= 1 {
+		return nil, errors.New("detect: spectral fraction must be in (0,1)")
+	}
+	if minPeriodSec <= 0 || maxPeriodSec <= minPeriodSec {
+		return nil, errors.New("detect: spectral period band invalid")
+	}
+	return &Spectral{
+		MinFraction:  minFraction,
+		MinPeriodSec: minPeriodSec,
+		MaxPeriodSec: maxPeriodSec,
+	}, nil
+}
+
+// Name implements Detector.
+func (s *Spectral) Name() string { return "spectral" }
+
+// Detect implements Detector.
+func (s *Spectral) Detect(bins []float64, binWidthSec float64) Verdict {
+	v := Verdict{AtBin: -1}
+	if len(bins) < 8 || binWidthSec <= 0 {
+		return v
+	}
+	psd, err := analysis.Periodogram(stats.Normalize(bins))
+	if err != nil {
+		return v
+	}
+	total := 0.0
+	for k := 1; k < len(psd); k++ {
+		total += psd[k]
+	}
+	if total == 0 {
+		return v
+	}
+	// A periodic pulse train concentrates power at its fundamental and the
+	// fundamental's integer harmonics (narrow pulses put most energy in the
+	// harmonics). The fundamental is the lowest strong component: scoring
+	// arbitrary in-band divisors instead would let a subharmonic claim an
+	// out-of-band signal's power.
+	maxP := 0.0
+	for k := 1; k < len(psd); k++ {
+		if psd[k] > maxP {
+			maxP = psd[k]
+		}
+	}
+	fundamental := 0
+	for k := 1; k < len(psd); k++ {
+		if psd[k] >= maxP/2 {
+			fundamental = k
+			break
+		}
+	}
+	if fundamental == 0 {
+		return v
+	}
+	n := float64(len(bins))
+	period := n / float64(fundamental) * binWidthSec
+	if period < s.MinPeriodSec || period > s.MaxPeriodSec {
+		return v
+	}
+	comb := 0.0
+	for h := fundamental; h < len(psd); h += fundamental {
+		comb += psd[h]
+	}
+	v.Score = comb / total
+	if v.Score > s.MinFraction {
+		v.Attack = true
+		v.AtBin = 0 // spectral evidence is global, not localized
+	}
+	return v
+}
+
+// ROCPoint is one operating point of a detector family: the fraction of
+// attacked traces flagged (true-positive rate) against the fraction of calm
+// traces flagged (false-positive rate) at one threshold.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64
+	FPR       float64
+}
+
+// ROC sweeps a score threshold over pre-computed evidence scores and returns
+// the receiver operating characteristic, sorted by threshold descending
+// (strictest first). Detectors in this package report "higher = more
+// suspicious" scores, so a trace is flagged when score > threshold.
+func ROC(attackScores, calmScores []float64, thresholds []float64) []ROCPoint {
+	out := make([]ROCPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		tp, fp := 0, 0
+		for _, s := range attackScores {
+			if s > th {
+				tp++
+			}
+		}
+		for _, s := range calmScores {
+			if s > th {
+				fp++
+			}
+		}
+		pt := ROCPoint{Threshold: th}
+		if len(attackScores) > 0 {
+			pt.TPR = float64(tp) / float64(len(attackScores))
+		}
+		if len(calmScores) > 0 {
+			pt.FPR = float64(fp) / float64(len(calmScores))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// AUC approximates the area under an ROC curve by trapezoidal integration
+// over the curve's (FPR, TPR) points sorted by FPR, anchored at (0,0) and
+// (1,1). 0.5 is chance; 1.0 is a perfect detector.
+func AUC(points []ROCPoint) float64 {
+	type xy struct{ x, y float64 }
+	pts := make([]xy, 0, len(points)+2)
+	pts = append(pts, xy{0, 0})
+	for _, p := range points {
+		pts = append(pts, xy{p.FPR, p.TPR})
+	}
+	pts = append(pts, xy{1, 1})
+	// Insertion sort by (x, y): ties in FPR must ascend in TPR so the
+	// staircase integrates the upper envelope (tiny inputs).
+	less := func(a, b xy) bool {
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.y < b.y
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	area := 0.0
+	for i := 1; i < len(pts); i++ {
+		area += (pts[i].x - pts[i-1].x) * (pts[i].y + pts[i-1].y) / 2
+	}
+	return area
+}
+
+// ScoreTraces runs a detector over a set of series and returns the evidence
+// scores, for feeding ROC.
+func ScoreTraces(d Detector, series [][]float64, binWidthSec float64) ([]float64, error) {
+	if d == nil {
+		return nil, errors.New("detect: nil detector")
+	}
+	out := make([]float64, len(series))
+	for i, s := range series {
+		out[i] = d.Detect(s, binWidthSec).Score
+	}
+	return out, nil
+}

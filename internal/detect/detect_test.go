@@ -1,0 +1,430 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// calmSeries is a steady background of ~1 kB per 50 ms bin with mild noise.
+func calmSeries(n int, seed int64) []float64 {
+	rnd := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1000 + 50*rnd.NormFloat64()
+	}
+	return xs
+}
+
+// withFlood raises every bin after start to the given level.
+func withFlood(xs []float64, start int, level float64) []float64 {
+	out := append([]float64(nil), xs...)
+	for i := start; i < len(out); i++ {
+		out[i] = level
+	}
+	return out
+}
+
+// withPulses adds rectangular pulses of the given height/width/period.
+func withPulses(xs []float64, height float64, width, period int) []float64 {
+	out := append([]float64(nil), xs...)
+	for i := range out {
+		if i%period < width {
+			out[i] += height
+		}
+	}
+	return out
+}
+
+func TestThresholdDetectsFlood(t *testing.T) {
+	// Capacity 1 Mbps at 50 ms bins → 6250 B/bin at full rate.
+	d, err := NewThreshold(1e6, 0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := calmSeries(400, 1)
+	if v := d.Detect(calm, 0.05); v.Attack {
+		t.Errorf("false alarm on calm traffic: %+v", v)
+	}
+	flooded := withFlood(calm, 200, 6250)
+	v := d.Detect(flooded, 0.05)
+	if !v.Attack {
+		t.Errorf("flood missed: %+v", v)
+	}
+	if v.AtBin < 200 {
+		t.Errorf("alarm at %d, before the flood began", v.AtBin)
+	}
+}
+
+func TestThresholdMissesLowDutyPulses(t *testing.T) {
+	// The paper's evasion claim: short pulses at low average rate stay
+	// under a windowed volume detector that a flood trips.
+	d, err := NewThreshold(1e6, 0.9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 50 ms pulse (1 bin) of full line rate every 2 s (40 bins):
+	// γ ≈ 0.12 after background.
+	pulsed := withPulses(calmSeries(400, 2), 6250, 1, 40)
+	if v := d.Detect(pulsed, 0.05); v.Attack {
+		t.Errorf("low-duty pulses tripped the volume detector: %+v", v)
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := NewThreshold(0, 0.9, 10); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewThreshold(1e6, 0, 10); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := NewThreshold(1e6, 0.9, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	d, err := NewThreshold(1e6, 0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Detect(nil, 0.05); v.Attack || v.AtBin != -1 {
+		t.Errorf("empty series verdict: %+v", v)
+	}
+	if d.Name() != "threshold" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestCUSUMDetectsLevelShift(t *testing.T) {
+	d, err := NewCUSUM(100, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := calmSeries(400, 3)
+	if v := d.Detect(calm, 0.05); v.Attack {
+		t.Errorf("false alarm on calm traffic: %+v", v)
+	}
+	shifted := withFlood(calm, 200, 1400) // +8σ sustained shift
+	v := d.Detect(shifted, 0.05)
+	if !v.Attack {
+		t.Errorf("level shift missed: %+v", v)
+	}
+	if v.AtBin < 200 || v.AtBin > 220 {
+		t.Errorf("alarm at bin %d, want shortly after 200", v.AtBin)
+	}
+}
+
+func TestCUSUMScoreMonotoneInShift(t *testing.T) {
+	d, err := NewCUSUM(100, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := calmSeries(400, 4)
+	prev := -1.0
+	for _, level := range []float64{1100, 1300, 1600, 2000} {
+		v := d.Detect(withFlood(calm, 200, level), 0.05)
+		if v.Score <= prev {
+			t.Errorf("score %g at level %g not increasing", v.Score, level)
+		}
+		prev = v.Score
+	}
+}
+
+func TestCUSUMValidationAndDegenerate(t *testing.T) {
+	if _, err := NewCUSUM(1, 0.5, 5); err == nil {
+		t.Error("calibBins=1 accepted")
+	}
+	if _, err := NewCUSUM(10, -1, 5); err == nil {
+		t.Error("negative drift accepted")
+	}
+	if _, err := NewCUSUM(10, 0.5, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	d, err := NewCUSUM(10, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Detect(make([]float64, 5), 0.05); v.Attack {
+		t.Error("series shorter than calibration should not alarm")
+	}
+	// Zero-variance calibration must not divide by zero.
+	flat := make([]float64, 50)
+	for i := range flat {
+		flat[i] = 1000
+	}
+	v := d.Detect(withFlood(flat, 30, 5000), 0.05)
+	if !v.Attack {
+		t.Errorf("shift after flat calibration missed: %+v", v)
+	}
+	if d.Name() != "cusum" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestDTWDistanceIdentity(t *testing.T) {
+	property := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return Distance(xs, xs) == 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWDistanceSymmetric(t *testing.T) {
+	a := []float64{0, 1, 2, 1, 0}
+	b := []float64{0, 0, 2, 2, 0}
+	if d1, d2 := Distance(a, b), Distance(b, a); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("asymmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestDTWDistanceWarpsTimeShifts(t *testing.T) {
+	// A time-shifted copy should be much closer under DTW than under
+	// pointwise L1.
+	a := []float64{0, 0, 5, 5, 0, 0, 0, 0}
+	b := []float64{0, 0, 0, 0, 5, 5, 0, 0}
+	l1 := 0.0
+	for i := range a {
+		l1 += math.Abs(a[i] - b[i])
+	}
+	if d := Distance(a, b); d >= l1 {
+		t.Errorf("DTW %g not below L1 %g for shifted pulses", d, l1)
+	}
+	if Distance(nil, a) != math.Inf(1) || Distance(a, nil) != math.Inf(1) {
+		t.Error("empty input should be infinitely far")
+	}
+}
+
+func TestDTWDetectorFindsPulseShape(t *testing.T) {
+	d, err := NewDTW(40, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong rectangular pulses matching the template's duty cycle.
+	pulsed := withPulses(calmSeries(400, 5), 50000, 4, 40)
+	v := d.Detect(pulsed, 0.05)
+	if !v.Attack {
+		t.Errorf("pulse train missed: %+v", v)
+	}
+	calm := calmSeries(400, 6)
+	calmV := d.Detect(calm, 0.05)
+	if calmV.Score >= v.Score {
+		t.Errorf("calm score %g >= pulsed score %g", calmV.Score, v.Score)
+	}
+}
+
+func TestDTWValidation(t *testing.T) {
+	cases := []struct {
+		bins  int
+		duty  float64
+		thres float64
+	}{
+		{1, 0.1, 0.6},
+		{40, 0, 0.6},
+		{40, 1, 0.6},
+		{40, 0.1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewDTW(c.bins, c.duty, c.thres); err == nil {
+			t.Errorf("NewDTW(%d, %g, %g) accepted", c.bins, c.duty, c.thres)
+		}
+	}
+	d, err := NewDTW(40, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Detect(make([]float64, 10), 0.05); v.Attack {
+		t.Error("short series should not alarm")
+	}
+	if d.Name() != "dtw" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	d, err := NewThreshold(1e6, 0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := calmSeries(200, 7)
+	hot := withFlood(calmSeries(200, 8), 50, 6250)
+	rate, err := HitRate(d, [][]float64{calm, hot, hot, calm}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", rate)
+	}
+	if _, err := HitRate(nil, nil, 0.05); err == nil {
+		t.Error("nil detector accepted")
+	}
+	if _, err := HitRate(d, nil, 0.05); err == nil {
+		t.Error("no series accepted")
+	}
+}
+
+func TestSpectralDetectorFindsPeriodicPulses(t *testing.T) {
+	d, err := NewSpectral(0.2, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulsed := withPulses(calmSeries(400, 9), 30000, 2, 40) // 2 s period at 50 ms bins
+	v := d.Detect(pulsed, 0.05)
+	if !v.Attack {
+		t.Errorf("periodic pulses missed: %+v", v)
+	}
+	calm := d.Detect(calmSeries(400, 10), 0.05)
+	if calm.Attack {
+		t.Errorf("false alarm on calm traffic: %+v", calm)
+	}
+	if calm.Score >= v.Score {
+		t.Errorf("calm score %g >= pulsed score %g", calm.Score, v.Score)
+	}
+}
+
+func TestSpectralDetectorBandFilter(t *testing.T) {
+	// Pulses with a 0.1 s period sit outside a [0.5 s, 5 s] band and must
+	// not alarm even though they dominate the spectrum.
+	d, err := NewSpectral(0.2, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := withPulses(calmSeries(400, 11), 30000, 1, 2)
+	if v := d.Detect(fast, 0.05); v.Attack {
+		t.Errorf("out-of-band periodicity alarmed: %+v", v)
+	}
+}
+
+func TestSpectralValidation(t *testing.T) {
+	if _, err := NewSpectral(0, 0.2, 5); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := NewSpectral(1.5, 0.2, 5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := NewSpectral(0.2, 5, 0.2); err == nil {
+		t.Error("inverted band accepted")
+	}
+	d, err := NewSpectral(0.2, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Detect(make([]float64, 4), 0.05); v.Attack {
+		t.Error("short series alarmed")
+	}
+	if d.Name() != "spectral" {
+		t.Errorf("name = %q", d.Name())
+	}
+}
+
+func TestJitterEvadesSpectralLessThanUniform(t *testing.T) {
+	// Deterministic synthetic check of the evasion story: jittering pulse
+	// positions spreads spectral power, lowering the detector's score.
+	d, err := NewSpectral(0.15, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := calmSeries(512, 12)
+	uniform := withPulses(base, 30000, 2, 40)
+	rnd := rand.New(rand.NewSource(13))
+	jittered := append([]float64(nil), base...)
+	for i := 0; i < len(jittered); i += 40 {
+		off := rnd.Intn(21) - 10 // ±10 bins = ±25% of the period
+		for w := 0; w < 2; w++ {
+			idx := i + off + w
+			if idx >= 0 && idx < len(jittered) {
+				jittered[idx] += 30000
+			}
+		}
+	}
+	us := d.Detect(uniform, 0.05).Score
+	js := d.Detect(jittered, 0.05).Score
+	if js >= us {
+		t.Errorf("jittered spectral score %g >= uniform %g", js, us)
+	}
+}
+
+func TestROCAndAUC(t *testing.T) {
+	// Perfectly separable scores.
+	attacked := []float64{0.9, 0.8, 0.95}
+	calm := []float64{0.1, 0.2, 0.05}
+	thresholds := []float64{0.0, 0.3, 0.5, 0.85, 1.0}
+	roc := ROC(attacked, calm, thresholds)
+	if len(roc) != len(thresholds) {
+		t.Fatalf("roc points = %d", len(roc))
+	}
+	// At threshold 0.5: all attacks flagged, no calm flagged.
+	var mid ROCPoint
+	for _, p := range roc {
+		if p.Threshold == 0.5 {
+			mid = p
+		}
+	}
+	if mid.TPR != 1 || mid.FPR != 0 {
+		t.Errorf("mid point = %+v", mid)
+	}
+	if auc := AUC(roc); auc < 0.99 {
+		t.Errorf("separable AUC = %g, want ~1", auc)
+	}
+
+	// Identical distributions: AUC ≈ 0.5.
+	same := []float64{0.1, 0.5, 0.9}
+	rocChance := ROC(same, same, []float64{0, 0.2, 0.4, 0.6, 0.8, 1})
+	if auc := AUC(rocChance); auc < 0.4 || auc > 0.6 {
+		t.Errorf("chance AUC = %g, want ~0.5", auc)
+	}
+}
+
+func TestScoreTraces(t *testing.T) {
+	d, err := NewCUSUM(10, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := calmSeries(100, 21)
+	hot := withFlood(calmSeries(100, 22), 30, 3000)
+	scores, err := ScoreTraces(d, [][]float64{calm, hot}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 2 || scores[1] <= scores[0] {
+		t.Errorf("scores = %v", scores)
+	}
+	if _, err := ScoreTraces(nil, nil, 0.05); err == nil {
+		t.Error("nil detector accepted")
+	}
+}
+
+func TestSpectralSeparatesAttackFromCalmROC(t *testing.T) {
+	d, err := NewSpectral(0.3, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attacked, calm [][]float64
+	for seed := int64(0); seed < 6; seed++ {
+		calm = append(calm, calmSeries(400, 30+seed))
+		attacked = append(attacked, withPulses(calmSeries(400, 40+seed), 30000, 2, 40))
+	}
+	as, err := ScoreTraces(d, attacked, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ScoreTraces(d, calm, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+	auc := AUC(ROC(as, cs, thresholds))
+	if auc < 0.9 {
+		t.Errorf("spectral AUC = %g on synthetic pulse trains, want > 0.9", auc)
+	}
+}

@@ -1,0 +1,76 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDTWDistance checks the kernel's invariants on arbitrary inputs:
+// non-negativity, identity, and symmetry.
+func FuzzDTWDistance(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{0}, []byte{255})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		if len(rawA) == 0 || len(rawB) == 0 || len(rawA)*len(rawB) > 1<<14 {
+			return
+		}
+		a := make([]float64, len(rawA))
+		for i, v := range rawA {
+			a[i] = float64(v)
+		}
+		b := make([]float64, len(rawB))
+		for i, v := range rawB {
+			b[i] = float64(v)
+		}
+		d := Distance(a, b)
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("distance = %g", d)
+		}
+		if Distance(a, a) != 0 {
+			t.Fatal("identity violated")
+		}
+		if rev := Distance(b, a); math.Abs(d-rev) > 1e-9*math.Max(1, d) {
+			t.Fatalf("asymmetric: %g vs %g", d, rev)
+		}
+	})
+}
+
+// FuzzDetectors runs every detector over arbitrary series: verdicts must be
+// well-formed and score computation must not panic or produce NaN.
+func FuzzDetectors(f *testing.F) {
+	f.Add([]byte{10, 10, 10, 200, 10, 10, 200})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bins := make([]float64, len(raw))
+		for i, v := range raw {
+			bins[i] = float64(v) * 100
+		}
+		threshold, err := NewThreshold(1e6, 1.2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cusum, err := NewCUSUM(4, 0.5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spectral, err := NewSpectral(0.3, 0.1, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dtw, err := NewDTW(8, 0.25, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []Detector{threshold, cusum, spectral, dtw} {
+			v := d.Detect(bins, 0.05)
+			if math.IsNaN(v.Score) || math.IsInf(v.Score, 0) {
+				t.Fatalf("%s score = %g", d.Name(), v.Score)
+			}
+			if v.Attack && v.AtBin < 0 {
+				t.Fatalf("%s alarmed without a bin", d.Name())
+			}
+			if !v.Attack && v.AtBin != -1 {
+				t.Fatalf("%s silent but AtBin = %d", d.Name(), v.AtBin)
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/sim"
+)
+
+// CwndSample is one point of a Fig. 1 congestion-window trace.
+type CwndSample struct {
+	TimeSec float64
+	Cwnd    float64 // segments
+}
+
+// CwndTrace reproduces Fig. 1: a victim flow's congestion window before and
+// during a fixed-period AIMD-based attack, exhibiting the transient phase
+// (window stepping down toward W_c) followed by the steady sawtooth.
+// flowIdx selects which victim to observe.
+func CwndTrace(
+	env Environment,
+	train attack.Train,
+	flowIdx int,
+	warmup, duration time.Duration,
+) ([]CwndSample, error) {
+	if env == nil {
+		return nil, errors.New("experiments: nil environment")
+	}
+	flows := env.Flows()
+	if flowIdx < 0 || flowIdx >= len(flows) {
+		return nil, errors.New("experiments: flow index out of range")
+	}
+	var samples []CwndSample
+	flows[flowIdx].Observe(func(now sim.Time, cwnd float64) {
+		samples = append(samples, CwndSample{TimeSec: now.Seconds(), Cwnd: cwnd})
+	})
+	if _, err := Run(env, RunOptions{Warmup: warmup, Measure: duration, Train: &train}); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// ResampleCwnd converts an event-driven cwnd trace into a fixed-step series
+// (sample-and-hold), convenient for plotting and peak analysis.
+func ResampleCwnd(samples []CwndSample, stepSec, untilSec float64) []CwndSample {
+	if stepSec <= 0 || untilSec <= 0 || len(samples) == 0 {
+		return nil
+	}
+	out := make([]CwndSample, 0, int(untilSec/stepSec)+1)
+	idx := 0
+	last := samples[0].Cwnd
+	for t := 0.0; t <= untilSec; t += stepSec {
+		for idx < len(samples) && samples[idx].TimeSec <= t {
+			last = samples[idx].Cwnd
+			idx++
+		}
+		out = append(out, CwndSample{TimeSec: t, Cwnd: last})
+	}
+	return out
+}

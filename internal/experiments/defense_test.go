@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// TestDefenseStudy verifies the §1.1 defense claims empirically:
+//
+//  1. randomizing the RTO mitigates the timeout-based (shrew) attack;
+//  2. it does NOT mitigate the AIMD-based attack, whose timing is
+//     independent of TCP timeout values (the paper's core argument for
+//     studying the AIMD-based attack); and
+//  3. Adaptive RED (the §5 enhancement direction) reduces the AIMD attack's
+//     damage relative to plain RED.
+func TestDefenseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	results, err := DefenseStudy(DefaultDefenseStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%-13s %-6s deg=%.3f base=%.2f atk=%.2f TO=%d FR=%d",
+			r.Defense, r.Attack, r.Degradation, r.BaselineMbps, r.AttackedMbps,
+			r.Timeouts, r.FastRecoveries)
+	}
+	get := func(defense, attackName string) DefenseResult {
+		r, err := FindDefenseResult(results, defense, attackName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	noneShrew := get("none", "shrew")
+	jitterShrew := get("rto-jitter", "shrew")
+	if jitterShrew.Degradation > noneShrew.Degradation-0.05 {
+		t.Errorf("RTO jitter did not mitigate the shrew: %.3f -> %.3f",
+			noneShrew.Degradation, jitterShrew.Degradation)
+	}
+	if jitterShrew.Timeouts >= noneShrew.Timeouts {
+		t.Errorf("RTO jitter did not reduce shrew-induced timeouts: %d -> %d",
+			noneShrew.Timeouts, jitterShrew.Timeouts)
+	}
+
+	noneAIMD := get("none", "aimd")
+	jitterAIMD := get("rto-jitter", "aimd")
+	delta := jitterAIMD.Degradation - noneAIMD.Degradation
+	if delta < -0.05 || delta > 0.05 {
+		t.Errorf("RTO jitter changed AIMD-attack damage by %.3f; the paper says it cannot defend it", delta)
+	}
+
+	aredAIMD := get("adaptive-red", "aimd")
+	if aredAIMD.Degradation > noneAIMD.Degradation-0.05 {
+		t.Errorf("Adaptive RED did not reduce AIMD-attack damage: %.3f -> %.3f",
+			noneAIMD.Degradation, aredAIMD.Degradation)
+	}
+}
+
+func TestDefenseStudyValidation(t *testing.T) {
+	bad := DefaultDefenseStudyConfig()
+	bad.Flows = 0
+	if _, err := DefenseStudy(bad); err == nil {
+		t.Error("zero flows accepted")
+	}
+	bad = DefaultDefenseStudyConfig()
+	bad.Measure = 0
+	if _, err := DefenseStudy(bad); err == nil {
+		t.Error("zero measure accepted")
+	}
+	if _, err := FindDefenseResult(nil, "none", "aimd"); err == nil {
+		t.Error("missing result accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pulsedos/internal/optimize"
+)
+
+// MaximizationPoint records, for one attack setting, where the analysis puts
+// the optimal γ* (Proposition 3) versus where the simulated gain actually
+// peaks — the comparison §4.1.2 makes for every panel of Figs. 6–9.
+type MaximizationPoint struct {
+	Label string
+
+	AnalyticGammaStar float64 // Proposition 3 on the calibrated C_Ψ
+	MeasuredPeakGamma float64 // grid argmax of the measured gain
+	AnalyticPeakGain  float64
+	MeasuredPeakGain  float64
+	GridStep          float64 // resolution of the comparison
+	Class             GainClass
+}
+
+// Agrees reports whether the measured peak lies within tol of the analytic
+// optimum (tol in γ units; the paper's "generally match very well").
+func (m MaximizationPoint) Agrees(tol float64) bool {
+	return math.Abs(m.AnalyticGammaStar-m.MeasuredPeakGamma) <= tol
+}
+
+// MaximizationStudyConfig parameterizes the §4.1.2 comparison.
+type MaximizationStudyConfig struct {
+	Flows    int
+	Settings []MaximizationSetting
+	Kappa    float64
+	Gammas   []float64
+	Warmup   time.Duration
+	Measure  time.Duration
+	Seed     uint64
+}
+
+// MaximizationSetting is one (R_attack, T_extent) cell.
+type MaximizationSetting struct {
+	Rate   float64
+	Extent time.Duration
+}
+
+// DefaultMaximizationStudyConfig compares the paper's normal-gain settings.
+func DefaultMaximizationStudyConfig() MaximizationStudyConfig {
+	return MaximizationStudyConfig{
+		Flows: 15,
+		Settings: []MaximizationSetting{
+			{25e6, 75 * time.Millisecond},
+			{25e6, 100 * time.Millisecond},
+			{30e6, 75 * time.Millisecond},
+		},
+		Kappa:   1,
+		Gammas:  DefaultGammaGrid(),
+		Warmup:  8 * time.Second,
+		Measure: 20 * time.Second,
+		Seed:    1,
+	}
+}
+
+// MaximizationStudy runs the comparison for every setting.
+func MaximizationStudy(cfg MaximizationStudyConfig) ([]MaximizationPoint, error) {
+	if cfg.Flows < 1 || len(cfg.Settings) == 0 {
+		return nil, fmt.Errorf("experiments: maximization study needs flows and settings")
+	}
+	if len(cfg.Gammas) < 3 {
+		return nil, fmt.Errorf("experiments: maximization study needs a real gamma grid")
+	}
+	gridStep := 1.0
+	for i := 1; i < len(cfg.Gammas); i++ {
+		if step := cfg.Gammas[i] - cfg.Gammas[i-1]; step > 0 && step < gridStep {
+			gridStep = step
+		}
+	}
+
+	out := make([]MaximizationPoint, 0, len(cfg.Settings))
+	for _, st := range cfg.Settings {
+		points, err := GainSweep(SweepConfig{
+			Factory: func() (Environment, error) {
+				dc := DefaultDumbbellConfig(cfg.Flows)
+				dc.Seed = cfg.Seed
+				return BuildDumbbell(dc)
+			},
+			AttackRate: st.Rate,
+			Extent:     st.Extent,
+			Kappa:      cfg.Kappa,
+			Gammas:     cfg.Gammas,
+			Warmup:     cfg.Warmup,
+			Measure:    cfg.Measure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(points) == 0 {
+			continue
+		}
+		peak, err := PeakPoint(points)
+		if err != nil {
+			return nil, err
+		}
+		// The analytic optimum from the same calibrated C_Ψ the sweep used:
+		// recover it from any point's analytic degradation (Γ = 1 - C/γ).
+		cPsi := impliedCPsi(points)
+		gammaStar := math.NaN()
+		analyticPeak := 0.0
+		if g, err := optimize.OptimalGamma(cPsi, cfg.Kappa); err == nil {
+			gammaStar = g
+			for _, p := range points {
+				if p.AnalyticGain > analyticPeak {
+					analyticPeak = p.AnalyticGain
+				}
+			}
+		}
+		out = append(out, MaximizationPoint{
+			Label:             fmt.Sprintf("R=%.0fM Textent=%dms", st.Rate/1e6, st.Extent.Milliseconds()),
+			AnalyticGammaStar: gammaStar,
+			MeasuredPeakGamma: peak.Gamma,
+			AnalyticPeakGain:  analyticPeak,
+			MeasuredPeakGain:  peak.MeasuredGain,
+			GridStep:          gridStep,
+			Class:             ClassifyGain(points, 0.05),
+		})
+	}
+	return out, nil
+}
+
+// impliedCPsi recovers the calibrated C_Ψ from a sweep's analytic points via
+// C_Ψ = γ·(1 - Γ) at the first point with meaningful degradation.
+func impliedCPsi(points []GainPoint) float64 {
+	for _, p := range points {
+		if p.AnalyticDegradation > 0 && p.AnalyticDegradation < 1 {
+			return p.Gamma * (1 - p.AnalyticDegradation)
+		}
+	}
+	// All points predict zero degradation: C_Ψ at least the largest γ.
+	if len(points) > 0 {
+		return points[len(points)-1].Gamma
+	}
+	return 0.5
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestMaximizationStudy reproduces §4.1.2's claim for a normal-gain setting:
+// the simulated gain peaks near the analytic γ*.
+func TestMaximizationStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	cfg := DefaultMaximizationStudyConfig()
+	cfg.Settings = cfg.Settings[:2] // keep the runtime modest
+	cfg.Warmup = 6 * time.Second
+	cfg.Measure = 12 * time.Second
+	points, err := MaximizationStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		t.Logf("%s: gamma*=%.3f measured-peak=%.2f (gains %.3f vs %.3f) class=%s",
+			p.Label, p.AnalyticGammaStar, p.MeasuredPeakGamma,
+			p.AnalyticPeakGain, p.MeasuredPeakGain, p.Class)
+		if math.IsNaN(p.AnalyticGammaStar) {
+			t.Errorf("%s: no analytic optimum", p.Label)
+			continue
+		}
+		// "Generally match": within 0.25 in gamma for normal-gain settings
+		// at this reduced scale.
+		if !p.Agrees(0.25) {
+			t.Errorf("%s: peaks diverge: analytic %.3f vs measured %.3f",
+				p.Label, p.AnalyticGammaStar, p.MeasuredPeakGamma)
+		}
+	}
+}
+
+func TestMaximizationStudyValidation(t *testing.T) {
+	bad := DefaultMaximizationStudyConfig()
+	bad.Flows = 0
+	if _, err := MaximizationStudy(bad); err == nil {
+		t.Error("zero flows accepted")
+	}
+	bad = DefaultMaximizationStudyConfig()
+	bad.Gammas = []float64{0.5}
+	if _, err := MaximizationStudy(bad); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestImpliedCPsi(t *testing.T) {
+	points := []GainPoint{
+		{Gamma: 0.2, AnalyticDegradation: 0},
+		{Gamma: 0.5, AnalyticDegradation: 0.6}, // C = 0.5·0.4 = 0.2
+	}
+	if got := impliedCPsi(points); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("implied CPsi = %g, want 0.2", got)
+	}
+	// All-zero degradation: fall back to the last gamma.
+	flat := []GainPoint{{Gamma: 0.3}, {Gamma: 0.7}}
+	if got := impliedCPsi(flat); got != 0.7 {
+		t.Errorf("fallback CPsi = %g", got)
+	}
+	if got := impliedCPsi(nil); got != 0.5 {
+		t.Errorf("empty CPsi = %g", got)
+	}
+}
+
+func TestMaximizationAgrees(t *testing.T) {
+	p := MaximizationPoint{AnalyticGammaStar: 0.4, MeasuredPeakGamma: 0.5}
+	if !p.Agrees(0.15) {
+		t.Error("0.1 apart should agree at tol 0.15")
+	}
+	if p.Agrees(0.05) {
+		t.Error("0.1 apart should not agree at tol 0.05")
+	}
+}

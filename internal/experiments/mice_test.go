@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/workload"
+)
+
+func TestMiceStudyBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	res, err := MiceStudy(DefaultMiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline: started=%d completed=%d meanFCT=%.2fs medianFCT=%.2fs p95=%.2fs",
+		res.Started, res.Completed, res.MeanFCT, res.MedianFCT, res.P95FCT)
+	if res.Started == 0 {
+		t.Fatal("no mice started")
+	}
+	if res.Completed < res.Started*8/10 {
+		t.Errorf("only %d/%d mice completed without an attack", res.Completed, res.Started)
+	}
+	if res.MeanFCT <= 0 || res.MeanFCT > 10 {
+		t.Errorf("baseline mean FCT = %.2fs, implausible", res.MeanFCT)
+	}
+	if res.ElephantBytes == 0 {
+		t.Error("elephants moved no data")
+	}
+}
+
+func TestMiceStudyAttackInflatesFCT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	base, err := MiceStudy(DefaultMiceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultMiceConfig()
+	period := 400 * time.Millisecond
+	train, err := attack.AIMDTrain(sim.FromDuration(75*time.Millisecond), 40e6,
+		sim.FromDuration(period), PulsesFor(cfg.Measure, period))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Train = &train
+	attacked, err := MiceStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("attacked: completed=%d/%d meanFCT=%.2fs (baseline %.2fs) p95=%.2fs (baseline %.2fs)",
+		attacked.Completed, attacked.Started,
+		attacked.MeanFCT, base.MeanFCT, attacked.P95FCT, base.P95FCT)
+
+	// The attack must visibly hurt the mice: fewer completions within the
+	// window, or substantially inflated completion times.
+	hurt := attacked.Completed < base.Completed ||
+		attacked.MeanFCT > 1.5*base.MeanFCT ||
+		attacked.P95FCT > 1.5*base.P95FCT
+	if !hurt {
+		t.Errorf("attack left mice unharmed: completed %d vs %d, meanFCT %.2f vs %.2f",
+			attacked.Completed, base.Completed, attacked.MeanFCT, base.MeanFCT)
+	}
+	// And the elephants lose throughput too.
+	if attacked.ElephantBytes >= base.ElephantBytes {
+		t.Errorf("elephant bytes did not drop: %d vs %d",
+			attacked.ElephantBytes, base.ElephantBytes)
+	}
+}
+
+func TestMiceStudyValidation(t *testing.T) {
+	bad := DefaultMiceConfig()
+	bad.Mice = 0
+	if _, err := MiceStudy(bad); err == nil {
+		t.Error("zero mice accepted")
+	}
+	bad = DefaultMiceConfig()
+	bad.ArrivalSpan = 0
+	if _, err := MiceStudy(bad); err == nil {
+		t.Error("zero arrival span accepted")
+	}
+}
+
+func TestMiceStudyHeavyTailedSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	cfg := DefaultMiceConfig()
+	sizes, err := workload.NewPareto(1.2, 10, 500, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sizes = sizes
+	res, err := MiceStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("heavy-tailed: completed=%d/%d meanFCT=%.2fs p95=%.2fs",
+		res.Completed, res.Started, res.MeanFCT, res.P95FCT)
+	if res.Started == 0 || res.Completed == 0 {
+		t.Fatal("heavy-tailed workload made no progress")
+	}
+	// Heavy tails stretch the FCT distribution: p95 well above the median.
+	if res.P95FCT < 2*res.MedianFCT {
+		t.Errorf("p95 %.2f not heavy-tailed relative to median %.2f", res.P95FCT, res.MedianFCT)
+	}
+}

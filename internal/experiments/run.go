@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/model"
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/trace"
+)
+
+// Environment abstracts the two evaluation topologies (dumbbell and
+// test-bed) behind the operations every experiment needs.
+type Environment interface {
+	// Sim exposes the environment's event kernel.
+	Sim() *sim.Kernel
+	// Goodput exposes the shared per-flow delivery account.
+	Goodput() *trace.FlowAccount
+	// Target exposes the bottleneck link the attack pulses congest.
+	Target() *netem.Link
+	// Flows exposes the victim TCP senders.
+	Flows() []*tcp.Sender
+	// StartFlows schedules all victim flows.
+	StartFlows() error
+	// StopFlows halts all victim flows.
+	StopFlows()
+	// Attach wires an attack generator into the topology.
+	Attach(train attack.Train) (*attack.Generator, error)
+	// ModelParams assembles the analytic-model view of the topology.
+	ModelParams() model.Params
+	// TimeoutModel assembles the TO-state model configuration (buffer size,
+	// victims' RTO floor, attack packet size) for the timeout-extended
+	// analysis.
+	TimeoutModel() model.TimeoutModelConfig
+}
+
+// Interface conformance for the two topologies.
+var (
+	_ Environment = (*Dumbbell)(nil)
+	_ Environment = (*Testbed)(nil)
+)
+
+// Sim implements Environment.
+func (d *Dumbbell) Sim() *sim.Kernel { return d.Kernel }
+
+// Goodput implements Environment.
+func (d *Dumbbell) Goodput() *trace.FlowAccount { return d.Account }
+
+// Target implements Environment.
+func (d *Dumbbell) Target() *netem.Link { return d.Bottle }
+
+// Flows implements Environment.
+func (d *Dumbbell) Flows() []*tcp.Sender { return d.Senders }
+
+// Sim implements Environment.
+func (tb *Testbed) Sim() *sim.Kernel { return tb.Kernel }
+
+// Goodput implements Environment.
+func (tb *Testbed) Goodput() *trace.FlowAccount { return tb.Account }
+
+// Target implements Environment.
+func (tb *Testbed) Target() *netem.Link { return tb.PipeFwd.Link() }
+
+// Flows implements Environment.
+func (tb *Testbed) Flows() []*tcp.Sender { return tb.Senders }
+
+// RunOptions parameterizes one scenario execution. The timeline is: victim
+// flows start (jittered) at the virtual origin and warm up for Warmup; the
+// attack (if any) begins at Warmup; goodput and traffic series are measured
+// over [Warmup, Warmup+Measure].
+type RunOptions struct {
+	Warmup  time.Duration
+	Measure time.Duration
+
+	// Train, when non-nil, is replayed starting at Warmup.
+	Train *attack.Train
+
+	// RateBin, when positive, collects a binned traffic series on the
+	// bottleneck restricted to RateClasses (empty = all classes).
+	RateBin     time.Duration
+	RateClasses []netem.Class
+
+	// MeasureJitter attaches an RFC 3550-style inter-departure jitter meter
+	// to the bottleneck's data traffic (§2.3's "increase in jitter").
+	MeasureJitter bool
+}
+
+// RunResult carries everything a scenario produced.
+type RunResult struct {
+	Delivered   uint64         // victim bytes delivered in the window
+	PerFlow     map[int]uint64 // per-flow victim bytes
+	Rate        *trace.RateSeries
+	Drops       *trace.DropCounter
+	Jitter      *trace.JitterMeter
+	AttackStats attack.GeneratorStats
+
+	Timeouts       uint64 // victim RTO expirations (TO state entries)
+	FastRecoveries uint64 // victim fast-recovery episodes (FR state entries)
+	Retransmits    uint64
+	SegmentsSent   uint64
+}
+
+// Run executes one scenario on a freshly built environment.
+func Run(env Environment, opt RunOptions) (*RunResult, error) {
+	if env == nil {
+		return nil, errors.New("experiments: nil environment")
+	}
+	if opt.Measure <= 0 {
+		return nil, fmt.Errorf("experiments: measurement window must be positive, got %v", opt.Measure)
+	}
+	k := env.Sim()
+	warmup := sim.FromDuration(opt.Warmup)
+	end := warmup + sim.FromDuration(opt.Measure)
+
+	res := &RunResult{Drops: trace.NewDropCounter()}
+	env.Target().AddTap(res.Drops)
+	if opt.RateBin > 0 {
+		res.Rate = trace.NewRateSeries(sim.FromDuration(opt.RateBin), opt.RateClasses...)
+		res.Rate.SetStart(warmup)
+		env.Target().AddTap(res.Rate)
+	}
+	if opt.MeasureJitter {
+		res.Jitter = trace.NewJitterMeter()
+		res.Jitter.SetStart(warmup)
+		env.Target().AddTap(res.Jitter)
+	}
+	env.Goodput().SetStart(warmup)
+
+	var gen *attack.Generator
+	if opt.Train != nil && len(opt.Train.Pulses) > 0 {
+		var err error
+		gen, err = env.Attach(*opt.Train)
+		if err != nil {
+			return nil, err
+		}
+		if err := gen.Start(warmup); err != nil {
+			return nil, err
+		}
+	}
+	if err := env.StartFlows(); err != nil {
+		return nil, err
+	}
+	if err := k.RunUntil(end); err != nil {
+		return nil, fmt.Errorf("experiments: run: %w", err)
+	}
+	env.StopFlows()
+	if gen != nil {
+		gen.Stop()
+		res.AttackStats = gen.Stats()
+	}
+
+	res.Delivered = env.Goodput().Total()
+	res.PerFlow = env.Goodput().PerFlow()
+	for _, s := range env.Flows() {
+		st := s.Stats()
+		res.Timeouts += st.Timeouts
+		res.FastRecoveries += st.FastRetransmits
+		res.Retransmits += st.Retransmits
+		res.SegmentsSent += st.SegmentsSent
+	}
+	return res, nil
+}
+
+// PulsesFor reports the pulse count needed to span the given measurement
+// window at the given period, with two periods of slack so the train outlasts
+// the window.
+func PulsesFor(measure time.Duration, period time.Duration) int {
+	if period <= 0 {
+		return 1
+	}
+	n := int(measure/period) + 2
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+// Package iperf is the workload generator of the paper's test-bed (§4.2):
+// bulk TCP sessions with periodic interval reports, mirroring how Iperf
+// 1.7.0 was used to generate legitimate flows and measure their throughput.
+// A Session owns one tcp.Sender/tcp.Receiver pair plus a sampling timer that
+// snapshots delivered bytes per interval.
+package iperf
+
+import (
+	"errors"
+	"fmt"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/trace"
+)
+
+// Report is one interval line, the analogue of iperf's "-i" output.
+type Report struct {
+	Start sim.Time
+	End   sim.Time
+	Bytes uint64
+}
+
+// Mbps reports the interval's average goodput in megabits per second.
+func (r Report) Mbps() float64 {
+	span := r.End.Sub(r.Start).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / span / 1e6
+}
+
+// Session is one iperf-style TCP transfer.
+type Session struct {
+	k        *sim.Kernel
+	flow     int
+	sender   *tcp.Sender
+	receiver *tcp.Receiver
+	account  *trace.FlowAccount
+	interval sim.Time
+
+	reports   []Report
+	lastBytes uint64
+	lastTick  sim.Time
+	ticker    *sim.Timer
+}
+
+// NewSession wires a bulk transfer for flow over the given first-hop links:
+// fwd carries data toward the receiver, rev carries ACKs back. account
+// records goodput (shared across sessions is fine). interval sets the report
+// cadence; zero disables interval reporting.
+func NewSession(
+	k *sim.Kernel,
+	cfg tcp.Config,
+	flow int,
+	fwd, rev *netem.Link,
+	account *trace.FlowAccount,
+	interval sim.Time,
+) (*Session, error) {
+	if account == nil {
+		return nil, errors.New("iperf: nil flow account")
+	}
+	sender, err := tcp.NewSender(k, cfg, flow, fwd)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: flow %d: %w", flow, err)
+	}
+	receiver, err := tcp.NewReceiver(k, cfg, flow, rev, account)
+	if err != nil {
+		return nil, fmt.Errorf("iperf: flow %d: %w", flow, err)
+	}
+	return &Session{
+		k:        k,
+		flow:     flow,
+		sender:   sender,
+		receiver: receiver,
+		account:  account,
+		interval: interval,
+	}, nil
+}
+
+// Flow reports the session's flow id.
+func (s *Session) Flow() int { return s.flow }
+
+// LimitBytes turns the session into a finite transfer of approximately n
+// payload bytes (rounded up to whole segments), like iperf's -n flag. Must
+// be called before Start.
+func (s *Session) LimitBytes(n int64, mss int) {
+	if n <= 0 || mss <= 0 {
+		return
+	}
+	segments := (n + int64(mss) - 1) / int64(mss)
+	s.sender.LimitSegments(segments)
+}
+
+// Done reports whether a finite transfer has completed.
+func (s *Session) Done() bool { return s.sender.Done() }
+
+// Sender exposes the TCP source (the netem.Node ACKs must be routed to).
+func (s *Session) Sender() *tcp.Sender { return s.sender }
+
+// Receiver exposes the TCP sink (the netem.Node data must be routed to).
+func (s *Session) Receiver() *tcp.Receiver { return s.receiver }
+
+// Start begins the transfer at the given instant and arms interval
+// reporting.
+func (s *Session) Start(at sim.Time) error {
+	if err := s.sender.Start(at); err != nil {
+		return err
+	}
+	if s.interval > 0 {
+		if _, err := s.k.At(at, func() {
+			s.lastTick = s.k.Now()
+			s.lastBytes = s.account.Flow(s.flow)
+			s.tick()
+		}); err != nil {
+			return fmt.Errorf("iperf: flow %d reports: %w", s.flow, err)
+		}
+	}
+	return nil
+}
+
+// Stop halts the sender and reporting.
+func (s *Session) Stop() {
+	s.sender.Stop()
+	if s.ticker != nil {
+		s.ticker.Cancel()
+	}
+}
+
+// tick emits one interval report and re-arms.
+func (s *Session) tick() {
+	s.ticker = s.k.AfterTicks(s.interval, func() {
+		now := s.k.Now()
+		bytes := s.account.Flow(s.flow)
+		s.reports = append(s.reports, Report{
+			Start: s.lastTick,
+			End:   now,
+			Bytes: bytes - s.lastBytes,
+		})
+		s.lastTick = now
+		s.lastBytes = bytes
+		s.tick()
+	})
+}
+
+// Reports returns a copy of the interval reports so far.
+func (s *Session) Reports() []Report {
+	out := make([]Report, len(s.reports))
+	copy(out, s.reports)
+	return out
+}
+
+// TotalBytes reports the session's delivered in-order bytes.
+func (s *Session) TotalBytes() uint64 {
+	return s.account.Flow(s.flow)
+}

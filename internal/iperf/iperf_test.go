@@ -1,0 +1,140 @@
+package iperf
+
+import (
+	"testing"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/trace"
+)
+
+// newLoopSession wires a session whose data and ACK paths loop directly
+// between its own endpoints over two clean links.
+func newLoopSession(t *testing.T, interval sim.Time) (*sim.Kernel, *Session) {
+	t.Helper()
+	k := sim.New()
+	account := trace.NewFlowAccount()
+
+	var s *Session
+	fwdRelay := netem.NodeFunc(func(p *netem.Packet) { s.Receiver().Receive(p) })
+	revRelay := netem.NodeFunc(func(p *netem.Packet) { s.Sender().Receive(p) })
+	fwd, err := netem.NewLink(k, "fwd", 10e6, 50*sim.Millisecond, netem.NewDropTail(1<<16), fwdRelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := netem.NewLink(k, "rev", 10e6, 50*sim.Millisecond, netem.NewDropTail(1<<16), revRelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = NewSession(k, tcp.DefaultConfig(), 1, fwd, rev, account, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, s
+}
+
+func TestSessionTransfersAndReports(t *testing.T) {
+	k, s := newLoopSession(t, sim.Second)
+	if err := s.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	if s.TotalBytes() == 0 {
+		t.Fatal("no bytes transferred")
+	}
+	reports := s.Reports()
+	if len(reports) < 9 || len(reports) > 10 {
+		t.Fatalf("reports = %d, want ~10 one-second intervals", len(reports))
+	}
+	var sum uint64
+	for i, r := range reports {
+		if r.End.Sub(r.Start) != sim.Second {
+			t.Errorf("report %d span = %v", i, r.End.Sub(r.Start))
+		}
+		sum += r.Bytes
+	}
+	// Interval reports must tile the transfer: their sum is the total at
+	// the last report boundary, which is within one interval of the final
+	// total.
+	if sum > s.TotalBytes() {
+		t.Errorf("interval sum %d exceeds total %d", sum, s.TotalBytes())
+	}
+	// Steady-state intervals should carry close to the 10 Mbps line rate.
+	mid := reports[5]
+	if mid.Mbps() < 5 {
+		t.Errorf("mid-transfer rate = %.2f Mbps, want near line rate", mid.Mbps())
+	}
+}
+
+func TestSessionNoIntervalReports(t *testing.T) {
+	k, s := newLoopSession(t, 0)
+	if err := s.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Reports()) != 0 {
+		t.Errorf("reports with interval=0: %d", len(s.Reports()))
+	}
+	if s.TotalBytes() == 0 {
+		t.Error("transfer did not progress")
+	}
+}
+
+func TestSessionStopHaltsReporting(t *testing.T) {
+	k, s := newLoopSession(t, sim.Second)
+	if err := s.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	n := len(s.Reports())
+	if err := k.RunUntil(8 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Reports()); got != n {
+		t.Errorf("reports kept accruing after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	k := sim.New()
+	link, err := netem.NewLink(k, "l", 1e6, 0, netem.NewDropTail(16), &netem.Sink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(k, tcp.DefaultConfig(), 1, link, link, nil, 0); err == nil {
+		t.Error("nil account accepted")
+	}
+	if _, err := NewSession(k, tcp.Config{}, 1, link, link, trace.NewFlowAccount(), 0); err == nil {
+		t.Error("invalid tcp config accepted")
+	}
+	s, err := NewSession(k, tcp.DefaultConfig(), 7, link, link, trace.NewFlowAccount(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flow() != 7 {
+		t.Errorf("flow = %d", s.Flow())
+	}
+	if s.Sender() == nil || s.Receiver() == nil {
+		t.Error("nil endpoints")
+	}
+}
+
+func TestReportMbps(t *testing.T) {
+	r := Report{Start: 0, End: sim.Second, Bytes: 125000}
+	if got := r.Mbps(); got != 1 {
+		t.Errorf("Mbps = %g", got)
+	}
+	zero := Report{Start: sim.Second, End: sim.Second}
+	if zero.Mbps() != 0 {
+		t.Error("zero-span report should be 0")
+	}
+}

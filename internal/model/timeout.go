@@ -1,0 +1,150 @@
+package model
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements the extension the paper's §5 names as future work:
+// folding timeout (TO-state) effects into the throughput model. The FR-state
+// analysis of Proposition 2 under-estimates the damage of high-volume pulses
+// that overflow the bottleneck buffer outright — every victim then loses a
+// whole flight, dup ACKs never arrive, and recovery waits for the
+// retransmission timer. The timeout model below follows the outage analysis
+// of the shrew attack (Kuzmanovic & Knightly, SIGCOMM 2003), refined with a
+// slow-start ramp after each timeout.
+
+// TimeoutModelConfig parameterizes the TO-state throughput model.
+type TimeoutModelConfig struct {
+	MinRTO float64 // victims' minimum retransmission timeout, seconds
+	// BufferPackets is the bottleneck queue capacity; used by the outage
+	// condition.
+	BufferPackets int
+	// AttackPacketSize is the attack packet wire size in bytes; used to
+	// convert pulse volume into queue slots.
+	AttackPacketSize int
+}
+
+// OutageCondition reports whether a pulse of the given width and rate
+// overflows the bottleneck: the pulse injects more packets than the buffer
+// plus what the link drains during the pulse. When true, flows crossing the
+// router lose entire flights and the TO-state model applies; when false the
+// FR-state analysis of Proposition 2 is the better predictor.
+func (p Params) OutageCondition(extentSec, rate float64, cfg TimeoutModelConfig) bool {
+	if cfg.AttackPacketSize <= 0 || cfg.BufferPackets <= 0 {
+		return false
+	}
+	pulsePackets := rate * extentSec / 8 / float64(cfg.AttackPacketSize)
+	drainPackets := p.Bottleneck * extentSec / 8 / p.PacketSize
+	return pulsePackets > float64(cfg.BufferPackets)+drainPackets
+}
+
+// TimeoutVictimRate returns the long-run average throughput fraction (of the
+// victim's fair share) that a single flow retains under a periodic outage
+// attack with period T_AIMD:
+//
+//   - T_AIMD < minRTO: every retransmission after a timeout collides with a
+//     later pulse (the shrew's full-denial regime) — the fraction is 0.
+//   - T_AIMD ≥ minRTO: after each outage the flow sits idle for minRTO, then
+//     slow-starts from one segment, doubling each RTT until it reaches its
+//     fair-share window W*, and transfers at W* until the next pulse.
+//
+// fairWindow is the flow's fair-share window in segments (capacity share ×
+// RTT); rttSec its round-trip time.
+func TimeoutVictimRate(periodSec, minRTO, rttSec, fairWindow float64) float64 {
+	if periodSec <= 0 || fairWindow < 1 || rttSec <= 0 {
+		return 0
+	}
+	if periodSec < minRTO {
+		return 0
+	}
+	active := periodSec - minRTO // time with the timer expired and data moving
+	// Slow-start ramp: after ceil(log2 W*) RTTs the window reaches W*.
+	// Packets delivered during the ramp ≈ 2^k - 1 after k RTTs.
+	rampRTTs := math.Ceil(math.Log2(fairWindow))
+	rampTime := rampRTTs * rttSec
+	fairRatePkts := fairWindow / rttSec // packets per second at fair share
+
+	var delivered float64
+	if active <= rampTime {
+		// Still in slow start when the next pulse hits.
+		delivered = math.Exp2(active/rttSec) - 1
+	} else {
+		rampPackets := fairWindow - 1 // ≈ Σ 2^i up to W*
+		delivered = rampPackets + (active-rampTime)*fairRatePkts
+	}
+	full := periodSec * fairRatePkts
+	if full <= 0 {
+		return 0
+	}
+	frac := delivered / full
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// TimeoutDegradation evaluates the TO-state analogue of Proposition 2: the
+// aggregate normalized throughput degradation when every pulse causes an
+// outage and all victims recover via timeout. Fair shares split the
+// bottleneck evenly across flows.
+func (p Params) TimeoutDegradation(periodSec float64, cfg TimeoutModelConfig) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if cfg.MinRTO <= 0 {
+		return 0, errors.New("model: timeout model needs positive MinRTO")
+	}
+	if periodSec <= 0 {
+		return 0, errors.New("model: timeout model needs positive period")
+	}
+	flows := float64(len(p.RTTs))
+	sharePktsPerSec := p.Bottleneck / 8 / p.PacketSize / flows
+	var retained float64
+	for _, rtt := range p.RTTs {
+		fairWindow := sharePktsPerSec * rtt
+		if fairWindow < 1 {
+			fairWindow = 1
+		}
+		retained += TimeoutVictimRate(periodSec, cfg.MinRTO, rtt, fairWindow)
+	}
+	gamma := 1 - retained/flows
+	if gamma < 0 {
+		gamma = 0
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	return gamma, nil
+}
+
+// CombinedDegradation is the timeout-extended replacement for Proposition 2:
+// when the pulse volume satisfies the outage condition, victims are driven
+// to the TO state and the degradation is the larger of the FR-state estimate
+// (Eq. 10) and the TO-state estimate; otherwise the FR-state estimate
+// applies unchanged.
+func (p Params) CombinedDegradation(extentSec, rate, periodSec float64, cfg TimeoutModelConfig) (float64, error) {
+	gamma := Attack{Extent: extentSec, Rate: rate, Period: periodSec}.Gamma(p.Bottleneck)
+	fr := Degradation(p.CPsi(extentSec, rate), gamma)
+	if !p.OutageCondition(extentSec, rate, cfg) {
+		return fr, nil
+	}
+	to, err := p.TimeoutDegradation(periodSec, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if to > fr {
+		return to, nil
+	}
+	return fr, nil
+}
+
+// CombinedGain is the timeout-extended attack gain Γ_combined·(1-γ)^κ.
+func (p Params) CombinedGain(extentSec, rate, periodSec, kappa float64, cfg TimeoutModelConfig) (float64, error) {
+	deg, err := p.CombinedDegradation(extentSec, rate, periodSec, cfg)
+	if err != nil {
+		return 0, err
+	}
+	gamma := Attack{Extent: extentSec, Rate: rate, Period: periodSec}.Gamma(p.Bottleneck)
+	return deg * RiskFactor(gamma, kappa), nil
+}

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func timeoutCfg() TimeoutModelConfig {
+	return TimeoutModelConfig{MinRTO: 1, BufferPackets: 150, AttackPacketSize: 1000}
+}
+
+func TestOutageCondition(t *testing.T) {
+	p := paperParams(15)
+	cfg := timeoutCfg()
+	// 50 ms at 25 Mbps = 156 packets vs buffer 150 + drain 94: absorbed.
+	if p.OutageCondition(0.05, 25e6, cfg) {
+		t.Error("weak pulse flagged as outage")
+	}
+	// 100 ms at 40 Mbps = 500 packets vs 150 + 187: overflow.
+	if !p.OutageCondition(0.1, 40e6, cfg) {
+		t.Error("strong pulse not flagged as outage")
+	}
+	// Degenerate configs never flag.
+	if p.OutageCondition(0.1, 40e6, TimeoutModelConfig{}) {
+		t.Error("zero config flagged an outage")
+	}
+}
+
+func TestTimeoutVictimRateRegimes(t *testing.T) {
+	// Below minRTO: full denial.
+	if got := TimeoutVictimRate(0.5, 1, 0.1, 20); got != 0 {
+		t.Errorf("sub-RTO period retained %g", got)
+	}
+	// Exactly minRTO: nothing delivered either (no active time).
+	if got := TimeoutVictimRate(1, 1, 0.1, 20); got > 0.01 {
+		t.Errorf("period = minRTO retained %g", got)
+	}
+	// Long periods approach full rate: the minRTO idle amortizes away.
+	long := TimeoutVictimRate(100, 1, 0.1, 20)
+	if long < 0.9 || long > 1 {
+		t.Errorf("long-period retention = %g, want near 1", long)
+	}
+	// Monotone in the period.
+	prev := -1.0
+	for _, period := range []float64{1.2, 1.5, 2, 3, 5, 10} {
+		got := TimeoutVictimRate(period, 1, 0.1, 20)
+		if got < prev {
+			t.Errorf("retention not monotone at T=%g: %g < %g", period, got, prev)
+		}
+		prev = got
+	}
+	// Degenerate inputs.
+	if TimeoutVictimRate(0, 1, 0.1, 20) != 0 ||
+		TimeoutVictimRate(2, 1, 0, 20) != 0 ||
+		TimeoutVictimRate(2, 1, 0.1, 0.5) != 0 {
+		t.Error("degenerate inputs should retain 0")
+	}
+}
+
+func TestTimeoutVictimRateSlowStartPenalty(t *testing.T) {
+	// With active time shorter than the slow-start ramp, retention must be
+	// well below the idle-only estimate (T - minRTO)/T.
+	period, minRTO, rtt, fairW := 1.4, 1.0, 0.1, 64.0
+	got := TimeoutVictimRate(period, minRTO, rtt, fairW)
+	idleOnly := (period - minRTO) / period
+	if got >= idleOnly {
+		t.Errorf("retention %g not below idle-only bound %g", got, idleOnly)
+	}
+	if got <= 0 {
+		t.Errorf("retention %g should be positive", got)
+	}
+}
+
+func TestTimeoutDegradation(t *testing.T) {
+	p := paperParams(15)
+	cfg := timeoutCfg()
+	// Shrew regime: period at minRTO ⇒ near-total degradation.
+	deg, err := p.TimeoutDegradation(1.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg < 0.9 {
+		t.Errorf("degradation at T=minRTO = %g, want near 1", deg)
+	}
+	// Long periods ⇒ mild degradation.
+	mild, err := p.TimeoutDegradation(20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mild > 0.4 {
+		t.Errorf("degradation at T=20s = %g, want mild", mild)
+	}
+	if deg <= mild {
+		t.Error("degradation should fall with period")
+	}
+	// Errors.
+	if _, err := p.TimeoutDegradation(0, cfg); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := p.TimeoutDegradation(2, TimeoutModelConfig{}); err == nil {
+		t.Error("zero MinRTO accepted")
+	}
+	bad := p
+	bad.RTTs = nil
+	if _, err := bad.TimeoutDegradation(2, cfg); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestCombinedDegradationSelectsRegime(t *testing.T) {
+	p := paperParams(15)
+	cfg := timeoutCfg()
+	// Weak pulse: combined equals the FR-state estimate exactly.
+	extent, rate, period := 0.05, 25e6, 0.4
+	fr := Degradation(p.CPsi(extent, rate),
+		Attack{Extent: extent, Rate: rate, Period: period}.Gamma(p.Bottleneck))
+	combined, err := p.CombinedDegradation(extent, rate, period, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined != fr {
+		t.Errorf("weak pulse: combined %g != FR %g", combined, fr)
+	}
+	// Strong pulse near the RTO resonance: combined exceeds the FR estimate
+	// (the §5 limitation the extension repairs).
+	extent, rate, period = 0.1, 40e6, 1.0
+	fr = Degradation(p.CPsi(extent, rate),
+		Attack{Extent: extent, Rate: rate, Period: period}.Gamma(p.Bottleneck))
+	combined, err = p.CombinedDegradation(extent, rate, period, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined <= fr {
+		t.Errorf("outage pulse: combined %g not above FR %g", combined, fr)
+	}
+}
+
+// TestCombinedDegradationBounds: the combined estimate is a valid fraction
+// and never below the FR-state estimate, for any parameters.
+func TestCombinedDegradationBounds(t *testing.T) {
+	p := paperParams(15)
+	cfg := timeoutCfg()
+	property := func(extentRaw, rateRaw, periodRaw uint16) bool {
+		extent := 0.01 + 0.15*float64(extentRaw)/65535
+		rate := 10e6 + 90e6*float64(rateRaw)/65535
+		period := extent + 3*float64(periodRaw)/65535
+		combined, err := p.CombinedDegradation(extent, rate, period, cfg)
+		if err != nil {
+			return false
+		}
+		fr := Degradation(p.CPsi(extent, rate),
+			Attack{Extent: extent, Rate: rate, Period: period}.Gamma(p.Bottleneck))
+		return combined >= fr-1e-12 && combined >= 0 && combined <= 1
+	}
+	qcfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(79))}
+	if err := quick.Check(property, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinedGain(t *testing.T) {
+	p := paperParams(15)
+	cfg := timeoutCfg()
+	extent, rate, period := 0.1, 40e6, 1.0
+	gain, err := p.CombinedGain(extent, rate, period, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := Attack{Extent: extent, Rate: rate, Period: period}.Gamma(p.Bottleneck)
+	deg, err := p.CombinedDegradation(extent, rate, period, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gain-deg*RiskFactor(gamma, 1)) > 1e-12 {
+		t.Errorf("gain = %g inconsistent with degradation %g", gain, deg)
+	}
+	if _, err := p.CombinedGain(0.1, 40e6, 0, 1, cfg); err == nil {
+		t.Error("zero period accepted")
+	}
+}

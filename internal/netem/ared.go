@@ -1,0 +1,71 @@
+package netem
+
+import (
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// Adaptive RED (Floyd, Gummadi & Shenker, 2001) self-tunes max_p so the
+// average queue tracks a target band midway between min_th and max_th:
+// every adaptation interval, max_p increases additively while the average
+// sits above the band and decreases multiplicatively while below. The
+// paper's §5 announces work on RED enhancements against PDoS attacks;
+// Adaptive RED is the canonical candidate, and the ablation benches measure
+// how much attack gain it removes relative to plain RED.
+const (
+	aredInterval   = 500 * sim.Millisecond
+	aredBeta       = 0.9  // multiplicative decrease of max_p
+	aredMaxP       = 0.5  // max_p ceiling
+	aredMinP       = 0.01 // max_p floor
+	aredBandLowFr  = 0.4  // target band: min_th + [0.4, 0.6]·(max_th-min_th)
+	aredBandHighFr = 0.6
+)
+
+// NewAdaptiveRED builds a RED queue with Adaptive-RED max_p self-tuning.
+// Parameters are as NewRED; cfg.MaxP seeds the adapted value.
+func NewAdaptiveRED(cfg REDConfig, rand *rng.Source, linkRate float64) *RED {
+	q := NewRED(cfg, rand, linkRate)
+	q.adaptive = true
+	return q
+}
+
+// Adaptive reports whether max_p self-tuning is enabled.
+func (q *RED) Adaptive() bool { return q.adaptive }
+
+// MaxP reports the current (possibly adapted) max_p.
+func (q *RED) MaxP() float64 { return q.cfg.MaxP }
+
+// maybeAdapt applies one Adaptive-RED step if the interval has elapsed.
+func (q *RED) maybeAdapt(now sim.Time) {
+	if !q.adaptive {
+		return
+	}
+	if q.lastAdapt == 0 {
+		q.lastAdapt = now
+		return
+	}
+	if now.Sub(q.lastAdapt) < aredInterval {
+		return
+	}
+	q.lastAdapt = now
+	span := q.cfg.MaxTh - q.cfg.MinTh
+	low := q.cfg.MinTh + aredBandLowFr*span
+	high := q.cfg.MinTh + aredBandHighFr*span
+	switch {
+	case q.avg > high && q.cfg.MaxP < aredMaxP:
+		// Additive increase: alpha = min(0.01, max_p/4).
+		alpha := 0.01
+		if q.cfg.MaxP/4 < alpha {
+			alpha = q.cfg.MaxP / 4
+		}
+		q.cfg.MaxP += alpha
+		if q.cfg.MaxP > aredMaxP {
+			q.cfg.MaxP = aredMaxP
+		}
+	case q.avg < low && q.cfg.MaxP > aredMinP:
+		q.cfg.MaxP *= aredBeta
+		if q.cfg.MaxP < aredMinP {
+			q.cfg.MaxP = aredMinP
+		}
+	}
+}

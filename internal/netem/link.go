@@ -1,0 +1,159 @@
+package netem
+
+import (
+	"fmt"
+
+	"pulsedos/internal/sim"
+)
+
+// Node is anything that can accept a delivered packet: a TCP endpoint, a
+// router, a sink, or a monitor.
+type Node interface {
+	Receive(p *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(p *Packet)
+
+// Receive implements Node.
+func (f NodeFunc) Receive(p *Packet) { f(p) }
+
+// LinkStats aggregates per-link counters.
+type LinkStats struct {
+	Arrivals       uint64 // packets offered to the queue
+	ArrivalBytes   uint64
+	Drops          uint64 // packets rejected by the queue discipline
+	DropBytes      uint64
+	Departures     uint64 // packets fully serialized onto the wire
+	DepartureBytes uint64
+}
+
+// Tap observes packet events on a link. Taps must not mutate packets; they
+// exist for measurement (traffic-rate series, drop accounting, detectors).
+type Tap interface {
+	// OnArrive fires when a packet is offered to the link's queue.
+	OnArrive(p *Packet, now sim.Time)
+	// OnDrop fires when the queue discipline rejects a packet.
+	OnDrop(p *Packet, now sim.Time)
+	// OnDepart fires when a packet finishes serialization onto the wire.
+	OnDepart(p *Packet, now sim.Time)
+}
+
+// Link is a simplex point-to-point channel: a queue discipline feeding a
+// transmitter of finite rate, followed by a fixed propagation delay. It is
+// the netem analogue of an ns-2 simplex link.
+type Link struct {
+	name  string
+	k     *sim.Kernel
+	rate  float64 // bits per second
+	delay sim.Time
+	queue Queue
+	dst   Node
+
+	busy  bool
+	stats LinkStats
+	taps  []Tap
+}
+
+// NewLink builds a link. rate is in bits per second and must be positive;
+// delay is the one-way propagation delay; queue guards the transmitter; dst
+// receives packets after serialization + propagation.
+func NewLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue Queue, dst Node) (*Link, error) {
+	if k == nil {
+		return nil, fmt.Errorf("netem: link %q: nil kernel", name)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("netem: link %q: rate must be positive, got %g", name, rate)
+	}
+	if queue == nil {
+		return nil, fmt.Errorf("netem: link %q: nil queue", name)
+	}
+	if dst == nil {
+		return nil, fmt.Errorf("netem: link %q: nil destination", name)
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return &Link{name: name, k: k, rate: rate, delay: delay, queue: queue, dst: dst}, nil
+}
+
+// Name reports the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Rate reports the link bandwidth in bits per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Delay reports the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// Queue exposes the link's queue discipline (for inspection in tests and
+// experiments).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// AddTap attaches a traffic observer.
+func (l *Link) AddTap(t Tap) {
+	if t != nil {
+		l.taps = append(l.taps, t)
+	}
+}
+
+// Send offers a packet to the link. If the queue discipline rejects it the
+// packet is silently dropped (after notifying taps), exactly as a congested
+// router would.
+func (l *Link) Send(p *Packet) {
+	now := l.k.Now()
+	l.stats.Arrivals++
+	l.stats.ArrivalBytes += uint64(p.Size)
+	for _, t := range l.taps {
+		t.OnArrive(p, now)
+	}
+	if !l.queue.Enqueue(p, now) {
+		l.stats.Drops++
+		l.stats.DropBytes += uint64(p.Size)
+		for _, t := range l.taps {
+			t.OnDrop(p, now)
+		}
+		return
+	}
+	if !l.busy {
+		l.startTransmit()
+	}
+}
+
+// TxTime reports the serialization delay of a packet of the given size.
+func (l *Link) TxTime(sizeBytes int) sim.Time {
+	return sim.FromSeconds(float64(sizeBytes) * 8 / l.rate)
+}
+
+// startTransmit pulls the head-of-line packet and schedules its completion.
+func (l *Link) startTransmit() {
+	p := l.queue.Dequeue(l.k.Now())
+	if p == nil {
+		return
+	}
+	l.busy = true
+	l.k.AfterTicks(l.TxTime(p.Size), func() {
+		l.finishTransmit(p)
+	})
+}
+
+// finishTransmit fires when serialization completes: the packet enters the
+// propagation pipe and the transmitter turns to the next queued packet.
+func (l *Link) finishTransmit(p *Packet) {
+	now := l.k.Now()
+	l.stats.Departures++
+	l.stats.DepartureBytes += uint64(p.Size)
+	for _, t := range l.taps {
+		t.OnDepart(p, now)
+	}
+	l.k.AfterTicks(l.delay, func() {
+		l.dst.Receive(p)
+	})
+	l.busy = false
+	if l.queue.Len() > 0 {
+		l.startTransmit()
+	}
+}

@@ -1,0 +1,76 @@
+package netem
+
+import "pulsedos/internal/sim"
+
+// Queue is a drop-decision discipline guarding a link's transmission buffer.
+// Enqueue reports false when the discipline drops the arriving packet; the
+// caller (the Link) owns drop accounting.
+type Queue interface {
+	// Enqueue offers p to the queue at virtual instant now and reports
+	// whether it was accepted.
+	Enqueue(p *Packet, now sim.Time) bool
+	// Dequeue removes and returns the head-of-line packet, or nil when the
+	// queue is empty.
+	Dequeue(now sim.Time) *Packet
+	// Len reports the number of queued packets.
+	Len() int
+	// Bytes reports the number of queued bytes.
+	Bytes() int
+}
+
+// DropTail is the classic FIFO tail-drop queue: arrivals are accepted until
+// the packet limit is reached, then dropped.
+type DropTail struct {
+	limit int // capacity in packets
+	pkts  []*Packet
+	head  int
+	bytes int
+}
+
+var _ Queue = (*DropTail)(nil)
+
+// NewDropTail returns a tail-drop queue holding at most limit packets.
+// Non-positive limits are treated as a single-packet buffer.
+func NewDropTail(limit int) *DropTail {
+	if limit < 1 {
+		limit = 1
+	}
+	return &DropTail{limit: limit}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet, _ sim.Time) bool {
+	if q.Len() >= q.limit {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(_ sim.Time) *Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.pkts) - q.head }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Limit reports the queue's packet capacity.
+func (q *DropTail) Limit() int { return q.limit }

@@ -1,0 +1,78 @@
+package netem
+
+// routeKey indexes the router's forwarding table by flow and direction, so a
+// single router instance can carry both a flow's data packets (forward) and
+// its acknowledgments (reverse) over different output links.
+type routeKey struct {
+	flow int
+	dir  Dir
+}
+
+// Router is a store-and-forward node with a per-(flow, direction) forwarding
+// table and per-direction default routes. It forwards with zero processing
+// delay; all queueing happens in the output links, which mirrors ns-2's node
+// model.
+type Router struct {
+	name     string
+	routes   map[routeKey]*Link
+	defaults map[Dir]*Link
+	dropped  uint64
+}
+
+var _ Node = (*Router)(nil)
+
+// NewRouter returns an empty router.
+func NewRouter(name string) *Router {
+	return &Router{
+		name:     name,
+		routes:   make(map[routeKey]*Link),
+		defaults: make(map[Dir]*Link, 2),
+	}
+}
+
+// Name reports the router's diagnostic name.
+func (r *Router) Name() string { return r.name }
+
+// AddRoute installs the output link for a specific flow travelling in the
+// given direction, overriding the direction's default.
+func (r *Router) AddRoute(flow int, dir Dir, l *Link) {
+	r.routes[routeKey{flow: flow, dir: dir}] = l
+}
+
+// SetDefault installs the output link used for any flow in the given
+// direction that has no specific route.
+func (r *Router) SetDefault(dir Dir, l *Link) {
+	r.defaults[dir] = l
+}
+
+// Unrouted reports how many packets arrived with no matching route. A
+// correctly wired topology keeps this at zero; tests assert on it.
+func (r *Router) Unrouted() uint64 { return r.dropped }
+
+// Receive implements Node: look up the output link and forward.
+func (r *Router) Receive(p *Packet) {
+	if l, ok := r.routes[routeKey{flow: p.Flow, dir: p.Dir}]; ok {
+		l.Send(p)
+		return
+	}
+	if l, ok := r.defaults[p.Dir]; ok {
+		l.Send(p)
+		return
+	}
+	r.dropped++
+}
+
+// Sink is a terminal node that counts and discards everything it receives.
+// Attack traffic terminates in a Sink; tests use it as a catch-all.
+type Sink struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+var _ Node = (*Sink)(nil)
+
+// Receive implements Node.
+func (s *Sink) Receive(p *Packet) {
+	s.Packets++
+	s.Bytes += uint64(p.Size)
+}

@@ -1,0 +1,9 @@
+package netem
+
+// Bandwidth units, in bits per second. Multiply: 15 * netem.Mbps.
+const (
+	Bps  float64 = 1
+	Kbps         = 1e3 * Bps
+	Mbps         = 1e6 * Bps
+	Gbps         = 1e9 * Bps
+)

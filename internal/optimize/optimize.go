@@ -1,0 +1,220 @@
+// Package optimize solves the paper's attack-tuning problem (§3): maximize
+// the attack gain G_attack(γ) = (1 - C_Ψ/γ)(1-γ)^κ subject to
+// 0 < C_Ψ < γ < 1. It provides the closed-form optimum of Proposition 3 and
+// its corollaries, the optimal duty-cycle reciprocal μ* of Proposition 4 /
+// Corollary 4, and generic numeric maximizers (golden-section and grid
+// search) used to cross-validate the closed forms.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pulsedos/internal/model"
+)
+
+// ErrInfeasible is returned when the constraint 0 < C_Ψ < 1 cannot hold: the
+// victim population is too resilient for any pulsing attack in the model's
+// regime.
+var ErrInfeasible = errors.New("optimize: C_Psi outside (0,1); no feasible gamma")
+
+// OptimalGamma evaluates Proposition 3: the unique maximizer of the gain
+//
+//	γ* = [C_Ψ(1-κ) - sqrt(C_Ψ²(1-κ)² + 4κC_Ψ)] / (-2κ),
+//
+// which always satisfies C_Ψ < γ* < 1. κ must be positive; κ = 1 reduces to
+// Corollary 3's γ* = √C_Ψ, and the κ→∞ / κ→0 limits are Corollaries 1–2.
+func OptimalGamma(cPsi, kappa float64) (float64, error) {
+	if cPsi <= 0 || cPsi >= 1 {
+		return 0, ErrInfeasible
+	}
+	if kappa <= 0 {
+		return 0, fmt.Errorf("optimize: kappa must be positive, got %g", kappa)
+	}
+	oneMinusK := 1 - kappa
+	disc := cPsi*cPsi*oneMinusK*oneMinusK + 4*kappa*cPsi
+	gamma := (cPsi*oneMinusK - math.Sqrt(disc)) / (-2 * kappa)
+	return gamma, nil
+}
+
+// OptimalMu evaluates Proposition 4: the duty-cycle reciprocal
+// μ* = C_attack/γ* - 1 that realizes the optimal γ* for a given per-pulse
+// rate ratio C_attack = R_attack/R_bottle. A negative result means the
+// requested C_attack cannot reach γ* even with back-to-back pulses; callers
+// should treat it as "flooding required".
+func OptimalMu(cAttack, cPsi, kappa float64) (float64, error) {
+	gamma, err := OptimalGamma(cPsi, kappa)
+	if err != nil {
+		return 0, err
+	}
+	if gamma <= 0 {
+		return 0, ErrInfeasible
+	}
+	return cAttack/gamma - 1, nil
+}
+
+// RiskNeutralGamma evaluates Corollary 3: γ* = √C_Ψ at κ = 1.
+func RiskNeutralGamma(cPsi float64) (float64, error) {
+	if cPsi <= 0 || cPsi >= 1 {
+		return 0, ErrInfeasible
+	}
+	return math.Sqrt(cPsi), nil
+}
+
+// RiskNeutralMu evaluates Corollary 4 for a risk-neutral attacker:
+//
+//	μ* = sqrt(C_attack / (T_extent · C_victim)) - 1,
+//
+// where C_victim is Eq. 18's victim constant and extentSec the pulse width.
+func RiskNeutralMu(cAttack, extentSec, cVictim float64) (float64, error) {
+	if cAttack <= 0 || extentSec <= 0 || cVictim <= 0 {
+		return 0, errors.New("optimize: C_attack, T_extent, C_victim must be positive")
+	}
+	return math.Sqrt(cAttack/(extentSec*cVictim)) - 1, nil
+}
+
+// Plan is a fully resolved optimal attack for a concrete victim population.
+type Plan struct {
+	Gamma  float64 // optimal normalized average attack rate γ*
+	Mu     float64 // optimal T_space/T_extent
+	Period float64 // optimal T_AIMD = (1+μ)·T_extent, seconds
+	Gain   float64 // attack gain at the optimum
+	CPsi   float64 // the constant the optimum was computed from
+}
+
+// PlanAttack computes the optimal attack period for given victims, pulse
+// width (seconds), pulse rate (bps), and risk preference κ.
+func PlanAttack(p model.Params, extentSec, rate, kappa float64) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if extentSec <= 0 || rate <= 0 {
+		return Plan{}, errors.New("optimize: pulse extent and rate must be positive")
+	}
+	cPsi := p.CPsi(extentSec, rate)
+	gamma, err := OptimalGamma(cPsi, kappa)
+	if err != nil {
+		return Plan{}, err
+	}
+	cAttack := rate / p.Bottleneck
+	mu := cAttack/gamma - 1
+	if mu < 0 {
+		return Plan{}, fmt.Errorf(
+			"optimize: rate %g bps too low to reach gamma* = %.4f (needs C_attack >= gamma*)",
+			rate, gamma)
+	}
+	return Plan{
+		Gamma:  gamma,
+		Mu:     mu,
+		Period: (1 + mu) * extentSec,
+		Gain:   model.Gain(cPsi, gamma, kappa),
+		CPsi:   cPsi,
+	}, nil
+}
+
+// GoldenSection maximizes a unimodal function f on [lo, hi] to the given
+// absolute tolerance, returning the maximizing abscissa. It is used to
+// cross-validate the closed-form γ*.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if hi <= lo {
+		return 0, fmt.Errorf("optimize: empty interval [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// GridMax evaluates f on n+1 evenly spaced points of [lo, hi] and returns
+// the best abscissa and value. Coarse but assumption-free; tests use it to
+// confirm the analytic optimum is a global one.
+func GridMax(f func(float64) float64, lo, hi float64, n int) (bestX, bestY float64, err error) {
+	if hi <= lo || n < 1 {
+		return 0, 0, fmt.Errorf("optimize: bad grid [%g, %g] x %d", lo, hi, n)
+	}
+	bestX = lo
+	bestY = math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n)
+		if y := f(x); y > bestY {
+			bestX, bestY = x, y
+		}
+	}
+	return bestX, bestY, nil
+}
+
+// SensitivityPoint quantifies the cost of mis-estimating the victim
+// constant: an attacker who believes C_Ψ is factor·C_Ψ plans γ* for the
+// wrong constant and realizes less gain under the true one.
+type SensitivityPoint struct {
+	ErrorFactor  float64 // estimate = factor × true C_Ψ
+	PlannedGamma float64 // γ* computed from the wrong estimate
+	RealizedGain float64 // gain at PlannedGamma under the true C_Ψ
+	OptimalGain  float64 // gain at the true optimum
+	Regret       float64 // OptimalGain - RealizedGain (>= 0)
+}
+
+// Sensitivity evaluates the plan's robustness to C_Ψ estimation error for
+// each multiplicative error factor. The paper assumes the attacker knows the
+// victim population exactly; this quantifies how much that assumption is
+// worth — in practice very little, because the gain surface is flat around
+// γ*.
+func Sensitivity(trueCPsi, kappa float64, factors []float64) ([]SensitivityPoint, error) {
+	if trueCPsi <= 0 || trueCPsi >= 1 {
+		return nil, ErrInfeasible
+	}
+	if kappa <= 0 {
+		return nil, fmt.Errorf("optimize: kappa must be positive, got %g", kappa)
+	}
+	trueGamma, err := OptimalGamma(trueCPsi, kappa)
+	if err != nil {
+		return nil, err
+	}
+	optimal := model.Gain(trueCPsi, trueGamma, kappa)
+
+	out := make([]SensitivityPoint, 0, len(factors))
+	for _, f := range factors {
+		if f <= 0 {
+			return nil, fmt.Errorf("optimize: error factor must be positive, got %g", f)
+		}
+		believed := trueCPsi * f
+		var planned float64
+		if believed >= 1 {
+			// The attacker believes no feasible attack exists; model this
+			// as falling back to the most cautious plan on the estimate's
+			// boundary.
+			planned = 1 - 1e-9
+		} else {
+			planned, err = OptimalGamma(believed, kappa)
+			if err != nil {
+				return nil, err
+			}
+		}
+		realized := model.Gain(trueCPsi, planned, kappa)
+		out = append(out, SensitivityPoint{
+			ErrorFactor:  f,
+			PlannedGamma: planned,
+			RealizedGain: realized,
+			OptimalGain:  optimal,
+			Regret:       optimal - realized,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pulsedos/internal/model"
+)
+
+func testParams() model.Params {
+	return model.Params{
+		AIMD:       model.TCPAIMD(),
+		AckRatio:   1,
+		PacketSize: 1040,
+		Bottleneck: 15e6,
+		RTTs:       []float64{0.1, 0.2, 0.3, 0.4},
+	}
+}
+
+func TestOptimalGammaCorollary3(t *testing.T) {
+	// κ = 1 ⇒ γ* = √C_Ψ.
+	for _, cPsi := range []float64{0.01, 0.04, 0.25, 0.81} {
+		got, err := OptimalGamma(cPsi, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-math.Sqrt(cPsi)) > 1e-12 {
+			t.Errorf("gamma*(%g, 1) = %g, want sqrt = %g", cPsi, got, math.Sqrt(cPsi))
+		}
+	}
+}
+
+func TestOptimalGammaCorollary1RiskAverse(t *testing.T) {
+	// κ → ∞ ⇒ γ* → C_Ψ from above.
+	const cPsi = 0.2
+	prev := 1.0
+	for _, kappa := range []float64{1, 10, 100, 1000, 10000} {
+		got, err := OptimalGamma(cPsi, kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev {
+			t.Errorf("gamma* not decreasing in kappa: %g at %g", got, kappa)
+		}
+		prev = got
+	}
+	if math.Abs(prev-cPsi) > 0.01 {
+		t.Errorf("lim gamma* = %g, want -> C_Psi = %g", prev, cPsi)
+	}
+}
+
+func TestOptimalGammaCorollary2RiskLoving(t *testing.T) {
+	// κ → 0 ⇒ γ* → 1 from below.
+	const cPsi = 0.2
+	prev := 0.0
+	for _, kappa := range []float64{1, 0.1, 0.01, 0.001} {
+		got, err := OptimalGamma(cPsi, kappa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Errorf("gamma* not increasing as kappa -> 0: %g at %g", got, kappa)
+		}
+		prev = got
+	}
+	if math.Abs(prev-1) > 0.01 {
+		t.Errorf("lim gamma* = %g, want -> 1", prev)
+	}
+}
+
+// TestOptimalGammaBounds is Proposition 3's feasibility claim:
+// C_Ψ < γ* < 1 for all C_Ψ ∈ (0,1), κ > 0.
+func TestOptimalGammaBounds(t *testing.T) {
+	property := func(cPsiRaw, kappaRaw uint16) bool {
+		cPsi := 0.001 + 0.997*float64(cPsiRaw)/65535
+		kappa := 0.01 + 20*float64(kappaRaw)/65535
+		gamma, err := OptimalGamma(cPsi, kappa)
+		if err != nil {
+			return false
+		}
+		return gamma > cPsi && gamma < 1
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOptimalGammaIsMaximizer: the closed form beats every gridded
+// alternative of the gain function.
+func TestOptimalGammaIsMaximizer(t *testing.T) {
+	property := func(cPsiRaw, kappaRaw uint8) bool {
+		cPsi := 0.01 + 0.9*float64(cPsiRaw)/255
+		kappa := 0.05 + 8*float64(kappaRaw)/255
+		gStar, err := OptimalGamma(cPsi, kappa)
+		if err != nil {
+			return false
+		}
+		best := model.Gain(cPsi, gStar, kappa)
+		for g := 0.001; g < 1; g += 0.001 {
+			if model.Gain(cPsi, g, kappa) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalGammaErrors(t *testing.T) {
+	if _, err := OptimalGamma(0, 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("CPsi=0: %v", err)
+	}
+	if _, err := OptimalGamma(1, 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("CPsi=1: %v", err)
+	}
+	if _, err := OptimalGamma(0.5, 0); err == nil {
+		t.Error("kappa=0 accepted")
+	}
+	if _, err := OptimalGamma(0.5, -1); err == nil {
+		t.Error("negative kappa accepted")
+	}
+}
+
+func TestOptimalMuMatchesGamma(t *testing.T) {
+	// μ* must realize γ*: γ = C_attack/(1+μ).
+	cPsi, kappa, cAttack := 0.04, 1.0, 2.0
+	mu, err := OptimalMu(cAttack, cPsi, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := OptimalGamma(cPsi, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cAttack/(1+mu)-gamma) > 1e-12 {
+		t.Errorf("mu* = %g does not realize gamma* = %g", mu, gamma)
+	}
+}
+
+func TestRiskNeutralHelpers(t *testing.T) {
+	g, err := RiskNeutralGamma(0.09)
+	if err != nil || math.Abs(g-0.3) > 1e-12 {
+		t.Errorf("RiskNeutralGamma = %g, %v", g, err)
+	}
+	if _, err := RiskNeutralGamma(1.5); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("infeasible error = %v", err)
+	}
+
+	// Corollary 4 must agree with Proposition 4 at κ = 1.
+	p := testParams()
+	extent, rate := 0.075, 35e6
+	cPsi := p.CPsi(extent, rate)
+	muProp, err := OptimalMu(rate/p.Bottleneck, cPsi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muCor, err := RiskNeutralMu(rate/p.Bottleneck, extent, p.CVictim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(muProp-muCor) > 1e-9 {
+		t.Errorf("Prop4 mu = %g, Cor4 mu = %g", muProp, muCor)
+	}
+	if _, err := RiskNeutralMu(0, 1, 1); err == nil {
+		t.Error("zero C_attack accepted")
+	}
+}
+
+func TestPlanAttack(t *testing.T) {
+	p := testParams()
+	plan, err := PlanAttack(p, 0.075, 35e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Gamma <= plan.CPsi || plan.Gamma >= 1 {
+		t.Errorf("plan gamma = %g outside (CPsi, 1)", plan.Gamma)
+	}
+	if plan.Mu < 0 {
+		t.Errorf("plan mu = %g", plan.Mu)
+	}
+	wantPeriod := (1 + plan.Mu) * 0.075
+	if math.Abs(plan.Period-wantPeriod) > 1e-12 {
+		t.Errorf("period = %g, want %g", plan.Period, wantPeriod)
+	}
+	// Realized gamma from the planned attack spec must equal gamma*.
+	spec := model.Attack{Extent: 0.075, Rate: 35e6, Period: plan.Period}
+	if g := spec.Gamma(p.Bottleneck); math.Abs(g-plan.Gamma) > 1e-9 {
+		t.Errorf("realized gamma = %g, want %g", g, plan.Gamma)
+	}
+	if plan.Gain <= 0 || plan.Gain >= 1 {
+		t.Errorf("gain = %g", plan.Gain)
+	}
+}
+
+func TestPlanAttackErrors(t *testing.T) {
+	p := testParams()
+	if _, err := PlanAttack(p, 0, 35e6, 1); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := PlanAttack(p, 0.075, 35e6, 0); err == nil {
+		t.Error("zero kappa accepted")
+	}
+	bad := p
+	bad.RTTs = nil
+	if _, err := PlanAttack(bad, 0.075, 35e6, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// A pulse rate below the bottleneck capacity cannot reach large γ*
+	// values; risk-loving attackers then need flooding.
+	weak := p
+	if _, err := PlanAttack(weak, 0.075, 0.5e6, 0.0001); err == nil {
+		t.Error("unreachable gamma* should fail")
+	}
+}
+
+func TestGoldenSectionFindsQuadraticMax(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.37) * (x - 0.37) }
+	x, err := GoldenSection(f, 0, 1, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.37) > 1e-8 {
+		t.Errorf("argmax = %g", x)
+	}
+	if _, err := GoldenSection(f, 1, 0, 1e-10); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	// Non-positive tolerance falls back to a sane default.
+	if _, err := GoldenSection(f, 0, 1, -1); err != nil {
+		t.Errorf("negative tol: %v", err)
+	}
+}
+
+func TestGoldenSectionMatchesClosedForm(t *testing.T) {
+	for _, cPsi := range []float64{0.02, 0.1, 0.3} {
+		for _, kappa := range []float64{0.5, 1, 3} {
+			closed, err := OptimalGamma(cPsi, kappa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			numeric, err := GoldenSection(func(g float64) float64 {
+				return model.Gain(cPsi, g, kappa)
+			}, cPsi, 1, 1e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(closed-numeric) > 1e-6 {
+				t.Errorf("CPsi=%g kappa=%g: closed %g vs numeric %g", cPsi, kappa, closed, numeric)
+			}
+		}
+	}
+}
+
+func TestGridMax(t *testing.T) {
+	x, y, err := GridMax(func(x float64) float64 { return -(x - 0.5) * (x - 0.5) }, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.5) > 0.011 || y > 0 {
+		t.Errorf("grid max = (%g, %g)", x, y)
+	}
+	if _, _, err := GridMax(nil, 1, 0, 10); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, _, err := GridMax(nil, 0, 1, 0); err == nil {
+		t.Error("zero points accepted")
+	}
+}
+
+func TestSensitivityZeroRegretAtTruth(t *testing.T) {
+	points, err := Sensitivity(0.05, 1, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(points[0].Regret) > 1e-12 {
+		t.Errorf("regret at factor 1 = %g", points[0].Regret)
+	}
+}
+
+func TestSensitivityRegretGrowsWithError(t *testing.T) {
+	factors := []float64{1, 2, 4, 8}
+	points, err := Sensitivity(0.05, 1, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, p := range points {
+		if p.Regret < prev-1e-12 {
+			t.Errorf("regret not monotone: %g after %g (factor %g)", p.Regret, prev, p.ErrorFactor)
+		}
+		if p.Regret < 0 {
+			t.Errorf("negative regret %g at factor %g", p.Regret, p.ErrorFactor)
+		}
+		prev = p.Regret
+	}
+	// The paper's implicit robustness claim: even a 2x estimation error
+	// costs only a small slice of the achievable gain.
+	if points[1].Regret > 0.15*points[1].OptimalGain {
+		t.Errorf("2x error regret %.4f exceeds 15%% of optimal %.4f",
+			points[1].Regret, points[1].OptimalGain)
+	}
+}
+
+func TestSensitivityUnderestimationSymmetric(t *testing.T) {
+	points, err := Sensitivity(0.1, 1, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Regret < 0 || p.Regret > p.OptimalGain {
+			t.Errorf("factor %g: regret %g outside [0, optimal]", p.ErrorFactor, p.Regret)
+		}
+		// Underestimating C_Ψ plans a lower γ than optimal.
+		trueGamma, _ := OptimalGamma(0.1, 1)
+		if p.PlannedGamma >= trueGamma {
+			t.Errorf("factor %g: planned gamma %g not below true %g",
+				p.ErrorFactor, p.PlannedGamma, trueGamma)
+		}
+	}
+}
+
+func TestSensitivityInfeasibleBelief(t *testing.T) {
+	// Factor pushing the estimate past 1: attacker falls back to boundary.
+	points, err := Sensitivity(0.4, 1, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].RealizedGain > 0.01 {
+		t.Errorf("boundary plan should realize ~0 gain, got %g", points[0].RealizedGain)
+	}
+	if _, err := Sensitivity(0, 1, []float64{1}); err == nil {
+		t.Error("infeasible true CPsi accepted")
+	}
+	if _, err := Sensitivity(0.1, 0, []float64{1}); err == nil {
+		t.Error("zero kappa accepted")
+	}
+	if _, err := Sensitivity(0.1, 1, []float64{0}); err == nil {
+		t.Error("zero factor accepted")
+	}
+}

@@ -1,0 +1,262 @@
+// Package report renders experiment output as self-contained SVG charts and
+// a single-page HTML report, stdlib-only. pdos-bench uses it to turn the
+// regenerated figure series into something a reader can eyeball against the
+// paper's plots.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"pulsedos/internal/experiments"
+)
+
+// palette cycles through visually distinct series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+}
+
+// Chart describes one SVG plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels; default 640
+	Height int // pixels; default 400
+	Series []experiments.Series
+}
+
+// margins inside the SVG canvas.
+const (
+	marginLeft   = 64
+	marginRight  = 16
+	marginTop    = 36
+	marginBottom = 48
+)
+
+// SVG renders the chart. Series whose label contains "measured" or whose
+// point count is small are drawn as scatter markers; the rest as polylines.
+func (c Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 400
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n",
+			w/2, html.EscapeString(c.Title))
+	}
+
+	xMin, xMax, yMin, yMax, ok := c.bounds()
+	if !ok {
+		b.WriteString(`<text x="20" y="60">no data</text>` + "\n</svg>")
+		return b.String()
+	}
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(x float64) float64 { return marginLeft + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return float64(h-marginBottom) - (y-yMin)/(yMax-yMin)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, h-marginBottom, w-marginRight, h-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, h-marginBottom)
+
+	// Ticks: five per axis.
+	for i := 0; i <= 5; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/5
+		yv := yMin + (yMax-yMin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px(xv), h-marginBottom, px(xv), h-marginBottom+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px(xv), h-marginBottom+18, formatTick(xv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginLeft-4, py(yv), marginLeft, py(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-7, py(yv), formatTick(yv))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+int(plotW)/2, h-8, html.EscapeString(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginTop+int(plotH)/2, marginTop+int(plotH)/2, html.EscapeString(c.YLabel))
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		if isScatter(s) {
+			for _, p := range s.Points {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+					px(p.X), py(p.Y), color)
+			}
+		} else {
+			var pts []string
+			for _, p := range s.Points {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		// Legend entry.
+		ly := marginTop + 14*i
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			w-marginRight-170, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			w-marginRight-155, ly+9, html.EscapeString(truncate(s.Label, 28)))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+// bounds computes padded data bounds across all series.
+func (c Chart) bounds() (xMin, xMax, yMin, yMax float64, ok bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	// 5% headroom on Y; anchor at zero when data is non-negative.
+	pad := (yMax - yMin) * 0.05
+	if yMin >= 0 && yMin <= pad {
+		yMin = 0
+	} else {
+		yMin -= pad
+	}
+	yMax += pad
+	return xMin, xMax, yMin, yMax, true
+}
+
+// isScatter decides marker vs line rendering.
+func isScatter(s experiments.Series) bool {
+	return strings.Contains(s.Label, "measured") ||
+		strings.Contains(s.Label, "points") ||
+		len(s.Points) <= 12
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// truncate caps a label for the legend.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// WriteHTML writes a single-page report: one chart per figure plus its notes.
+func WriteHTML(w io.Writer, title string, figs []*experiments.FigureResult) error {
+	if _, err := fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title>
+<style>
+body { font-family: sans-serif; max-width: 960px; margin: 24px auto; color: #222; }
+h2 { border-bottom: 1px solid #ccc; padding-bottom: 4px; margin-top: 36px; }
+ul.notes { color: #444; font-size: 13px; }
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title)); err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		if fig == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "<h2>%s — %s</h2>\n",
+			html.EscapeString(fig.ID), html.EscapeString(fig.Title)); err != nil {
+			return err
+		}
+		chart := Chart{Title: fig.ID, XLabel: xLabelFor(fig.ID), YLabel: yLabelFor(fig.ID), Series: fig.Series}
+		if _, err := io.WriteString(w, chart.SVG()+"\n"); err != nil {
+			return err
+		}
+		if len(fig.Notes) > 0 {
+			if _, err := io.WriteString(w, `<ul class="notes">`+"\n"); err != nil {
+				return err
+			}
+			for _, n := range fig.Notes {
+				if _, err := fmt.Fprintf(w, "<li>%s</li>\n", html.EscapeString(n)); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "</ul>\n"); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "</body></html>\n")
+	return err
+}
+
+// xLabelFor/yLabelFor pick axis labels by figure family.
+func xLabelFor(id string) string {
+	switch {
+	case strings.HasPrefix(id, "fig1") && id != "fig10" && id != "fig12",
+		strings.HasPrefix(id, "fig2"), strings.HasPrefix(id, "fig3"):
+		return "time (s)"
+	case id == "ext-mice":
+		return "mouse index"
+	default:
+		return "gamma"
+	}
+}
+
+func yLabelFor(id string) string {
+	switch {
+	case id == "fig1":
+		return "cwnd (segments)"
+	case id == "fig2":
+		return "rate (bps)"
+	case strings.HasPrefix(id, "fig3"):
+		return "normalized traffic"
+	case id == "ext-mice":
+		return "FCT (s)"
+	case id == "prop3":
+		return "numeric gamma*"
+	default:
+		return "attack gain"
+	}
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pulsedos/internal/experiments"
+)
+
+func sampleSeries() []experiments.Series {
+	return []experiments.Series{
+		{Label: "analytic", Points: []experiments.Point{
+			{X: 0.1, Y: 0.2}, {X: 0.3, Y: 0.5}, {X: 0.5, Y: 0.45}, {X: 0.7, Y: 0.3},
+			{X: 0.75, Y: 0.28}, {X: 0.8, Y: 0.25}, {X: 0.85, Y: 0.2}, {X: 0.9, Y: 0.15},
+			{X: 0.92, Y: 0.12}, {X: 0.94, Y: 0.1}, {X: 0.96, Y: 0.07}, {X: 0.98, Y: 0.04},
+			{X: 0.99, Y: 0.02},
+		}},
+		{Label: "measured", Points: []experiments.Point{
+			{X: 0.1, Y: 0.25}, {X: 0.5, Y: 0.4}, {X: 0.9, Y: 0.1},
+		}},
+	}
+}
+
+func TestChartSVGStructure(t *testing.T) {
+	c := Chart{
+		Title:  "gain vs gamma",
+		XLabel: "gamma",
+		YLabel: "gain",
+		Series: sampleSeries(),
+	}
+	svg := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "gain vs gamma",
+		"<polyline", // the 13-point analytic line
+		"<circle",   // the measured scatter
+		"gamma", "gain",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Coordinates must stay inside the canvas.
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("SVG contains invalid coordinates")
+	}
+}
+
+func TestChartSVGEmpty(t *testing.T) {
+	svg := Chart{Title: "empty"}.SVG()
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartSVGDegenerateBounds(t *testing.T) {
+	// A single point and a flat series must not divide by zero.
+	c := Chart{Series: []experiments.Series{
+		{Label: "measured", Points: []experiments.Point{{X: 0.5, Y: 0.5}}},
+		{Label: "flat", Points: []experiments.Point{{X: 0, Y: 1}, {X: 1, Y: 1}}},
+	}}
+	svg := c.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Error("degenerate bounds produced NaN")
+	}
+}
+
+func TestChartEscapesLabels(t *testing.T) {
+	c := Chart{
+		Title:  `<script>alert("x")</script>`,
+		Series: []experiments.Series{{Label: "a<b", Points: []experiments.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}}},
+	}
+	svg := c.SVG()
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Error("label not escaped")
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	figs := []*experiments.FigureResult{
+		{
+			ID:     "fig8",
+			Title:  "attack gain vs gamma",
+			Series: sampleSeries(),
+			Notes:  []string{"class=normal-gain", "peak at gamma=0.5"},
+		},
+		nil, // must be skipped
+		{ID: "fig4", Title: "risk curves", Series: sampleSeries()},
+	}
+	var sb strings.Builder
+	if err := WriteHTML(&sb, "pulsedos report", figs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "pulsedos report", "fig8", "fig4",
+		"class=normal-gain", "<svg", "</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 2 {
+		t.Errorf("want 2 charts, got %d", strings.Count(out, "<svg"))
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.25, "0.25"},
+		{5, "5"},
+		{42.7, "43"},
+		{1500, "1.5k"},
+		{15e6, "15M"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.in); got != tt.want {
+			t.Errorf("formatTick(%g) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	if xLabelFor("fig3a") != "time (s)" || yLabelFor("fig3a") != "normalized traffic" {
+		t.Error("fig3 labels")
+	}
+	if xLabelFor("fig8") != "gamma" || yLabelFor("fig8") != "attack gain" {
+		t.Error("gain labels")
+	}
+	if yLabelFor("fig1") != "cwnd (segments)" {
+		t.Error("fig1 label")
+	}
+	if xLabelFor("ext-mice") != "mouse index" || yLabelFor("ext-mice") != "FCT (s)" {
+		t.Error("mice labels")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 28); got != "short" {
+		t.Errorf("truncate = %q", got)
+	}
+	long := strings.Repeat("x", 40)
+	if got := truncate(long, 10); len(got) > 12 || !strings.HasSuffix(got, "…") {
+		t.Errorf("truncate long = %q", got)
+	}
+}

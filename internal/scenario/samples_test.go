@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenariosAreValid loads every JSON file under scenarios/ and
+// checks it parses, validates, builds, and produces a train.
+func TestShippedScenariosAreValid(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d shipped scenarios", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			cfg, err := Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := cfg.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cfg.Train(env); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

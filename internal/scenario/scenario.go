@@ -1,0 +1,284 @@
+// Package scenario provides a JSON configuration front-end to the
+// experiment harness, so scenarios can be defined, versioned, and replayed
+// without writing Go — the role ns-2's Tcl scripts played for the paper.
+//
+// A scenario file names a topology (dumbbell or testbed, with optional
+// overrides), an optional attack (by explicit period or by target γ), and
+// the measurement windows:
+//
+//	{
+//	  "name": "fig8-style",
+//	  "topology": {"kind": "dumbbell", "flows": 15},
+//	  "attack":   {"kind": "aimd", "rateMbps": 35, "extentMs": 75, "gamma": 0.5},
+//	  "warmupSec": 8, "measureSec": 20, "seed": 1
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// Topology selects and overrides one of the two evaluation environments.
+type Topology struct {
+	Kind  string `json:"kind"`  // "dumbbell" or "testbed"
+	Flows int    `json:"flows"` // victim population; 0 = paper default
+
+	// Dumbbell-only overrides (zero = default).
+	BottleneckMbps float64 `json:"bottleneckMbps,omitempty"`
+	QueuePackets   int     `json:"queuePackets,omitempty"`
+	DropTail       bool    `json:"dropTail,omitempty"`
+	AdaptiveRED    bool    `json:"adaptiveRed,omitempty"`
+
+	// TCP overrides (zero = default).
+	RTOMinMs        float64 `json:"rtoMinMs,omitempty"`
+	AckEvery        int     `json:"ackEvery,omitempty"`
+	RTOJitter       float64 `json:"rtoJitter,omitempty"`
+	LimitedTransmit bool    `json:"limitedTransmit,omitempty"`
+}
+
+// Attack describes the pulse train. Exactly one of Gamma or PeriodMs selects
+// the period (Gamma wins when both are set). Flood ignores both.
+type Attack struct {
+	Kind     string  `json:"kind"` // "aimd", "shrew", "flood", "jittered"
+	RateMbps float64 `json:"rateMbps"`
+	ExtentMs float64 `json:"extentMs,omitempty"`
+
+	Gamma    float64 `json:"gamma,omitempty"`    // target normalized rate
+	PeriodMs float64 `json:"periodMs,omitempty"` // explicit T_AIMD
+
+	Harmonic   int     `json:"harmonic,omitempty"`   // shrew: minRTO/n
+	JitterFrac float64 `json:"jitterFrac,omitempty"` // jittered trains
+}
+
+// Config is a complete scenario.
+type Config struct {
+	Name     string   `json:"name"`
+	Topology Topology `json:"topology"`
+	Attack   *Attack  `json:"attack,omitempty"`
+
+	WarmupSec  float64 `json:"warmupSec"`
+	MeasureSec float64 `json:"measureSec"`
+	RateBinMs  float64 `json:"rateBinMs,omitempty"`
+	Jitter     bool    `json:"measureJitter,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+// Load parses and validates a scenario.
+func Load(r io.Reader) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch c.Topology.Kind {
+	case "dumbbell", "testbed":
+	default:
+		return fmt.Errorf("scenario: topology kind %q (want dumbbell or testbed)", c.Topology.Kind)
+	}
+	if c.Topology.Flows < 0 {
+		return errors.New("scenario: negative flows")
+	}
+	if c.MeasureSec <= 0 {
+		return errors.New("scenario: measureSec must be positive")
+	}
+	if c.WarmupSec < 0 {
+		return errors.New("scenario: negative warmupSec")
+	}
+	if c.Attack != nil {
+		a := c.Attack
+		switch a.Kind {
+		case "aimd", "jittered":
+			if a.ExtentMs <= 0 {
+				return fmt.Errorf("scenario: %s attack needs extentMs", a.Kind)
+			}
+			if a.Gamma == 0 && a.PeriodMs == 0 {
+				return fmt.Errorf("scenario: %s attack needs gamma or periodMs", a.Kind)
+			}
+			if a.Gamma < 0 || a.Gamma >= 1 {
+				if a.Gamma != 0 {
+					return fmt.Errorf("scenario: gamma %g outside (0,1)", a.Gamma)
+				}
+			}
+		case "shrew":
+			if a.ExtentMs <= 0 {
+				return errors.New("scenario: shrew attack needs extentMs")
+			}
+		case "flood":
+		default:
+			return fmt.Errorf("scenario: attack kind %q", a.Kind)
+		}
+		if a.RateMbps <= 0 {
+			return errors.New("scenario: attack needs rateMbps")
+		}
+		if a.Kind == "jittered" && (a.JitterFrac <= 0 || a.JitterFrac > 1) {
+			return errors.New("scenario: jittered attack needs jitterFrac in (0,1]")
+		}
+	}
+	return nil
+}
+
+// Build wires the environment the scenario describes.
+func (c Config) Build() (experiments.Environment, error) {
+	top := c.Topology
+	flows := top.Flows
+	switch top.Kind {
+	case "dumbbell":
+		if flows == 0 {
+			flows = 15
+		}
+		dc := experiments.DefaultDumbbellConfig(flows)
+		if c.Seed != 0 {
+			dc.Seed = c.Seed
+		}
+		if top.BottleneckMbps > 0 {
+			dc.BottleneckRate = top.BottleneckMbps * 1e6
+		}
+		if top.QueuePackets > 0 {
+			dc.QueueLimit = top.QueuePackets
+		}
+		dc.DropTail = top.DropTail
+		dc.AdaptiveRED = top.AdaptiveRED
+		applyTCP(&dc.TCP.RTOMin, &dc.TCP.AckEvery, &dc.TCP.RTOJitter, &dc.TCP.LimitedTransmit, top)
+		return experiments.BuildDumbbell(dc)
+	case "testbed":
+		if flows == 0 {
+			flows = 10
+		}
+		tc := experiments.DefaultTestbedConfig(flows)
+		if c.Seed != 0 {
+			tc.Seed = c.Seed
+		}
+		if top.BottleneckMbps > 0 {
+			tc.BottleneckRate = top.BottleneckMbps * 1e6
+		}
+		if top.QueuePackets > 0 {
+			tc.QueueLen = top.QueuePackets
+		}
+		tc.DropTail = top.DropTail
+		applyTCP(&tc.TCP.RTOMin, &tc.TCP.AckEvery, &tc.TCP.RTOJitter, &tc.TCP.LimitedTransmit, top)
+		return experiments.BuildTestbed(tc)
+	default:
+		return nil, fmt.Errorf("scenario: topology kind %q", top.Kind)
+	}
+}
+
+// applyTCP folds the TCP overrides into a config's fields.
+func applyTCP(rtoMin *time.Duration, ackEvery *int, rtoJitter *float64, limited *bool, top Topology) {
+	if top.RTOMinMs > 0 {
+		*rtoMin = time.Duration(top.RTOMinMs * float64(time.Millisecond))
+	}
+	if top.AckEvery > 0 {
+		*ackEvery = top.AckEvery
+	}
+	if top.RTOJitter > 0 {
+		*rtoJitter = top.RTOJitter
+	}
+	if top.LimitedTransmit {
+		*limited = true
+	}
+}
+
+// Train builds the scenario's pulse train against the environment's
+// bottleneck and RTO floor. Returns nil when the scenario has no attack.
+func (c Config) Train(env experiments.Environment) (*attack.Train, error) {
+	if c.Attack == nil {
+		return nil, nil
+	}
+	a := c.Attack
+	rate := a.RateMbps * 1e6
+	extent := time.Duration(a.ExtentMs * float64(time.Millisecond))
+	measure := time.Duration(c.MeasureSec * float64(time.Second))
+
+	switch a.Kind {
+	case "flood":
+		warmup := time.Duration(c.WarmupSec * float64(time.Second))
+		tr := attack.FloodTrain(rate, sim.FromDuration(measure+warmup))
+		return &tr, nil
+	case "shrew":
+		harmonic := a.Harmonic
+		if harmonic == 0 {
+			harmonic = 1
+		}
+		minRTO := time.Duration(env.TimeoutModel().MinRTO * float64(time.Second))
+		period := minRTO / time.Duration(harmonic)
+		tr, err := attack.ShrewTrain(sim.FromDuration(extent), rate, sim.FromDuration(minRTO),
+			harmonic, experiments.PulsesFor(measure, period))
+		if err != nil {
+			return nil, err
+		}
+		return &tr, nil
+	}
+
+	period := time.Duration(a.PeriodMs * float64(time.Millisecond))
+	if a.Gamma > 0 {
+		period = experiments.PeriodForGamma(a.Gamma, rate, extent, env.ModelParams().Bottleneck)
+	}
+	if period < extent {
+		return nil, fmt.Errorf("scenario: period %v shorter than extent %v (gamma unreachable)", period, extent)
+	}
+	n := experiments.PulsesFor(measure, period)
+	switch a.Kind {
+	case "aimd":
+		tr, err := attack.AIMDTrain(sim.FromDuration(extent), rate, sim.FromDuration(period), n)
+		if err != nil {
+			return nil, err
+		}
+		return &tr, nil
+	case "jittered":
+		seed := c.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		tr, err := attack.JitteredTrain(sim.FromDuration(extent), rate,
+			sim.FromDuration(period-extent), n, a.JitterFrac, rng.New(seed^0xa5a5))
+		if err != nil {
+			return nil, err
+		}
+		return &tr, nil
+	default:
+		return nil, fmt.Errorf("scenario: attack kind %q", a.Kind)
+	}
+}
+
+// Run executes the scenario end to end.
+func (c Config) Run() (*experiments.RunResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	train, err := c.Train(env)
+	if err != nil {
+		return nil, err
+	}
+	opt := experiments.RunOptions{
+		Warmup:        time.Duration(c.WarmupSec * float64(time.Second)),
+		Measure:       time.Duration(c.MeasureSec * float64(time.Second)),
+		Train:         train,
+		MeasureJitter: c.Jitter,
+	}
+	if c.RateBinMs > 0 {
+		opt.RateBin = time.Duration(c.RateBinMs * float64(time.Millisecond))
+	}
+	return experiments.Run(env, opt)
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadValid(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"name": "fig8-style",
+		"topology": {"kind": "dumbbell", "flows": 5},
+		"attack": {"kind": "aimd", "rateMbps": 35, "extentMs": 75, "gamma": 0.5},
+		"warmupSec": 2, "measureSec": 3, "seed": 7
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "fig8-style" || cfg.Topology.Flows != 5 || cfg.Attack.Gamma != 0.5 {
+		t.Errorf("parsed = %+v", cfg)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{
+		"topology": {"kind": "dumbbell"},
+		"measureSec": 3,
+		"bogusKnob": true
+	}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{nope`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Topology:   Topology{Kind: "dumbbell", Flows: 3},
+			MeasureSec: 3,
+			WarmupSec:  1,
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad topology", func(c *Config) { c.Topology.Kind = "star" }},
+		{"negative flows", func(c *Config) { c.Topology.Flows = -1 }},
+		{"zero measure", func(c *Config) { c.MeasureSec = 0 }},
+		{"negative warmup", func(c *Config) { c.WarmupSec = -1 }},
+		{"bad attack kind", func(c *Config) { c.Attack = &Attack{Kind: "tsunami", RateMbps: 10} }},
+		{"aimd no extent", func(c *Config) { c.Attack = &Attack{Kind: "aimd", RateMbps: 10, Gamma: 0.5} }},
+		{"aimd no period", func(c *Config) { c.Attack = &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 50} }},
+		{"gamma too big", func(c *Config) {
+			c.Attack = &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 50, Gamma: 1.5}
+		}},
+		{"no rate", func(c *Config) { c.Attack = &Attack{Kind: "flood"} }},
+		{"jitter frac", func(c *Config) {
+			c.Attack = &Attack{Kind: "jittered", RateMbps: 10, ExtentMs: 50, Gamma: 0.5}
+		}},
+		{"shrew no extent", func(c *Config) { c.Attack = &Attack{Kind: "shrew", RateMbps: 10} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestBuildBothTopologies(t *testing.T) {
+	for _, kind := range []string{"dumbbell", "testbed"} {
+		cfg := Config{Topology: Topology{Kind: kind}, MeasureSec: 1}
+		env, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(env.Flows()) == 0 {
+			t.Errorf("%s: no default flows", kind)
+		}
+	}
+}
+
+func TestBuildAppliesOverrides(t *testing.T) {
+	cfg := Config{
+		Topology: Topology{
+			Kind:           "dumbbell",
+			Flows:          4,
+			BottleneckMbps: 20,
+			QueuePackets:   77,
+			RTOMinMs:       200,
+			AckEvery:       2,
+			RTOJitter:      0.5,
+		},
+		MeasureSec: 1,
+		Seed:       9,
+	}
+	env, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := env.ModelParams()
+	if params.Bottleneck != 20e6 {
+		t.Errorf("bottleneck = %g", params.Bottleneck)
+	}
+	if params.AckRatio != 2 {
+		t.Errorf("ack ratio = %g", params.AckRatio)
+	}
+	if got := env.TimeoutModel(); got.MinRTO != 0.2 || got.BufferPackets != 77 {
+		t.Errorf("timeout model = %+v", got)
+	}
+	if len(env.Flows()) != 4 {
+		t.Errorf("flows = %d", len(env.Flows()))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg, err := Load(strings.NewReader(`{
+		"topology": {"kind": "dumbbell", "flows": 5},
+		"attack": {"kind": "aimd", "rateMbps": 35, "extentMs": 75, "gamma": 0.5},
+		"warmupSec": 2, "measureSec": 3, "rateBinMs": 50, "measureJitter": true
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Error("no victim bytes delivered")
+	}
+	if res.AttackStats.PacketsSent == 0 {
+		t.Error("attack never fired")
+	}
+	if res.Rate == nil || len(res.Rate.Bytes()) == 0 {
+		t.Error("rate series missing")
+	}
+	if res.Jitter == nil {
+		t.Error("jitter meter missing")
+	}
+}
+
+func TestRunFloodAndShrewAndJittered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	for _, attackJSON := range []string{
+		`{"kind": "flood", "rateMbps": 20}`,
+		`{"kind": "shrew", "rateMbps": 40, "extentMs": 50, "harmonic": 1}`,
+		`{"kind": "jittered", "rateMbps": 35, "extentMs": 75, "gamma": 0.4, "jitterFrac": 0.3}`,
+	} {
+		cfg, err := Load(strings.NewReader(`{
+			"topology": {"kind": "dumbbell", "flows": 3},
+			"attack": ` + attackJSON + `,
+			"warmupSec": 1, "measureSec": 2
+		}`))
+		if err != nil {
+			t.Fatalf("%s: %v", attackJSON, err)
+		}
+		res, err := cfg.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", attackJSON, err)
+		}
+		if res.AttackStats.PacketsSent == 0 {
+			t.Errorf("%s: attack never fired", attackJSON)
+		}
+	}
+}
+
+func TestTrainUnreachableGamma(t *testing.T) {
+	cfg := Config{
+		Topology:   Topology{Kind: "dumbbell", Flows: 2},
+		Attack:     &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 75, Gamma: 0.9},
+		MeasureSec: 2,
+	}
+	env, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Train(env); err == nil {
+		t.Error("unreachable gamma accepted")
+	}
+}
+
+func TestTrainNoAttack(t *testing.T) {
+	cfg := Config{Topology: Topology{Kind: "dumbbell", Flows: 2}, MeasureSec: 1}
+	env, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := cfg.Train(env)
+	if err != nil || train != nil {
+		t.Errorf("no-attack train = %v, %v", train, err)
+	}
+}

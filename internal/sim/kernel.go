@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrPastTime is returned when an event is scheduled before the current
+// virtual instant. The kernel never travels backwards.
+var ErrPastTime = errors.New("sim: event scheduled in the past")
+
+// event is a single pending callback in the kernel's priority queue.
+type event struct {
+	when  Time
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index, -1 once removed
+	dead  bool
+}
+
+// eventHeap orders events by (when, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event. The zero value is not usable;
+// timers are created by Kernel.At and Kernel.After.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Cancel removes the timer's pending event. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was still
+// pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	if t.ev.index >= 0 {
+		heap.Remove(&t.k.events, t.ev.index)
+	}
+	return true
+}
+
+// Active reports whether the timer's event is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.dead
+}
+
+// When reports the virtual instant at which the timer fires (or fired).
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.when
+}
+
+// Kernel is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: all model code runs inside event callbacks on a single
+// goroutine, which is both how ns-2 behaves and what makes runs reproducible.
+type Kernel struct {
+	now       Time
+	events    eventHeap
+	seq       uint64
+	processed uint64
+	limit     uint64 // 0 = unlimited
+}
+
+// New returns a kernel with the clock at the virtual origin.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current virtual instant.
+func (k *Kernel) Now() Time {
+	return k.now
+}
+
+// Pending reports the number of events waiting to fire.
+func (k *Kernel) Pending() int {
+	return len(k.events)
+}
+
+// Processed reports the total number of events fired so far.
+func (k *Kernel) Processed() uint64 {
+	return k.processed
+}
+
+// SetEventLimit bounds the total number of events the kernel will process;
+// Run and RunUntil return ErrEventLimit once the budget is exhausted. A
+// limit of zero (the default) disables the bound. The limit is a guard rail
+// against runaway scenarios in tests and fuzzing, not a tuning knob.
+func (k *Kernel) SetEventLimit(n uint64) {
+	k.limit = n
+}
+
+// ErrEventLimit is returned by Run and RunUntil when the event budget set by
+// SetEventLimit is exhausted.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// At schedules fn to run at the absolute virtual instant t. Events at equal
+// instants fire in the order they were scheduled.
+func (k *Kernel) At(t Time, fn func()) (*Timer, error) {
+	if t < k.now {
+		return nil, ErrPastTime
+	}
+	ev := &event{when: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{k: k, ev: ev}, nil
+}
+
+// After schedules fn to run d after the current instant. Negative delays are
+// clamped to zero, so After never fails.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	return k.AfterTicks(FromDuration(d), fn)
+}
+
+// AfterTicks schedules fn to run delta virtual nanoseconds after the current
+// instant. Negative deltas are clamped to zero.
+func (k *Kernel) AfterTicks(delta Time, fn func()) *Timer {
+	if delta < 0 {
+		delta = 0
+	}
+	t, err := k.At(k.now+delta, fn)
+	if err != nil {
+		// Unreachable: now+delta >= now for non-negative delta.
+		return &Timer{}
+	}
+	return t
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		popped := heap.Pop(&k.events)
+		ev, ok := popped.(*event)
+		if !ok {
+			continue
+		}
+		if ev.dead {
+			continue
+		}
+		k.now = ev.when
+		k.processed++
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or the event budget is exhausted.
+func (k *Kernel) Run() error {
+	for k.Step() {
+		if k.limit > 0 && k.processed >= k.limit {
+			return ErrEventLimit
+		}
+	}
+	return nil
+}
+
+// RunUntil fires all events scheduled at or before the virtual instant t,
+// then advances the clock to exactly t. Events scheduled after t remain
+// pending.
+func (k *Kernel) RunUntil(t Time) error {
+	for len(k.events) > 0 && k.events[0].when <= t {
+		k.Step()
+		if k.limit > 0 && k.processed >= k.limit {
+			return ErrEventLimit
+		}
+	}
+	if t > k.now {
+		k.now = t
+	}
+	return nil
+}
+
+// RunFor advances the simulation by the given wall-duration of virtual time.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now + FromDuration(d))
+}

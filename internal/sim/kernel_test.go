@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		in   float64
+		want Time
+	}{
+		{"zero", 0, 0},
+		{"one second", 1, Second},
+		{"fifty ms", 0.05, 50 * Millisecond},
+		{"microsecond", 1e-6, Microsecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := FromSeconds(tt.in); got != tt.want {
+				t.Errorf("FromSeconds(%g) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %g", got)
+	}
+	if got := (3 * Second).Duration(); got != 3*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestTimeComparisons(t *testing.T) {
+	a, b := Second, 2*Second
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before misordered")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After misordered")
+	}
+	if a.Add(Second) != b {
+		t.Error("Add broken")
+	}
+	if b.Sub(a) != Second {
+		t.Error("Sub broken")
+	}
+	if (1500 * Millisecond).String() != "1.5s" {
+		t.Errorf("String = %q", (1500 * Millisecond).String())
+	}
+}
+
+func TestKernelOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.AfterTicks(3*Second, func() { got = append(got, 3) })
+	k.AfterTicks(1*Second, func() { got = append(got, 1) })
+	k.AfterTicks(2*Second, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3*Second {
+		t.Errorf("final time = %v", k.Now())
+	}
+}
+
+func TestKernelFIFOTies(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.AfterTicks(Second, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestKernelAtPast(t *testing.T) {
+	k := New()
+	k.AfterTicks(Second, func() {})
+	if !k.Step() {
+		t.Fatal("no event")
+	}
+	if _, err := k.At(0, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("At(past) error = %v, want ErrPastTime", err)
+	}
+	// After with negative delay clamps to now instead of failing.
+	fired := false
+	k.After(-time.Second, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Error("clamped After never fired")
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := New()
+	fired := false
+	tm := k.AfterTicks(Second, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active")
+	}
+	if !tm.Cancel() {
+		t.Error("first cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second cancel should report false")
+	}
+	if tm.Active() {
+		t.Error("cancelled timer still active")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if tm.When() != Second {
+		t.Errorf("When = %v", tm.When())
+	}
+}
+
+func TestTimerCancelInterleaved(t *testing.T) {
+	// Cancel one of several same-instant events from within another event.
+	k := New()
+	var got []string
+	var tb *Timer
+	k.AfterTicks(Second, func() {
+		got = append(got, "a")
+		tb.Cancel()
+	})
+	tb = k.AfterTicks(Second, func() { got = append(got, "b") })
+	k.AfterTicks(Second, func() { got = append(got, "c") })
+	k.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("got %v, want [a c]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []int
+	k.AfterTicks(1*Second, func() { fired = append(fired, 1) })
+	k.AfterTicks(2*Second, func() { fired = append(fired, 2) })
+	k.AfterTicks(3*Second, func() { fired = append(fired, 3) })
+	if err := k.RunUntil(2 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired %v at RunUntil(2s)", fired)
+	}
+	if k.Now() != 2*Second {
+		t.Errorf("now = %v, want exactly 2s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+	if err := k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || k.Now() != 3*Second {
+		t.Errorf("after RunFor: fired=%v now=%v", fired, k.Now())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := New()
+	var reschedule func()
+	reschedule = func() { k.AfterTicks(Millisecond, reschedule) }
+	k.AfterTicks(Millisecond, reschedule)
+	k.SetEventLimit(100)
+	if err := k.Run(); !errors.Is(err, ErrEventLimit) {
+		t.Errorf("Run error = %v, want ErrEventLimit", err)
+	}
+	if k.Processed() != 100 {
+		t.Errorf("processed = %d", k.Processed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			k.AfterTicks(Millisecond, recurse)
+		}
+	}
+	k.AfterTicks(0, recurse)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 5 {
+		t.Errorf("depth = %d", depth)
+	}
+	if k.Now() != 4*Millisecond {
+		t.Errorf("now = %v", k.Now())
+	}
+}
+
+// TestKernelSortsArbitraryTimes is the kernel's core property: any multiset
+// of scheduled instants is fired in non-decreasing order.
+func TestKernelSortsArbitraryTimes(t *testing.T) {
+	property := func(offsets []uint32) bool {
+		k := New()
+		var fired []Time
+		for _, off := range offsets {
+			at := Time(off)
+			k.AfterTicks(at, func() { fired = append(fired, k.Now()) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKernelCancellationProperty: cancelling a random subset fires exactly
+// the complement.
+func TestKernelCancellationProperty(t *testing.T) {
+	property := func(offsets []uint16, mask []bool) bool {
+		k := New()
+		fired := make(map[int]bool, len(offsets))
+		timers := make([]*Timer, len(offsets))
+		for i, off := range offsets {
+			i := i
+			timers[i] = k.AfterTicks(Time(off)+1, func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool, len(offsets))
+		for i := range timers {
+			if i < len(mask) && mask[i] {
+				timers[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := range offsets {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats provides the descriptive statistics used throughout the
+// experiment harness: streaming mean/variance (Welford), percentiles,
+// confidence intervals, and simple series helpers. Everything is exact and
+// allocation-light; no external dependencies.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Welford accumulates a running mean and variance in a numerically stable
+// way. The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N reports the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean reports the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min reports the smallest observation (0 for an empty accumulator).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max reports the largest observation (0 for an empty accumulator).
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance reports the unbiased sample variance; it is 0 for fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev reports the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 {
+	return math.Sqrt(w.Variance())
+}
+
+// StdErr reports the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 reports the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (w *Welford) CI95() float64 {
+	return 1.96 * w.StdErr()
+}
+
+// Mean reports the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Sum reports the total of xs.
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance reports the unbiased sample variance of xs.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	mean, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev reports the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median reports the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// MinMax reports the extrema of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Normalize returns a copy of xs shifted to zero mean. It mirrors the
+// preprocessing step the paper applies before the piecewise aggregate
+// approximation in Fig. 3.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	mean, _ := Mean(xs)
+	for i, x := range xs {
+		out[i] = x - mean
+	}
+	return out
+}
+
+// ZScore returns a copy of xs standardized to zero mean and unit variance.
+// Series with zero variance are returned mean-shifted only.
+func ZScore(xs []float64) []float64 {
+	out := Normalize(xs)
+	sd, err := StdDev(xs)
+	if err != nil || sd == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= sd
+	}
+	return out
+}
+
+// JainFairness computes Jain's fairness index J = (Σx)² / (n·Σx²) over
+// per-entity allocations: 1 is perfectly fair, 1/n is maximally unfair.
+// Non-positive inputs count as zero allocations.
+func JainFairness(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0, nil
+	}
+	return sum * sum / (float64(len(xs)) * sumSq), nil
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g", w.Mean())
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if !almostEqual(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("extrema = [%g, %g]", w.Min(), w.Max())
+	}
+	if w.StdErr() <= 0 || w.CI95() <= 0 {
+		t.Error("StdErr/CI95 should be positive")
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 || w.StdErr() != 0 {
+		t.Error("empty accumulator should report zero spread")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Error("single observation should have zero variance")
+	}
+}
+
+// TestWelfordMatchesDirect is the property that the streaming mean/variance
+// agree with the two-pass formulas.
+func TestWelfordMatchesDirect(t *testing.T) {
+	property := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		mean, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		variance, err := Variance(xs)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Abs(mean))
+		return almostEqual(w.Mean(), mean, 1e-9*scale) &&
+			almostEqual(w.Variance(), variance, 1e-6*math.Max(1, variance))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanSumErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) error = %v", err)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance single error = %v", err)
+	}
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %g", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+		{75, 40},
+		{90, 46},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("want error for p > 100")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	med, err := Median([]float64{3, 1, 2})
+	if err != nil || med != 2 {
+		t.Errorf("Median = %g, %v", med, err)
+	}
+	single, err := Percentile([]float64{42}, 73)
+	if err != nil || single != 42 {
+		t.Errorf("single-element percentile = %g, %v", single, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = %g, %g, %v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil) error = %v", err)
+	}
+}
+
+func TestNormalizeZeroMean(t *testing.T) {
+	property := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		out := Normalize(xs)
+		if len(out) != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, v := range out {
+			sum += v
+		}
+		return almostEqual(sum/float64(len(out)), 0, 1e-7)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := ZScore(xs)
+	var w Welford
+	for _, v := range z {
+		w.Add(v)
+	}
+	if !almostEqual(w.Mean(), 0, 1e-12) {
+		t.Errorf("ZScore mean = %g", w.Mean())
+	}
+	if !almostEqual(w.StdDev(), 1, 1e-12) {
+		t.Errorf("ZScore stddev = %g", w.StdDev())
+	}
+	// Constant series: only mean-shifted, no division by zero.
+	flat := ZScore([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("flat ZScore = %v", flat)
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"equal", []float64{5, 5, 5, 5}, 1},
+		{"one hog", []float64{10, 0, 0, 0}, 0.25},
+		{"two of four", []float64{5, 5, 0, 0}, 0.5},
+		{"all zero", []float64{0, 0}, 0},
+		{"negatives clamp", []float64{-3, 6}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := JainFairness(tt.xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("J = %g, want %g", got, tt.want)
+			}
+		})
+	}
+	if _, err := JainFairness(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+}

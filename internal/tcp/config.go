@@ -1,0 +1,157 @@
+// Package tcp implements window-based TCP congestion control over the netem
+// substrate: Tahoe, Reno, and NewReno senders generalized to AIMD(a,b)
+// (the paper's general additive-increase/multiplicative-decrease model), a
+// delayed-ACK receiver with configurable ACK ratio d, and RFC 6298 RTO
+// estimation with Karn's algorithm. Sequence numbers count segments, not
+// bytes: every data packet carries one MSS, matching both ns-2's one-way TCP
+// agents and the packet-counting analysis in the paper.
+package tcp
+
+import (
+	"fmt"
+	"time"
+)
+
+// Variant selects the loss-recovery behaviour of a Sender.
+type Variant uint8
+
+// Supported congestion-control variants.
+const (
+	// Tahoe enters slow start (cwnd = 1) on any loss signal.
+	Tahoe Variant = iota + 1
+	// Reno performs fast retransmit / fast recovery on triple-dup-ACK but
+	// aborts recovery on the first partial ACK.
+	Reno
+	// NewReno (RFC 3782) stays in fast recovery across partial ACKs,
+	// retransmitting one hole per partial ACK. The paper's simulations use
+	// NewReno.
+	NewReno
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Tahoe:
+		return "tahoe"
+	case Reno:
+		return "reno"
+	case NewReno:
+		return "newreno"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes one TCP connection. The zero value is not valid; use
+// DefaultConfig and override fields.
+type Config struct {
+	Variant Variant
+
+	// MSS is the payload bytes per segment; HeaderSize is added on the wire
+	// (data packets are MSS+HeaderSize bytes, pure ACKs HeaderSize bytes).
+	MSS        int
+	HeaderSize int
+
+	// AIMD parameters: on a congestion signal the window multiplies by
+	// DecreaseB (the paper's b ∈ (0,1)); in congestion avoidance it grows by
+	// IncreaseA (the paper's a > 0) segments per RTT. TCP uses AIMD(1, 0.5).
+	IncreaseA float64
+	DecreaseB float64
+
+	// InitialCwnd and InitialSSThresh are in segments.
+	InitialCwnd     float64
+	InitialSSThresh float64
+
+	// MaxWindow caps the effective window in segments (the receiver's
+	// advertised window). The default is large enough to be non-binding.
+	MaxWindow float64
+
+	// DupThresh is the duplicate-ACK count that triggers fast retransmit.
+	DupThresh int
+
+	// RTOMin / RTOMax clamp the retransmission timeout. ns-2-era stacks use
+	// RTOMin = 1s (the shrew attack's resonance anchor); the paper's
+	// test-bed Linux 2.6.5 uses 200ms.
+	RTOMin time.Duration
+	RTOMax time.Duration
+
+	// AckEvery is the delayed-ACK ratio d: the receiver acknowledges every
+	// d-th in-order segment (d = 1 disables delayed ACKs). AckDelay is the
+	// delayed-ACK timer bound.
+	AckEvery int
+	AckDelay time.Duration
+
+	// LimitedTransmit enables RFC 3042: on each of the first two duplicate
+	// ACKs the sender transmits one new segment beyond cwnd, letting flows
+	// with small windows generate the dup-ACK stream fast retransmit needs
+	// instead of stalling into an RTO. Under a PDoS attack this shifts the
+	// TO/FR boundary, which is why it is exposed as an ablation knob.
+	LimitedTransmit bool
+
+	// RTOJitter enables the randomized-timeout defense against low-rate
+	// TCP-targeted attacks (Yang, Gerla & Sanadidi, ISCC 2004 — the paper's
+	// §1.1 [7]): each armed retransmission timer is stretched by a uniform
+	// factor in [1, 1+RTOJitter], desynchronizing retransmissions from
+	// periodic attack pulses. Zero disables the defense. As the paper
+	// observes, this defends the timeout-based (shrew) attack but not the
+	// AIMD-based attack, whose timing does not rely on RTO values.
+	RTOJitter float64
+}
+
+// DefaultConfig returns an ns-2-flavoured NewReno configuration: MSS 1000 B,
+// 40 B headers, AIMD(1, 0.5), RTOmin 1 s, no delayed ACKs.
+func DefaultConfig() Config {
+	return Config{
+		Variant:         NewReno,
+		MSS:             1000,
+		HeaderSize:      40,
+		IncreaseA:       1,
+		DecreaseB:       0.5,
+		InitialCwnd:     2,
+		InitialSSThresh: 128,
+		MaxWindow:       128,
+		DupThresh:       3,
+		RTOMin:          time.Second,
+		RTOMax:          64 * time.Second,
+		AckEvery:        1,
+		AckDelay:        100 * time.Millisecond,
+	}
+}
+
+// LinuxConfig returns a configuration approximating the paper's test-bed
+// hosts (Linux Fedora, kernel 2.6.5): RTOmin 200 ms, delayed ACKs with
+// d = 2.
+func LinuxConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RTOMin = 200 * time.Millisecond
+	cfg.AckEvery = 2
+	cfg.AckDelay = 40 * time.Millisecond
+	return cfg
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Variant < Tahoe || c.Variant > NewReno:
+		return fmt.Errorf("tcp: invalid variant %d", c.Variant)
+	case c.MSS <= 0:
+		return fmt.Errorf("tcp: MSS must be positive, got %d", c.MSS)
+	case c.HeaderSize < 0:
+		return fmt.Errorf("tcp: negative header size %d", c.HeaderSize)
+	case c.IncreaseA <= 0:
+		return fmt.Errorf("tcp: AIMD increase a must be positive, got %g", c.IncreaseA)
+	case c.DecreaseB <= 0 || c.DecreaseB >= 1:
+		return fmt.Errorf("tcp: AIMD decrease b must be in (0,1), got %g", c.DecreaseB)
+	case c.InitialCwnd < 1:
+		return fmt.Errorf("tcp: initial cwnd must be >= 1 segment, got %g", c.InitialCwnd)
+	case c.DupThresh < 1:
+		return fmt.Errorf("tcp: dup-ACK threshold must be >= 1, got %d", c.DupThresh)
+	case c.RTOMin <= 0 || c.RTOMax < c.RTOMin:
+		return fmt.Errorf("tcp: invalid RTO bounds [%v, %v]", c.RTOMin, c.RTOMax)
+	case c.AckEvery < 1:
+		return fmt.Errorf("tcp: ACK ratio d must be >= 1, got %d", c.AckEvery)
+	case c.RTOJitter < 0 || c.RTOJitter > 4:
+		return fmt.Errorf("tcp: RTO jitter must be in [0,4], got %g", c.RTOJitter)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package tcp
+
+import (
+	"fmt"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/trace"
+)
+
+// ReceiverStats aggregates sink-side counters.
+type ReceiverStats struct {
+	SegmentsReceived uint64 // all data arrivals, incl. duplicates
+	Duplicates       uint64 // arrivals below the in-order edge
+	OutOfOrder       uint64 // arrivals buffered above the in-order edge
+	AcksSent         uint64
+	DelayedAcks      uint64 // ACKs released by the delayed-ACK timer
+}
+
+// Receiver is the TCP sink: it reassembles in-order delivery, generates
+// cumulative ACKs with a configurable delayed-ACK ratio d (the paper's d in
+// Eq. 1), and credits goodput to a trace.FlowAccount. It implements
+// netem.Node.
+type Receiver struct {
+	k    *sim.Kernel
+	cfg  Config
+	flow int
+	out  *netem.Link // first hop of the reverse (ACK) path
+
+	expected   int64 // next in-order segment not yet received
+	buffered   map[int64]bool
+	sinceAck   int // in-order segments since the last ACK
+	delayTimer *sim.Timer
+
+	// Echo state for the next ACK: timestamp and retransmission flag of the
+	// most recent data arrival.
+	echoSentAt sim.Time
+	echoRetx   bool
+
+	account *trace.FlowAccount
+	stats   ReceiverStats
+}
+
+var _ netem.Node = (*Receiver)(nil)
+
+// NewReceiver wires a TCP sink for the given flow whose ACKs travel via out.
+// account may be nil when goodput accounting is not needed.
+func NewReceiver(k *sim.Kernel, cfg Config, flow int, out *netem.Link, account *trace.FlowAccount) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k == nil || out == nil {
+		return nil, fmt.Errorf("tcp: receiver flow %d: nil kernel or link", flow)
+	}
+	return &Receiver{
+		k:        k,
+		cfg:      cfg,
+		flow:     flow,
+		out:      out,
+		buffered: make(map[int64]bool),
+		account:  account,
+	}, nil
+}
+
+// Flow reports the receiver's flow identifier.
+func (r *Receiver) Flow() int { return r.flow }
+
+// Expected reports the next in-order segment the receiver is waiting for,
+// i.e. the cumulative ACK value it would send now.
+func (r *Receiver) Expected() int64 { return r.expected }
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Receive implements netem.Node: process a data segment and produce ACKs per
+// RFC 5681 (immediate dup-ACK on out-of-order data, ACK every d-th in-order
+// segment otherwise, delayed-ACK timer as the fallback).
+func (r *Receiver) Receive(p *netem.Packet) {
+	if p.Class != netem.ClassData || p.Flow != r.flow {
+		return
+	}
+	r.stats.SegmentsReceived++
+	r.echoSentAt = p.SentAt
+	r.echoRetx = p.Retx
+
+	switch {
+	case p.Seq == r.expected:
+		r.advance(p.Size - r.cfg.HeaderSize)
+		r.sinceAck++
+		// An arrival that fills a hole must be acknowledged immediately so
+		// the sender's recovery makes progress.
+		if len(r.buffered) > 0 || p.Retx || r.sinceAck >= r.cfg.AckEvery {
+			r.sendAck()
+		} else {
+			r.armDelayTimer()
+		}
+	case p.Seq > r.expected:
+		r.stats.OutOfOrder++
+		r.buffered[p.Seq] = true
+		r.sendAck() // immediate duplicate ACK
+	default:
+		r.stats.Duplicates++
+		r.sendAck() // re-ACK the current edge
+	}
+}
+
+// advance consumes the just-arrived in-order segment plus any buffered
+// continuation, crediting goodput.
+func (r *Receiver) advance(payload int) {
+	if payload < 0 {
+		payload = 0
+	}
+	r.credit(payload)
+	r.expected++
+	for r.buffered[r.expected] {
+		delete(r.buffered, r.expected)
+		r.credit(r.cfg.MSS)
+		r.expected++
+	}
+}
+
+func (r *Receiver) credit(bytes int) {
+	if r.account != nil {
+		r.account.Deliver(r.flow, bytes, r.k.Now())
+	}
+}
+
+// sendAck emits a cumulative ACK now and resets delayed-ACK state.
+func (r *Receiver) sendAck() {
+	if r.delayTimer != nil {
+		r.delayTimer.Cancel()
+		r.delayTimer = nil
+	}
+	r.sinceAck = 0
+	r.stats.AcksSent++
+	r.out.Send(&netem.Packet{
+		Flow:       r.flow,
+		Class:      netem.ClassAck,
+		Dir:        netem.DirReverse,
+		Size:       r.cfg.HeaderSize,
+		Ack:        r.expected,
+		EchoSentAt: r.echoSentAt,
+		Retx:       r.echoRetx,
+	})
+}
+
+// armDelayTimer schedules the delayed-ACK fallback if not already pending.
+func (r *Receiver) armDelayTimer() {
+	if r.cfg.AckEvery <= 1 {
+		// d = 1 should have ACKed immediately; defensive fallback.
+		r.sendAck()
+		return
+	}
+	if r.delayTimer != nil && r.delayTimer.Active() {
+		return
+	}
+	r.delayTimer = r.k.After(r.cfg.AckDelay, func() {
+		r.delayTimer = nil
+		if r.sinceAck > 0 {
+			r.stats.DelayedAcks++
+			r.sendAck()
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/trace"
+)
+
+// ackCollector records ACKs emitted by a receiver under direct test.
+type ackCollector struct {
+	acks []int64
+}
+
+func (a *ackCollector) Receive(p *netem.Packet) {
+	if p.Class == netem.ClassAck {
+		a.acks = append(a.acks, p.Ack)
+	}
+}
+
+// newBareReceiver wires a receiver whose ACKs land in a collector with no
+// link delay, for precise unit-level assertions.
+func newBareReceiver(t *testing.T, cfg Config) (*sim.Kernel, *Receiver, *ackCollector, *trace.FlowAccount) {
+	t.Helper()
+	k := sim.New()
+	col := &ackCollector{}
+	link, err := netem.NewLink(k, "acks", 1e12, 0, netem.NewDropTail(1<<16), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	account := trace.NewFlowAccount()
+	r, err := NewReceiver(k, cfg, 1, link, account)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, r, col, account
+}
+
+func dataSeg(seq int64, cfg Config) *netem.Packet {
+	return &netem.Packet{
+		Flow:  1,
+		Class: netem.ClassData,
+		Dir:   netem.DirForward,
+		Size:  cfg.MSS + cfg.HeaderSize,
+		Seq:   seq,
+	}
+}
+
+func TestReceiverInOrderAcks(t *testing.T) {
+	cfg := DefaultConfig() // d = 1: ACK every segment
+	k, r, col, account := newBareReceiver(t, cfg)
+	for i := int64(0); i < 5; i++ {
+		r.Receive(dataSeg(i, cfg))
+	}
+	k.Run()
+	if len(col.acks) != 5 {
+		t.Fatalf("acks = %v", col.acks)
+	}
+	for i, a := range col.acks {
+		if a != int64(i+1) {
+			t.Errorf("ack %d = %d, want %d", i, a, i+1)
+		}
+	}
+	if r.Expected() != 5 {
+		t.Errorf("expected = %d", r.Expected())
+	}
+	if got := account.Flow(1); got != 5*uint64(cfg.MSS) {
+		t.Errorf("delivered = %d", got)
+	}
+}
+
+func TestReceiverOutOfOrderDupAcks(t *testing.T) {
+	cfg := DefaultConfig()
+	k, r, col, _ := newBareReceiver(t, cfg)
+	r.Receive(dataSeg(0, cfg)) // ack 1
+	r.Receive(dataSeg(2, cfg)) // hole at 1 → dup ack 1
+	r.Receive(dataSeg(3, cfg)) // dup ack 1
+	r.Receive(dataSeg(1, cfg)) // fills hole → ack 4
+	k.Run()
+	want := []int64{1, 1, 1, 4}
+	if len(col.acks) != len(want) {
+		t.Fatalf("acks = %v, want %v", col.acks, want)
+	}
+	for i := range want {
+		if col.acks[i] != want[i] {
+			t.Fatalf("acks = %v, want %v", col.acks, want)
+		}
+	}
+	st := r.Stats()
+	if st.OutOfOrder != 2 {
+		t.Errorf("out-of-order = %d", st.OutOfOrder)
+	}
+}
+
+func TestReceiverDuplicateReAcks(t *testing.T) {
+	cfg := DefaultConfig()
+	k, r, col, account := newBareReceiver(t, cfg)
+	r.Receive(dataSeg(0, cfg))
+	r.Receive(dataSeg(0, cfg)) // duplicate
+	k.Run()
+	if len(col.acks) != 2 || col.acks[1] != 1 {
+		t.Errorf("acks = %v", col.acks)
+	}
+	if r.Stats().Duplicates != 1 {
+		t.Errorf("duplicates = %d", r.Stats().Duplicates)
+	}
+	// Duplicates must not double-credit goodput.
+	if got := account.Flow(1); got != uint64(cfg.MSS) {
+		t.Errorf("delivered = %d", got)
+	}
+}
+
+func TestReceiverDelayedAckEveryOther(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AckEvery = 2
+	cfg.AckDelay = 200 * time.Millisecond
+	k, r, col, _ := newBareReceiver(t, cfg)
+	for i := int64(0); i < 6; i++ {
+		r.Receive(dataSeg(i, cfg))
+	}
+	k.RunUntil(10 * sim.Millisecond) // before the delay timer could fire
+	if len(col.acks) != 3 {
+		t.Fatalf("acks = %v, want every 2nd segment", col.acks)
+	}
+	for i, a := range col.acks {
+		if a != int64(2*(i+1)) {
+			t.Errorf("ack %d = %d, want %d", i, a, 2*(i+1))
+		}
+	}
+}
+
+func TestReceiverDelayedAckTimerFires(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AckEvery = 2
+	cfg.AckDelay = 100 * time.Millisecond
+	k, r, col, _ := newBareReceiver(t, cfg)
+	r.Receive(dataSeg(0, cfg)) // 1 of 2: held back
+	if len(col.acks) != 0 {
+		k.Run()
+		t.Fatalf("premature ack: %v", col.acks)
+	}
+	k.Run() // delay timer fires at 100 ms
+	if len(col.acks) != 1 || col.acks[0] != 1 {
+		t.Fatalf("acks after timer = %v", col.acks)
+	}
+	if r.Stats().DelayedAcks != 1 {
+		t.Errorf("delayed acks = %d", r.Stats().DelayedAcks)
+	}
+	if k.Now() != 100*sim.Millisecond {
+		t.Errorf("timer fired at %v", k.Now())
+	}
+}
+
+func TestReceiverEchoesTimestamps(t *testing.T) {
+	cfg := DefaultConfig()
+	k, r, _, _ := newBareReceiver(t, cfg)
+	var echoed sim.Time
+	var echoedRetx bool
+	catcher := netem.NodeFunc(func(p *netem.Packet) {
+		echoed = p.EchoSentAt
+		echoedRetx = p.Retx
+	})
+	link, err := netem.NewLink(k, "c", 1e12, 0, netem.NewDropTail(16), catcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReceiver(k, cfg, 1, link, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := dataSeg(0, cfg)
+	seg.SentAt = 42 * sim.Millisecond
+	seg.Retx = true
+	r2.Receive(seg)
+	k.Run()
+	if echoed != 42*sim.Millisecond || !echoedRetx {
+		t.Errorf("echo = %v retx=%v", echoed, echoedRetx)
+	}
+	_ = r
+}
+
+func TestReceiverIgnoresForeignPackets(t *testing.T) {
+	cfg := DefaultConfig()
+	k, r, col, _ := newBareReceiver(t, cfg)
+	r.Receive(&netem.Packet{Flow: 2, Class: netem.ClassData, Size: 1040, Seq: 0}) // wrong flow
+	r.Receive(&netem.Packet{Flow: 1, Class: netem.ClassAck, Size: 40})            // wrong class
+	r.Receive(&netem.Packet{Flow: 1, Class: netem.ClassAttack, Size: 1000})       // attack traffic
+	k.Run()
+	if len(col.acks) != 0 || r.Expected() != 0 {
+		t.Errorf("receiver reacted to foreign packets: acks=%v expected=%d", col.acks, r.Expected())
+	}
+}
+
+func TestReceiverValidation(t *testing.T) {
+	k := sim.New()
+	if _, err := NewReceiver(k, Config{}, 1, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewReceiver(k, DefaultConfig(), 1, nil, nil); err == nil {
+		t.Error("nil link accepted")
+	}
+}
+
+// TestReceiverReassemblyProperty: for any arrival permutation of segments
+// 0..n-1 (with duplicates), the receiver ends with expected == n and credits
+// exactly n·MSS bytes.
+func TestReceiverReassemblyProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	property := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		k := sim.New()
+		col := &ackCollector{}
+		link, err := netem.NewLink(k, "acks", 1e12, 0, netem.NewDropTail(1<<16), col)
+		if err != nil {
+			return false
+		}
+		account := trace.NewFlowAccount()
+		r, err := NewReceiver(k, cfg, 1, link, account)
+		if err != nil {
+			return false
+		}
+		// Random permutation with some duplicates appended.
+		rnd := rand.New(rand.NewSource(seed))
+		order := rnd.Perm(n)
+		for _, seq := range order {
+			r.Receive(dataSeg(int64(seq), cfg))
+		}
+		for i := 0; i < n/3; i++ {
+			r.Receive(dataSeg(int64(rnd.Intn(n)), cfg))
+		}
+		k.Run()
+		return r.Expected() == int64(n) && account.Flow(1) == uint64(n*cfg.MSS)
+	}
+	qcfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(property, qcfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package tcp
+
+import (
+	"time"
+
+	"pulsedos/internal/sim"
+)
+
+// rtoEstimator implements RFC 6298 retransmission-timeout estimation with
+// exponential backoff and Karn's algorithm (the caller refuses samples from
+// retransmitted segments).
+type rtoEstimator struct {
+	min, max sim.Time
+
+	haveSample bool
+	srtt       float64 // seconds
+	rttvar     float64 // seconds
+	base       sim.Time
+	backoff    uint // consecutive timeouts; RTO doubles per timeout
+}
+
+// newRTOEstimator returns an estimator with the conservative pre-sample RTO
+// of RFC 6298 (max(1s, RTOMin)).
+func newRTOEstimator(rtoMin, rtoMax time.Duration) *rtoEstimator {
+	e := &rtoEstimator{
+		min: sim.FromDuration(rtoMin),
+		max: sim.FromDuration(rtoMax),
+	}
+	initial := sim.FromDuration(time.Second)
+	if e.min > initial {
+		initial = e.min
+	}
+	e.base = initial
+	return e
+}
+
+// Sample folds a round-trip measurement into the smoothed estimate and
+// resets the backoff, per Karn/Partridge.
+func (e *rtoEstimator) Sample(rtt sim.Time) {
+	r := rtt.Seconds()
+	if r < 0 {
+		return
+	}
+	if !e.haveSample {
+		e.haveSample = true
+		e.srtt = r
+		e.rttvar = r / 2
+	} else {
+		const alpha, beta = 1.0 / 8, 1.0 / 4
+		d := e.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = (1-beta)*e.rttvar + beta*d
+		e.srtt = (1-alpha)*e.srtt + alpha*r
+	}
+	e.backoff = 0
+	rto := sim.FromSeconds(e.srtt + 4*e.rttvar)
+	e.base = e.clamp(rto)
+}
+
+// Backoff doubles the effective RTO after a retransmission timeout.
+func (e *rtoEstimator) Backoff() {
+	if e.backoff < 12 { // 2^12 ≫ RTOMax/RTOMin for any sane config
+		e.backoff++
+	}
+}
+
+// RTO reports the current effective timeout (base << backoff, clamped).
+func (e *rtoEstimator) RTO() sim.Time {
+	rto := e.base
+	for i := uint(0); i < e.backoff; i++ {
+		rto *= 2
+		if rto >= e.max {
+			return e.max
+		}
+	}
+	return e.clamp(rto)
+}
+
+// SRTT reports the smoothed RTT estimate in seconds (0 before any sample).
+func (e *rtoEstimator) SRTT() float64 { return e.srtt }
+
+func (e *rtoEstimator) clamp(t sim.Time) sim.Time {
+	if t < e.min {
+		return e.min
+	}
+	if t > e.max {
+		return e.max
+	}
+	return t
+}

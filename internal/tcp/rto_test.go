@@ -1,0 +1,180 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pulsedos/internal/sim"
+)
+
+func TestRTOInitialConservative(t *testing.T) {
+	e := newRTOEstimator(200*time.Millisecond, 64*time.Second)
+	// RFC 6298: before any sample the RTO is at least 1 s.
+	if got := e.RTO(); got != sim.Second {
+		t.Errorf("pre-sample RTO = %v, want 1s", got)
+	}
+	// A larger RTOmin dominates the pre-sample value.
+	e2 := newRTOEstimator(2*time.Second, 64*time.Second)
+	if got := e2.RTO(); got != 2*sim.Second {
+		t.Errorf("pre-sample RTO with 2s floor = %v", got)
+	}
+}
+
+func TestRTOFirstSample(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 64*time.Second)
+	e.Sample(100 * sim.Millisecond)
+	// srtt = R, rttvar = R/2, RTO = srtt + 4·rttvar = 3R = 300 ms.
+	if got := e.SRTT(); got != 0.1 {
+		t.Errorf("SRTT = %g", got)
+	}
+	if got := e.RTO(); got != 300*sim.Millisecond {
+		t.Errorf("RTO after first sample = %v, want 300ms", got)
+	}
+}
+
+func TestRTOConvergesOnSteadyRTT(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 64*time.Second)
+	for i := 0; i < 200; i++ {
+		e.Sample(100 * sim.Millisecond)
+	}
+	// rttvar decays toward 0, so RTO approaches srtt = 100 ms.
+	if got := e.RTO(); got > 110*sim.Millisecond {
+		t.Errorf("steady RTO = %v, want <= 110ms", got)
+	}
+	if srtt := e.SRTT(); srtt < 0.099 || srtt > 0.101 {
+		t.Errorf("steady SRTT = %g", srtt)
+	}
+}
+
+func TestRTOMinFloor(t *testing.T) {
+	e := newRTOEstimator(time.Second, 64*time.Second)
+	for i := 0; i < 100; i++ {
+		e.Sample(10 * sim.Millisecond)
+	}
+	if got := e.RTO(); got != sim.Second {
+		t.Errorf("RTO = %v, want clamped to 1s floor", got)
+	}
+}
+
+func TestRTOBackoffDoubles(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 64*time.Second)
+	e.Sample(100 * sim.Millisecond) // RTO = 300 ms
+	want := []sim.Time{600 * sim.Millisecond, 1200 * sim.Millisecond, 2400 * sim.Millisecond}
+	for _, w := range want {
+		e.Backoff()
+		if got := e.RTO(); got != w {
+			t.Errorf("backed-off RTO = %v, want %v", got, w)
+		}
+	}
+	// A fresh sample resets the backoff (Karn/Partridge).
+	e.Sample(100 * sim.Millisecond)
+	if got := e.RTO(); got > 310*sim.Millisecond {
+		t.Errorf("RTO after sample = %v, want reset", got)
+	}
+}
+
+func TestRTOMaxCeiling(t *testing.T) {
+	e := newRTOEstimator(time.Second, 8*time.Second)
+	e.Sample(500 * sim.Millisecond)
+	for i := 0; i < 30; i++ {
+		e.Backoff()
+	}
+	if got := e.RTO(); got != 8*sim.Second {
+		t.Errorf("RTO = %v, want capped at 8s", got)
+	}
+}
+
+func TestRTONegativeSampleIgnored(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 64*time.Second)
+	e.Sample(-sim.Second)
+	if e.SRTT() != 0 {
+		t.Error("negative sample should be ignored")
+	}
+}
+
+// TestRTOAlwaysWithinBounds: whatever the sample/backoff sequence, the RTO
+// stays within [min, max].
+func TestRTOAlwaysWithinBounds(t *testing.T) {
+	property := func(samples []uint32, backoffs uint8) bool {
+		min, max := 200*time.Millisecond, 16*time.Second
+		e := newRTOEstimator(min, max)
+		for _, s := range samples {
+			e.Sample(sim.Time(s) % (5 * sim.Second)) // up to 5 s RTTs
+			rto := e.RTO()
+			if rto < sim.FromDuration(min) || rto > sim.FromDuration(max) {
+				return false
+			}
+		}
+		for i := uint8(0); i < backoffs%20; i++ {
+			e.Backoff()
+			rto := e.RTO()
+			if rto < sim.FromDuration(min) || rto > sim.FromDuration(max) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := DefaultConfig()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	linux := LinuxConfig()
+	if err := linux.Validate(); err != nil {
+		t.Fatalf("linux config invalid: %v", err)
+	}
+	if linux.RTOMin != 200*time.Millisecond || linux.AckEvery != 2 {
+		t.Errorf("linux config: RTOMin=%v d=%d", linux.RTOMin, linux.AckEvery)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"bad variant", func(c *Config) { c.Variant = 0 }},
+		{"zero MSS", func(c *Config) { c.MSS = 0 }},
+		{"negative header", func(c *Config) { c.HeaderSize = -1 }},
+		{"zero increase", func(c *Config) { c.IncreaseA = 0 }},
+		{"decrease too big", func(c *Config) { c.DecreaseB = 1 }},
+		{"decrease zero", func(c *Config) { c.DecreaseB = 0 }},
+		{"tiny cwnd", func(c *Config) { c.InitialCwnd = 0.5 }},
+		{"zero dupthresh", func(c *Config) { c.DupThresh = 0 }},
+		{"rto order", func(c *Config) { c.RTOMax = c.RTOMin / 2 }},
+		{"zero rtomin", func(c *Config) { c.RTOMin = 0 }},
+		{"zero ack ratio", func(c *Config) { c.AckEvery = 0 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	tests := []struct {
+		v    Variant
+		want string
+	}{
+		{Tahoe, "tahoe"},
+		{Reno, "reno"},
+		{NewReno, "newreno"},
+		{Variant(9), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

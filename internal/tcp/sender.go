@@ -1,0 +1,412 @@
+package tcp
+
+import (
+	"fmt"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// SenderStats aggregates per-connection counters for the experiment harness.
+type SenderStats struct {
+	SegmentsSent    uint64 // data segments put on the wire, incl. retransmits
+	Retransmits     uint64
+	FastRetransmits uint64 // fast-recovery episodes entered (FR state)
+	Timeouts        uint64 // RTO expirations (TO state)
+	AcksReceived    uint64
+	DupAcks         uint64
+	RTTSamples      uint64
+}
+
+// CwndObserver receives congestion-window updates; the Fig. 1 trace uses it.
+type CwndObserver func(now sim.Time, cwndSegments float64)
+
+// Sender is a bulk-transfer ("FTP") TCP source: it always has data to send
+// and is limited purely by its congestion window — the victim model used
+// throughout the paper. It implements netem.Node to receive ACKs.
+type Sender struct {
+	k    *sim.Kernel
+	cfg  Config
+	flow int
+	out  *netem.Link
+
+	started bool
+	closed  bool
+
+	// Congestion state (all window quantities in segments).
+	cwnd       float64
+	ssthresh   float64
+	hiAck      int64 // all segments < hiAck are acknowledged
+	nextSeq    int64 // next segment to put on the wire
+	maxSent    int64 // highest segment ever sent + 1 (for Retx marking)
+	dupAcks    int
+	inRecovery bool
+	recover    int64 // recovery point: recovery ends when hiAck >= recover
+	hadLoss    bool  // a loss event has occurred (enables the bugfix gate)
+
+	rto      *rtoEstimator
+	rtoTimer *sim.Timer
+	rtoRand  *rng.Source // non-nil when the RTO-jitter defense is enabled
+
+	// Finite-transfer support: limit == 0 means an unbounded bulk source;
+	// otherwise the sender transmits exactly limit segments and reports
+	// completion when all are acknowledged.
+	limit      int64
+	done       bool
+	onComplete func(sim.Time)
+
+	stats    SenderStats
+	observer CwndObserver
+}
+
+var _ netem.Node = (*Sender)(nil)
+
+// NewSender wires a bulk TCP sender for the given flow id whose first hop is
+// out. The connection does not transmit until Start is called.
+func NewSender(k *sim.Kernel, cfg Config, flow int, out *netem.Link) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k == nil || out == nil {
+		return nil, fmt.Errorf("tcp: sender flow %d: nil kernel or link", flow)
+	}
+	s := &Sender{
+		k:        k,
+		cfg:      cfg,
+		flow:     flow,
+		out:      out,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSSThresh,
+		rto:      newRTOEstimator(cfg.RTOMin, cfg.RTOMax),
+	}
+	if cfg.RTOJitter > 0 {
+		// Deterministic per-flow stream so scenario seeds stay in control.
+		s.rtoRand = rng.New(0x9e3779b97f4a7c15 ^ uint64(flow))
+	}
+	return s, nil
+}
+
+// Flow reports the sender's flow identifier.
+func (s *Sender) Flow() int { return s.flow }
+
+// Cwnd reports the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// SSThresh reports the current slow-start threshold in segments.
+func (s *Sender) SSThresh() float64 { return s.ssthresh }
+
+// SRTT reports the smoothed RTT estimate in seconds (0 before any sample).
+func (s *Sender) SRTT() float64 { return s.rto.SRTT() }
+
+// Stats returns a snapshot of the connection counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// InRecovery reports whether the sender is in the fast-recovery (FR) state.
+func (s *Sender) InRecovery() bool { return s.inRecovery }
+
+// Observe registers a congestion-window observer (may be nil to clear). The
+// observer fires on every cwnd change, giving the Fig. 1 sawtooth trace.
+func (s *Sender) Observe(fn CwndObserver) { s.observer = fn }
+
+// LimitSegments turns the sender into a finite transfer of exactly n
+// segments (n·MSS payload bytes). Must be called before Start; n <= 0
+// restores the unbounded bulk source.
+func (s *Sender) LimitSegments(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.limit = n
+}
+
+// OnComplete registers a callback fired once when a finite transfer's last
+// segment is acknowledged.
+func (s *Sender) OnComplete(fn func(now sim.Time)) { s.onComplete = fn }
+
+// Done reports whether a finite transfer has been fully acknowledged.
+func (s *Sender) Done() bool { return s.done }
+
+// Start begins transmission at the given virtual instant.
+func (s *Sender) Start(at sim.Time) error {
+	if s.started {
+		return fmt.Errorf("tcp: sender flow %d already started", s.flow)
+	}
+	s.started = true
+	_, err := s.k.At(at, func() {
+		s.notifyCwnd()
+		s.trySend()
+	})
+	if err != nil {
+		return fmt.Errorf("tcp: start flow %d: %w", s.flow, err)
+	}
+	return nil
+}
+
+// Stop halts the connection: pending timers are cancelled and arriving ACKs
+// are ignored. Used by finite-duration experiments during teardown.
+func (s *Sender) Stop() {
+	s.closed = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+}
+
+// Receive implements netem.Node; the reverse path delivers ACKs here.
+func (s *Sender) Receive(p *netem.Packet) {
+	if s.closed || p.Class != netem.ClassAck || p.Flow != s.flow {
+		return
+	}
+	s.stats.AcksReceived++
+	switch {
+	case p.Ack > s.hiAck:
+		s.handleNewAck(p)
+	case p.Ack == s.hiAck:
+		s.handleDupAck()
+	default:
+		// Stale ACK from before a timeout-induced resequence: ignore.
+	}
+	s.trySend()
+}
+
+// handleNewAck processes a cumulative ACK that advances the left window edge.
+func (s *Sender) handleNewAck(p *netem.Packet) {
+	// Karn: only un-ambiguous echoes produce RTT samples.
+	if !p.Retx && p.EchoSentAt > 0 {
+		s.rto.Sample(s.k.Now().Sub(p.EchoSentAt))
+		s.stats.RTTSamples++
+	}
+	newlyAcked := p.Ack - s.hiAck
+	s.hiAck = p.Ack
+	if s.limit > 0 && s.hiAck >= s.limit && !s.done {
+		s.complete()
+		return
+	}
+
+	if s.inRecovery {
+		if s.hiAck >= s.recover {
+			// Full ACK: leave fast recovery, deflate to ssthresh.
+			s.inRecovery = false
+			s.dupAcks = 0
+			s.setCwnd(s.ssthresh)
+		} else {
+			// Partial ACK.
+			switch s.cfg.Variant {
+			case NewReno:
+				// Retransmit the next hole, deflate by the amount acked,
+				// and stay in recovery (RFC 3782).
+				s.retransmit(s.hiAck)
+				deflated := s.cwnd - float64(newlyAcked) + 1
+				if deflated < 1 {
+					deflated = 1
+				}
+				s.setCwnd(deflated)
+			case Reno:
+				// Reno aborts recovery on the first partial ACK.
+				s.inRecovery = false
+				s.dupAcks = 0
+				s.setCwnd(s.ssthresh)
+			case Tahoe:
+				// Unreachable: Tahoe never sets inRecovery.
+				s.inRecovery = false
+			}
+		}
+	} else {
+		s.dupAcks = 0
+		s.openWindow(newlyAcked)
+	}
+	s.restartRTOTimer()
+}
+
+// openWindow grows cwnd per slow start or AIMD congestion avoidance. acked
+// is the number of segments this ACK newly covered: with delayed ACKs
+// (d > 1) one ACK covers d segments and window growth must account for all
+// of them, or the sender would under-grow relative to the a/d-per-RTT model.
+func (s *Sender) openWindow(acked int64) {
+	for i := int64(0); i < acked; i++ {
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+		} else {
+			s.cwnd += s.cfg.IncreaseA / s.cwnd
+		}
+	}
+	if s.cwnd > s.cfg.MaxWindow {
+		s.cwnd = s.cfg.MaxWindow
+	}
+	s.notifyCwnd()
+}
+
+// handleDupAck counts duplicate ACKs, entering fast retransmit at the
+// threshold and inflating the window during recovery.
+func (s *Sender) handleDupAck() {
+	s.stats.DupAcks++
+	s.dupAcks++
+	if s.inRecovery {
+		// Window inflation: each further dup ACK signals a departed segment.
+		s.setCwnd(s.cwnd + 1)
+		return
+	}
+	if s.cfg.LimitedTransmit && s.dupAcks <= 2 {
+		// RFC 3042: each of the first two dup ACKs signals a delivered
+		// segment; send one new segment beyond cwnd to keep the ACK clock
+		// alive for small windows.
+		if s.limit == 0 || s.nextSeq < s.limit {
+			s.sendSegment(s.nextSeq)
+			s.nextSeq++
+		}
+	}
+	if s.dupAcks != s.cfg.DupThresh {
+		return
+	}
+	// ns-2's bugfix_ / RFC 3782's "careful variant": after a loss event,
+	// retransmissions arriving below the recovery point echo back as
+	// duplicate ACKs; entering fast retransmit on them would cut the window
+	// again spuriously. Only ACKs that have advanced past the last recovery
+	// point may arm a new fast retransmit.
+	if s.hadLoss && s.hiAck <= s.recover {
+		return
+	}
+	// Triple duplicate ACK: the FR (fast retransmit / fast recovery) state
+	// of the paper's analysis.
+	s.stats.FastRetransmits++
+	s.multiplicativeDecrease()
+	s.retransmit(s.hiAck)
+	s.recover = s.nextSeq
+	s.hadLoss = true
+	switch s.cfg.Variant {
+	case Tahoe:
+		s.dupAcks = 0
+		s.setCwnd(1)
+	case Reno, NewReno:
+		s.inRecovery = true
+		s.setCwnd(s.ssthresh + float64(s.cfg.DupThresh))
+	}
+	s.restartRTOTimer()
+}
+
+// multiplicativeDecrease applies the AIMD(a,b) window cut: ssthresh = b·W.
+func (s *Sender) multiplicativeDecrease() {
+	s.ssthresh = s.cfg.DecreaseB * s.cwnd
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+}
+
+// complete finishes a finite transfer: timers stop and the completion
+// callback fires exactly once.
+func (s *Sender) complete() {
+	s.done = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	if s.onComplete != nil {
+		s.onComplete(s.k.Now())
+	}
+}
+
+// handleTimeout is the RTO expiry path: the TO state of the paper's
+// analysis. The sender collapses to one segment, backs off the timer, and
+// goes back to the first unacknowledged segment.
+func (s *Sender) handleTimeout() {
+	if s.closed || s.done {
+		return
+	}
+	s.stats.Timeouts++
+	s.multiplicativeDecrease()
+	s.inRecovery = false
+	s.dupAcks = 0
+	s.recover = s.nextSeq
+	s.hadLoss = true
+	s.setCwnd(1)
+	s.rto.Backoff()
+	// Go-back-N: resequence from the left window edge. The receiver holds
+	// buffered out-of-order segments, so its cumulative ACKs jump forward
+	// quickly across the already-delivered span.
+	s.nextSeq = s.hiAck
+	s.restartRTOTimer()
+	s.trySend()
+}
+
+// trySend transmits as long as the effective window has room (and, for
+// finite transfers, data remains).
+func (s *Sender) trySend() {
+	if s.closed || !s.started || s.done {
+		return
+	}
+	window := int64(s.cwnd)
+	if window < 1 {
+		window = 1
+	}
+	if maxW := int64(s.cfg.MaxWindow); window > maxW {
+		window = maxW
+	}
+	sent := false
+	for s.nextSeq < s.hiAck+window {
+		if s.limit > 0 && s.nextSeq >= s.limit {
+			break
+		}
+		s.sendSegment(s.nextSeq)
+		s.nextSeq++
+		sent = true
+	}
+	if sent && s.rtoTimer == nil {
+		s.restartRTOTimer()
+	}
+}
+
+// retransmit resends one specific segment immediately (fast retransmit and
+// NewReno partial-ACK holes).
+func (s *Sender) retransmit(seq int64) {
+	s.sendSegment(seq)
+}
+
+// sendSegment puts one data segment on the wire.
+func (s *Sender) sendSegment(seq int64) {
+	retx := seq < s.maxSent
+	if seq >= s.maxSent {
+		s.maxSent = seq + 1
+	}
+	s.stats.SegmentsSent++
+	if retx {
+		s.stats.Retransmits++
+	}
+	s.out.Send(&netem.Packet{
+		Flow:   s.flow,
+		Class:  netem.ClassData,
+		Dir:    netem.DirForward,
+		Size:   s.cfg.MSS + s.cfg.HeaderSize,
+		Seq:    seq,
+		SentAt: s.k.Now(),
+		Retx:   retx,
+	})
+}
+
+// restartRTOTimer (re)arms the retransmission timer for the current RTO,
+// stretched by the randomized-timeout defense when enabled.
+func (s *Sender) restartRTOTimer() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	rto := s.rto.RTO()
+	if s.rtoRand != nil {
+		rto = sim.Time(float64(rto) * (1 + s.cfg.RTOJitter*s.rtoRand.Float64()))
+	}
+	s.rtoTimer = s.k.AfterTicks(rto, s.handleTimeout)
+}
+
+// setCwnd assigns the window and fires the observer.
+func (s *Sender) setCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	if w > s.cfg.MaxWindow {
+		w = s.cfg.MaxWindow
+	}
+	s.cwnd = w
+	s.notifyCwnd()
+}
+
+func (s *Sender) notifyCwnd() {
+	if s.observer != nil {
+		s.observer(s.k.Now(), s.cwnd)
+	}
+}

@@ -1,0 +1,541 @@
+package tcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pulsedos/internal/sim"
+)
+
+// fastCfg is a convenient configuration for loopback tests: 100 ms RTT on a
+// fat link so the window, not the pipe, limits progress.
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.InitialSSThresh = 64
+	cfg.MaxWindow = 256
+	return cfg
+}
+
+func TestCleanTransferNoRetransmits(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.run(t, 10*time.Second)
+	st := lb.sender.Stats()
+	if st.Retransmits != 0 || st.Timeouts != 0 || st.FastRetransmits != 0 {
+		t.Errorf("clean path produced recovery events: %+v", st)
+	}
+	if lb.receiver.Expected() == 0 {
+		t.Error("no progress")
+	}
+	// Conservation: delivered bytes == in-order segments × MSS.
+	want := uint64(lb.receiver.Expected()) * uint64(fastCfg().MSS)
+	if got := lb.account.Flow(1); got != want {
+		t.Errorf("delivered %d bytes, want %d", got, want)
+	}
+	rst := lb.receiver.Stats()
+	if rst.Duplicates != 0 || rst.OutOfOrder != 0 {
+		t.Errorf("clean path saw dup/ooo: %+v", rst)
+	}
+}
+
+func TestSlowStartDoublesPerRTT(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InitialCwnd = 2
+	cfg.InitialSSThresh = 1 << 20 // stay in slow start
+	cfg.MaxWindow = 1 << 20
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond) // RTT = 100 ms
+	lb.run(t, 350*time.Millisecond)
+	// After ~3 RTTs of slow start from 2: 2 → 4 → 8 → 16.
+	got := lb.sender.Cwnd()
+	if got < 12 || got > 24 {
+		t.Errorf("cwnd after ~3 RTT of slow start = %.1f, want ~16", got)
+	}
+}
+
+func TestCongestionAvoidanceLinearGrowth(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InitialCwnd = 10
+	cfg.InitialSSThresh = 10 // start in congestion avoidance
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.run(t, 1050*time.Millisecond)
+	// ~10 RTTs of +1/RTT from 10 → ~20.
+	got := lb.sender.Cwnd()
+	if got < 17 || got > 23 {
+		t.Errorf("cwnd after ~10 RTT of congestion avoidance = %.1f, want ~20", got)
+	}
+}
+
+func TestGeneralAIMDIncrease(t *testing.T) {
+	cfg := fastCfg()
+	cfg.IncreaseA = 4
+	cfg.InitialCwnd = 10
+	cfg.InitialSSThresh = 10
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.run(t, 1050*time.Millisecond)
+	// ~10 RTTs of +4/RTT from 10 → ~50.
+	got := lb.sender.Cwnd()
+	if got < 40 || got > 60 {
+		t.Errorf("cwnd with AIMD(4,·) after ~10 RTT = %.1f, want ~50", got)
+	}
+}
+
+func TestFastRetransmitSingleLoss(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.filter.dropOnce(80)
+	lb.run(t, 10*time.Second)
+	st := lb.sender.Stats()
+	if st.FastRetransmits != 1 {
+		t.Errorf("fast retransmits = %d, want 1", st.FastRetransmits)
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0 (window large enough for dup ACKs)", st.Timeouts)
+	}
+	if st.Retransmits != 1 {
+		t.Errorf("retransmits = %d, want exactly the lost segment", st.Retransmits)
+	}
+	if lb.receiver.Expected() < 1000 {
+		t.Errorf("transfer stalled at %d", lb.receiver.Expected())
+	}
+}
+
+func TestFastRecoveryHalvesWindow(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InitialCwnd = 32
+	cfg.InitialSSThresh = 32 // congestion avoidance from the start
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.filter.dropOnce(100)
+	// The loss hits near cwnd ≈ 34 at t ≈ 0.45 s; shortly after recovery the
+	// window sits at b·W ≈ 17 plus a few +1/RTT increments.
+	lb.run(t, 1200*time.Millisecond)
+	got := lb.sender.Cwnd()
+	if got < 14 || got > 28 {
+		t.Errorf("post-recovery cwnd = %.1f, want roughly half of ~34", got)
+	}
+	if lb.sender.InRecovery() {
+		t.Error("still in recovery long after the loss")
+	}
+}
+
+func TestAIMDGeneralDecrease(t *testing.T) {
+	cfg := fastCfg()
+	cfg.DecreaseB = 0.875 // gentle TCP-friendly decrease
+	cfg.InitialCwnd = 32
+	cfg.InitialSSThresh = 32
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.filter.dropOnce(100)
+	lb.run(t, 1500*time.Millisecond)
+	// With b = 0.875 the cut is shallow: cwnd stays near 0.875·W ≈ 29+.
+	got := lb.sender.Cwnd()
+	if got < 26 {
+		t.Errorf("cwnd after AIMD(1,0.875) cut = %.1f, want >= 26", got)
+	}
+}
+
+func TestNewRenoMultipleLossesOneCut(t *testing.T) {
+	cfg := fastCfg()
+	cfg.InitialCwnd = 32
+	cfg.InitialSSThresh = 32
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	// Three losses in one window: NewReno takes one FR episode, one window
+	// cut, and retransmits each hole on a partial ACK.
+	lb.filter.dropOnce(100)
+	lb.filter.dropOnce(105)
+	lb.filter.dropOnce(110)
+	lb.run(t, 5*time.Second)
+	st := lb.sender.Stats()
+	if st.FastRetransmits != 1 {
+		t.Errorf("FR episodes = %d, want 1 (single window cut)", st.FastRetransmits)
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d, want 0", st.Timeouts)
+	}
+	if st.Retransmits != 3 {
+		t.Errorf("retransmits = %d, want 3 (one per hole)", st.Retransmits)
+	}
+	if lb.receiver.Expected() < 500 {
+		t.Errorf("transfer stalled at %d", lb.receiver.Expected())
+	}
+}
+
+func TestRenoAbortsRecoveryOnPartialAck(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Variant = Reno
+	cfg.InitialCwnd = 32
+	cfg.InitialSSThresh = 32
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.filter.dropOnce(100)
+	lb.filter.dropOnce(105)
+	lb.run(t, 10*time.Second)
+	st := lb.sender.Stats()
+	// Reno exits recovery on the partial ACK covering 100..104 and must
+	// recover segment 105 by another means (second FR is gated by the
+	// bugfix, so an RTO).
+	if st.Timeouts == 0 {
+		t.Errorf("Reno with 2 losses should need a timeout, stats: %+v", st)
+	}
+	if lb.receiver.Expected() < 200 {
+		t.Errorf("transfer stalled at %d", lb.receiver.Expected())
+	}
+}
+
+func TestTahoeCollapsesToOne(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Variant = Tahoe
+	cfg.InitialCwnd = 32
+	cfg.InitialSSThresh = 32
+	lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+	lb.filter.dropOnce(100)
+
+	var minAfterLoss = 1e9
+	seenLoss := false
+	lb.sender.Observe(func(_ sim.Time, cwnd float64) {
+		if cwnd == 1 {
+			seenLoss = true
+		}
+		if seenLoss && cwnd < minAfterLoss {
+			minAfterLoss = cwnd
+		}
+	})
+	lb.run(t, 3*time.Second)
+	if !seenLoss {
+		t.Error("Tahoe never collapsed to cwnd = 1")
+	}
+	if lb.sender.InRecovery() {
+		t.Error("Tahoe must not use the recovery state")
+	}
+	if lb.receiver.Expected() < 500 {
+		t.Errorf("transfer stalled at %d", lb.receiver.Expected())
+	}
+}
+
+func TestTimeoutWhenRetransmissionLost(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	// Drop segment 100 five times: the fast retransmit is lost too, so only
+	// an RTO can repair it.
+	lb.filter.dropTimes(100, 5)
+	lb.run(t, 20*time.Second)
+	st := lb.sender.Stats()
+	if st.Timeouts == 0 {
+		t.Errorf("no timeout despite persistent loss: %+v", st)
+	}
+	if lb.receiver.Expected() < 200 {
+		t.Errorf("transfer never repaired: expected=%d", lb.receiver.Expected())
+	}
+}
+
+func TestTimeoutCollapsesWindowToOne(t *testing.T) {
+	cfg := fastCfg()
+	lb := newLoopback(t, cfg, 100e6, 50*sim.Millisecond)
+	lb.filter.dropTimes(50, 10)
+	var sawOne bool
+	lb.sender.Observe(func(_ sim.Time, cwnd float64) {
+		if cwnd == 1 {
+			sawOne = true
+		}
+	})
+	lb.run(t, 10*time.Second)
+	if lb.sender.Stats().Timeouts == 0 {
+		t.Fatal("expected a timeout")
+	}
+	if !sawOne {
+		t.Error("timeout did not collapse cwnd to 1")
+	}
+}
+
+func TestBlackholeBacksOffExponentially(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.filter.dropAll = true
+	var timeoutTimes []float64
+	lb.run(t, 1*time.Second)
+	base := lb.sender.Stats().Timeouts
+	lb.resume(t, 30*time.Second)
+	st := lb.sender.Stats()
+	// With RTOmin = 1 s and doubling, timeouts over 31 s land near
+	// t = 1, 3, 7, 15, 31 — i.e. about 5, certainly not 30.
+	total := st.Timeouts
+	if total < base {
+		t.Fatal("timeout counter went backwards")
+	}
+	if total == 0 {
+		t.Fatal("blackhole produced no timeouts")
+	}
+	if total > 8 {
+		t.Errorf("timeouts = %d over 31 s; backoff not exponential", total)
+	}
+	_ = timeoutTimes
+}
+
+func TestSenderValidation(t *testing.T) {
+	k := sim.New()
+	if _, err := NewSender(k, Config{}, 1, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg := DefaultConfig()
+	if _, err := NewSender(k, cfg, 1, nil); err == nil {
+		t.Error("nil link accepted")
+	}
+	if _, err := NewSender(nil, cfg, 1, nil); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestSenderDoubleStart(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	if err := lb.sender.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.sender.Start(0); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestSenderStopHaltsTraffic(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.run(t, 2*time.Second)
+	lb.sender.Stop()
+	sent := lb.sender.Stats().SegmentsSent
+	lb.resume(t, 5*time.Second)
+	if got := lb.sender.Stats().SegmentsSent; got != sent {
+		t.Errorf("sender kept transmitting after Stop: %d -> %d", sent, got)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.run(t, 2*time.Second)
+	if lb.sender.Flow() != 1 || lb.receiver.Flow() != 1 {
+		t.Error("flow ids")
+	}
+	if lb.sender.SRTT() <= 0.09 || lb.sender.SRTT() > 0.3 {
+		t.Errorf("SRTT = %g, want ~0.1", lb.sender.SRTT())
+	}
+	if lb.sender.SSThresh() <= 0 {
+		t.Error("ssthresh accessor")
+	}
+	if lb.sender.Stats().RTTSamples == 0 {
+		t.Error("no RTT samples on a clean path")
+	}
+}
+
+func TestRTOJitterStretchesTimeouts(t *testing.T) {
+	// Against a blackhole, the first retransmission timeout of a jittered
+	// sender fires later than the deterministic 1 s floor (stretched by up
+	// to RTOJitter), while an unjittered sender fires at ~1 s + handshake
+	// RTT effects.
+	firstTimeout := func(jitter float64) float64 {
+		cfg := fastCfg()
+		cfg.RTOJitter = jitter
+		lb := newLoopback(t, cfg, 100e6, 50*sim.Millisecond)
+		lb.filter.dropAll = true
+		lb.run(t, 10*time.Second)
+		st := lb.sender.Stats()
+		if st.Timeouts == 0 {
+			t.Fatal("no timeout against a blackhole")
+		}
+		return float64(st.Timeouts)
+	}
+	// Over 10 s with doubling from 1 s: unjittered fires at 1, 3, 7 s → 3
+	// timeouts (next at 15 s). Jitter = 1.0 stretches each interval by up
+	// to 2×, so the jittered count can only be <= the unjittered one.
+	plain := firstTimeout(0)
+	jittered := firstTimeout(1.0)
+	if jittered > plain {
+		t.Errorf("jittered sender timed out more often (%v) than plain (%v)", jittered, plain)
+	}
+}
+
+func TestRTOJitterDeterministicPerFlow(t *testing.T) {
+	cfg := fastCfg()
+	cfg.RTOJitter = 0.5
+	run := func() uint64 {
+		lb := newLoopback(t, cfg, 100e6, 50*sim.Millisecond)
+		lb.filter.dropAll = true
+		lb.run(t, 20*time.Second)
+		return lb.sender.Stats().Timeouts
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("jittered runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestRTOJitterValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RTOJitter = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	cfg.RTOJitter = 5
+	if err := cfg.Validate(); err == nil {
+		t.Error("excessive jitter accepted")
+	}
+	cfg.RTOJitter = 0.5
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid jitter rejected: %v", err)
+	}
+}
+
+func TestFiniteTransferCompletes(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.sender.LimitSegments(100)
+	var completedAt sim.Time
+	lb.sender.OnComplete(func(now sim.Time) { completedAt = now })
+	lb.run(t, 10*time.Second)
+	if !lb.sender.Done() {
+		t.Fatal("finite transfer never completed")
+	}
+	if completedAt == 0 {
+		t.Fatal("completion callback never fired")
+	}
+	if lb.receiver.Expected() != 100 {
+		t.Errorf("receiver got %d segments, want exactly 100", lb.receiver.Expected())
+	}
+	st := lb.sender.Stats()
+	if st.SegmentsSent != 100 {
+		t.Errorf("sent %d segments, want exactly 100 (no spurious retx)", st.SegmentsSent)
+	}
+	// After completion the sender stays quiet.
+	sent := st.SegmentsSent
+	lb.resume(t, 10*time.Second)
+	if lb.sender.Stats().SegmentsSent != sent {
+		t.Error("sender transmitted after completion")
+	}
+}
+
+func TestFiniteTransferSurvivesLoss(t *testing.T) {
+	lb := newLoopback(t, fastCfg(), 100e6, 50*sim.Millisecond)
+	lb.sender.LimitSegments(50)
+	lb.filter.dropOnce(49) // lose the last segment once
+	lb.filter.dropOnce(20)
+	lb.run(t, 30*time.Second)
+	if !lb.sender.Done() {
+		t.Fatalf("transfer with losses never completed: expected=%d stats=%+v",
+			lb.receiver.Expected(), lb.sender.Stats())
+	}
+	if lb.receiver.Expected() != 50 {
+		t.Errorf("receiver at %d, want 50", lb.receiver.Expected())
+	}
+}
+
+func TestFiniteTransferCompletionTimeScalesWithRTT(t *testing.T) {
+	fct := func(owd sim.Time) float64 {
+		lb := newLoopback(t, fastCfg(), 1e9, owd)
+		lb.sender.LimitSegments(64)
+		var at sim.Time
+		lb.sender.OnComplete(func(now sim.Time) { at = now })
+		lb.run(t, 30*time.Second)
+		if at == 0 {
+			t.Fatal("no completion")
+		}
+		return at.Seconds()
+	}
+	short := fct(10 * sim.Millisecond)
+	long := fct(100 * sim.Millisecond)
+	if long <= short {
+		t.Errorf("FCT did not grow with RTT: %.3fs vs %.3fs", short, long)
+	}
+}
+
+// TestRandomLossLiveness is the stack's end-to-end robustness property: for
+// any random pattern of single-segment losses (up to heavy loss rates), the
+// connection keeps making progress and conserves in-order delivery.
+func TestRandomLossLiveness(t *testing.T) {
+	property := func(seed int64, lossPctRaw uint8) bool {
+		lossPct := int(lossPctRaw % 16) // up to 15% loss
+		cfg := fastCfg()
+		lb := newLoopback(t, cfg, 100e6, 20*sim.Millisecond)
+		rnd := rand.New(rand.NewSource(seed))
+		// Pre-schedule random drops across the first 2000 segments.
+		for seq := int64(0); seq < 2000; seq++ {
+			if rnd.Intn(100) < lossPct {
+				lb.filter.dropOnce(seq)
+			}
+		}
+		lb.run(t, 60*time.Second)
+		// Liveness: even at 15% loss — where recovery is mostly backed-off
+		// RTOs — the connection must keep crawling forward.
+		if lb.receiver.Expected() < 500 {
+			return false
+		}
+		// Conservation: delivered bytes equal in-order segments × MSS.
+		return lb.account.Flow(1) == uint64(lb.receiver.Expected())*uint64(cfg.MSS)
+	}
+	qcfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(83))}
+	if err := quick.Check(property, qcfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimitedTransmitRescuesSmallWindows(t *testing.T) {
+	// A window of 3 segments cannot produce 3 dup ACKs after one loss (only
+	// 2 segments remain in flight); RFC 3042's extra transmissions supply
+	// the missing dup ACK and avoid the RTO.
+	run := func(limited bool) SenderStats {
+		cfg := fastCfg()
+		cfg.InitialCwnd = 3
+		cfg.InitialSSThresh = 3 // hold the window small
+		cfg.MaxWindow = 3
+		cfg.LimitedTransmit = limited
+		lb := newLoopback(t, cfg, 100e6, 50*sim.Millisecond)
+		lb.filter.dropOnce(40)
+		lb.run(t, 15*time.Second)
+		return lb.sender.Stats()
+	}
+	plain := run(false)
+	lt := run(true)
+	if plain.Timeouts == 0 {
+		t.Fatalf("small window without LT should RTO on a single loss: %+v", plain)
+	}
+	if lt.Timeouts >= plain.Timeouts {
+		t.Errorf("limited transmit did not avoid timeouts: %d vs %d", lt.Timeouts, plain.Timeouts)
+	}
+	if lt.FastRetransmits == 0 {
+		t.Errorf("limited transmit should enable fast retransmit: %+v", lt)
+	}
+}
+
+func TestDelayedAckHalvesGrowthRate(t *testing.T) {
+	// With d = 2 the receiver ACKs every other segment; openWindow credits
+	// both covered segments, so congestion-avoidance growth stays ≈ a per
+	// RTT — but slow start, which grows per ACK in ns-2 style, is slower.
+	// Assert the congestion-avoidance rate is preserved (the property Eq. 1
+	// depends on via the d divisor appearing only through the ACK clock).
+	grow := func(d int) float64 {
+		cfg := fastCfg()
+		cfg.AckEvery = d
+		cfg.InitialCwnd = 10
+		cfg.InitialSSThresh = 10
+		lb := newLoopback(t, cfg, 1e9, 50*sim.Millisecond)
+		lb.run(t, 1050*time.Millisecond)
+		return lb.sender.Cwnd()
+	}
+	d1 := grow(1)
+	d2 := grow(2)
+	if d2 > d1 {
+		t.Errorf("d=2 grew faster than d=1: %.1f vs %.1f", d2, d1)
+	}
+	if d2 < 15 {
+		t.Errorf("d=2 congestion avoidance stalled: cwnd %.1f after ~10 RTT from 10", d2)
+	}
+}
+
+func TestDelayedAckReducesAckTraffic(t *testing.T) {
+	count := func(d int) (acks, segs uint64) {
+		cfg := fastCfg()
+		cfg.AckEvery = d
+		lb := newLoopback(t, cfg, 100e6, 50*sim.Millisecond)
+		lb.run(t, 5*time.Second)
+		st := lb.sender.Stats()
+		return st.AcksReceived, st.SegmentsSent
+	}
+	acks1, segs1 := count(1)
+	acks2, segs2 := count(2)
+	r1 := float64(acks1) / float64(segs1)
+	r2 := float64(acks2) / float64(segs2)
+	if r1 < 0.95 {
+		t.Errorf("d=1 ack ratio = %.2f, want ~1", r1)
+	}
+	if r2 > 0.65 || r2 < 0.4 {
+		t.Errorf("d=2 ack ratio = %.2f, want ~0.5", r2)
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+)
+
+// EventKind is the packet event recorded by an EventTrace.
+type EventKind byte
+
+// Event kinds, using ns-2 trace-file mnemonics: '+' enqueue, 'd' drop,
+// '-' dequeue (transmission complete).
+const (
+	EventEnqueue EventKind = '+'
+	EventDrop    EventKind = 'd'
+	EventDequeue EventKind = '-'
+)
+
+// Event is one packet-level record.
+type Event struct {
+	At    sim.Time
+	Kind  EventKind
+	Link  string
+	Flow  int
+	Class netem.Class
+	Seq   int64
+	Size  int
+}
+
+// Format renders the event as one ns-2-style trace line:
+//
+//	<kind> <time> <link> <class> <flow> <seq> <size>
+//
+// e.g. "+ 1.234567 bottleneck-fwd data 3 1024 1040".
+func (e Event) Format() string {
+	var b strings.Builder
+	b.WriteByte(byte(e.Kind))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(e.At.Seconds(), 'f', 6, 64))
+	b.WriteByte(' ')
+	b.WriteString(e.Link)
+	b.WriteByte(' ')
+	b.WriteString(e.Class.String())
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(e.Flow))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(e.Seq, 10))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(e.Size))
+	return b.String()
+}
+
+// EventTrace records packet events on a link in ns-2 trace-file style,
+// either buffered in memory, streamed to a writer, or both. It implements
+// netem.Tap.
+type EventTrace struct {
+	link   string
+	w      io.Writer // nil = memory only
+	buffer bool
+	events []Event
+	errs   int
+	start  sim.Time
+	limit  int // max buffered events; 0 = unlimited
+}
+
+var _ netem.Tap = (*EventTrace)(nil)
+
+// NewEventTrace creates a trace for the named link. w may be nil to buffer
+// in memory only; buffer=false with a writer streams without retaining.
+func NewEventTrace(link string, w io.Writer, buffer bool) *EventTrace {
+	return &EventTrace{link: link, w: w, buffer: buffer || w == nil}
+}
+
+// SetStart discards events before t.
+func (et *EventTrace) SetStart(t sim.Time) { et.start = t }
+
+// SetLimit bounds the in-memory buffer; once full, older events are kept and
+// new ones are counted but not retained (streaming to w is unaffected).
+func (et *EventTrace) SetLimit(n int) { et.limit = n }
+
+// Events returns the buffered events (not a copy of the packets, which are
+// owned by the simulator).
+func (et *EventTrace) Events() []Event {
+	out := make([]Event, len(et.events))
+	copy(out, et.events)
+	return out
+}
+
+// WriteErrors reports how many stream writes failed (the trace keeps going).
+func (et *EventTrace) WriteErrors() int { return et.errs }
+
+// OnArrive implements netem.Tap.
+func (et *EventTrace) OnArrive(p *netem.Packet, now sim.Time) {
+	et.record(EventEnqueue, p, now)
+}
+
+// OnDrop implements netem.Tap.
+func (et *EventTrace) OnDrop(p *netem.Packet, now sim.Time) {
+	et.record(EventDrop, p, now)
+}
+
+// OnDepart implements netem.Tap.
+func (et *EventTrace) OnDepart(p *netem.Packet, now sim.Time) {
+	et.record(EventDequeue, p, now)
+}
+
+func (et *EventTrace) record(kind EventKind, p *netem.Packet, now sim.Time) {
+	if now < et.start {
+		return
+	}
+	ev := Event{
+		At:    now,
+		Kind:  kind,
+		Link:  et.link,
+		Flow:  p.Flow,
+		Class: p.Class,
+		Seq:   p.Seq,
+		Size:  p.Size,
+	}
+	if et.w != nil {
+		if _, err := io.WriteString(et.w, ev.Format()+"\n"); err != nil {
+			et.errs++
+		}
+	}
+	if et.buffer && (et.limit == 0 || len(et.events) < et.limit) {
+		et.events = append(et.events, ev)
+	}
+}
+
+// Summary aggregates a trace into per-class enqueue/drop/dequeue counts.
+func (et *EventTrace) Summary() map[netem.Class]map[EventKind]int {
+	out := make(map[netem.Class]map[EventKind]int, 3)
+	for _, ev := range et.events {
+		if out[ev.Class] == nil {
+			out[ev.Class] = make(map[EventKind]int, 3)
+		}
+		out[ev.Class][ev.Kind]++
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a compact per-class summary.
+func (et *EventTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace[%s] %d events", et.link, len(et.events))
+	return b.String()
+}

@@ -1,0 +1,193 @@
+// Package workload provides arrival processes and flow-size distributions
+// for traffic generation: Poisson and periodic arrivals, fixed, Pareto
+// (heavy-tailed, the classic web-flow model), and lognormal sizes. The
+// mice-vs-elephants study draws from it, and scenarios can compose their own
+// workloads against the public API.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// Arrivals produces a monotone sequence of arrival instants.
+type Arrivals interface {
+	// Next returns the instant of the next arrival strictly after the
+	// previous one.
+	Next() sim.Time
+}
+
+// Poisson is a memoryless arrival process with the given mean rate.
+type Poisson struct {
+	mean sim.Time // mean inter-arrival
+	now  sim.Time
+	rand *rng.Source
+}
+
+var _ Arrivals = (*Poisson)(nil)
+
+// NewPoisson builds a Poisson process with ratePerSec arrivals per second,
+// starting at the given origin.
+func NewPoisson(ratePerSec float64, origin sim.Time, rand *rng.Source) (*Poisson, error) {
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %g", ratePerSec)
+	}
+	if rand == nil {
+		return nil, errors.New("workload: nil random source")
+	}
+	return &Poisson{
+		mean: sim.FromSeconds(1 / ratePerSec),
+		now:  origin,
+		rand: rand,
+	}, nil
+}
+
+// Next implements Arrivals.
+func (p *Poisson) Next() sim.Time {
+	gap := sim.Time(float64(p.mean) * p.rand.ExpFloat64())
+	if gap < 1 {
+		gap = 1
+	}
+	p.now += gap
+	return p.now
+}
+
+// Periodic is a fixed-interval arrival process (deterministic load).
+type Periodic struct {
+	interval sim.Time
+	now      sim.Time
+}
+
+var _ Arrivals = (*Periodic)(nil)
+
+// NewPeriodic builds a fixed-interval process starting at origin.
+func NewPeriodic(interval sim.Time, origin sim.Time) (*Periodic, error) {
+	if interval <= 0 {
+		return nil, errors.New("workload: interval must be positive")
+	}
+	return &Periodic{interval: interval, now: origin}, nil
+}
+
+// Next implements Arrivals.
+func (p *Periodic) Next() sim.Time {
+	p.now += p.interval
+	return p.now
+}
+
+// Sizes produces flow sizes in segments.
+type Sizes interface {
+	// Next returns the next flow's size in segments (>= 1).
+	Next() int64
+}
+
+// Fixed always returns the same size.
+type Fixed struct{ Segments int64 }
+
+var _ Sizes = (*Fixed)(nil)
+
+// Next implements Sizes.
+func (f *Fixed) Next() int64 {
+	if f.Segments < 1 {
+		return 1
+	}
+	return f.Segments
+}
+
+// Pareto draws from a bounded Pareto distribution with shape alpha and the
+// given minimum — the heavy-tailed model of web transfer sizes (most flows
+// are mice, a few are elephants).
+type Pareto struct {
+	alpha float64
+	min   float64
+	max   float64
+	rand  *rng.Source
+}
+
+var _ Sizes = (*Pareto)(nil)
+
+// NewPareto builds a bounded Pareto size distribution in segments.
+func NewPareto(alpha float64, minSeg, maxSeg int64, rand *rng.Source) (*Pareto, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("workload: Pareto shape must be positive, got %g", alpha)
+	}
+	if minSeg < 1 || maxSeg < minSeg {
+		return nil, fmt.Errorf("workload: bad Pareto bounds [%d, %d]", minSeg, maxSeg)
+	}
+	if rand == nil {
+		return nil, errors.New("workload: nil random source")
+	}
+	return &Pareto{alpha: alpha, min: float64(minSeg), max: float64(maxSeg), rand: rand}, nil
+}
+
+// Next implements Sizes via inverse-transform sampling of the bounded
+// Pareto CDF.
+func (p *Pareto) Next() int64 {
+	u := p.rand.Float64()
+	la, ha := math.Pow(p.min, p.alpha), math.Pow(p.max, p.alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.alpha)
+	if x < p.min {
+		x = p.min
+	}
+	if x > p.max {
+		x = p.max
+	}
+	return int64(x)
+}
+
+// Lognormal draws sizes whose logarithm is normal with the given parameters
+// (mu, sigma in log-segment space), clamped to >= 1 segment.
+type Lognormal struct {
+	mu    float64
+	sigma float64
+	rand  *rng.Source
+}
+
+var _ Sizes = (*Lognormal)(nil)
+
+// NewLognormal builds a lognormal size distribution.
+func NewLognormal(mu, sigma float64, rand *rng.Source) (*Lognormal, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("workload: lognormal sigma must be positive, got %g", sigma)
+	}
+	if rand == nil {
+		return nil, errors.New("workload: nil random source")
+	}
+	return &Lognormal{mu: mu, sigma: sigma, rand: rand}, nil
+}
+
+// Next implements Sizes.
+func (l *Lognormal) Next() int64 {
+	x := math.Exp(l.mu + l.sigma*l.rand.NormFloat64())
+	if x < 1 {
+		return 1
+	}
+	if x > 1<<20 {
+		return 1 << 20
+	}
+	return int64(x)
+}
+
+// Plan materializes a workload: n flows with arrival instants and sizes.
+type Flow struct {
+	At       sim.Time
+	Segments int64
+}
+
+// Generate draws n flows from the given processes, in arrival order.
+func Generate(n int, arrivals Arrivals, sizes Sizes) ([]Flow, error) {
+	if n < 1 {
+		return nil, errors.New("workload: need at least one flow")
+	}
+	if arrivals == nil || sizes == nil {
+		return nil, errors.New("workload: nil process")
+	}
+	out := make([]Flow, n)
+	for i := range out {
+		out[i] = Flow{At: arrivals.Next(), Segments: sizes.Next()}
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	p, err := NewPoisson(10, 0, rng.New(1)) // 10 arrivals/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		now := p.Next()
+		if now <= last {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		last = now
+	}
+	rate := float64(n) / last.Seconds()
+	if math.Abs(rate-10)/10 > 0.05 {
+		t.Errorf("empirical rate = %.2f/s, want ~10", rate)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	if _, err := NewPoisson(0, 0, rng.New(1)); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoisson(1, 0, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	p, err := NewPeriodic(sim.Second, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := p.Next(); got != 5*sim.Second+sim.Time(i)*sim.Second {
+			t.Errorf("arrival %d = %v", i, got)
+		}
+	}
+	if _, err := NewPeriodic(0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestFixedSizes(t *testing.T) {
+	f := &Fixed{Segments: 30}
+	if f.Next() != 30 {
+		t.Error("fixed size")
+	}
+	zero := &Fixed{}
+	if zero.Next() != 1 {
+		t.Error("zero size should clamp to 1")
+	}
+}
+
+func TestParetoBoundsAndTail(t *testing.T) {
+	p, err := NewPareto(1.2, 10, 10000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	small, huge := 0, 0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := p.Next()
+		if v < 10 || v > 10000 {
+			t.Fatalf("sample %d outside bounds", v)
+		}
+		if v < 30 {
+			small++
+		}
+		if v > 1000 {
+			huge++
+		}
+		sum += float64(v)
+	}
+	// Heavy tail: most flows are mice, but elephants exist and carry weight.
+	if frac := float64(small) / n; frac < 0.5 {
+		t.Errorf("mice fraction = %.2f, want majority", frac)
+	}
+	if huge == 0 {
+		t.Error("no elephants in 50k draws")
+	}
+	mean := sum / n
+	if mean < 20 || mean > 500 {
+		t.Errorf("mean size = %.1f segments, implausible for alpha=1.2", mean)
+	}
+}
+
+func TestParetoValidation(t *testing.T) {
+	if _, err := NewPareto(0, 10, 100, rng.New(1)); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := NewPareto(1.2, 0, 100, rng.New(1)); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewPareto(1.2, 100, 10, rng.New(1)); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewPareto(1.2, 10, 100, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}
+
+func TestLognormalMoments(t *testing.T) {
+	// mu = ln(50), sigma = 0.5: median ≈ 50 segments.
+	l, err := NewLognormal(math.Log(50), 0.5, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	below := 0
+	for i := 0; i < n; i++ {
+		v := l.Next()
+		if v < 1 {
+			t.Fatalf("size %d below 1", v)
+		}
+		if v < 50 {
+			below++
+		}
+	}
+	if frac := float64(below) / n; math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("median check: %.3f below 50, want ~0.5", frac)
+	}
+	if _, err := NewLognormal(1, 0, rng.New(1)); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, err := NewLognormal(1, 1, nil); err == nil {
+		t.Error("nil rand accepted")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	arr, err := NewPeriodic(sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := Generate(5, arr, &Fixed{Segments: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 5 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	for i, f := range flows {
+		if f.At != sim.Time(i+1)*sim.Second || f.Segments != 30 {
+			t.Errorf("flow %d = %+v", i, f)
+		}
+	}
+	if _, err := Generate(0, arr, &Fixed{Segments: 1}); err == nil {
+		t.Error("zero flows accepted")
+	}
+	if _, err := Generate(1, nil, &Fixed{Segments: 1}); err == nil {
+		t.Error("nil arrivals accepted")
+	}
+	if _, err := Generate(1, arr, nil); err == nil {
+		t.Error("nil sizes accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package pulsedos
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestFacadePlanAndValidate exercises the package's headline workflow end to
+// end: describe victims, plan the optimal attack, validate in simulation.
+func TestFacadePlanAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	cfg := DefaultDumbbellConfig(10)
+	env, err := BuildDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := env.ModelParams()
+	extent := 75 * time.Millisecond
+	plan, err := PlanAttack(params, extent.Seconds(), 35e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Gamma <= 0 || plan.Gamma >= 1 || plan.Period <= extent.Seconds() {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	base, err := Run(env, RunOptions{Warmup: 5 * time.Second, Measure: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := time.Duration(plan.Period * float64(time.Second))
+	train, err := AIMDTrain(extent, 35e6, period, int(10*time.Second/period)+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacked, err := BuildDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(attacked, RunOptions{
+		Warmup:  5 * time.Second,
+		Measure: 10 * time.Second,
+		Train:   &train,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := 1 - float64(res.Delivered)/float64(base.Delivered)
+	if deg < 0.1 {
+		t.Errorf("planned attack degraded only %.3f", deg)
+	}
+}
+
+func TestFacadeModelHelpers(t *testing.T) {
+	aimd := TCPAIMD()
+	if aimd.A != 1 || aimd.B != 0.5 {
+		t.Errorf("TCPAIMD = %+v", aimd)
+	}
+	if got := Degradation(0.25, 0.5); got != 0.5 {
+		t.Errorf("Degradation = %g", got)
+	}
+	if got := RiskFactor(0.5, 2); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("RiskFactor = %g", got)
+	}
+	if got := Gain(0.25, 0.5, 1); got != 0.25 {
+		t.Errorf("Gain = %g", got)
+	}
+	if ClassifyRisk(0.5) != RiskLoving || ClassifyRisk(1) != RiskNeutral || ClassifyRisk(3) != RiskAverse {
+		t.Error("risk classification")
+	}
+	gStar, err := OptimalGamma(0.04, 1)
+	if err != nil || math.Abs(gStar-0.2) > 1e-12 {
+		t.Errorf("OptimalGamma = %g, %v", gStar, err)
+	}
+}
+
+func TestFacadeTrains(t *testing.T) {
+	tr := UniformTrain(50*time.Millisecond, 40e6, 450*time.Millisecond, 10)
+	if len(tr.Pulses) != 10 {
+		t.Errorf("uniform pulses = %d", len(tr.Pulses))
+	}
+	if _, err := AIMDTrain(100*time.Millisecond, 40e6, 50*time.Millisecond, 10); err == nil {
+		t.Error("bad AIMD train accepted")
+	}
+	st, err := ShrewTrain(50*time.Millisecond, 40e6, time.Second, 2, 5)
+	if err != nil || st.Pulses[0].Period().Seconds() != 0.5 {
+		t.Errorf("shrew train: %v", err)
+	}
+	fl := FloodTrain(40e6, time.Second)
+	if len(fl.Pulses) != 1 {
+		t.Error("flood train")
+	}
+	jt, err := JitteredTrain(50*time.Millisecond, 40e6, 450*time.Millisecond, 10, 0.2, 1)
+	if err != nil || len(jt.Pulses) != 10 {
+		t.Errorf("jittered train: %v", err)
+	}
+	if PeriodForGamma(0.5, 35e6, 75*time.Millisecond, 15e6) != 350*time.Millisecond {
+		t.Error("PeriodForGamma")
+	}
+}
+
+func TestFacadeGrids(t *testing.T) {
+	full := DefaultGammaGrid()
+	if len(full) < 15 {
+		t.Errorf("default grid = %d points", len(full))
+	}
+	coarse := CoarseGammaGrid()
+	if len(coarse) != 5 {
+		t.Errorf("coarse grid = %d points", len(coarse))
+	}
+	for _, g := range append(full, coarse...) {
+		if g <= 0 || g >= 1 {
+			t.Errorf("grid point %g out of range", g)
+		}
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	out, err := PAA([]float64{1, 1, 3, 3}, 2)
+	if err != nil || len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Errorf("PAA = %v, %v", out, err)
+	}
+	curves := RiskCurves([]float64{1}, 10)
+	if len(curves) != 1 || len(curves[0].Points) != 11 {
+		t.Error("RiskCurves")
+	}
+}
+
+func TestFacadeDetectors(t *testing.T) {
+	if _, err := NewThresholdDetector(1e6, 0.9, 10); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewCUSUMDetector(50, 0.5, 5); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewDTWDetector(40, 0.1, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewThresholdDetector(0, 0.9, 10); err == nil {
+		t.Error("bad detector accepted")
+	}
+}
