@@ -1,0 +1,32 @@
+# Developer entry points. `make` with no target builds everything.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench-smoke runs the hot-path micro-benchmarks once — enough to catch an
+# allocation or throughput regression without the full figure benches.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelEvents|BenchmarkLinkDropTail|BenchmarkLinkRED|BenchmarkREDEnqueue|BenchmarkTCPLoopbackSecond' -benchtime 1s .
+
+# figures regenerates the quick-scale figure set with the hot-path benchmark
+# report alongside.
+figures:
+	$(GO) run ./cmd/pdos-bench -scale quick -out results -parallel 4 -bench-json results/BENCH_1.json
+
+clean:
+	rm -rf results

@@ -1,0 +1,51 @@
+package pulsedos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pulsedos/internal/experiments"
+)
+
+// TestTCPFlowAllocRegression guards the per-packet allocation budget of a
+// full TCP flow through the dumbbell. Before the kernel/packet overhaul the
+// simulator allocated ~6 heap objects per forwarded packet (packet literal,
+// two events, two timers, closures); with the event free list and packet
+// pool the steady state is well under one.
+func TestTCPFlowAllocRegression(t *testing.T) {
+	cfg := experiments.DefaultDumbbellConfig(1)
+	cfg.RTTMin = 100 * time.Millisecond
+	cfg.RTTMax = 100 * time.Millisecond
+	d, err := experiments.BuildDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartFlows(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: slow start, pool and free-list growth.
+	if err := d.Kernel.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	arrivals0 := d.Bottle.Stats().Arrivals
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := d.Kernel.RunFor(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	packets := d.Bottle.Stats().Arrivals - arrivals0
+	if packets == 0 {
+		t.Fatal("no packets crossed the bottleneck")
+	}
+	allocs := float64(m1.Mallocs - m0.Mallocs)
+	perPacket := allocs / float64(packets)
+	t.Logf("%d packets, %.0f allocs, %.3f allocs/packet", packets, allocs, perPacket)
+	if perPacket > 1.0 {
+		t.Errorf("steady-state TCP flow allocates %.2f objects/packet, want < 1", perPacket)
+	}
+}

@@ -425,6 +425,7 @@ func BenchmarkKernelEvents(b *testing.B) {
 			k.AfterTicks(sim.Microsecond, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.AfterTicks(sim.Microsecond, tick)
 	if err := k.Run(); err != nil {
@@ -436,6 +437,7 @@ func BenchmarkKernelEvents(b *testing.B) {
 func BenchmarkREDEnqueue(b *testing.B) {
 	q := netem.NewRED(netem.DefaultREDConfig(400), rng.New(1), 15e6)
 	p := &netem.Packet{Flow: 1, Class: netem.ClassData, Size: 1040}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now := sim.Time(i) * sim.Microsecond
@@ -443,6 +445,52 @@ func BenchmarkREDEnqueue(b *testing.B) {
 			q.Dequeue(now)
 		}
 	}
+}
+
+// benchLinkForward measures the pooled per-packet forwarding path — pool
+// get, queue admit, transmit, propagate, deliver, release — through a
+// saturated link.
+func benchLinkForward(b *testing.B, q netem.Queue) {
+	k := sim.New()
+	sink := &netem.Sink{}
+	link, err := netem.NewLink(k, "bench", 1e9, sim.Microsecond, q, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	link.SetPool(netem.NewPacketPool())
+	tx := link.TxTime(1000)
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= b.N {
+			return
+		}
+		sent++
+		p := link.NewPacket()
+		p.Flow = 1
+		p.Class = netem.ClassData
+		p.Dir = netem.DirForward
+		p.Size = 1000
+		link.Send(p)
+		k.AfterTicks(tx, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AfterTicks(0, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLinkDropTail measures per-packet forwarding through a drop-tail
+// link.
+func BenchmarkLinkDropTail(b *testing.B) {
+	benchLinkForward(b, netem.NewDropTail(64))
+}
+
+// BenchmarkLinkRED measures per-packet forwarding through a RED link.
+func BenchmarkLinkRED(b *testing.B) {
+	benchLinkForward(b, netem.NewRED(netem.DefaultREDConfig(64), rng.New(1), 1e9))
 }
 
 // BenchmarkDTWDistance measures the O(n·m) dynamic-time-warping kernel.
@@ -476,6 +524,7 @@ func BenchmarkPAA(b *testing.B) {
 // BenchmarkTCPLoopbackSecond measures simulating one virtual second of a
 // saturated TCP connection through the dumbbell.
 func BenchmarkTCPLoopbackSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultDumbbellConfig(1)
 		cfg.RTTMin = 100 * time.Millisecond

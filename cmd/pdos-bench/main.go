@@ -2,12 +2,17 @@
 // evaluation (§4): Figs. 1–4, 6–10, and 12 plus the Proposition 3
 // cross-validation, the design ablations, and the extension studies. Series
 // are written as CSV files into -out, with an optional single-page SVG
-// report (-html); summary notes are printed to stdout.
+// report (-html); summary notes are printed to stdout. Figures fan out
+// across -parallel workers (each on a private kernel, so the CSVs are
+// byte-identical to a sequential run). With -bench-json the command also
+// measures the simulator's hot paths and writes a machine-readable
+// benchmark report (ns/op, allocs/op, events/sec, peak gain per figure).
 //
 // Example:
 //
 //	pdos-bench -scale quick -out results/ -html
-//	pdos-bench -scale full -figures fig6,fig12
+//	pdos-bench -scale full -figures fig6,fig12 -parallel 8
+//	pdos-bench -scale quick -bench-json results/BENCH_1.json
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"pulsedos/internal/experiments"
+	"pulsedos/internal/perf"
 	"pulsedos/internal/report"
 )
 
@@ -29,38 +35,10 @@ func main() {
 	}
 }
 
-// builders maps figure ids to their regeneration functions, in paper order.
-func builders() []struct {
-	id    string
-	build func(experiments.Scale) (*experiments.FigureResult, error)
-} {
-	return []struct {
-		id    string
-		build func(experiments.Scale) (*experiments.FigureResult, error)
-	}{
-		{"fig1", experiments.Figure1},
-		{"fig2", experiments.Figure2},
-		{"fig3a", experiments.Figure3a},
-		{"fig3b", experiments.Figure3b},
-		{"fig4", experiments.Figure4},
-		{"fig6", experiments.Figure6},
-		{"fig7", experiments.Figure7},
-		{"fig8", experiments.Figure8},
-		{"fig9", experiments.Figure9},
-		{"fig10", experiments.Figure10},
-		{"fig12", experiments.Figure12},
-		{"prop3", func(experiments.Scale) (*experiments.FigureResult, error) {
-			return experiments.OptimalityCheck()
-		}},
-		{"ablation-aqm", experiments.AblationREDvsDropTail},
-		{"ablation-dack", experiments.AblationDelayedACK},
-		{"ablation-aimd", experiments.AblationAIMD},
-		{"ablation-pktsize", experiments.AblationAttackPacketSize},
-		{"ext-defense", experiments.DefenseFigure},
-		{"ext-mice", experiments.MiceFigure},
-		{"ext-maximization", experiments.MaximizationFigure},
-		{"ext-sensitivity", experiments.SensitivityFigure},
-	}
+// jobs returns every regenerable figure in paper order: the paper's own
+// plots first, then the ablations and extension studies.
+func jobs() []experiments.FigureJob {
+	return append(experiments.PaperFigures(), experiments.ExtendedFigures()...)
 }
 
 func run(args []string) error {
@@ -70,6 +48,8 @@ func run(args []string) error {
 		out       = fs.String("out", "results", "output directory for CSV series")
 		only      = fs.String("figures", "", "comma-separated figure ids (default: all)")
 		htmlOut   = fs.Bool("html", false, "also write <out>/index.html with SVG charts")
+		parallel  = fs.Int("parallel", 1, "figure-level worker count (1 = sequential)")
+		benchJSON = fs.String("bench-json", "", "write a hot-path benchmark report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,24 +66,40 @@ func run(args []string) error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
+	// Open the report file up front: an unwritable path should fail before
+	// the figures and hot-path benches spend minutes of work.
+	var benchOut *os.File
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return err
+		}
+		benchOut = f
+		defer benchOut.Close()
+	}
 	wanted := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
 			wanted[strings.TrimSpace(id)] = true
 		}
 	}
+	selected := jobs()
+	if len(wanted) > 0 {
+		kept := selected[:0]
+		for _, j := range selected {
+			if wanted[j.ID] {
+				kept = append(kept, j)
+			}
+		}
+		selected = kept
+	}
 
-	var generated []*experiments.FigureResult
-	for _, b := range builders() {
-		if len(wanted) > 0 && !wanted[b.id] {
-			continue
-		}
-		start := time.Now()
-		fig, err := b.build(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", b.id, err)
-		}
-		generated = append(generated, fig)
+	start := time.Now()
+	generated, err := experiments.RunFigureJobs(selected, scale, *parallel)
+	if err != nil {
+		return err
+	}
+	for _, fig := range generated {
 		path := filepath.Join(*out, fig.ID+".csv")
 		f, err := os.Create(path)
 		if err != nil {
@@ -117,11 +113,13 @@ func run(args []string) error {
 		if closeErr != nil {
 			return closeErr
 		}
-		fmt.Printf("== %s: %s (%.1fs) -> %s\n", fig.ID, fig.Title, time.Since(start).Seconds(), path)
+		fmt.Printf("== %s: %s -> %s\n", fig.ID, fig.Title, path)
 		for _, n := range fig.Notes {
 			fmt.Printf("   %s\n", n)
 		}
 	}
+	fmt.Printf("== %d figures in %.1fs (parallel=%d)\n", len(generated), time.Since(start).Seconds(), *parallel)
+
 	if *htmlOut {
 		path := filepath.Join(*out, "index.html")
 		f, err := os.Create(path)
@@ -137,6 +135,32 @@ func run(args []string) error {
 			return closeErr
 		}
 		fmt.Printf("== report -> %s\n", path)
+	}
+
+	if benchOut != nil {
+		fmt.Println("== measuring hot paths (this takes a minute)...")
+		results := perf.RunHotPaths()
+		peaks := make([]perf.FigurePeak, 0, len(generated))
+		for _, fig := range generated {
+			peaks = append(peaks, perf.PeakOf(fig))
+		}
+		rep := perf.NewReport(results, peaks)
+		writeErr := perf.WriteJSON(benchOut, rep)
+		closeErr := benchOut.Close()
+		if writeErr != nil {
+			return writeErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		for _, r := range rep.Benchmarks {
+			fmt.Printf("   %-20s %12.1f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+			if r.BaselineNsPerOp > 0 {
+				fmt.Printf("   (%+.1f%% vs baseline %0.1f ns/op)", r.SpeedupPct, r.BaselineNsPerOp)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("== bench report -> %s\n", *benchJSON)
 	}
 	return nil
 }

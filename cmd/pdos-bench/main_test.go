@@ -45,11 +45,11 @@ func TestBuildersCoverAllFigures(t *testing.T) {
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"fig12": true, "prop3": true,
 	}
-	for _, b := range builders() {
-		delete(want, b.id)
+	for _, j := range jobs() {
+		delete(want, j.ID)
 	}
 	if len(want) != 0 {
-		t.Errorf("builders missing figures: %v", want)
+		t.Errorf("figure jobs missing figures: %v", want)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pulsedos"
+	"pulsedos/internal/experiments"
 	"pulsedos/internal/scenario"
 )
 
@@ -51,18 +52,15 @@ func run(args []string) error {
 		return err
 	}
 
-	// Baseline.
+	// Both runs own a private kernel and environment, so the baseline and the
+	// attacked scenario simulate concurrently with identical results to a
+	// sequential execution.
 	baseEnv, err := factory()
 	if err != nil {
 		return err
 	}
 	params := baseEnv.ModelParams()
-	base, err := pulsedos.Run(baseEnv, pulsedos.RunOptions{Warmup: *warmup, Measure: *measure})
-	if err != nil {
-		return err
-	}
 
-	// Attacked run.
 	period := pulsedos.PeriodForGamma(*gamma, *rate, *extent, params.Bottleneck)
 	if period < *extent {
 		return fmt.Errorf("gamma %.2f unreachable at %.0f Mbps pulses: would need period %v < extent %v",
@@ -77,8 +75,19 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := pulsedos.Run(env, pulsedos.RunOptions{Warmup: *warmup, Measure: *measure, Train: &train})
-	if err != nil {
+
+	var base, res *pulsedos.RunResult
+	runs := []func() error{
+		func() (err error) {
+			base, err = pulsedos.Run(baseEnv, pulsedos.RunOptions{Warmup: *warmup, Measure: *measure})
+			return err
+		},
+		func() (err error) {
+			res, err = pulsedos.Run(env, pulsedos.RunOptions{Warmup: *warmup, Measure: *measure, Train: &train})
+			return err
+		},
+	}
+	if err := experiments.RunTasks(2, len(runs), func(i int) error { return runs[i]() }); err != nil {
 		return err
 	}
 

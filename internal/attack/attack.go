@@ -151,9 +151,16 @@ type Generator struct {
 	flow       int
 
 	pulseIdx int
+	started  bool
 	stopped  bool
-	next     *sim.Timer
+	next     sim.Timer
 	stats    GeneratorStats
+
+	// Current pulse state plus a prebuilt emission callback, so the
+	// per-packet chain reschedules without allocating a closure per packet.
+	curPulse Pulse
+	curEnd   sim.Time
+	emitFn   func()
 }
 
 // NewGenerator builds an attack source that emits packets of packetSize
@@ -176,13 +183,15 @@ func NewGenerator(k *sim.Kernel, out *netem.Link, train Train, packetSize int) (
 			return nil, fmt.Errorf("attack: pulse %d has negative space %v", i, p.Space)
 		}
 	}
-	return &Generator{
+	g := &Generator{
 		k:          k,
 		out:        out,
 		train:      train,
 		packetSize: packetSize,
 		flow:       FlowID,
-	}, nil
+	}
+	g.emitFn = g.emit
+	return g, nil
 }
 
 // Stats returns a snapshot of the generator counters.
@@ -193,9 +202,10 @@ func (g *Generator) Train() Train { return g.train }
 
 // Start schedules the train's first pulse at the given virtual instant.
 func (g *Generator) Start(at sim.Time) error {
-	if g.next != nil || g.pulseIdx > 0 {
+	if g.started {
 		return errors.New("attack: generator already started")
 	}
+	g.started = true
 	if len(g.train.Pulses) == 0 {
 		return nil
 	}
@@ -210,9 +220,7 @@ func (g *Generator) Start(at sim.Time) error {
 // Stop cancels any pending transmission; in-flight packets still arrive.
 func (g *Generator) Stop() {
 	g.stopped = true
-	if g.next != nil {
-		g.next.Cancel()
-	}
+	g.next.Cancel()
 }
 
 // beginPulse starts emitting the current pulse's packets.
@@ -220,46 +228,46 @@ func (g *Generator) beginPulse() {
 	if g.stopped || g.pulseIdx >= len(g.train.Pulses) {
 		return
 	}
-	pulse := g.train.Pulses[g.pulseIdx]
+	g.curPulse = g.train.Pulses[g.pulseIdx]
 	g.stats.PulsesSent++
-	end := g.k.Now().Add(pulse.Extent)
-	g.emit(pulse, end)
+	g.curEnd = g.k.Now().Add(g.curPulse.Extent)
+	g.emit()
 }
 
 // emit sends one attack packet and chains the next emission, spacing packets
 // at the pulse's line rate until the pulse window closes.
-func (g *Generator) emit(pulse Pulse, end sim.Time) {
+func (g *Generator) emit() {
 	if g.stopped {
 		return
 	}
 	now := g.k.Now()
-	if now >= end {
-		g.finishPulse(pulse, end)
+	if now >= g.curEnd {
+		g.finishPulse()
 		return
 	}
 	g.stats.PacketsSent++
 	g.stats.BytesSent += uint64(g.packetSize)
-	g.out.Send(&netem.Packet{
-		Flow:   g.flow,
-		Class:  netem.ClassAttack,
-		Dir:    netem.DirForward,
-		Size:   g.packetSize,
-		SentAt: now,
-	})
-	gap := sim.FromSeconds(float64(g.packetSize) * 8 / pulse.Rate)
+	p := g.out.NewPacket()
+	p.Flow = g.flow
+	p.Class = netem.ClassAttack
+	p.Dir = netem.DirForward
+	p.Size = g.packetSize
+	p.SentAt = now
+	g.out.Send(p)
+	gap := sim.FromSeconds(float64(g.packetSize) * 8 / g.curPulse.Rate)
 	if gap < 1 {
 		gap = 1 // at least one nanosecond between emissions
 	}
-	g.next = g.k.AfterTicks(gap, func() { g.emit(pulse, end) })
+	g.next = g.k.AfterTicks(gap, g.emitFn)
 }
 
 // finishPulse schedules the next pulse after the inter-pulse gap.
-func (g *Generator) finishPulse(pulse Pulse, end sim.Time) {
+func (g *Generator) finishPulse() {
 	g.pulseIdx++
 	if g.pulseIdx >= len(g.train.Pulses) {
 		return
 	}
-	startNext := end.Add(pulse.Space)
+	startNext := g.curEnd.Add(g.curPulse.Space)
 	delta := startNext.Sub(g.k.Now())
 	g.next = g.k.AfterTicks(delta, g.beginPulse)
 }

@@ -78,6 +78,7 @@ type Dumbbell struct {
 	RouterR  *netem.Router
 	Bottle   *netem.Link // forward bottleneck S→R, the attack target
 	Sink     *netem.Sink // attack traffic terminus
+	Pool     *netem.PacketPool
 	attackIn *netem.Link // attacker → router S
 	rand     *rng.Source
 }
@@ -105,6 +106,7 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 		RouterS: netem.NewRouter("S"),
 		RouterR: netem.NewRouter("R"),
 		Sink:    &netem.Sink{},
+		Pool:    netem.NewPacketPool(),
 		rand:    rand,
 	}
 
@@ -154,6 +156,7 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 	if err != nil {
 		return nil, err
 	}
+	attackIn.SetPool(d.Pool)
 	d.attackIn = attackIn
 
 	// Victim flows: RTT_i spread evenly across [RTTMin, RTTMax], realized by
@@ -175,10 +178,12 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 		if err != nil {
 			return nil, err
 		}
+		fwdIn.SetPool(d.Pool)
 		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterR)
 		if err != nil {
 			return nil, err
 		}
+		revOut.SetPool(d.Pool)
 
 		sender, err := tcp.NewSender(k, cfg.TCP, i, fwdIn)
 		if err != nil {

@@ -499,25 +499,10 @@ func AblationAIMD(scale Scale) (*FigureResult, error) {
 }
 
 // AllFigures regenerates every figure at the given scale, in paper order.
+// Figures run sequentially; use RunFigureJobs(PaperFigures(), scale, n) to
+// fan them across workers.
 func AllFigures(scale Scale) ([]*FigureResult, error) {
-	builders := []func(Scale) (*FigureResult, error){
-		Figure1, Figure2, Figure3a, Figure3b, Figure4,
-		Figure6, Figure7, Figure8, Figure9, Figure10, Figure12,
-	}
-	out := make([]*FigureResult, 0, len(builders)+1)
-	for _, build := range builders {
-		fig, err := build(scale)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, fig)
-	}
-	check, err := OptimalityCheck()
-	if err != nil {
-		return out, err
-	}
-	out = append(out, check)
-	return out, nil
+	return RunFigureJobs(PaperFigures(), scale, 1)
 }
 
 // DefenseFigure wraps the §1.1 defense study as a regenerable result.

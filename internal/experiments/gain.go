@@ -3,7 +3,6 @@ package experiments
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"pulsedos/internal/attack"
@@ -120,44 +119,16 @@ func GainSweep(cfg SweepConfig) ([]GainPoint, error) {
 		jobs = append(jobs, job{gamma: gamma, period: period})
 	}
 
+	// Each attacked run owns a private kernel and environment, so the only
+	// shared state is the results slice, partitioned by index.
 	points := make([]GainPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	workers := cfg.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for i, j := range jobs {
-			points[i], errs[i] = measureGainPoint(cfg, params, toCfg, baseline, cPsi, j.gamma, j.period)
-		}
-	} else {
-		// Each attacked run owns a private kernel and environment, so the
-		// only shared state is the results slices, partitioned by index.
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					j := jobs[i]
-					points[i], errs[i] = measureGainPoint(cfg, params, toCfg, baseline, cPsi, j.gamma, j.period)
-				}
-			}()
-		}
-		for i := range jobs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err = RunTasks(cfg.Parallel, len(jobs), func(i int) error {
+		var perr error
+		points[i], perr = measureGainPoint(cfg, params, toCfg, baseline, cPsi, jobs[i].gamma, jobs[i].period)
+		return perr
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunTasks executes n indexed tasks across a bounded worker pool. With
+// parallel <= 1 the tasks run sequentially in index order; otherwise up to
+// parallel goroutines pull indices from a channel. Each task must be
+// self-contained (own its kernel, environment, and RNG), so results are
+// identical regardless of worker count — only wall-clock changes. Results
+// are the caller's responsibility, partitioned by index; RunTasks reports
+// the lowest-index error once every started task has finished.
+func RunTasks(parallel, n int, run func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallel > n {
+		parallel = n
+	}
+	if parallel <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FigureJob names one regenerable figure. Build must be a pure function of
+// the scale: every invocation constructs a private kernel and environment,
+// which is what lets RunFigureJobs fan jobs out across workers without
+// perturbing the series they produce.
+type FigureJob struct {
+	ID    string
+	Build func(Scale) (*FigureResult, error)
+}
+
+// PaperFigures returns the paper-order figure jobs: Figs. 1–4, the gain
+// curves of Figs. 6–9, the shrew study of Fig. 10, the test-bed curves of
+// Fig. 12, and the Proposition 3 optimality cross-check.
+func PaperFigures() []FigureJob {
+	return []FigureJob{
+		{ID: "fig1", Build: Figure1},
+		{ID: "fig2", Build: Figure2},
+		{ID: "fig3a", Build: Figure3a},
+		{ID: "fig3b", Build: Figure3b},
+		{ID: "fig4", Build: Figure4},
+		{ID: "fig6", Build: Figure6},
+		{ID: "fig7", Build: Figure7},
+		{ID: "fig8", Build: Figure8},
+		{ID: "fig9", Build: Figure9},
+		{ID: "fig10", Build: Figure10},
+		{ID: "fig12", Build: Figure12},
+		{ID: "prop3", Build: func(Scale) (*FigureResult, error) { return OptimalityCheck() }},
+	}
+}
+
+// ExtendedFigures returns the ablation and extension studies that go beyond
+// the paper's own plots.
+func ExtendedFigures() []FigureJob {
+	return []FigureJob{
+		{ID: "ablation-aqm", Build: AblationREDvsDropTail},
+		{ID: "ablation-dack", Build: AblationDelayedACK},
+		{ID: "ablation-aimd", Build: AblationAIMD},
+		{ID: "ablation-pktsize", Build: AblationAttackPacketSize},
+		{ID: "ext-defense", Build: DefenseFigure},
+		{ID: "ext-mice", Build: MiceFigure},
+		{ID: "ext-maximization", Build: MaximizationFigure},
+		{ID: "ext-sensitivity", Build: SensitivityFigure},
+	}
+}
+
+// RunFigureJobs regenerates the given figures at the given scale, fanning
+// the jobs across up to parallel workers. The result slice is ordered like
+// jobs, independent of completion order; with parallel <= 1 the jobs run
+// strictly sequentially. Figure-level parallelism composes with the
+// sweep-level parallelism of scale.Parallel — both layers own per-run
+// kernels, so any combination yields identical series.
+func RunFigureJobs(jobs []FigureJob, scale Scale, parallel int) ([]*FigureResult, error) {
+	out := make([]*FigureResult, len(jobs))
+	err := RunTasks(parallel, len(jobs), func(i int) error {
+		fig, err := jobs[i].Build(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].ID, err)
+		}
+		out[i] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

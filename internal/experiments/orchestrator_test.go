@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunTasksSequential(t *testing.T) {
+	var order []int
+	err := RunTasks(1, 5, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("sequential order = %v", order)
+	}
+}
+
+func TestRunTasksParallelRunsAll(t *testing.T) {
+	var ran int64
+	err := RunTasks(4, 20, func(int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 20 {
+		t.Errorf("ran %d of 20 tasks", ran)
+	}
+}
+
+func TestRunTasksErrorPropagation(t *testing.T) {
+	sentinel := errors.New("task 3 failed")
+	for _, parallel := range []int{1, 4} {
+		err := RunTasks(parallel, 8, func(i int) error {
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("parallel=%d: err = %v, want task 3's error", parallel, err)
+		}
+	}
+}
+
+func TestRunTasksZeroTasks(t *testing.T) {
+	if err := RunTasks(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigureJobsPreservesOrder(t *testing.T) {
+	jobs := make([]FigureJob, 8)
+	for i := range jobs {
+		id := fmt.Sprintf("job-%d", i)
+		jobs[i] = FigureJob{ID: id, Build: func(Scale) (*FigureResult, error) {
+			return &FigureResult{ID: id}, nil
+		}}
+	}
+	figs, err := RunFigureJobs(jobs, Scale{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, fig := range figs {
+		if fig.ID != jobs[i].ID {
+			t.Errorf("slot %d holds %s, want %s", i, fig.ID, jobs[i].ID)
+		}
+	}
+}
+
+func TestRunFigureJobsErrorNamesJob(t *testing.T) {
+	jobs := []FigureJob{
+		{ID: "good", Build: func(Scale) (*FigureResult, error) { return &FigureResult{ID: "good"}, nil }},
+		{ID: "bad", Build: func(Scale) (*FigureResult, error) { return nil, errors.New("boom") }},
+	}
+	_, err := RunFigureJobs(jobs, Scale{}, 2)
+	if err == nil || err.Error() != "bad: boom" {
+		t.Errorf("err = %v, want \"bad: boom\"", err)
+	}
+}
+
+func TestPaperFiguresCoverRegistry(t *testing.T) {
+	want := map[string]bool{
+		"fig1": true, "fig2": true, "fig3a": true, "fig3b": true, "fig4": true,
+		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
+		"fig12": true, "prop3": true,
+	}
+	for _, j := range PaperFigures() {
+		delete(want, j.ID)
+	}
+	if len(want) != 0 {
+		t.Errorf("PaperFigures missing %v", want)
+	}
+}
+
+// The worker-pool determinism smoke test for full sweeps (Parallel > 1 vs
+// sequential, byte-identical points) lives in roc_test.go as
+// TestGainSweepParallelMatchesSequential; under -race it doubles as the
+// figure-orchestrator data-race check since both share RunTasks.

@@ -62,6 +62,7 @@ type Testbed struct {
 	PipeFwd  *dummynet.Pipe // the 10 Mbps bottleneck (attack target)
 	QueueLen int            // resolved pipe queue capacity, packets
 	Sink     *netem.Sink
+	Pool     *netem.PacketPool
 	attackIn *netem.Link
 	rand     *rng.Source
 }
@@ -82,6 +83,7 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 		Config:  cfg,
 		Account: trace.NewFlowAccount(),
 		Sink:    &netem.Sink{},
+		Pool:    netem.NewPacketPool(),
 		rand:    rand,
 	}
 
@@ -135,6 +137,7 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	attackIn.SetPool(tb.Pool)
 	tb.attackIn = attackIn
 
 	accessOWD := sim.FromDuration(cfg.AccessOWD)
@@ -148,11 +151,13 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 		if err != nil {
 			return nil, err
 		}
+		fwdIn.SetPool(tb.Pool)
 		revOut, err := netem.NewLink(k, fmt.Sprintf("victim-rev-%d", i), cfg.AccessRate, accessOWD,
 			netem.NewDropTail(1024), pipeRev)
 		if err != nil {
 			return nil, err
 		}
+		revOut.SetPool(tb.Pool)
 		sender, err := tcp.NewSender(k, cfg.TCP, i, fwdIn)
 		if err != nil {
 			return nil, err

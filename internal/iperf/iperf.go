@@ -43,7 +43,8 @@ type Session struct {
 	reports   []Report
 	lastBytes uint64
 	lastTick  sim.Time
-	ticker    *sim.Timer
+	ticker    sim.Timer
+	tickFn    func() // prebuilt interval callback
 }
 
 // NewSession wires a bulk transfer for flow over the given first-hop links:
@@ -69,14 +70,16 @@ func NewSession(
 	if err != nil {
 		return nil, fmt.Errorf("iperf: flow %d: %w", flow, err)
 	}
-	return &Session{
+	s := &Session{
 		k:        k,
 		flow:     flow,
 		sender:   sender,
 		receiver: receiver,
 		account:  account,
 		interval: interval,
-	}, nil
+	}
+	s.tickFn = s.report
+	return s, nil
 }
 
 // Flow reports the session's flow id.
@@ -123,25 +126,26 @@ func (s *Session) Start(at sim.Time) error {
 // Stop halts the sender and reporting.
 func (s *Session) Stop() {
 	s.sender.Stop()
-	if s.ticker != nil {
-		s.ticker.Cancel()
-	}
+	s.ticker.Cancel()
 }
 
-// tick emits one interval report and re-arms.
+// tick arms the next interval report.
 func (s *Session) tick() {
-	s.ticker = s.k.AfterTicks(s.interval, func() {
-		now := s.k.Now()
-		bytes := s.account.Flow(s.flow)
-		s.reports = append(s.reports, Report{
-			Start: s.lastTick,
-			End:   now,
-			Bytes: bytes - s.lastBytes,
-		})
-		s.lastTick = now
-		s.lastBytes = bytes
-		s.tick()
+	s.ticker = s.k.AfterTicks(s.interval, s.tickFn)
+}
+
+// report emits one interval report and re-arms.
+func (s *Session) report() {
+	now := s.k.Now()
+	bytes := s.account.Flow(s.flow)
+	s.reports = append(s.reports, Report{
+		Start: s.lastTick,
+		End:   now,
+		Bytes: bytes - s.lastBytes,
 	})
+	s.lastTick = now
+	s.lastBytes = bytes
+	s.tick()
 }
 
 // Reports returns a copy of the interval reports so far.

@@ -49,10 +49,17 @@ type Link struct {
 	delay sim.Time
 	queue Queue
 	dst   Node
+	pool  *PacketPool
 
 	busy  bool
 	stats LinkStats
 	taps  []Tap
+
+	// Prebuilt kernel callbacks so the per-packet transmit/deliver events
+	// carry the packet as an argument instead of allocating a fresh closure
+	// for every packet on the wire.
+	txDoneFn  func(any)
+	deliverFn func(any)
 }
 
 // NewLink builds a link. rate is in bits per second and must be positive;
@@ -74,7 +81,10 @@ func NewLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue Que
 	if delay < 0 {
 		delay = 0
 	}
-	return &Link{name: name, k: k, rate: rate, delay: delay, queue: queue, dst: dst}, nil
+	l := &Link{name: name, k: k, rate: rate, delay: delay, queue: queue, dst: dst}
+	l.txDoneFn = func(arg any) { l.finishTransmit(arg.(*Packet)) }
+	l.deliverFn = func(arg any) { l.dst.Receive(arg.(*Packet)) }
+	return l, nil
 }
 
 // Name reports the link's diagnostic name.
@@ -92,6 +102,23 @@ func (l *Link) Queue() Queue { return l.queue }
 
 // Stats returns a snapshot of the link counters.
 func (l *Link) Stats() LinkStats { return l.stats }
+
+// SetPool attaches a packet free list. Traffic sources reached through this
+// link allocate via NewPacket, and the link releases dropped packets back to
+// the pool. A nil pool (the default) falls back to plain heap allocation.
+func (l *Link) SetPool(pool *PacketPool) { l.pool = pool }
+
+// Pool reports the attached packet pool (nil when pooling is disabled).
+func (l *Link) Pool() *PacketPool { return l.pool }
+
+// NewPacket returns a zeroed packet for transmission on this link, drawn
+// from the attached pool when one is present.
+func (l *Link) NewPacket() *Packet {
+	if l.pool != nil {
+		return l.pool.Get()
+	}
+	return &Packet{}
+}
 
 // AddTap attaches a traffic observer.
 func (l *Link) AddTap(t Tap) {
@@ -116,6 +143,7 @@ func (l *Link) Send(p *Packet) {
 		for _, t := range l.taps {
 			t.OnDrop(p, now)
 		}
+		p.Release()
 		return
 	}
 	if !l.busy {
@@ -135,9 +163,7 @@ func (l *Link) startTransmit() {
 		return
 	}
 	l.busy = true
-	l.k.AfterTicks(l.TxTime(p.Size), func() {
-		l.finishTransmit(p)
-	})
+	l.k.AfterTicksArg(l.TxTime(p.Size), l.txDoneFn, p)
 }
 
 // finishTransmit fires when serialization completes: the packet enters the
@@ -149,9 +175,7 @@ func (l *Link) finishTransmit(p *Packet) {
 	for _, t := range l.taps {
 		t.OnDepart(p, now)
 	}
-	l.k.AfterTicks(l.delay, func() {
-		l.dst.Receive(p)
-	})
+	l.k.AfterTicksArg(l.delay, l.deliverFn, p)
 	l.busy = false
 	if l.queue.Len() > 0 {
 		l.startTransmit()

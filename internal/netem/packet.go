@@ -74,4 +74,9 @@ type Packet struct {
 	// Retx marks retransmitted segments so Karn's algorithm can refuse RTT
 	// samples from echoes of ambiguous segments.
 	Retx bool
+
+	// pool, when non-nil, is the free list this packet returns to on
+	// Release. Packets built as plain literals carry no pool and Release is
+	// a no-op for them.
+	pool *PacketPool
 }

@@ -1,0 +1,81 @@
+package netem
+
+// PacketPool is a free list of Packet structs. Like the kernel it serves, it
+// is deliberately NOT safe for concurrent use: each simulated environment
+// owns one pool, all packet traffic runs on that environment's single-
+// goroutine kernel, and parallel experiment runs each build their own
+// environment (and hence their own pool). That makes a plain slice faster
+// than sync.Pool and keeps runs deterministic.
+//
+// Ownership rules (see DESIGN.md, "Performance"):
+//
+//   - whoever calls Get owns the packet until it hands it to Link.Send;
+//   - the link owns queued and in-flight packets;
+//   - on drop, the link releases the packet after notifying taps;
+//   - on delivery, ownership passes to the destination Node: forwarding
+//     nodes (Router, Pipe) pass it on, terminal nodes (Sink, tcp endpoints)
+//     release it once they have copied what they need;
+//   - taps never own packets and must copy any field they want to keep.
+//
+// Releasing is optional for correctness: an un-released packet is simply
+// collected by the GC and the pool allocates a fresh one next time.
+type PacketPool struct {
+	free []*Packet
+
+	gets uint64
+	news uint64
+	puts uint64
+}
+
+// PacketPoolStats counts pool traffic; News is the number of Gets that had
+// to fall through to the heap allocator.
+type PacketPoolStats struct {
+	Gets uint64
+	News uint64
+	Puts uint64
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool {
+	return &PacketPool{}
+}
+
+// Get returns a zeroed packet owned by the caller. The packet remembers its
+// pool so that Release can return it.
+func (pl *PacketPool) Get() *Packet {
+	pl.gets++
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		*p = Packet{pool: pl}
+		return p
+	}
+	pl.news++
+	return &Packet{pool: pl}
+}
+
+// put returns a packet to the free list. Callers go through Packet.Release,
+// which guards against double-release.
+func (pl *PacketPool) put(p *Packet) {
+	pl.puts++
+	pl.free = append(pl.free, p)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (pl *PacketPool) Stats() PacketPoolStats {
+	return PacketPoolStats{Gets: pl.gets, News: pl.news, Puts: pl.puts}
+}
+
+// Release returns the packet to the pool it came from. Safe (and a no-op)
+// on nil packets, on packets built with plain &Packet{} literals, and on
+// double release — the first Release detaches the packet from its pool.
+// Callers must not touch the packet afterwards.
+func (p *Packet) Release() {
+	if p == nil || p.pool == nil {
+		return
+	}
+	pl := p.pool
+	p.pool = nil
+	pl.put(p)
+}

@@ -71,8 +71,10 @@ type Sink struct {
 
 var _ Node = (*Sink)(nil)
 
-// Receive implements Node.
+// Receive implements Node. As a terminal node the sink releases pooled
+// packets back to their free list.
 func (s *Sink) Receive(p *Packet) {
 	s.Packets++
 	s.Bytes += uint64(p.Size)
+	p.Release()
 }

@@ -1,0 +1,216 @@
+// Package perf measures the simulator's hot paths from regular (non-test)
+// code and renders the results as a machine-readable JSON report. It exists
+// so cmd/pdos-bench can emit a benchmark trajectory (BENCH_1.json) alongside
+// the regenerated figures: ns/op, allocs/op, and events/sec for the event
+// kernel and per-packet link forwarding, each compared against the recorded
+// pre-optimization baseline.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// BenchResult is one measured hot path, with the pre-optimization baseline
+// (captured on the same benchmark body before the kernel/packet overhaul)
+// alongside for trajectory tracking.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	SpeedupPct          float64 `json:"speedup_pct,omitempty"`
+}
+
+// FigurePeak records one regenerated figure's headline quantity: the largest
+// Y value across its series (for gain figures, the peak measured gain).
+type FigurePeak struct {
+	Figure   string  `json:"figure"`
+	PeakGain float64 `json:"peak_gain"`
+}
+
+// Report is the BENCH_1.json payload.
+type Report struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Benchmarks  []BenchResult `json:"benchmarks"`
+	Figures     []FigurePeak  `json:"figures,omitempty"`
+}
+
+// baseline is a pre-optimization measurement of one hot path, taken with the
+// container/heap kernel and per-packet literal allocation (commit b8ae36b),
+// on the same benchmark bodies RunHotPaths uses.
+type baseline struct {
+	nsPerOp     float64
+	allocsPerOp int64
+}
+
+var baselines = map[string]baseline{
+	"kernel-events":       {nsPerOp: 93.82, allocsPerOp: 2},
+	"link-droptail":       {nsPerOp: 443.1, allocsPerOp: 9},
+	"link-red":            {nsPerOp: 474.8, allocsPerOp: 9},
+	"tcp-loopback-second": {nsPerOp: 1835249, allocsPerOp: 20689},
+}
+
+// RunHotPaths benchmarks the simulator's hot paths via testing.Benchmark:
+// raw kernel event throughput, per-packet forwarding through drop-tail and
+// RED links, and one virtual second of a saturated TCP flow through the
+// dumbbell. Results carry the recorded pre-optimization baselines.
+func RunHotPaths() []BenchResult {
+	specs := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"kernel-events", benchKernelEvents},
+		{"link-droptail", func(b *testing.B) { benchLinkForward(b, netem.NewDropTail(64)) }},
+		{"link-red", func(b *testing.B) { benchLinkForward(b, netem.NewRED(netem.DefaultREDConfig(64), rng.New(1), 1e9)) }},
+		{"tcp-loopback-second", benchTCPLoopbackSecond},
+	}
+	out := make([]BenchResult, 0, len(specs))
+	for _, spec := range specs {
+		r := testing.Benchmark(spec.fn)
+		res := BenchResult{
+			Name:        spec.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if res.NsPerOp > 0 {
+			res.EventsPerSec = 1e9 / res.NsPerOp
+		}
+		if base, ok := baselines[spec.name]; ok {
+			res.BaselineNsPerOp = base.nsPerOp
+			res.BaselineAllocsPerOp = base.allocsPerOp
+			if base.nsPerOp > 0 {
+				res.SpeedupPct = 100 * (base.nsPerOp - res.NsPerOp) / base.nsPerOp
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// benchKernelEvents measures raw schedule+fire throughput: a self-chaining
+// timer, one event in flight at a time.
+func benchKernelEvents(b *testing.B) {
+	k := sim.New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.AfterTicks(sim.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AfterTicks(sim.Microsecond, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchLinkForward measures the per-packet forwarding path — pool get, queue
+// admit, transmit, propagate, deliver, release — through a saturated link.
+func benchLinkForward(b *testing.B, q netem.Queue) {
+	k := sim.New()
+	sink := &netem.Sink{}
+	link, err := netem.NewLink(k, "bench", 1e9, sim.Microsecond, q, sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	link.SetPool(netem.NewPacketPool())
+	tx := link.TxTime(1000)
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= b.N {
+			return
+		}
+		sent++
+		p := link.NewPacket()
+		p.Flow = 1
+		p.Class = netem.ClassData
+		p.Dir = netem.DirForward
+		p.Size = 1000
+		link.Send(p)
+		k.AfterTicks(tx, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AfterTicks(0, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchTCPLoopbackSecond measures one virtual second of a saturated TCP flow
+// through the single-flow dumbbell, end to end.
+func benchTCPLoopbackSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultDumbbellConfig(1)
+		cfg.RTTMin = 100 * time.Millisecond
+		cfg.RTTMax = 100 * time.Millisecond
+		env, err := experiments.BuildDumbbell(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Run(env, experiments.RunOptions{Measure: time.Second}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// PeakOf reduces a regenerated figure to its headline number: the largest Y
+// across every series (for gain figures, the peak measured gain).
+func PeakOf(fig *experiments.FigureResult) FigurePeak {
+	peak := 0.0
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+	}
+	return FigurePeak{Figure: fig.ID, PeakGain: peak}
+}
+
+// NewReport assembles a report, stamping the runtime environment.
+func NewReport(benchmarks []BenchResult, figures []FigurePeak) Report {
+	return Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Benchmarks:  benchmarks,
+		Figures:     figures,
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("perf: encode report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// warmKernel populates the free list and heap capacity so steady-state
+// measurements don't see one-time slice growth.
+func warmKernel(k *Kernel, fn func()) {
+	for i := 0; i < 64; i++ {
+		k.AfterTicks(Time(i+1), fn)
+	}
+	for k.Step() {
+	}
+}
+
+// TestScheduleFireAllocs locks in the free-list contract: once warm, the
+// schedule→fire cycle recycles event structs and allocates nothing.
+func TestScheduleFireAllocs(t *testing.T) {
+	k := New()
+	fn := func() {}
+	warmKernel(k, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterTicks(1, fn)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestScheduleFireArgAllocs covers the argument-carrying path: boxing a
+// pointer into the event's any slot must not allocate either.
+func TestScheduleFireArgAllocs(t *testing.T) {
+	k := New()
+	argFn := func(any) {}
+	warmKernel(k, func() {})
+	arg := &struct{ n int }{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AfterTicksArg(1, argFn, arg)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire with arg allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestScheduleCancelAllocs locks in the cancel path: schedule→cancel also
+// recycles through the free list without allocating.
+func TestScheduleCancelAllocs(t *testing.T) {
+	k := New()
+	fn := func() {}
+	warmKernel(k, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := k.AfterTicks(100, fn)
+		tm.Cancel()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel allocates %.2f/op, want 0", allocs)
+	}
+}

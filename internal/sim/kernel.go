@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -10,93 +9,90 @@ import (
 // virtual instant. The kernel never travels backwards.
 var ErrPastTime = errors.New("sim: event scheduled in the past")
 
-// event is a single pending callback in the kernel's priority queue.
+// event is a single pending callback in the kernel's priority queue. Fired
+// and cancelled events are recycled through the kernel's free list, so a
+// steady-state simulation schedules without allocating; the generation
+// counter lets outstanding Timer handles detect that their event has been
+// reused.
 type event struct {
-	when  Time
-	seq   uint64 // tie-breaker: FIFO among events at the same instant
-	fn    func()
-	index int // heap index, -1 once removed
-	dead  bool
+	when Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+
+	// argFn/arg is the closure-free variant used by the packet hot path:
+	// scheduling a prebuilt func(any) with a pointer argument performs no
+	// allocation, where capturing the pointer in a fresh closure would.
+	argFn func(any)
+	arg   any
+
+	index int32  // heap index, -1 once removed
+	gen   uint32 // incremented every time the event returns to the free list
 }
 
-// eventHeap orders events by (when, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before reports the (when, seq) heap order.
+func (e *event) before(o *event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event. The zero value is not usable;
-// timers are created by Kernel.At and Kernel.After.
+// Timer is a handle to a scheduled event. The zero value is an inactive
+// timer: Cancel and Active report false and are safe to call. Timers are
+// value handles — copying one is cheap and all copies refer to the same
+// scheduled event.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	k    *Kernel
+	ev   *event
+	gen  uint32
+	when Time
+}
+
+// valid reports whether the handle still refers to its original event (the
+// event has neither fired nor been cancelled nor been recycled).
+func (t *Timer) valid() bool {
+	return t != nil && t.ev != nil && t.ev.gen == t.gen
 }
 
 // Cancel removes the timer's pending event. Cancelling an already-fired or
 // already-cancelled timer is a no-op. It reports whether the event was still
 // pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if !t.valid() {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
-	if t.ev.index >= 0 {
-		heap.Remove(&t.k.events, t.ev.index)
-	}
+	ev := t.ev
+	t.k.remove(int(ev.index))
+	t.k.release(ev)
 	return true
 }
 
 // Active reports whether the timer's event is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.dead
+	return t.valid()
 }
 
 // When reports the virtual instant at which the timer fires (or fired).
 func (t *Timer) When() Time {
-	if t == nil || t.ev == nil {
+	if t == nil {
 		return 0
 	}
-	return t.ev.when
+	return t.when
 }
 
 // Kernel is a deterministic discrete-event scheduler. It is not safe for
 // concurrent use: all model code runs inside event callbacks on a single
 // goroutine, which is both how ns-2 behaves and what makes runs reproducible.
+// The single-goroutine invariant is also what makes the event free list
+// safe — see DESIGN.md's Performance section.
+//
+// The pending queue is an inlined 4-ary index heap over []*event rather than
+// container/heap: no interface dispatch, no `any` boxing on push/pop, and a
+// shallower tree than a binary heap (fewer cache-missing levels per sift).
 type Kernel struct {
 	now       Time
-	events    eventHeap
+	events    []*event // 4-ary min-heap ordered by (when, seq)
+	free      []*event // recycled event structs
 	seq       uint64
 	processed uint64
 	limit     uint64 // 0 = unlimited
@@ -134,59 +130,220 @@ func (k *Kernel) SetEventLimit(n uint64) {
 // SetEventLimit is exhausted.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
+// ---- heap primitives (4-ary, index-maintaining) ----
+
+// push appends ev and restores the heap invariant.
+func (k *Kernel) push(ev *event) {
+	k.events = append(k.events, ev)
+	k.siftUp(len(k.events) - 1)
+}
+
+// siftUp moves the event at index i toward the root until ordered.
+func (k *Kernel) siftUp(i int) {
+	h := k.events
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !ev.before(p) {
+			break
+		}
+		h[i] = p
+		p.index = int32(i)
+		i = parent
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves the event at index i toward the leaves until ordered.
+func (k *Kernel) siftDown(i int) {
+	h := k.events
+	n := len(h)
+	ev := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		bv := h[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(bv) {
+				best, bv = c, h[c]
+			}
+		}
+		if !bv.before(ev) {
+			break
+		}
+		h[i] = bv
+		bv.index = int32(i)
+		i = best
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// popMin removes and returns the earliest event. Caller guarantees the heap
+// is non-empty.
+func (k *Kernel) popMin() *event {
+	h := k.events
+	n := len(h)
+	ev := h[0]
+	last := h[n-1]
+	h[n-1] = nil
+	k.events = h[:n-1]
+	if n > 1 {
+		k.events[0] = last
+		k.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at heap index i.
+func (k *Kernel) remove(i int) {
+	h := k.events
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		moved := h[n]
+		h[i] = moved
+		moved.index = int32(i)
+		h[n] = nil
+		k.events = h[:n]
+		if moved.before(ev) {
+			k.siftUp(i)
+		} else {
+			k.siftDown(i)
+		}
+	} else {
+		h[n] = nil
+		k.events = h[:n]
+	}
+	ev.index = -1
+}
+
+// ---- event free list ----
+
+// alloc takes an event struct from the free list (or the heap allocator when
+// the list is empty) and initializes it for scheduling at t.
+func (k *Kernel) alloc(t Time) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.when = t
+	ev.seq = k.seq
+	k.seq++
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list. Bumping the
+// generation invalidates every outstanding Timer handle to it, so a recycled
+// struct can never be cancelled through a stale handle.
+func (k *Kernel) release(ev *event) {
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.index = -1
+	ev.gen++
+	k.free = append(k.free, ev)
+}
+
+// ---- scheduling ----
+
 // At schedules fn to run at the absolute virtual instant t. Events at equal
 // instants fire in the order they were scheduled.
-func (k *Kernel) At(t Time, fn func()) (*Timer, error) {
+func (k *Kernel) At(t Time, fn func()) (Timer, error) {
 	if t < k.now {
-		return nil, ErrPastTime
+		return Timer{}, ErrPastTime
 	}
-	ev := &event{when: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.events, ev)
-	return &Timer{k: k, ev: ev}, nil
+	ev := k.alloc(t)
+	ev.fn = fn
+	k.push(ev)
+	return Timer{k: k, ev: ev, gen: ev.gen, when: t}, nil
+}
+
+// AtArg schedules fn(arg) at the absolute virtual instant t. This is the
+// allocation-free flavour for hot paths: fn is typically built once per
+// component, and arg (commonly a *Packet) rides in the event instead of a
+// freshly captured closure.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) (Timer, error) {
+	if t < k.now {
+		return Timer{}, ErrPastTime
+	}
+	ev := k.alloc(t)
+	ev.argFn = fn
+	ev.arg = arg
+	k.push(ev)
+	return Timer{k: k, ev: ev, gen: ev.gen, when: t}, nil
 }
 
 // After schedules fn to run d after the current instant. Negative delays are
 // clamped to zero, so After never fails.
-func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+func (k *Kernel) After(d time.Duration, fn func()) Timer {
 	return k.AfterTicks(FromDuration(d), fn)
 }
 
 // AfterTicks schedules fn to run delta virtual nanoseconds after the current
-// instant. Negative deltas are clamped to zero.
-func (k *Kernel) AfterTicks(delta Time, fn func()) *Timer {
+// instant. Negative deltas are clamped to zero; deltas so large that
+// now+delta would overflow are clamped to MaxTime, the last representable
+// instant.
+func (k *Kernel) AfterTicks(delta Time, fn func()) Timer {
+	tm, _ := k.At(k.clampDelta(delta), fn)
+	return tm
+}
+
+// AfterTicksArg is the closure-free counterpart of AfterTicks: it schedules
+// the prebuilt fn with arg after delta virtual nanoseconds.
+func (k *Kernel) AfterTicksArg(delta Time, fn func(any), arg any) Timer {
+	tm, _ := k.AtArg(k.clampDelta(delta), fn, arg)
+	return tm
+}
+
+// clampDelta resolves now+delta with saturation: negative deltas clamp to
+// now, and deltas that would wrap past MaxTime clamp to MaxTime.
+func (k *Kernel) clampDelta(delta Time) Time {
 	if delta < 0 {
-		delta = 0
+		return k.now
 	}
-	t, err := k.At(k.now+delta, fn)
-	if err != nil {
-		// Unreachable: now+delta >= now for non-negative delta.
-		return &Timer{}
+	t := k.now + delta
+	if t < k.now {
+		return MaxTime
 	}
 	return t
 }
 
+// ---- execution ----
+
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		popped := heap.Pop(&k.events)
-		ev, ok := popped.(*event)
-		if !ok {
-			continue
-		}
-		if ev.dead {
-			continue
-		}
-		k.now = ev.when
-		k.processed++
-		fn := ev.fn
-		ev.dead = true
-		ev.fn = nil
-		fn()
-		return true
+	if len(k.events) == 0 {
+		return false
 	}
-	return false
+	ev := k.popMin()
+	k.now = ev.when
+	k.processed++
+	if ev.argFn != nil {
+		fn, arg := ev.argFn, ev.arg
+		k.release(ev)
+		fn(arg)
+	} else {
+		fn := ev.fn
+		k.release(ev)
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the queue drains or the event budget is exhausted.

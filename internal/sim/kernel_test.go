@@ -141,7 +141,7 @@ func TestTimerCancelInterleaved(t *testing.T) {
 	// Cancel one of several same-instant events from within another event.
 	k := New()
 	var got []string
-	var tb *Timer
+	var tb Timer
 	k.AfterTicks(Second, func() {
 		got = append(got, "a")
 		tb.Cancel()
@@ -151,6 +151,106 @@ func TestTimerCancelInterleaved(t *testing.T) {
 	k.Run()
 	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
 		t.Errorf("got %v, want [a c]", got)
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() {
+		t.Error("zero timer reports active")
+	}
+	if tm.Cancel() {
+		t.Error("zero timer cancel reported true")
+	}
+	if tm.When() != 0 {
+		t.Errorf("zero timer When = %v", tm.When())
+	}
+}
+
+// TestAfterTicksOverflow: a delta that would wrap now+delta negative must
+// clamp to MaxTime and hand back a live, cancellable timer instead of a dead
+// handle (the old kernel silently returned an inert &Timer{}).
+func TestAfterTicksOverflow(t *testing.T) {
+	k := New()
+	k.AfterTicks(Second, func() {})
+	if !k.Step() {
+		t.Fatal("no event")
+	}
+	tm := k.AfterTicks(MaxTime, func() {})
+	if !tm.Active() {
+		t.Fatal("overflowing AfterTicks returned a dead timer")
+	}
+	if tm.When() != MaxTime {
+		t.Errorf("When = %v, want MaxTime", tm.When())
+	}
+	if !tm.Cancel() {
+		t.Error("clamped timer not cancellable")
+	}
+	// Saturation at the boundary: scheduling from MaxTime itself stays put.
+	k2 := New()
+	tm2 := k2.AfterTicks(MaxTime, func() {})
+	if tm2.When() != MaxTime {
+		t.Fatalf("When = %v", tm2.When())
+	}
+}
+
+// TestTimerStaleHandle: once an event has fired, its struct may be recycled
+// for a new event; the old handle must stay dead and must not cancel the new
+// occupant.
+func TestTimerStaleHandle(t *testing.T) {
+	k := New()
+	fired := 0
+	t1 := k.AfterTicks(Second, func() { fired++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Active() {
+		t.Error("fired timer still active")
+	}
+	// The recycled struct now backs t2.
+	t2 := k.AfterTicks(Second, func() { fired++ })
+	if t1.Cancel() {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	if !t2.Active() {
+		t.Error("live timer killed by stale handle")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if t1.When() != Second {
+		t.Errorf("stale When = %v, want its original instant", t1.When())
+	}
+}
+
+// TestAtArg exercises the closure-free scheduling variant.
+func TestAtArg(t *testing.T) {
+	k := New()
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	if _, err := k.AtArg(2*Second, fn, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.AfterTicksArg(Second, fn, 1)
+	tm := k.AfterTicksArg(3*Second, fn, 3)
+	tm.Cancel()
+	if _, err := k.AtArg(0, fn, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
 	}
 }
 
@@ -246,7 +346,7 @@ func TestKernelCancellationProperty(t *testing.T) {
 	property := func(offsets []uint16, mask []bool) bool {
 		k := New()
 		fired := make(map[int]bool, len(offsets))
-		timers := make([]*Timer, len(offsets))
+		timers := make([]Timer, len(offsets))
 		for i, off := range offsets {
 			i := i
 			timers[i] = k.AfterTicks(Time(off)+1, func() { fired[i] = true })

@@ -10,6 +10,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -18,6 +19,10 @@ import (
 // time.Time: virtual time has no calendar, no time zone, and no relation to
 // the wall clock.
 type Time int64
+
+// MaxTime is the last representable virtual instant (~292 virtual years).
+// Kernel.AfterTicks saturates to it instead of wrapping negative.
+const MaxTime Time = math.MaxInt64
 
 // Common virtual-time unit spans, expressed as Time deltas.
 const (

@@ -30,7 +30,8 @@ type Receiver struct {
 	expected   int64 // next in-order segment not yet received
 	buffered   map[int64]bool
 	sinceAck   int // in-order segments since the last ACK
-	delayTimer *sim.Timer
+	delayTimer sim.Timer
+	delayFn    func() // prebuilt delayed-ACK callback
 
 	// Echo state for the next ACK: timestamp and retransmission flag of the
 	// most recent data arrival.
@@ -52,14 +53,16 @@ func NewReceiver(k *sim.Kernel, cfg Config, flow int, out *netem.Link, account *
 	if k == nil || out == nil {
 		return nil, fmt.Errorf("tcp: receiver flow %d: nil kernel or link", flow)
 	}
-	return &Receiver{
+	r := &Receiver{
 		k:        k,
 		cfg:      cfg,
 		flow:     flow,
 		out:      out,
 		buffered: make(map[int64]bool),
 		account:  account,
-	}, nil
+	}
+	r.delayFn = r.delayedAckFire
+	return r, nil
 }
 
 // Flow reports the receiver's flow identifier.
@@ -77,26 +80,29 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // segment otherwise, delayed-ACK timer as the fallback).
 func (r *Receiver) Receive(p *netem.Packet) {
 	if p.Class != netem.ClassData || p.Flow != r.flow {
+		p.Release()
 		return
 	}
 	r.stats.SegmentsReceived++
 	r.echoSentAt = p.SentAt
 	r.echoRetx = p.Retx
+	seq, size, retx := p.Seq, p.Size, p.Retx
+	p.Release() // terminal node: all needed fields are copied above
 
 	switch {
-	case p.Seq == r.expected:
-		r.advance(p.Size - r.cfg.HeaderSize)
+	case seq == r.expected:
+		r.advance(size - r.cfg.HeaderSize)
 		r.sinceAck++
 		// An arrival that fills a hole must be acknowledged immediately so
 		// the sender's recovery makes progress.
-		if len(r.buffered) > 0 || p.Retx || r.sinceAck >= r.cfg.AckEvery {
+		if len(r.buffered) > 0 || retx || r.sinceAck >= r.cfg.AckEvery {
 			r.sendAck()
 		} else {
 			r.armDelayTimer()
 		}
-	case p.Seq > r.expected:
+	case seq > r.expected:
 		r.stats.OutOfOrder++
-		r.buffered[p.Seq] = true
+		r.buffered[seq] = true
 		r.sendAck() // immediate duplicate ACK
 	default:
 		r.stats.Duplicates++
@@ -127,21 +133,18 @@ func (r *Receiver) credit(bytes int) {
 
 // sendAck emits a cumulative ACK now and resets delayed-ACK state.
 func (r *Receiver) sendAck() {
-	if r.delayTimer != nil {
-		r.delayTimer.Cancel()
-		r.delayTimer = nil
-	}
+	r.delayTimer.Cancel()
 	r.sinceAck = 0
 	r.stats.AcksSent++
-	r.out.Send(&netem.Packet{
-		Flow:       r.flow,
-		Class:      netem.ClassAck,
-		Dir:        netem.DirReverse,
-		Size:       r.cfg.HeaderSize,
-		Ack:        r.expected,
-		EchoSentAt: r.echoSentAt,
-		Retx:       r.echoRetx,
-	})
+	p := r.out.NewPacket()
+	p.Flow = r.flow
+	p.Class = netem.ClassAck
+	p.Dir = netem.DirReverse
+	p.Size = r.cfg.HeaderSize
+	p.Ack = r.expected
+	p.EchoSentAt = r.echoSentAt
+	p.Retx = r.echoRetx
+	r.out.Send(p)
 }
 
 // armDelayTimer schedules the delayed-ACK fallback if not already pending.
@@ -151,14 +154,16 @@ func (r *Receiver) armDelayTimer() {
 		r.sendAck()
 		return
 	}
-	if r.delayTimer != nil && r.delayTimer.Active() {
+	if r.delayTimer.Active() {
 		return
 	}
-	r.delayTimer = r.k.After(r.cfg.AckDelay, func() {
-		r.delayTimer = nil
-		if r.sinceAck > 0 {
-			r.stats.DelayedAcks++
-			r.sendAck()
-		}
-	})
+	r.delayTimer = r.k.After(r.cfg.AckDelay, r.delayFn)
+}
+
+// delayedAckFire is the delayed-ACK timer callback.
+func (r *Receiver) delayedAckFire() {
+	if r.sinceAck > 0 {
+		r.stats.DelayedAcks++
+		r.sendAck()
+	}
 }

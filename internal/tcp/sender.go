@@ -45,9 +45,10 @@ type Sender struct {
 	recover    int64 // recovery point: recovery ends when hiAck >= recover
 	hadLoss    bool  // a loss event has occurred (enables the bugfix gate)
 
-	rto      *rtoEstimator
-	rtoTimer *sim.Timer
-	rtoRand  *rng.Source // non-nil when the RTO-jitter defense is enabled
+	rto       *rtoEstimator
+	rtoTimer  sim.Timer
+	rtoRand   *rng.Source // non-nil when the RTO-jitter defense is enabled
+	timeoutFn func()      // prebuilt handleTimeout callback (avoids a per-arm method-value allocation)
 
 	// Finite-transfer support: limit == 0 means an unbounded bulk source;
 	// otherwise the sender transmits exactly limit segments and reports
@@ -80,6 +81,7 @@ func NewSender(k *sim.Kernel, cfg Config, flow int, out *netem.Link) (*Sender, e
 		ssthresh: cfg.InitialSSThresh,
 		rto:      newRTOEstimator(cfg.RTOMin, cfg.RTOMax),
 	}
+	s.timeoutFn = s.handleTimeout
 	if cfg.RTOJitter > 0 {
 		// Deterministic per-flow stream so scenario seeds stay in control.
 		s.rtoRand = rng.New(0x9e3779b97f4a7c15 ^ uint64(flow))
@@ -146,14 +148,15 @@ func (s *Sender) Start(at sim.Time) error {
 // are ignored. Used by finite-duration experiments during teardown.
 func (s *Sender) Stop() {
 	s.closed = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 }
 
-// Receive implements netem.Node; the reverse path delivers ACKs here.
+// Receive implements netem.Node; the reverse path delivers ACKs here. The
+// sender is the ACK path's terminal node, so pooled packets are released
+// here after their fields have been consumed.
 func (s *Sender) Receive(p *netem.Packet) {
 	if s.closed || p.Class != netem.ClassAck || p.Flow != s.flow {
+		p.Release()
 		return
 	}
 	s.stats.AcksReceived++
@@ -165,6 +168,7 @@ func (s *Sender) Receive(p *netem.Packet) {
 	default:
 		// Stale ACK from before a timeout-induced resequence: ignore.
 	}
+	p.Release()
 	s.trySend()
 }
 
@@ -295,9 +299,7 @@ func (s *Sender) multiplicativeDecrease() {
 // callback fires exactly once.
 func (s *Sender) complete() {
 	s.done = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 	if s.onComplete != nil {
 		s.onComplete(s.k.Now())
 	}
@@ -348,7 +350,7 @@ func (s *Sender) trySend() {
 		s.nextSeq++
 		sent = true
 	}
-	if sent && s.rtoTimer == nil {
+	if sent && !s.rtoTimer.Active() {
 		s.restartRTOTimer()
 	}
 }
@@ -369,28 +371,26 @@ func (s *Sender) sendSegment(seq int64) {
 	if retx {
 		s.stats.Retransmits++
 	}
-	s.out.Send(&netem.Packet{
-		Flow:   s.flow,
-		Class:  netem.ClassData,
-		Dir:    netem.DirForward,
-		Size:   s.cfg.MSS + s.cfg.HeaderSize,
-		Seq:    seq,
-		SentAt: s.k.Now(),
-		Retx:   retx,
-	})
+	p := s.out.NewPacket()
+	p.Flow = s.flow
+	p.Class = netem.ClassData
+	p.Dir = netem.DirForward
+	p.Size = s.cfg.MSS + s.cfg.HeaderSize
+	p.Seq = seq
+	p.SentAt = s.k.Now()
+	p.Retx = retx
+	s.out.Send(p)
 }
 
 // restartRTOTimer (re)arms the retransmission timer for the current RTO,
 // stretched by the randomized-timeout defense when enabled.
 func (s *Sender) restartRTOTimer() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
 	rto := s.rto.RTO()
 	if s.rtoRand != nil {
 		rto = sim.Time(float64(rto) * (1 + s.cfg.RTOJitter*s.rtoRand.Float64()))
 	}
-	s.rtoTimer = s.k.AfterTicks(rto, s.handleTimeout)
+	s.rtoTimer = s.k.AfterTicks(rto, s.timeoutFn)
 }
 
 // setCwnd assigns the window and fires the observer.
