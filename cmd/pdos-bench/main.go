@@ -10,9 +10,18 @@
 //
 // Example:
 //
+// With -scale-bench the command instead runs the many-flow scaling sweep
+// (100 → 50k victim flows through a proportionally scaled pulsed bottleneck,
+// wheel kernel vs heap-kernel baseline) plus the hot paths, and writes the
+// combined report (BENCH_2.json shape) to the given path; figures are skipped
+// unless -figures selects some.
+//
+// Example:
+//
 //	pdos-bench -scale quick -out results/ -html
 //	pdos-bench -scale full -figures fig6,fig12 -parallel 8
 //	pdos-bench -scale quick -bench-json results/BENCH_1.json
+//	pdos-bench -scale-bench BENCH_2.json
 package main
 
 import (
@@ -50,9 +59,13 @@ func run(args []string) error {
 		htmlOut   = fs.Bool("html", false, "also write <out>/index.html with SVG charts")
 		parallel  = fs.Int("parallel", 1, "figure-level worker count (1 = sequential)")
 		benchJSON = fs.String("bench-json", "", "write a hot-path benchmark report to this path")
+		scaleJSON = fs.String("scale-bench", "", "run the many-flow scaling sweep and write the report to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scaleJSON != "" {
+		return runScaleBench(*scaleJSON)
 	}
 	var scale experiments.Scale
 	switch *scaleName {
@@ -162,5 +175,49 @@ func run(args []string) error {
 		}
 		fmt.Printf("== bench report -> %s\n", *benchJSON)
 	}
+	return nil
+}
+
+// runScaleBench executes the BENCH_2 pipeline: the full many-flow scaling
+// sweep (sequential — each point owns the process's wall clock and allocator
+// counters) followed by the hot-path micro-benchmarks, written as one report.
+func runScaleBench(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	start := time.Now()
+	points, err := experiments.ScaleSweep(experiments.DefaultScaleSweepConfig(), func(msg string) {
+		fmt.Println("== " + msg)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== scale sweep done in %.1fs; measuring hot paths...\n", time.Since(start).Seconds())
+	rep := perf.NewReport(perf.RunHotPaths(), nil)
+	rep.Scale = points
+	writeErr := perf.WriteJSON(out, rep)
+	closeErr := out.Close()
+	if writeErr != nil {
+		return writeErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("   %-24s %12.1f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.BaselineNsPerOp > 0 {
+			fmt.Printf("   (%+.1f%% vs baseline %0.1f ns/op)", r.SpeedupPct, r.BaselineNsPerOp)
+		}
+		fmt.Println()
+	}
+	for _, p := range rep.Scale {
+		fmt.Printf("   scale %6d flows: %.2fM events/sec (%.2fx vs heap), %.1f ns/flow/vsec, %.4f allocs/packet, RSS %.0f MiB\n",
+			p.Flows, p.EventsPerSec/1e6, p.SpeedupVsHeap, p.NsPerFlowPerSec,
+			p.AllocsPerPacket, float64(p.PeakRSSBytes)/(1<<20))
+	}
+	fmt.Printf("== scale bench report -> %s\n", path)
 	return nil
 }

@@ -310,3 +310,19 @@ func TestSpectralPeriodSeconds(t *testing.T) {
 		t.Errorf("noise produced period %g", sec)
 	}
 }
+
+// BenchmarkAutocorrelation exercises the O(n·maxLag) lag loop at the size
+// the Fig. 2/3 period-recovery path uses (a 60 s trace at 10 ms bins).
+func BenchmarkAutocorrelation(b *testing.B) {
+	xs := make([]float64, 6000)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 200)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Autocorrelation(xs, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

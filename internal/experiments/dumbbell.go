@@ -41,6 +41,11 @@ type DumbbellConfig struct {
 	StartSpread      time.Duration // flow start times jittered over [0, spread)
 	AttackAccessRate float64       // attacker's ingress link rate, bps
 	AttackPacketSize int           // attack packet wire size, bytes
+
+	// HeapKernel forces the pure binary-heap event scheduler instead of the
+	// timer-wheel one. The two are observably identical (see internal/sim);
+	// this is the baseline knob for the scaling benchmarks.
+	HeapKernel bool
 }
 
 // DefaultDumbbellConfig returns the paper's ns-2 settings for the given
@@ -70,6 +75,7 @@ func DefaultDumbbellConfig(flows int) DumbbellConfig {
 type Dumbbell struct {
 	Kernel   *sim.Kernel
 	Config   DumbbellConfig
+	Table    *tcp.FlowTable // owns all per-flow TCP state (struct of arrays)
 	Senders  []*tcp.Sender
 	Recvs    []*tcp.Receiver
 	Account  *trace.FlowAccount
@@ -98,11 +104,14 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 	}
 
 	k := sim.New()
+	if cfg.HeapKernel {
+		k = sim.NewHeapKernel()
+	}
 	rand := rng.New(cfg.Seed)
 	d := &Dumbbell{
 		Kernel:  k,
 		Config:  cfg,
-		Account: trace.NewFlowAccount(),
+		Account: trace.NewFlowAccountSized(cfg.Flows),
 		RouterS: netem.NewRouter("S"),
 		RouterR: netem.NewRouter("R"),
 		Sink:    &netem.Sink{},
@@ -161,7 +170,13 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 
 	// Victim flows: RTT_i spread evenly across [RTTMin, RTTMax], realized by
 	// splitting the non-bottleneck propagation budget across the two access
-	// links of the flow.
+	// links of the flow. All per-flow TCP state lives in one FlowTable so a
+	// many-flow population shares flat, contiguous storage.
+	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	d.Table = table
 	d.Senders = make([]*tcp.Sender, cfg.Flows)
 	d.Recvs = make([]*tcp.Receiver, cfg.Flows)
 	d.RTTs = make([]float64, cfg.Flows)
@@ -185,11 +200,11 @@ func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
 		}
 		revOut.SetPool(d.Pool)
 
-		sender, err := tcp.NewSender(k, cfg.TCP, i, fwdIn)
+		sender, err := table.BindSender(i, i, fwdIn)
 		if err != nil {
 			return nil, err
 		}
-		receiver, err := tcp.NewReceiver(k, cfg.TCP, i, revOut, d.Account)
+		receiver, err := table.BindReceiver(i, i, revOut, d.Account)
 		if err != nil {
 			return nil, err
 		}

@@ -20,6 +20,7 @@ type Scale struct {
 	SyncDuration time.Duration // Fig. 3 snapshot length (paper: 60 s)
 	Gammas       []float64
 	FlowCounts   []int // Figs. 6–9 subplot populations (paper: 15,25,35,45)
+	ScaleFlows   []int // "scale" figure populations (BENCH_2 sweeps further)
 	Seed         uint64
 	Parallel     int // concurrent attacked runs per sweep (0/1 = sequential)
 }
@@ -32,6 +33,7 @@ func FullScale() Scale {
 		SyncDuration: 60 * time.Second,
 		Gammas:       DefaultGammaGrid(),
 		FlowCounts:   []int{15, 25, 35, 45},
+		ScaleFlows:   []int{100, 1000, 10000},
 		Seed:         1,
 		Parallel:     runtime.NumCPU(),
 	}
@@ -45,6 +47,7 @@ func QuickScale() Scale {
 		SyncDuration: 30 * time.Second,
 		Gammas:       CoarseGammaGrid(),
 		FlowCounts:   []int{15},
+		ScaleFlows:   []int{100, 1000},
 		Seed:         1,
 	}
 }

@@ -94,6 +94,7 @@ func ExtendedFigures() []FigureJob {
 		{ID: "ext-mice", Build: MiceFigure},
 		{ID: "ext-maximization", Build: MaximizationFigure},
 		{ID: "ext-sensitivity", Build: SensitivityFigure},
+		{ID: "scale", Build: ScaleFigure},
 	}
 }
 

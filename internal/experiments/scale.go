@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/model"
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+)
+
+// ScaleSweepConfig parameterizes the many-flow scaling study: the same pulsed
+// dumbbell at growing victim populations, with the bottleneck scaled so every
+// population sees the paper's per-flow regime (15 flows over 15 Mbps ≈
+// 1 Mbps/flow). Each point measures both the attack physics (does the
+// aggregate degradation still match Eq. 1 / Prop. 2 at scale?) and the
+// simulator's cost of delivering them (events/sec, ns per flow per virtual
+// second, allocs/packet, peak RSS).
+type ScaleSweepConfig struct {
+	FlowCounts  []int         // victim populations to sweep
+	PerFlowRate float64       // bottleneck bps per flow; default 1 Mbps
+	Gamma       float64       // target throughput-degradation point; default 0.5
+	Extent      time.Duration // pulse width T_extent; default 75 ms
+	RateFactor  float64       // attack rate as a multiple of the bottleneck; default 2
+
+	Warmup         time.Duration // per-run warm-up; pulses begin mid-warm-up
+	Measure        time.Duration // measurement window for Flows <= LongMeasureMax
+	ShortMeasure   time.Duration // measurement window above LongMeasureMax
+	LongMeasureMax int
+
+	Seed         uint64
+	HeapBaseline bool // also run each attacked point on the heap kernel
+}
+
+// DefaultScaleSweepConfig returns the BENCH_2 sweep: 100 → 50k flows, 60
+// virtual seconds of pulsed steady state up to 10k flows (10 s at 50k), with
+// the heap-kernel baseline enabled.
+func DefaultScaleSweepConfig() ScaleSweepConfig {
+	return ScaleSweepConfig{
+		FlowCounts:     []int{100, 1000, 10000, 50000},
+		PerFlowRate:    1 * netem.Mbps,
+		Gamma:          0.5,
+		Extent:         75 * time.Millisecond,
+		RateFactor:     2,
+		Warmup:         15 * time.Second,
+		Measure:        60 * time.Second,
+		ShortMeasure:   10 * time.Second,
+		LongMeasureMax: 10000,
+		Seed:           1,
+		HeapBaseline:   true,
+	}
+}
+
+func (c ScaleSweepConfig) measureFor(flows int) time.Duration {
+	if flows > c.LongMeasureMax && c.ShortMeasure > 0 {
+		return c.ShortMeasure
+	}
+	return c.Measure
+}
+
+// ScalePoint is one measured population of the scaling sweep. The JSON shape
+// is what internal/perf embeds into BENCH_2.json.
+type ScalePoint struct {
+	Flows          int     `json:"flows"`
+	BottleneckBps  float64 `json:"bottleneck_bps"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+
+	// Simulator cost of the attacked run, measured over the post-warm-up
+	// window only (capacity growth — queue rings, event free list, packet
+	// pool — has converged by then).
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerFlowPerSec float64 `json:"ns_per_flow_per_virtual_second"`
+	Packets         uint64  `json:"packets"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	PeakRSSBytes    uint64  `json:"peak_rss_bytes,omitempty"` // process high-water mark (VmHWM), cumulative across points
+
+	// Heap-kernel baseline: the identical attacked scenario scheduled by the
+	// pure 4-ary-heap kernel. DeliveredMatch asserts the two kernels produced
+	// byte-identical goodput (the ordering-equivalence contract, end to end).
+	HeapEventsPerSec float64 `json:"heap_events_per_sec,omitempty"`
+	SpeedupVsHeap    float64 `json:"speedup_vs_heap,omitempty"`
+	DeliveredMatch   bool    `json:"heap_delivered_match,omitempty"`
+
+	// Attack physics at this scale, against the Eq. 1 / Prop. 2 predictions.
+	BaselineBytes       uint64  `json:"baseline_bytes"`
+	AttackedBytes       uint64  `json:"attacked_bytes"`
+	MeasuredDegradation float64 `json:"measured_degradation"`
+	AnalyticDegradation float64 `json:"analytic_degradation"`
+	MeanConvergedWindow float64 `json:"mean_converged_window"` // Eq. 1, averaged over flows
+	LossRate            float64 `json:"loss_rate"`             // bottleneck drops/arrivals in the window
+}
+
+// scaleDumbbellConfig scales the Fig. 5 topology to the given population,
+// holding the per-flow regime fixed: bottleneck bandwidth and queue capacity
+// grow linearly with the population (the paper's 15 flows / 15 Mbps / 150
+// packets ratios), RTTs keep their 20–460 ms spread.
+func scaleDumbbellConfig(cfg ScaleSweepConfig, flows int) DumbbellConfig {
+	d := DefaultDumbbellConfig(flows)
+	d.Seed = cfg.Seed
+	d.BottleneckRate = cfg.PerFlowRate * float64(flows)
+	d.QueueLimit = 10 * flows
+	if r := 4 * d.BottleneckRate; r > d.AttackAccessRate {
+		d.AttackAccessRate = r
+	}
+	return d
+}
+
+// ScaleSweep runs every population sequentially (each point times wall-clock
+// and reads allocator counters, so points must not share the process with
+// concurrent work) and returns one record per population.
+func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, error) {
+	if cfg.Gamma <= 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("experiments: scale gamma %g outside (0,1)", cfg.Gamma)
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	points := make([]ScalePoint, 0, len(cfg.FlowCounts))
+	for _, flows := range cfg.FlowCounts {
+		say("scale: %d flows (%.0f Mbps bottleneck, %v measured)...",
+			flows, cfg.PerFlowRate*float64(flows)/1e6, cfg.measureFor(flows))
+		p, err := measureScalePoint(cfg, flows)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scale point %d flows: %w", flows, err)
+		}
+		say("scale: %d flows done: %.2fM events/sec, %.1f ns/flow/vsec, %.4f allocs/packet, degradation %.3f (model %.3f)",
+			flows, p.EventsPerSec/1e6, p.NsPerFlowPerSec, p.AllocsPerPacket,
+			p.MeasuredDegradation, p.AnalyticDegradation)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func measureScalePoint(cfg ScaleSweepConfig, flows int) (ScalePoint, error) {
+	dcfg := scaleDumbbellConfig(cfg, flows)
+	attackRate := cfg.RateFactor * dcfg.BottleneckRate
+	period := PeriodForGamma(cfg.Gamma, attackRate, cfg.Extent, dcfg.BottleneckRate)
+	if period < cfg.Extent {
+		return ScalePoint{}, fmt.Errorf("gamma %g unreachable at rate factor %g", cfg.Gamma, cfg.RateFactor)
+	}
+	measure := cfg.measureFor(flows)
+
+	// Ψ_normal: the no-attack baseline, and the operative (queued) RTTs the
+	// analytic model paces on.
+	baseEnv, err := BuildDumbbell(dcfg)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	params := baseEnv.ModelParams()
+	baseRes, err := Run(baseEnv, RunOptions{Warmup: cfg.Warmup, Measure: measure})
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	for i, s := range baseEnv.Senders {
+		if srtt := s.SRTT(); srtt > params.RTTs[i] {
+			params.RTTs[i] = srtt
+		}
+	}
+	cPsi := params.CPsi(cfg.Extent.Seconds(), attackRate)
+
+	meanW1 := 0.0
+	for _, rtt := range params.RTTs {
+		meanW1 += params.ConvergedWindow(period.Seconds(), rtt)
+	}
+	meanW1 /= float64(len(params.RTTs))
+
+	p := ScalePoint{
+		Flows:               flows,
+		BottleneckBps:       dcfg.BottleneckRate,
+		VirtualSeconds:      measure.Seconds(),
+		BaselineBytes:       baseRes.Delivered,
+		AnalyticDegradation: model.Degradation(cPsi, cfg.Gamma),
+		MeanConvergedWindow: meanW1,
+	}
+	baseEnv = nil
+
+	// The attacked wheel run, instrumented over the measurement window.
+	att, err := runAttackedScale(dcfg, cfg, attackRate, period, measure)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	p.Events = att.events
+	p.WallSeconds = att.wall.Seconds()
+	if p.WallSeconds > 0 {
+		p.EventsPerSec = float64(att.events) / p.WallSeconds
+		p.NsPerFlowPerSec = float64(att.wall.Nanoseconds()) / (float64(flows) * measure.Seconds())
+	}
+	p.Packets = att.packets
+	if att.packets > 0 {
+		p.AllocsPerPacket = float64(att.mallocs) / float64(att.packets)
+		p.LossRate = float64(att.drops) / float64(att.packets)
+	}
+	p.AttackedBytes = att.delivered
+	if p.BaselineBytes > 0 {
+		p.MeasuredDegradation = 1 - float64(att.delivered)/float64(p.BaselineBytes)
+		if p.MeasuredDegradation < 0 {
+			p.MeasuredDegradation = 0
+		}
+	}
+	p.PeakRSSBytes = peakRSSBytes()
+
+	if cfg.HeapBaseline {
+		hcfg := dcfg
+		hcfg.HeapKernel = true
+		heap, err := runAttackedScale(hcfg, cfg, attackRate, period, measure)
+		if err != nil {
+			return ScalePoint{}, err
+		}
+		if heap.wall > 0 {
+			p.HeapEventsPerSec = float64(heap.events) / heap.wall.Seconds()
+		}
+		if p.HeapEventsPerSec > 0 {
+			p.SpeedupVsHeap = p.EventsPerSec / p.HeapEventsPerSec
+		}
+		p.DeliveredMatch = heap.delivered == att.delivered && heap.events == att.events
+	}
+	return p, nil
+}
+
+// attackedScale holds the raw counters of one instrumented attacked run.
+type attackedScale struct {
+	events    uint64
+	packets   uint64
+	drops     uint64
+	mallocs   uint64
+	wall      time.Duration
+	delivered uint64
+}
+
+// runAttackedScale executes one pulsed run and instruments the measurement
+// window only. The pulse train starts halfway through the warm-up — not at
+// its end as Run does — so every capacity high-water mark the attack provokes
+// (queue rings, event free list, packet pool) is reached before counters
+// start, leaving the window itself allocation-free.
+func runAttackedScale(dcfg DumbbellConfig, cfg ScaleSweepConfig, attackRate float64, period time.Duration, measure time.Duration) (attackedScale, error) {
+	env, err := BuildDumbbell(dcfg)
+	if err != nil {
+		return attackedScale{}, err
+	}
+	k := env.Kernel
+	warmup := sim.FromDuration(cfg.Warmup)
+	attackStart := warmup / 2
+	end := warmup + sim.FromDuration(measure)
+	pulses := PulsesFor(measure+cfg.Warmup/2, period)
+	train, err := attack.AIMDTrain(sim.FromDuration(cfg.Extent), attackRate, sim.FromDuration(period), pulses)
+	if err != nil {
+		return attackedScale{}, err
+	}
+	gen, err := env.Attach(train)
+	if err != nil {
+		return attackedScale{}, err
+	}
+	if err := gen.Start(attackStart); err != nil {
+		return attackedScale{}, err
+	}
+	env.Goodput().SetStart(warmup)
+	if err := env.StartFlows(); err != nil {
+		return attackedScale{}, err
+	}
+	if err := k.RunUntil(warmup); err != nil {
+		return attackedScale{}, err
+	}
+
+	stats0 := env.Bottle.Stats()
+	events0 := k.Processed()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	wall0 := time.Now()
+	if err := k.RunUntil(end); err != nil {
+		return attackedScale{}, err
+	}
+	wall := time.Since(wall0)
+	runtime.ReadMemStats(&m1)
+	stats1 := env.Bottle.Stats()
+
+	env.StopFlows()
+	gen.Stop()
+	return attackedScale{
+		events:    k.Processed() - events0,
+		packets:   stats1.Arrivals - stats0.Arrivals,
+		drops:     stats1.Drops - stats0.Drops,
+		mallocs:   m1.Mallocs - m0.Mallocs,
+		wall:      wall,
+		delivered: env.Goodput().Total(),
+	}, nil
+}
+
+// peakRSSBytes reads the process resident-set high-water mark (VmHWM) from
+// /proc/self/status; 0 where procfs is unavailable. The value is process-wide
+// and monotone, so later sweep points subsume earlier ones.
+func peakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// ScaleFigure is the "scale" FigureJob: the sweep restricted to the figure
+// scale's populations and windows (so quick regression runs stay quick),
+// rendered as flows-vs-metric curves. The full BENCH_2 sweep — 60 virtual
+// seconds at up to 50k flows — runs through pdos-bench's -scale-bench mode
+// with DefaultScaleSweepConfig instead.
+func ScaleFigure(scale Scale) (*FigureResult, error) {
+	cfg := DefaultScaleSweepConfig()
+	cfg.Seed = scale.Seed
+	if len(scale.ScaleFlows) > 0 {
+		cfg.FlowCounts = scale.ScaleFlows
+	}
+	cfg.Warmup = scale.Warmup
+	cfg.Measure = scale.Measure
+	cfg.ShortMeasure = scale.Measure / 3
+	points, err := ScaleSweep(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	fig := &FigureResult{
+		ID:    "scale",
+		Title: "Many-flow scaling: simulator throughput and model convergence vs population",
+	}
+	curves := []struct {
+		label string
+		get   func(ScalePoint) float64
+	}{
+		{"events/sec (wheel)", func(p ScalePoint) float64 { return p.EventsPerSec }},
+		{"events/sec (heap)", func(p ScalePoint) float64 { return p.HeapEventsPerSec }},
+		{"ns/flow/virtual-second", func(p ScalePoint) float64 { return p.NsPerFlowPerSec }},
+		{"measured degradation", func(p ScalePoint) float64 { return p.MeasuredDegradation }},
+		{"analytic degradation (Prop. 2)", func(p ScalePoint) float64 { return p.AnalyticDegradation }},
+	}
+	for _, c := range curves {
+		s := Series{Label: c.label}
+		for _, p := range points {
+			s.Points = append(s.Points, Point{X: float64(p.Flows), Y: c.get(p)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	for _, p := range points {
+		fig.note("flows=%d: %.2fM events/sec (heap %.2fM, %.2fx), %.1f ns/flow/vsec, %.4f allocs/packet, degradation %.3f vs model %.3f, identical-goodput=%v",
+			p.Flows, p.EventsPerSec/1e6, p.HeapEventsPerSec/1e6, p.SpeedupVsHeap,
+			p.NsPerFlowPerSec, p.AllocsPerPacket, p.MeasuredDegradation, p.AnalyticDegradation,
+			p.DeliveredMatch)
+	}
+	return fig, nil
+}

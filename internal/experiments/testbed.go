@@ -54,6 +54,7 @@ func DefaultTestbedConfig(flows int) TestbedConfig {
 type Testbed struct {
 	Kernel  *sim.Kernel
 	Config  TestbedConfig
+	Table   *tcp.FlowTable // owns all per-flow TCP state (struct of arrays)
 	Senders []*tcp.Sender
 	Recvs   []*tcp.Receiver
 	Account *trace.FlowAccount
@@ -81,7 +82,7 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb := &Testbed{
 		Kernel:  k,
 		Config:  cfg,
-		Account: trace.NewFlowAccount(),
+		Account: trace.NewFlowAccountSized(cfg.Flows),
 		Sink:    &netem.Sink{},
 		Pool:    netem.NewPacketPool(),
 		rand:    rand,
@@ -141,6 +142,11 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb.attackIn = attackIn
 
 	accessOWD := sim.FromDuration(cfg.AccessOWD)
+	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	tb.Table = table
 	tb.Senders = make([]*tcp.Sender, cfg.Flows)
 	tb.Recvs = make([]*tcp.Receiver, cfg.Flows)
 	tb.RTTs = make([]float64, cfg.Flows)
@@ -158,11 +164,11 @@ func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
 			return nil, err
 		}
 		revOut.SetPool(tb.Pool)
-		sender, err := tcp.NewSender(k, cfg.TCP, i, fwdIn)
+		sender, err := table.BindSender(i, i, fwdIn)
 		if err != nil {
 			return nil, err
 		}
-		receiver, err := tcp.NewReceiver(k, cfg.TCP, i, revOut, tb.Account)
+		receiver, err := table.BindReceiver(i, i, revOut, tb.Account)
 		if err != nil {
 			return nil, err
 		}

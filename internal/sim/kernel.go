@@ -9,8 +9,16 @@ import (
 // virtual instant. The kernel never travels backwards.
 var ErrPastTime = errors.New("sim: event scheduled in the past")
 
-// event is a single pending callback in the kernel's priority queue. Fired
-// and cancelled events are recycled through the kernel's free list, so a
+// Sentinel values for event.index. Non-negative indices locate the event in
+// the overflow heap; wheel-resident events carry their slot in event.slot
+// instead.
+const (
+	idxNone  = -1 // not pending (fired, cancelled, or on the free list)
+	idxWheel = -2 // pending inside a timer-wheel slot
+)
+
+// event is a single pending callback in the kernel's pending set. Fired and
+// cancelled events are recycled through the kernel's free list, so a
 // steady-state simulation schedules without allocating; the generation
 // counter lets outstanding Timer handles detect that their event has been
 // reused.
@@ -25,11 +33,18 @@ type event struct {
 	argFn func(any)
 	arg   any
 
-	index int32  // heap index, -1 once removed
+	// next/prev link the event into its wheel slot's doubly-linked list,
+	// making wheel-side Cancel O(1). Both are nil while the event sits in
+	// the heap or on the free list.
+	next *event
+	prev *event
+
+	index int32  // heap index, idxWheel in a slot, idxNone once removed
+	slot  int32  // level<<8 | slot position while index == idxWheel, else -1
 	gen   uint32 // incremented every time the event returns to the free list
 }
 
-// before reports the (when, seq) heap order.
+// before reports the (when, seq) firing order.
 func (e *event) before(o *event) bool {
 	if e.when != o.when {
 		return e.when < o.when
@@ -62,7 +77,7 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	ev := t.ev
-	t.k.remove(int(ev.index))
+	t.k.unschedule(ev)
 	t.k.release(ev)
 	return true
 }
@@ -86,9 +101,14 @@ func (t *Timer) When() Time {
 // The single-goroutine invariant is also what makes the event free list
 // safe — see DESIGN.md's Performance section.
 //
-// The pending queue is an inlined 4-ary index heap over []*event rather than
-// container/heap: no interface dispatch, no `any` boxing on push/pop, and a
-// shallower tree than a binary heap (fewer cache-missing levels per sift).
+// The pending set is split between a hierarchical timing wheel (near future,
+// O(1) insert/cancel — see wheel.go) and an inlined 4-ary index heap (events
+// behind the wheel floor and beyond the wheel horizon). The firing order is
+// exactly (when, seq) — identical to a pure heap — because due wheel slots
+// are drained through the heap before anything in them fires. The heap is
+// inlined rather than container/heap: no interface dispatch, no `any` boxing
+// on push/pop, and a shallower tree than a binary heap (fewer cache-missing
+// levels per sift).
 type Kernel struct {
 	now       Time
 	events    []*event // 4-ary min-heap ordered by (when, seq)
@@ -96,11 +116,39 @@ type Kernel struct {
 	seq       uint64
 	processed uint64
 	limit     uint64 // 0 = unlimited
+	pending   int    // heap + wheel population
+	solo      *event // cache: the sole pending event while pending == 1, else nil
+
+	// ---- hierarchical timing wheel (see wheel.go) ----
+	heapOnly   bool // true: bypass the wheel entirely (golden-reference mode)
+	wheelCount int  // events currently resident in wheel slots
+	upperCount int  // subset of wheelCount resident in levels 1..2
+	floor      Time // wheel mapping origin: every slotted event has when >= floor
+	occupied   [wheelLevels][wheelSlots / 64]uint64
+	wheel      [wheelLevels][wheelSlots]*event // slot heads (intrusive lists)
 }
 
-// New returns a kernel with the clock at the virtual origin.
+// New returns a kernel with the clock at the virtual origin, using the
+// hierarchical timing wheel for near-future events.
 func New() *Kernel {
-	return &Kernel{}
+	k := &Kernel{}
+	k.setFloor(0)
+	return k
+}
+
+// NewHeapKernel returns a kernel that keeps every pending event in the 4-ary
+// heap, bypassing the timing wheel. It fires events in exactly the same
+// (when, seq) order as New — this is the golden reference the wheel kernel is
+// equivalence-tested against, and the baseline the scale benchmarks record.
+func NewHeapKernel() *Kernel {
+	k := New()
+	k.heapOnly = true
+	return k
+}
+
+// HeapOnly reports whether the kernel bypasses the timing wheel.
+func (k *Kernel) HeapOnly() bool {
+	return k.heapOnly
 }
 
 // Now reports the current virtual instant.
@@ -110,7 +158,7 @@ func (k *Kernel) Now() Time {
 
 // Pending reports the number of events waiting to fire.
 func (k *Kernel) Pending() int {
-	return len(k.events)
+	return k.pending
 }
 
 // Processed reports the total number of events fired so far.
@@ -188,23 +236,6 @@ func (k *Kernel) siftDown(i int) {
 	ev.index = int32(i)
 }
 
-// popMin removes and returns the earliest event. Caller guarantees the heap
-// is non-empty.
-func (k *Kernel) popMin() *event {
-	h := k.events
-	n := len(h)
-	ev := h[0]
-	last := h[n-1]
-	h[n-1] = nil
-	k.events = h[:n-1]
-	if n > 1 {
-		k.events[0] = last
-		k.siftDown(0)
-	}
-	ev.index = -1
-	return ev
-}
-
 // remove deletes the event at heap index i.
 func (k *Kernel) remove(i int) {
 	h := k.events
@@ -225,7 +256,7 @@ func (k *Kernel) remove(i int) {
 		h[n] = nil
 		k.events = h[:n]
 	}
-	ev.index = -1
+	ev.index = idxNone
 }
 
 // ---- event free list ----
@@ -239,7 +270,7 @@ func (k *Kernel) alloc(t Time) *event {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 	} else {
-		ev = &event{}
+		ev = &event{slot: -1}
 	}
 	ev.when = t
 	ev.seq = k.seq
@@ -254,12 +285,43 @@ func (k *Kernel) release(ev *event) {
 	ev.fn = nil
 	ev.argFn = nil
 	ev.arg = nil
-	ev.index = -1
+	ev.next = nil
+	ev.prev = nil
+	ev.index = idxNone
+	ev.slot = -1
 	ev.gen++
 	k.free = append(k.free, ev)
 }
 
 // ---- scheduling ----
+
+// enqueue adds a freshly allocated event to the pending set: the wheel when
+// its instant maps onto a live slot, the heap otherwise (heap-only mode,
+// instants behind the wheel floor, or beyond the wheel horizon).
+func (k *Kernel) enqueue(ev *event) {
+	k.pending++
+	if k.pending == 1 {
+		k.solo = ev
+	} else {
+		k.solo = nil
+	}
+	if k.heapOnly {
+		k.push(ev)
+		return
+	}
+	if k.wheelCount == 0 {
+		// Empty wheel: nothing constrains the mapping origin, so snap it to
+		// the new event. This keeps long-idle simulations (and the common
+		// one-pending-event chain) on the cheap level-0 path forever.
+		if ev.when != k.floor {
+			k.setFloor(ev.when)
+		}
+	} else if ev.when < k.floor {
+		k.push(ev)
+		return
+	}
+	k.place(ev)
+}
 
 // At schedules fn to run at the absolute virtual instant t. Events at equal
 // instants fire in the order they were scheduled.
@@ -269,7 +331,7 @@ func (k *Kernel) At(t Time, fn func()) (Timer, error) {
 	}
 	ev := k.alloc(t)
 	ev.fn = fn
-	k.push(ev)
+	k.enqueue(ev)
 	return Timer{k: k, ev: ev, gen: ev.gen, when: t}, nil
 }
 
@@ -284,7 +346,7 @@ func (k *Kernel) AtArg(t Time, fn func(any), arg any) (Timer, error) {
 	ev := k.alloc(t)
 	ev.argFn = fn
 	ev.arg = arg
-	k.push(ev)
+	k.enqueue(ev)
 	return Timer{k: k, ev: ev, gen: ev.gen, when: t}, nil
 }
 
@@ -325,13 +387,10 @@ func (k *Kernel) clampDelta(delta Time) Time {
 
 // ---- execution ----
 
-// Step fires the single earliest pending event. It reports false when the
-// queue is empty.
-func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
-		return false
-	}
-	ev := k.popMin()
+// fire removes ev — which locate() just proved is the global (when, seq)
+// minimum — from the pending set, advances the clock, and runs its callback.
+func (k *Kernel) fire(ev *event) {
+	k.unschedule(ev)
 	k.now = ev.when
 	k.processed++
 	if ev.argFn != nil {
@@ -343,6 +402,16 @@ func (k *Kernel) Step() bool {
 		k.release(ev)
 		fn()
 	}
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (k *Kernel) Step() bool {
+	ev := k.locate()
+	if ev == nil {
+		return false
+	}
+	k.fire(ev)
 	return true
 }
 
@@ -360,8 +429,12 @@ func (k *Kernel) Run() error {
 // then advances the clock to exactly t. Events scheduled after t remain
 // pending.
 func (k *Kernel) RunUntil(t Time) error {
-	for len(k.events) > 0 && k.events[0].when <= t {
-		k.Step()
+	for {
+		ev := k.locate()
+		if ev == nil || ev.when > t {
+			break
+		}
+		k.fire(ev)
 		if k.limit > 0 && k.processed >= k.limit {
 			return ErrEventLimit
 		}

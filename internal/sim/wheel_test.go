@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// firing is one observed callback: the instant the clock showed and the
+// identity the scheduler attached. Two kernels are equivalent iff their
+// firing logs are identical element for element.
+type firing struct {
+	at Time
+	id int
+}
+
+// runProgram executes the same schedule/cancel program against k and returns
+// the firing log. The program is driven by its own deterministic RNG so both
+// kernels see byte-identical decisions: a mix of immediate schedules, nested
+// schedules from inside callbacks, and cancellations, with offsets drawn to
+// straddle every wheel boundary (tick, slot, level-1, level-2, horizon).
+func runProgram(k *Kernel, seed int64, ops int) []firing {
+	r := rand.New(rand.NewSource(seed))
+	var log []firing
+	var timers []Timer
+	id := 0
+	// Offset classes per wheel geometry: within a tick, within level 0,
+	// level 1, level 2, and beyond the horizon (heap overflow).
+	offset := func() Time {
+		switch r.Intn(8) {
+		case 0:
+			return Time(r.Int63n(1 << tickShift)) // sub-tick
+		case 1:
+			return 1<<tickShift - 1 + Time(r.Int63n(3)) // tick boundary
+		case 2:
+			return Time(r.Int63n(1 << l1Shift)) // level 0
+		case 3:
+			return 1<<l1Shift - 1 + Time(r.Int63n(3)) // level-0/1 epoch boundary
+		case 4:
+			return Time(r.Int63n(1 << l2Shift)) // level 1
+		case 5:
+			return 1<<l2Shift - 1 + Time(r.Int63n(3)) // level-1/2 epoch boundary
+		case 6:
+			return Time(r.Int63n(1 << horizonLog2)) // level 2
+		default:
+			return 1<<horizonLog2 + Time(r.Int63n(1<<horizonLog2)) // heap overflow
+		}
+	}
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		myID := id
+		id++
+		tm := k.AfterTicks(offset(), func() {
+			log = append(log, firing{at: k.Now(), id: myID})
+			if depth < 3 && r.Intn(3) == 0 {
+				schedule(depth + 1)
+			}
+		})
+		timers = append(timers, tm)
+	}
+	for i := 0; i < ops; i++ {
+		switch {
+		case len(timers) > 0 && r.Intn(4) == 0:
+			timers[r.Intn(len(timers))].Cancel()
+		default:
+			schedule(0)
+		}
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	return log
+}
+
+// TestWheelHeapEquivalence is the golden ordering test the tentpole hangs
+// on: the wheel kernel must fire the exact (when, seq) order of the pure
+// heap kernel on arbitrary programs, not merely a sorted-by-time order.
+func TestWheelHeapEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		gotWheel := runProgram(New(), seed, 120)
+		gotHeap := runProgram(NewHeapKernel(), seed, 120)
+		if len(gotWheel) != len(gotHeap) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(gotWheel), len(gotHeap))
+		}
+		for i := range gotWheel {
+			if gotWheel[i] != gotHeap[i] {
+				t.Fatalf("seed %d: firing %d diverged: wheel %+v, heap %+v",
+					seed, i, gotWheel[i], gotHeap[i])
+			}
+		}
+	}
+}
+
+// TestWheelHeapEquivalenceProperty drives the same comparison through
+// testing/quick so shrinking finds small counterexamples.
+func TestWheelHeapEquivalenceProperty(t *testing.T) {
+	property := func(seed int64) bool {
+		w := runProgram(New(), seed, 60)
+		h := runProgram(NewHeapKernel(), seed, 60)
+		if len(w) != len(h) {
+			return false
+		}
+		for i := range w {
+			if w[i] != h[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWheelResidency pins down which container each horizon class lands in:
+// near events in wheel slots, beyond-horizon events in the overflow heap.
+func TestWheelResidency(t *testing.T) {
+	k := New()
+	anchor := k.AfterTicks(0, func() {}) // pins the floor at 0
+	near := k.AfterTicks(Millisecond, func() {})
+	far := k.AfterTicks(30*Second, func() {}) // past the ~17.2s horizon
+	if anchor.ev.index != idxWheel {
+		t.Errorf("anchor event index = %d, want wheel resident", anchor.ev.index)
+	}
+	if near.ev.index != idxWheel {
+		t.Errorf("near event index = %d, want wheel resident", near.ev.index)
+	}
+	if far.ev.index < 0 {
+		t.Errorf("far event index = %d, want overflow heap resident", far.ev.index)
+	}
+	hk := NewHeapKernel()
+	if tm := hk.AfterTicks(Millisecond, func() {}); tm.ev.index < 0 {
+		t.Errorf("heap kernel event index = %d, want heap resident", tm.ev.index)
+	}
+}
+
+// TestWheelTickBoundaryReschedule cancels and reschedules the same logical
+// timer across a wheel-tick boundary: the firing instant must track the
+// final schedule exactly, with no quantization to tick edges.
+func TestWheelTickBoundaryReschedule(t *testing.T) {
+	k := New()
+	k.AfterTicks(0, func() {}) // pin the floor
+	var fired []Time
+	tick := Time(1) << tickShift
+	tm := k.AfterTicks(tick-1, func() { fired = append(fired, k.Now()) })
+	if !tm.Cancel() {
+		t.Fatal("cancel before boundary failed")
+	}
+	tm = k.AfterTicks(tick+1, func() { fired = append(fired, k.Now()) })
+	if !tm.Cancel() {
+		t.Fatal("cancel after boundary failed")
+	}
+	final := 3*tick + 5
+	k.AfterTicks(final, func() { fired = append(fired, k.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != final {
+		t.Fatalf("fired = %v, want exactly [%v]", fired, final)
+	}
+}
+
+// TestWheelOverflowPromotion walks one timer through every container: it is
+// first scheduled beyond the horizon (heap), cancelled, rescheduled inside
+// the wheel, cancelled again, and finally fired from a sub-tick reschedule.
+// Each handle generation must die with its cancellation (the ABA guard from
+// kernel_test.go's TestTimerStaleHandle, here crossing containers).
+func TestWheelOverflowPromotion(t *testing.T) {
+	k := New()
+	k.AfterTicks(0, func() {}) // pin the floor
+	fired := 0
+	farTm := k.AfterTicks(60*Second, func() { fired++ })
+	if farTm.ev.index < 0 {
+		t.Fatal("beyond-horizon timer not heap resident")
+	}
+	if !farTm.Cancel() {
+		t.Fatal("cancel of heap-resident timer failed")
+	}
+	nearTm := k.AfterTicks(5*Millisecond, func() { fired++ })
+	if nearTm.ev.index != idxWheel {
+		t.Fatal("near timer not wheel resident")
+	}
+	if farTm.Cancel() {
+		t.Error("stale heap-era handle cancelled a wheel-resident reuse")
+	}
+	if !nearTm.Cancel() {
+		t.Fatal("cancel of wheel-resident timer failed")
+	}
+	lastTm := k.AfterTicks(100, func() { fired++ })
+	if nearTm.Cancel() || farTm.Cancel() {
+		t.Error("stale handle cancelled the final reuse")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (only the final schedule)", fired)
+	}
+	if lastTm.Active() {
+		t.Error("fired timer still active")
+	}
+}
+
+// TestWheelEpochBoundaryOrdering schedules events clustered just before and
+// after level epoch boundaries — where a buggy wheel would misfile into a
+// wrapped slot — and checks the firing order is globally sorted with FIFO
+// ties.
+func TestWheelEpochBoundaryOrdering(t *testing.T) {
+	k := New()
+	k.AfterTicks(0, func() {}) // pin the floor
+	var fired []Time
+	record := func() { fired = append(fired, k.Now()) }
+	boundaries := []Time{1 << tickShift, 1 << l1Shift, 1 << l2Shift, 1 << horizonLog2}
+	for _, b := range boundaries {
+		for _, d := range []Time{-2, -1, 0, 1, 2} {
+			k.AfterTicks(b+d, record)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5*len(boundaries) {
+		t.Fatalf("fired %d events, want %d", len(fired), 5*len(boundaries))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("misordered at %d: %v", i, fired)
+		}
+	}
+}
+
+// TestWheelIdleResync: after a long idle gap the floor must snap forward so
+// far-future work still lands on the cheap level-0 path and fires exactly.
+func TestWheelIdleResync(t *testing.T) {
+	k := New()
+	var fired []Time
+	k.AfterTicks(Hour(), func() { fired = append(fired, k.Now()) })
+	k.RunUntil(2 * 3600 * Second)
+	k.AfterTicks(Microsecond, func() { fired = append(fired, k.Now()) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{3600 * Second, 2*3600*Second + Microsecond}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+// Hour returns one virtual hour; a helper, not part of the Time API.
+func Hour() Time { return 3600 * Second }
+
+// benchKernelChain measures the one-pending-timer chain — the ubiquitous
+// "transmit, then schedule the next transmit" pattern.
+func benchKernelChain(b *testing.B, k *Kernel) {
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			k.AfterTicks(Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.AfterTicks(Microsecond, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkKernelChainWheel(b *testing.B) { benchKernelChain(b, New()) }
+func BenchmarkKernelChainHeap(b *testing.B)  { benchKernelChain(b, NewHeapKernel()) }
+
+// benchKernelPending measures steady-state throughput with `pending` timers
+// outstanding — the regime a many-flow simulation lives in, where the heap's
+// O(log n) sift starts to cost and the wheel's O(1) insert does not.
+func benchKernelPending(b *testing.B, k *Kernel, pending int) {
+	r := rand.New(rand.NewSource(17))
+	offsets := make([]Time, 4096)
+	for i := range offsets {
+		// Mix of RTT-ish and RTO-ish horizons, like a TCP population.
+		offsets[i] = Time(r.Int63n(int64(200*Millisecond))) + Millisecond
+	}
+	n := 0
+	oi := 0
+	var refire func()
+	refire = func() {
+		n++
+		if n < b.N {
+			k.AfterTicks(offsets[oi&4095], refire)
+			oi++
+		}
+	}
+	for i := 0; i < pending; i++ {
+		k.AfterTicks(offsets[oi&4095], refire)
+		oi++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n < b.N && k.Step() {
+	}
+}
+
+func BenchmarkKernelPending10kWheel(b *testing.B) { benchKernelPending(b, New(), 10000) }
+func BenchmarkKernelPending10kHeap(b *testing.B) {
+	benchKernelPending(b, NewHeapKernel(), 10000)
+}

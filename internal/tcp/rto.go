@@ -6,87 +6,91 @@ import (
 	"pulsedos/internal/sim"
 )
 
-// rtoEstimator implements RFC 6298 retransmission-timeout estimation with
-// exponential backoff and Karn's algorithm (the caller refuses samples from
-// retransmitted segments).
-type rtoEstimator struct {
-	min, max sim.Time
+// RFC 6298 retransmission-timeout estimation with exponential backoff and
+// Karn's algorithm (the caller refuses samples from retransmitted segments).
+// The estimator state lives in the FlowTable's parallel slices — srtt,
+// rttvar, rtoBase, rtoBackoff — so the per-ACK sample fold touches the same
+// cache lines as the rest of the flow's hot state.
 
-	haveSample bool
-	srtt       float64 // seconds
-	rttvar     float64 // seconds
-	base       sim.Time
-	backoff    uint // consecutive timeouts; RTO doubles per timeout
-}
-
-// newRTOEstimator returns an estimator with the conservative pre-sample RTO
-// of RFC 6298 (max(1s, RTOMin)).
-func newRTOEstimator(rtoMin, rtoMax time.Duration) *rtoEstimator {
-	e := &rtoEstimator{
-		min: sim.FromDuration(rtoMin),
-		max: sim.FromDuration(rtoMax),
-	}
+// rtoInitial is the conservative pre-sample RTO of RFC 6298: max(1s, RTOMin).
+func (t *FlowTable) rtoInitial() sim.Time {
 	initial := sim.FromDuration(time.Second)
-	if e.min > initial {
-		initial = e.min
+	if t.rtoMin > initial {
+		initial = t.rtoMin
 	}
-	e.base = initial
-	return e
+	return initial
 }
 
-// Sample folds a round-trip measurement into the smoothed estimate and
-// resets the backoff, per Karn/Partridge.
-func (e *rtoEstimator) Sample(rtt sim.Time) {
+// rtoSample folds a round-trip measurement for slot i into the smoothed
+// estimate and resets the backoff, per Karn/Partridge.
+func (t *FlowTable) rtoSample(i int, rtt sim.Time) {
 	r := rtt.Seconds()
 	if r < 0 {
 		return
 	}
-	if !e.haveSample {
-		e.haveSample = true
-		e.srtt = r
-		e.rttvar = r / 2
+	if !t.has(i, flagRTTSampled) {
+		t.set(i, flagRTTSampled)
+		t.srtt[i] = r
+		t.rttvar[i] = r / 2
 	} else {
 		const alpha, beta = 1.0 / 8, 1.0 / 4
-		d := e.srtt - r
+		d := t.srtt[i] - r
 		if d < 0 {
 			d = -d
 		}
-		e.rttvar = (1-beta)*e.rttvar + beta*d
-		e.srtt = (1-alpha)*e.srtt + alpha*r
+		t.rttvar[i] = (1-beta)*t.rttvar[i] + beta*d
+		t.srtt[i] = (1-alpha)*t.srtt[i] + alpha*r
 	}
-	e.backoff = 0
-	rto := sim.FromSeconds(e.srtt + 4*e.rttvar)
-	e.base = e.clamp(rto)
+	t.rtoBackoff[i] = 0
+	t.rtoBase[i] = t.rtoClamp(sim.FromSeconds(t.srtt[i] + 4*t.rttvar[i]))
 }
 
-// Backoff doubles the effective RTO after a retransmission timeout.
-func (e *rtoEstimator) Backoff() {
-	if e.backoff < 12 { // 2^12 ≫ RTOMax/RTOMin for any sane config
-		e.backoff++
+// rtoStep doubles slot i's effective RTO after a retransmission timeout.
+func (t *FlowTable) rtoStep(i int) {
+	if t.rtoBackoff[i] < 12 { // 2^12 ≫ RTOMax/RTOMin for any sane config
+		t.rtoBackoff[i]++
 	}
 }
 
-// RTO reports the current effective timeout (base << backoff, clamped).
-func (e *rtoEstimator) RTO() sim.Time {
-	rto := e.base
-	for i := uint(0); i < e.backoff; i++ {
+// rto reports slot i's current effective timeout (base << backoff, clamped).
+func (t *FlowTable) rto(i int) sim.Time {
+	rto := t.rtoBase[i]
+	for n := uint8(0); n < t.rtoBackoff[i]; n++ {
 		rto *= 2
-		if rto >= e.max {
-			return e.max
+		if rto >= t.rtoMax {
+			return t.rtoMax
 		}
 	}
-	return e.clamp(rto)
+	return t.rtoClamp(rto)
 }
 
-// SRTT reports the smoothed RTT estimate in seconds (0 before any sample).
-func (e *rtoEstimator) SRTT() float64 { return e.srtt }
-
-func (e *rtoEstimator) clamp(t sim.Time) sim.Time {
-	if t < e.min {
-		return e.min
+func (t *FlowTable) rtoClamp(v sim.Time) sim.Time {
+	if v < t.rtoMin {
+		return t.rtoMin
 	}
-	if t > e.max {
-		return e.max
+	if v > t.rtoMax {
+		return t.rtoMax
 	}
-	return t
+	return v
 }
+
+// rtoEstimator is a single-flow view over a FlowTable's estimator slices,
+// retained so the RFC 6298 math stays unit-testable in isolation.
+type rtoEstimator struct {
+	t *FlowTable
+}
+
+func newRTOEstimator(rtoMin, rtoMax time.Duration) *rtoEstimator {
+	cfg := DefaultConfig()
+	cfg.RTOMin, cfg.RTOMax = rtoMin, rtoMax
+	t, err := NewFlowTable(sim.New(), cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	return &rtoEstimator{t: t}
+}
+
+func (e *rtoEstimator) Sample(rtt sim.Time) { e.t.rtoSample(0, rtt) }
+func (e *rtoEstimator) Backoff()            { e.t.rtoStep(0) }
+func (e *rtoEstimator) RTO() sim.Time       { return e.t.rto(0) }
+func (e *rtoEstimator) SRTT() float64       { return e.t.srtt[0] }

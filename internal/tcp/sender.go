@@ -25,87 +25,58 @@ type CwndObserver func(now sim.Time, cwndSegments float64)
 // Sender is a bulk-transfer ("FTP") TCP source: it always has data to send
 // and is limited purely by its congestion window — the victim model used
 // throughout the paper. It implements netem.Node to receive ACKs.
+//
+// The struct holds only the cold wiring (links, timers, callbacks); all
+// state touched per packet lives in the owning FlowTable's flat slices at
+// slot i, so a many-flow population shares contiguous storage.
 type Sender struct {
 	k    *sim.Kernel
-	cfg  Config
+	t    *FlowTable
+	i    int
 	flow int
 	out  *netem.Link
 
-	started bool
-	closed  bool
-
-	// Congestion state (all window quantities in segments).
-	cwnd       float64
-	ssthresh   float64
-	hiAck      int64 // all segments < hiAck are acknowledged
-	nextSeq    int64 // next segment to put on the wire
-	maxSent    int64 // highest segment ever sent + 1 (for Retx marking)
-	dupAcks    int
-	inRecovery bool
-	recover    int64 // recovery point: recovery ends when hiAck >= recover
-	hadLoss    bool  // a loss event has occurred (enables the bugfix gate)
-
-	rto       *rtoEstimator
 	rtoTimer  sim.Timer
 	rtoRand   *rng.Source // non-nil when the RTO-jitter defense is enabled
-	timeoutFn func()      // prebuilt handleTimeout callback (avoids a per-arm method-value allocation)
+	timeoutFn func()      // prebuilt onRTOEvent callback (avoids a per-arm method-value allocation)
 
-	// Finite-transfer support: limit == 0 means an unbounded bulk source;
-	// otherwise the sender transmits exactly limit segments and reports
-	// completion when all are acknowledged.
-	limit      int64
-	done       bool
 	onComplete func(sim.Time)
-
-	stats    SenderStats
-	observer CwndObserver
+	observer   CwndObserver
 }
 
 var _ netem.Node = (*Sender)(nil)
 
-// NewSender wires a bulk TCP sender for the given flow id whose first hop is
-// out. The connection does not transmit until Start is called.
+// NewSender wires a standalone bulk TCP sender for the given flow id whose
+// first hop is out, backed by a private one-slot FlowTable. The connection
+// does not transmit until Start is called.
 func NewSender(k *sim.Kernel, cfg Config, flow int, out *netem.Link) (*Sender, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if k == nil || out == nil {
+	if out == nil {
 		return nil, fmt.Errorf("tcp: sender flow %d: nil kernel or link", flow)
 	}
-	s := &Sender{
-		k:        k,
-		cfg:      cfg,
-		flow:     flow,
-		out:      out,
-		cwnd:     cfg.InitialCwnd,
-		ssthresh: cfg.InitialSSThresh,
-		rto:      newRTOEstimator(cfg.RTOMin, cfg.RTOMax),
+	t, err := NewFlowTable(k, cfg, 1)
+	if err != nil {
+		return nil, err
 	}
-	s.timeoutFn = s.handleTimeout
-	if cfg.RTOJitter > 0 {
-		// Deterministic per-flow stream so scenario seeds stay in control.
-		s.rtoRand = rng.New(0x9e3779b97f4a7c15 ^ uint64(flow))
-	}
-	return s, nil
+	return t.BindSender(0, flow, out)
 }
 
 // Flow reports the sender's flow identifier.
 func (s *Sender) Flow() int { return s.flow }
 
 // Cwnd reports the current congestion window in segments.
-func (s *Sender) Cwnd() float64 { return s.cwnd }
+func (s *Sender) Cwnd() float64 { return s.t.cwnd[s.i] }
 
 // SSThresh reports the current slow-start threshold in segments.
-func (s *Sender) SSThresh() float64 { return s.ssthresh }
+func (s *Sender) SSThresh() float64 { return s.t.ssthresh[s.i] }
 
 // SRTT reports the smoothed RTT estimate in seconds (0 before any sample).
-func (s *Sender) SRTT() float64 { return s.rto.SRTT() }
+func (s *Sender) SRTT() float64 { return s.t.srtt[s.i] }
 
 // Stats returns a snapshot of the connection counters.
-func (s *Sender) Stats() SenderStats { return s.stats }
+func (s *Sender) Stats() SenderStats { return s.t.stats[s.i] }
 
 // InRecovery reports whether the sender is in the fast-recovery (FR) state.
-func (s *Sender) InRecovery() bool { return s.inRecovery }
+func (s *Sender) InRecovery() bool { return s.t.has(s.i, flagInRecovery) }
 
 // Observe registers a congestion-window observer (may be nil to clear). The
 // observer fires on every cwnd change, giving the Fig. 1 sawtooth trace.
@@ -118,7 +89,7 @@ func (s *Sender) LimitSegments(n int64) {
 	if n < 0 {
 		n = 0
 	}
-	s.limit = n
+	s.t.limit[s.i] = n
 }
 
 // OnComplete registers a callback fired once when a finite transfer's last
@@ -126,14 +97,14 @@ func (s *Sender) LimitSegments(n int64) {
 func (s *Sender) OnComplete(fn func(now sim.Time)) { s.onComplete = fn }
 
 // Done reports whether a finite transfer has been fully acknowledged.
-func (s *Sender) Done() bool { return s.done }
+func (s *Sender) Done() bool { return s.t.has(s.i, flagDone) }
 
 // Start begins transmission at the given virtual instant.
 func (s *Sender) Start(at sim.Time) error {
-	if s.started {
+	if s.t.has(s.i, flagStarted) {
 		return fmt.Errorf("tcp: sender flow %d already started", s.flow)
 	}
-	s.started = true
+	s.t.set(s.i, flagStarted)
 	_, err := s.k.At(at, func() {
 		s.notifyCwnd()
 		s.trySend()
@@ -147,7 +118,8 @@ func (s *Sender) Start(at sim.Time) error {
 // Stop halts the connection: pending timers are cancelled and arriving ACKs
 // are ignored. Used by finite-duration experiments during teardown.
 func (s *Sender) Stop() {
-	s.closed = true
+	s.t.set(s.i, flagClosed)
+	s.t.rtoDeadline[s.i] = 0
 	s.rtoTimer.Cancel()
 }
 
@@ -155,15 +127,15 @@ func (s *Sender) Stop() {
 // sender is the ACK path's terminal node, so pooled packets are released
 // here after their fields have been consumed.
 func (s *Sender) Receive(p *netem.Packet) {
-	if s.closed || p.Class != netem.ClassAck || p.Flow != s.flow {
+	if s.t.has(s.i, flagClosed) || p.Class != netem.ClassAck || p.Flow != s.flow {
 		p.Release()
 		return
 	}
-	s.stats.AcksReceived++
+	s.t.stats[s.i].AcksReceived++
 	switch {
-	case p.Ack > s.hiAck:
+	case p.Ack > s.t.hiAck[s.i]:
 		s.handleNewAck(p)
-	case p.Ack == s.hiAck:
+	case p.Ack == s.t.hiAck[s.i]:
 		s.handleDupAck()
 	default:
 		// Stale ACK from before a timeout-induced resequence: ignore.
@@ -174,48 +146,49 @@ func (s *Sender) Receive(p *netem.Packet) {
 
 // handleNewAck processes a cumulative ACK that advances the left window edge.
 func (s *Sender) handleNewAck(p *netem.Packet) {
+	t, i := s.t, s.i
 	// Karn: only un-ambiguous echoes produce RTT samples.
 	if !p.Retx && p.EchoSentAt > 0 {
-		s.rto.Sample(s.k.Now().Sub(p.EchoSentAt))
-		s.stats.RTTSamples++
+		t.rtoSample(i, s.k.Now().Sub(p.EchoSentAt))
+		t.stats[i].RTTSamples++
 	}
-	newlyAcked := p.Ack - s.hiAck
-	s.hiAck = p.Ack
-	if s.limit > 0 && s.hiAck >= s.limit && !s.done {
+	newlyAcked := p.Ack - t.hiAck[i]
+	t.hiAck[i] = p.Ack
+	if t.limit[i] > 0 && t.hiAck[i] >= t.limit[i] && !t.has(i, flagDone) {
 		s.complete()
 		return
 	}
 
-	if s.inRecovery {
-		if s.hiAck >= s.recover {
+	if t.has(i, flagInRecovery) {
+		if t.hiAck[i] >= t.recoverSeq[i] {
 			// Full ACK: leave fast recovery, deflate to ssthresh.
-			s.inRecovery = false
-			s.dupAcks = 0
-			s.setCwnd(s.ssthresh)
+			t.clear(i, flagInRecovery)
+			t.dupAcks[i] = 0
+			s.setCwnd(t.ssthresh[i])
 		} else {
 			// Partial ACK.
-			switch s.cfg.Variant {
+			switch t.cfg.Variant {
 			case NewReno:
 				// Retransmit the next hole, deflate by the amount acked,
 				// and stay in recovery (RFC 3782).
-				s.retransmit(s.hiAck)
-				deflated := s.cwnd - float64(newlyAcked) + 1
+				s.retransmit(t.hiAck[i])
+				deflated := t.cwnd[i] - float64(newlyAcked) + 1
 				if deflated < 1 {
 					deflated = 1
 				}
 				s.setCwnd(deflated)
 			case Reno:
 				// Reno aborts recovery on the first partial ACK.
-				s.inRecovery = false
-				s.dupAcks = 0
-				s.setCwnd(s.ssthresh)
+				t.clear(i, flagInRecovery)
+				t.dupAcks[i] = 0
+				s.setCwnd(t.ssthresh[i])
 			case Tahoe:
-				// Unreachable: Tahoe never sets inRecovery.
-				s.inRecovery = false
+				// Unreachable: Tahoe never sets flagInRecovery.
+				t.clear(i, flagInRecovery)
 			}
 		}
 	} else {
-		s.dupAcks = 0
+		t.dupAcks[i] = 0
 		s.openWindow(newlyAcked)
 	}
 	s.restartRTOTimer()
@@ -226,39 +199,43 @@ func (s *Sender) handleNewAck(p *netem.Packet) {
 // (d > 1) one ACK covers d segments and window growth must account for all
 // of them, or the sender would under-grow relative to the a/d-per-RTT model.
 func (s *Sender) openWindow(acked int64) {
-	for i := int64(0); i < acked; i++ {
-		if s.cwnd < s.ssthresh {
-			s.cwnd++
+	t, i := s.t, s.i
+	cwnd, ssthresh := t.cwnd[i], t.ssthresh[i]
+	for n := int64(0); n < acked; n++ {
+		if cwnd < ssthresh {
+			cwnd++
 		} else {
-			s.cwnd += s.cfg.IncreaseA / s.cwnd
+			cwnd += t.cfg.IncreaseA / cwnd
 		}
 	}
-	if s.cwnd > s.cfg.MaxWindow {
-		s.cwnd = s.cfg.MaxWindow
+	if cwnd > t.cfg.MaxWindow {
+		cwnd = t.cfg.MaxWindow
 	}
+	t.cwnd[i] = cwnd
 	s.notifyCwnd()
 }
 
 // handleDupAck counts duplicate ACKs, entering fast retransmit at the
 // threshold and inflating the window during recovery.
 func (s *Sender) handleDupAck() {
-	s.stats.DupAcks++
-	s.dupAcks++
-	if s.inRecovery {
+	t, i := s.t, s.i
+	t.stats[i].DupAcks++
+	t.dupAcks[i]++
+	if t.has(i, flagInRecovery) {
 		// Window inflation: each further dup ACK signals a departed segment.
-		s.setCwnd(s.cwnd + 1)
+		s.setCwnd(t.cwnd[i] + 1)
 		return
 	}
-	if s.cfg.LimitedTransmit && s.dupAcks <= 2 {
+	if t.cfg.LimitedTransmit && t.dupAcks[i] <= 2 {
 		// RFC 3042: each of the first two dup ACKs signals a delivered
 		// segment; send one new segment beyond cwnd to keep the ACK clock
 		// alive for small windows.
-		if s.limit == 0 || s.nextSeq < s.limit {
-			s.sendSegment(s.nextSeq)
-			s.nextSeq++
+		if t.limit[i] == 0 || t.nextSeq[i] < t.limit[i] {
+			s.sendSegment(t.nextSeq[i])
+			t.nextSeq[i]++
 		}
 	}
-	if s.dupAcks != s.cfg.DupThresh {
+	if int(t.dupAcks[i]) != t.cfg.DupThresh {
 		return
 	}
 	// ns-2's bugfix_ / RFC 3782's "careful variant": after a loss event,
@@ -266,39 +243,41 @@ func (s *Sender) handleDupAck() {
 	// duplicate ACKs; entering fast retransmit on them would cut the window
 	// again spuriously. Only ACKs that have advanced past the last recovery
 	// point may arm a new fast retransmit.
-	if s.hadLoss && s.hiAck <= s.recover {
+	if t.has(i, flagHadLoss) && t.hiAck[i] <= t.recoverSeq[i] {
 		return
 	}
 	// Triple duplicate ACK: the FR (fast retransmit / fast recovery) state
 	// of the paper's analysis.
-	s.stats.FastRetransmits++
+	t.stats[i].FastRetransmits++
 	s.multiplicativeDecrease()
-	s.retransmit(s.hiAck)
-	s.recover = s.nextSeq
-	s.hadLoss = true
-	switch s.cfg.Variant {
+	s.retransmit(t.hiAck[i])
+	t.recoverSeq[i] = t.nextSeq[i]
+	t.set(i, flagHadLoss)
+	switch t.cfg.Variant {
 	case Tahoe:
-		s.dupAcks = 0
+		t.dupAcks[i] = 0
 		s.setCwnd(1)
 	case Reno, NewReno:
-		s.inRecovery = true
-		s.setCwnd(s.ssthresh + float64(s.cfg.DupThresh))
+		t.set(i, flagInRecovery)
+		s.setCwnd(t.ssthresh[i] + float64(t.cfg.DupThresh))
 	}
 	s.restartRTOTimer()
 }
 
 // multiplicativeDecrease applies the AIMD(a,b) window cut: ssthresh = b·W.
 func (s *Sender) multiplicativeDecrease() {
-	s.ssthresh = s.cfg.DecreaseB * s.cwnd
-	if s.ssthresh < 2 {
-		s.ssthresh = 2
+	t, i := s.t, s.i
+	t.ssthresh[i] = t.cfg.DecreaseB * t.cwnd[i]
+	if t.ssthresh[i] < 2 {
+		t.ssthresh[i] = 2
 	}
 }
 
 // complete finishes a finite transfer: timers stop and the completion
 // callback fires exactly once.
 func (s *Sender) complete() {
-	s.done = true
+	s.t.set(s.i, flagDone)
+	s.t.rtoDeadline[s.i] = 0
 	s.rtoTimer.Cancel()
 	if s.onComplete != nil {
 		s.onComplete(s.k.Now())
@@ -309,21 +288,22 @@ func (s *Sender) complete() {
 // analysis. The sender collapses to one segment, backs off the timer, and
 // goes back to the first unacknowledged segment.
 func (s *Sender) handleTimeout() {
-	if s.closed || s.done {
+	t, i := s.t, s.i
+	if t.has(i, flagClosed) || t.has(i, flagDone) {
 		return
 	}
-	s.stats.Timeouts++
+	t.stats[i].Timeouts++
 	s.multiplicativeDecrease()
-	s.inRecovery = false
-	s.dupAcks = 0
-	s.recover = s.nextSeq
-	s.hadLoss = true
+	t.clear(i, flagInRecovery)
+	t.dupAcks[i] = 0
+	t.recoverSeq[i] = t.nextSeq[i]
+	t.set(i, flagHadLoss)
 	s.setCwnd(1)
-	s.rto.Backoff()
+	t.rtoStep(i)
 	// Go-back-N: resequence from the left window edge. The receiver holds
 	// buffered out-of-order segments, so its cumulative ACKs jump forward
 	// quickly across the already-delivered span.
-	s.nextSeq = s.hiAck
+	t.nextSeq[i] = t.hiAck[i]
 	s.restartRTOTimer()
 	s.trySend()
 }
@@ -331,26 +311,28 @@ func (s *Sender) handleTimeout() {
 // trySend transmits as long as the effective window has room (and, for
 // finite transfers, data remains).
 func (s *Sender) trySend() {
-	if s.closed || !s.started || s.done {
+	t, i := s.t, s.i
+	flags := t.flags[i]
+	if flags&flagClosed != 0 || flags&flagStarted == 0 || flags&flagDone != 0 {
 		return
 	}
-	window := int64(s.cwnd)
+	window := int64(t.cwnd[i])
 	if window < 1 {
 		window = 1
 	}
-	if maxW := int64(s.cfg.MaxWindow); window > maxW {
+	if maxW := int64(t.cfg.MaxWindow); window > maxW {
 		window = maxW
 	}
 	sent := false
-	for s.nextSeq < s.hiAck+window {
-		if s.limit > 0 && s.nextSeq >= s.limit {
+	for t.nextSeq[i] < t.hiAck[i]+window {
+		if t.limit[i] > 0 && t.nextSeq[i] >= t.limit[i] {
 			break
 		}
-		s.sendSegment(s.nextSeq)
-		s.nextSeq++
+		s.sendSegment(t.nextSeq[i])
+		t.nextSeq[i]++
 		sent = true
 	}
-	if sent && !s.rtoTimer.Active() {
+	if sent && t.rtoDeadline[i] == 0 {
 		s.restartRTOTimer()
 	}
 }
@@ -363,50 +345,81 @@ func (s *Sender) retransmit(seq int64) {
 
 // sendSegment puts one data segment on the wire.
 func (s *Sender) sendSegment(seq int64) {
-	retx := seq < s.maxSent
-	if seq >= s.maxSent {
-		s.maxSent = seq + 1
+	t, i := s.t, s.i
+	retx := seq < t.maxSent[i]
+	if seq >= t.maxSent[i] {
+		t.maxSent[i] = seq + 1
 	}
-	s.stats.SegmentsSent++
+	t.stats[i].SegmentsSent++
 	if retx {
-		s.stats.Retransmits++
+		t.stats[i].Retransmits++
 	}
 	p := s.out.NewPacket()
 	p.Flow = s.flow
 	p.Class = netem.ClassData
 	p.Dir = netem.DirForward
-	p.Size = s.cfg.MSS + s.cfg.HeaderSize
+	p.Size = t.cfg.MSS + t.cfg.HeaderSize
 	p.Seq = seq
 	p.SentAt = s.k.Now()
 	p.Retx = retx
 	s.out.Send(p)
 }
 
-// restartRTOTimer (re)arms the retransmission timer for the current RTO,
-// stretched by the randomized-timeout defense when enabled.
+// restartRTOTimer (re)computes the timeout deadline for the current RTO,
+// stretched by the randomized-timeout defense when enabled. The ACK-side
+// hot path is lazy: instead of cancelling and rescheduling a kernel event
+// per ACK, it records the deadline and keeps any pending event that fires
+// no later — onRTOEvent re-arms the difference when it fires early. The
+// observable expiry instant is exactly the recorded deadline either way.
 func (s *Sender) restartRTOTimer() {
-	s.rtoTimer.Cancel()
-	rto := s.rto.RTO()
+	t, i := s.t, s.i
+	rto := t.rto(i)
 	if s.rtoRand != nil {
-		rto = sim.Time(float64(rto) * (1 + s.cfg.RTOJitter*s.rtoRand.Float64()))
+		rto = sim.Time(float64(rto) * (1 + t.cfg.RTOJitter*s.rtoRand.Float64()))
+	}
+	deadline := s.k.Now() + rto
+	t.rtoDeadline[i] = deadline
+	if s.rtoTimer.Active() {
+		if s.rtoTimer.When() <= deadline {
+			return
+		}
+		s.rtoTimer.Cancel()
 	}
 	s.rtoTimer = s.k.AfterTicks(rto, s.timeoutFn)
 }
 
+// onRTOEvent is the kernel-timer callback behind the lazy RTO scheme: fired
+// at or past the recorded deadline it is a real timeout; fired early (the
+// deadline was pushed out by ACKs since this event was armed) it re-arms for
+// the remainder.
+func (s *Sender) onRTOEvent() {
+	deadline := s.t.rtoDeadline[s.i]
+	if deadline == 0 {
+		return // disarmed by Stop or a completed transfer
+	}
+	now := s.k.Now()
+	if now < deadline {
+		s.rtoTimer = s.k.AfterTicks(deadline.Sub(now), s.timeoutFn)
+		return
+	}
+	s.handleTimeout()
+}
+
 // setCwnd assigns the window and fires the observer.
 func (s *Sender) setCwnd(w float64) {
+	t, i := s.t, s.i
 	if w < 1 {
 		w = 1
 	}
-	if w > s.cfg.MaxWindow {
-		w = s.cfg.MaxWindow
+	if w > t.cfg.MaxWindow {
+		w = t.cfg.MaxWindow
 	}
-	s.cwnd = w
+	t.cwnd[i] = w
 	s.notifyCwnd()
 }
 
 func (s *Sender) notifyCwnd() {
 	if s.observer != nil {
-		s.observer(s.k.Now(), s.cwnd)
+		s.observer(s.k.Now(), s.t.cwnd[s.i])
 	}
 }

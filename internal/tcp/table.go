@@ -1,0 +1,166 @@
+package tcp
+
+import (
+	"fmt"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/trace"
+)
+
+// Per-flow state flags packed into FlowTable.flags.
+const (
+	flagStarted uint8 = 1 << iota
+	flagClosed
+	flagDone
+	flagInRecovery
+	flagHadLoss
+	flagRTTSampled // the RFC 6298 estimator has folded at least one sample
+)
+
+// FlowTable owns the per-flow TCP state that is touched on every packet,
+// laid out as parallel flat slices (struct of arrays): congestion and
+// sequence bookkeeping, the RFC 6298 estimator, and the per-flow counters.
+// A 10k-flow environment walks contiguous memory on its ACK path instead of
+// chasing 10k individually allocated connection objects, and the whole
+// population costs a handful of allocations at build time rather than
+// several per flow.
+//
+// The table also owns the Sender and Receiver structs themselves (the cold
+// halves: links, callbacks, timers), handed out as pointers into two
+// contiguous slices. Slots are indexed 0..n-1 and are distinct from flow
+// ids: single-connection helpers like NewSender wrap a one-slot table with
+// an arbitrary flow id.
+//
+// Ownership rule: the environment that builds the table owns it for the
+// lifetime of the simulation; Senders and Receivers are views into it and
+// never outlive it. The table is single-goroutine, like the kernel.
+type FlowTable struct {
+	k   *sim.Kernel
+	cfg Config
+
+	// RTO bounds derived from cfg once (sim.Time, not time.Duration).
+	rtoMin, rtoMax sim.Time
+
+	// Congestion state (window quantities in segments).
+	cwnd       []float64
+	ssthresh   []float64
+	hiAck      []int64 // all segments < hiAck are acknowledged
+	nextSeq    []int64 // next segment to put on the wire
+	maxSent    []int64 // highest segment ever sent + 1 (for Retx marking)
+	recoverSeq []int64 // recovery point: recovery ends when hiAck >= recoverSeq
+	limit      []int64 // finite-transfer segment budget; 0 = unbounded
+	dupAcks    []int32
+	flags      []uint8
+
+	// RFC 6298 estimator state (see rto.go) plus the lazy RTO deadline the
+	// ACK path writes instead of cancelling and rescheduling a kernel timer
+	// per ACK (see Sender.restartRTOTimer).
+	srtt        []float64  // seconds
+	rttvar      []float64  // seconds
+	rtoBase     []sim.Time // clamped srtt + 4·rttvar
+	rtoBackoff  []uint8    // consecutive timeouts; RTO doubles per timeout
+	rtoDeadline []sim.Time // current timeout target; 0 = disarmed
+
+	stats []SenderStats
+
+	senders []Sender
+	recvs   []Receiver
+}
+
+// NewFlowTable allocates state for n flows sharing one configuration. Slots
+// are inert until bound with BindSender / BindReceiver.
+func NewFlowTable(k *sim.Kernel, cfg Config, n int) (*FlowTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k == nil {
+		return nil, fmt.Errorf("tcp: flow table: nil kernel")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tcp: flow table needs >= 1 slot, got %d", n)
+	}
+	t := &FlowTable{
+		k:           k,
+		cfg:         cfg,
+		rtoMin:      sim.FromDuration(cfg.RTOMin),
+		rtoMax:      sim.FromDuration(cfg.RTOMax),
+		cwnd:        make([]float64, n),
+		ssthresh:    make([]float64, n),
+		hiAck:       make([]int64, n),
+		nextSeq:     make([]int64, n),
+		maxSent:     make([]int64, n),
+		recoverSeq:  make([]int64, n),
+		limit:       make([]int64, n),
+		dupAcks:     make([]int32, n),
+		flags:       make([]uint8, n),
+		srtt:        make([]float64, n),
+		rttvar:      make([]float64, n),
+		rtoBase:     make([]sim.Time, n),
+		rtoBackoff:  make([]uint8, n),
+		rtoDeadline: make([]sim.Time, n),
+		stats:       make([]SenderStats, n),
+		senders:     make([]Sender, n),
+		recvs:       make([]Receiver, n),
+	}
+	initial := t.rtoInitial()
+	for i := 0; i < n; i++ {
+		t.cwnd[i] = cfg.InitialCwnd
+		t.ssthresh[i] = cfg.InitialSSThresh
+		t.rtoBase[i] = initial
+	}
+	return t, nil
+}
+
+// Len reports the number of slots.
+func (t *FlowTable) Len() int { return len(t.senders) }
+
+// Config reports the shared connection configuration.
+func (t *FlowTable) Config() Config { return t.cfg }
+
+// Sender returns the sender bound at slot i (nil Link fields if unbound).
+func (t *FlowTable) Sender(i int) *Sender { return &t.senders[i] }
+
+// Receiver returns the receiver bound at slot i.
+func (t *FlowTable) Receiver(i int) *Receiver { return &t.recvs[i] }
+
+// BindSender wires slot i as a bulk TCP source for the given flow id whose
+// first hop is out. The connection does not transmit until Start is called.
+func (t *FlowTable) BindSender(i, flow int, out *netem.Link) (*Sender, error) {
+	if out == nil {
+		return nil, fmt.Errorf("tcp: sender flow %d: nil link", flow)
+	}
+	s := &t.senders[i]
+	if s.out != nil {
+		return nil, fmt.Errorf("tcp: sender slot %d already bound", i)
+	}
+	s.k = t.k
+	s.t = t
+	s.i = i
+	s.flow = flow
+	s.out = out
+	s.timeoutFn = s.onRTOEvent
+	if t.cfg.RTOJitter > 0 {
+		// Deterministic per-flow stream so scenario seeds stay in control.
+		s.rtoRand = rng.New(0x9e3779b97f4a7c15 ^ uint64(flow))
+	}
+	return s, nil
+}
+
+// BindReceiver wires slot i as the TCP sink for the given flow whose ACKs
+// travel via out. account may be nil when goodput accounting is not needed.
+func (t *FlowTable) BindReceiver(i, flow int, out *netem.Link, account *trace.FlowAccount) (*Receiver, error) {
+	r := &t.recvs[i]
+	if r.out != nil {
+		return nil, fmt.Errorf("tcp: receiver slot %d already bound", i)
+	}
+	if err := initReceiver(r, t.k, t.cfg, flow, out, account); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (t *FlowTable) has(i int, f uint8) bool { return t.flags[i]&f != 0 }
+func (t *FlowTable) set(i int, f uint8)      { t.flags[i] |= f }
+func (t *FlowTable) clear(i int, f uint8)    { t.flags[i] &^= f }

@@ -114,14 +114,32 @@ func (dc *DropCounter) OnDepart(*netem.Packet, sim.Time) {}
 // FlowAccount accumulates goodput per flow. TCP receivers report in-order
 // delivered segments to it, giving the Ψ_attack / Ψ_normal numerators of the
 // paper's throughput-degradation metric Γ.
+//
+// Environments number their victim flows densely from 0, so the per-packet
+// Deliver path indexes a flat slice; flows outside the dense range (negative
+// ids, sparse numbering) spill to a lazily created map.
 type FlowAccount struct {
-	start     sim.Time
-	delivered map[int]uint64 // flow → bytes of in-order payload
+	start    sim.Time
+	dense    []uint64       // flow → bytes, for 0 <= flow < len(dense)
+	overflow map[int]uint64 // everything else
 }
+
+// maxDenseFlow bounds how far Deliver will grow the dense slice for an
+// unexpected large flow id before treating it as sparse.
+const maxDenseFlow = 1 << 20
 
 // NewFlowAccount returns an empty account.
 func NewFlowAccount() *FlowAccount {
-	return &FlowAccount{delivered: make(map[int]uint64)}
+	return &FlowAccount{}
+}
+
+// NewFlowAccountSized returns an account with the dense range presized for
+// flows 0..n-1, so a many-flow run never grows it on the delivery path.
+func NewFlowAccountSized(n int) *FlowAccount {
+	if n < 0 {
+		n = 0
+	}
+	return &FlowAccount{dense: make([]uint64, n)}
 }
 
 // SetStart discards deliveries before t (warm-up trimming).
@@ -132,26 +150,58 @@ func (fa *FlowAccount) Deliver(flow int, bytes int, now sim.Time) {
 	if now < fa.start {
 		return
 	}
-	fa.delivered[flow] += uint64(bytes)
+	if uint(flow) < uint(len(fa.dense)) {
+		fa.dense[flow] += uint64(bytes)
+		return
+	}
+	fa.deliverSlow(flow, bytes)
+}
+
+func (fa *FlowAccount) deliverSlow(flow, bytes int) {
+	if flow >= 0 && flow < maxDenseFlow {
+		grown := make([]uint64, flow+1)
+		copy(grown, fa.dense)
+		fa.dense = grown
+		fa.dense[flow] += uint64(bytes)
+		return
+	}
+	if fa.overflow == nil {
+		fa.overflow = make(map[int]uint64)
+	}
+	fa.overflow[flow] += uint64(bytes)
 }
 
 // Flow reports bytes delivered for one flow.
-func (fa *FlowAccount) Flow(flow int) uint64 { return fa.delivered[flow] }
+func (fa *FlowAccount) Flow(flow int) uint64 {
+	if uint(flow) < uint(len(fa.dense)) {
+		return fa.dense[flow]
+	}
+	return fa.overflow[flow]
+}
 
 // Total reports bytes delivered across all flows.
 func (fa *FlowAccount) Total() uint64 {
 	var sum uint64
-	for _, b := range fa.delivered {
+	for _, b := range fa.dense {
+		sum += b
+	}
+	for _, b := range fa.overflow {
 		sum += b
 	}
 	return sum
 }
 
-// PerFlow returns a copy of the per-flow delivery map.
+// PerFlow returns the per-flow deliveries as a map holding every flow that
+// received bytes (a presized dense range contributes no zero entries).
 func (fa *FlowAccount) PerFlow() map[int]uint64 {
-	out := make(map[int]uint64, len(fa.delivered))
-	for k, v := range fa.delivered {
-		out[k] = v
+	out := make(map[int]uint64, len(fa.overflow)+16)
+	for flow, b := range fa.dense {
+		if b > 0 {
+			out[flow] = b
+		}
+	}
+	for flow, b := range fa.overflow {
+		out[flow] = b
 	}
 	return out
 }
