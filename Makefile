@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke figures scale-bench clean
+.PHONY: all build test race vet race-parallel bench-smoke figures scale-bench parallel-bench profile clean
 
 all: build
 
@@ -17,6 +17,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# race-parallel drives the parallel-engine determinism contracts under the
+# race detector: the randomized engine/topology equivalence suites and the
+# cross-shard packet portal.
+race-parallel:
+	$(GO) test -race -run 'TestEngine|TestSharded|TestCrossShard' ./internal/sim ./internal/netem ./internal/experiments
 
 # bench-smoke runs the hot-path micro-benchmarks once — enough to catch an
 # allocation or throughput regression without the full figure benches.
@@ -34,5 +40,18 @@ figures:
 scale-bench:
 	$(GO) run ./cmd/pdos-bench -scale-bench BENCH_2.json
 
+# parallel-bench regenerates the committed BENCH_3.json: the conservative
+# parallel engine vs the serial wheel kernel at 2/4/8 workers over 10k and
+# 50k flows. Takes tens of minutes; the ≥2.5x speedup floor only means
+# anything on a machine with ≥4 idle cores.
+parallel-bench:
+	$(GO) run ./cmd/pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
+
+# profile captures CPU and heap pprof profiles of a representative figure
+# regeneration for `go tool pprof cpu.pprof` digestion.
+profile:
+	$(GO) run ./cmd/pdos-bench -scale quick -figures fig6 -out results \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+
 clean:
-	rm -rf results
+	rm -rf results cpu.pprof mem.pprof

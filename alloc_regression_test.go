@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pulsedos/internal/experiments"
+	"pulsedos/internal/sim"
 )
 
 // TestTCPFlowAllocRegression guards the per-packet allocation budget of a
@@ -88,5 +89,46 @@ func TestManyFlowAllocRegression(t *testing.T) {
 	t.Logf("%d packets, %.3f allocs/packet", packets, perPacket)
 	if perPacket > 0.01 {
 		t.Errorf("steady-state 200-flow dumbbell allocates %.3f objects/packet, want 0", perPacket)
+	}
+}
+
+// TestShardedAllocRegression guards the zero budget across the parallel
+// engine's 4-worker path: boundary crossings hand packets between shard-local
+// pools (release at the source, pool get at the destination), outboxes and
+// the merge scratch are reused across barriers, and the sort comparator is a
+// top-level function — so the sharded steady state must allocate nothing per
+// packet, same as serial.
+func TestShardedAllocRegression(t *testing.T) {
+	cfg := experiments.DefaultDumbbellConfig(100)
+	sd, err := experiments.BuildShardedDumbbell(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sd.Close()
+	if err := sd.StartFlows(); err != nil {
+		t.Fatal(err)
+	}
+	warm := sim.FromDuration(15 * time.Second)
+	if err := sd.RunUntil(warm); err != nil {
+		t.Fatal(err)
+	}
+	arrivals0 := sd.BottleStats().Arrivals
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := sd.RunUntil(warm + sim.FromDuration(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	packets := sd.BottleStats().Arrivals - arrivals0
+	if packets == 0 {
+		t.Fatal("no packets crossed the bottleneck")
+	}
+	perPacket := float64(m1.Mallocs-m0.Mallocs) / float64(packets)
+	t.Logf("%d packets, %.3f allocs/packet", packets, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("steady-state 4-worker sharded dumbbell allocates %.3f objects/packet, want 0", perPacket)
 	}
 }

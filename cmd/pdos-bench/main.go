@@ -16,12 +16,22 @@
 // combined report (BENCH_2.json shape) to the given path; figures are skipped
 // unless -figures selects some.
 //
+// With -parallel-bench the command runs the parallel-engine speedup study
+// (serial wheel kernel vs the conservative sharded engine at each -workers
+// count, per -parallel-flows population) and writes the report (BENCH_3.json
+// shape) to the given path.
+//
+// -cpuprofile and -memprofile write pprof profiles covering whichever mode
+// ran, for `go tool pprof` digestion (see `make profile`).
+//
 // Example:
 //
 //	pdos-bench -scale quick -out results/ -html
 //	pdos-bench -scale full -figures fig6,fig12 -parallel 8
 //	pdos-bench -scale quick -bench-json results/BENCH_1.json
 //	pdos-bench -scale-bench BENCH_2.json
+//	pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
+//	pdos-bench -scale quick -figures fig6 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -29,6 +39,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,9 +73,47 @@ func run(args []string) error {
 		parallel  = fs.Int("parallel", 1, "figure-level worker count (1 = sequential)")
 		benchJSON = fs.String("bench-json", "", "write a hot-path benchmark report to this path")
 		scaleJSON = fs.String("scale-bench", "", "run the many-flow scaling sweep and write the report to this path")
+		parJSON   = fs.String("parallel-bench", "", "run the parallel-engine speedup study and write the report to this path")
+		workers   = fs.String("workers", "2,4,8", "comma-separated worker counts for -parallel-bench")
+		parFlows  = fs.String("parallel-flows", "10000,50000", "comma-separated flow populations for -parallel-bench")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("== cpu profile -> %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pdos-bench: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pdos-bench: memprofile:", err)
+			}
+			f.Close()
+			fmt.Printf("== heap profile -> %s\n", *memProf)
+		}()
+	}
+	if *parJSON != "" {
+		return runParallelBench(*parJSON, *workers, *parFlows)
 	}
 	if *scaleJSON != "" {
 		return runScaleBench(*scaleJSON)
@@ -220,4 +271,77 @@ func runScaleBench(path string) error {
 	}
 	fmt.Printf("== scale bench report -> %s\n", path)
 	return nil
+}
+
+// runParallelBench executes the BENCH_3 pipeline: for each configured flow
+// population, the attacked scale scenario on the serial wheel kernel and then
+// on the conservative parallel engine at each worker count, reporting
+// wall-clock, events/sec, allocs/packet, and the determinism check per cell.
+// Cells run sequentially because each one times wall-clock and reads the
+// allocator counters.
+func runParallelBench(path, workersCSV, flowsCSV string) error {
+	workerCounts, err := parseIntList(workersCSV)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+	flowCounts, err := parseIntList(flowsCSV)
+	if err != nil {
+		return fmt.Errorf("-parallel-flows: %w", err)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	cfg := experiments.DefaultScaleSweepConfig()
+	cfg.FlowCounts = flowCounts
+	start := time.Now()
+	points, err := experiments.ShardSweep(cfg, workerCounts, func(msg string) {
+		fmt.Println("== " + msg)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== parallel sweep done in %.1fs\n", time.Since(start).Seconds())
+	rep := perf.NewReport([]perf.BenchResult{}, nil)
+	rep.Parallel = points
+	writeErr := perf.WriteJSON(out, rep)
+	closeErr := out.Close()
+	if writeErr != nil {
+		return writeErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	for _, p := range rep.Parallel {
+		fmt.Printf("   parallel %6d flows x %d workers: %6.1fs wall, %.2fM events/sec, %.4f allocs/packet",
+			p.Flows, p.Workers, p.WallSeconds, p.EventsPerSec/1e6, p.AllocsPerPacket)
+		if p.Workers > 1 {
+			fmt.Printf(", %.2fx serial, match=%v", p.SpeedupVsSerial, p.MatchesSerial)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("== parallel bench report -> %s\n", path)
+	return nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }

@@ -39,6 +39,7 @@ func run(args []string) error {
 		warmup   = fs.Duration("warmup", 10*time.Second, "warm-up before measurement")
 		measure  = fs.Duration("measure", 30*time.Second, "measurement window")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
+		workers  = fs.Int("workers", 1, "shard the dumbbell across N cores (results identical to -workers 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +48,7 @@ func run(args []string) error {
 		return runScenario(*config)
 	}
 
-	factory, err := environmentFactory(*topology, *flows, *seed)
+	factory, err := environmentFactory(*topology, *flows, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -87,8 +88,11 @@ func run(args []string) error {
 			return err
 		},
 	}
-	if err := experiments.RunTasks(2, len(runs), func(i int) error { return runs[i]() }); err != nil {
-		return err
+	runErr := experiments.RunTasks(2, len(runs), func(i int) error { return runs[i]() })
+	closeEnv(baseEnv)
+	closeEnv(env)
+	if runErr != nil {
+		return runErr
 	}
 
 	deg := 1 - float64(res.Delivered)/float64(base.Delivered)
@@ -161,15 +165,23 @@ func runScenario(path string) error {
 }
 
 // environmentFactory builds identically configured environments on demand.
-func environmentFactory(topology string, flows int, seed uint64) (func() (pulsedos.Environment, error), error) {
+// workers > 1 shards the dumbbell across the conservative parallel engine;
+// results are bit-identical to the serial build at any worker count.
+func environmentFactory(topology string, flows int, seed uint64, workers int) (func() (pulsedos.Environment, error), error) {
 	switch topology {
 	case "dumbbell":
 		return func() (pulsedos.Environment, error) {
 			cfg := pulsedos.DefaultDumbbellConfig(flows)
 			cfg.Seed = seed
+			if workers > 1 {
+				return pulsedos.BuildShardedDumbbell(cfg, workers)
+			}
 			return pulsedos.BuildDumbbell(cfg)
 		}, nil
 	case "testbed":
+		if workers > 1 {
+			return nil, fmt.Errorf("-workers applies to the dumbbell topology only (testbed is serial)")
+		}
 		return func() (pulsedos.Environment, error) {
 			cfg := pulsedos.DefaultTestbedConfig(flows)
 			cfg.Seed = seed
@@ -177,6 +189,13 @@ func environmentFactory(topology string, flows int, seed uint64) (func() (pulsed
 		}, nil
 	default:
 		return nil, fmt.Errorf("unknown topology %q (want dumbbell or testbed)", topology)
+	}
+}
+
+// closeEnv joins any shard goroutines an environment may own.
+func closeEnv(env pulsedos.Environment) {
+	if c, ok := env.(interface{ Close() }); ok {
+		c.Close()
 	}
 }
 

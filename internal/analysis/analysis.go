@@ -116,14 +116,28 @@ func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
 		out[0] = 1
 		return out, nil
 	}
-	for k := 0; k <= maxLag; k++ {
+	// Two equivalent evaluators: the O(n·maxLag) direct sum (the golden
+	// reference, cheapest at small sizes) and the O(n log n) FFT path via the
+	// Wiener–Khinchin theorem (see fft.go). They agree to ~1e-12; the
+	// dispatch is purely a cost decision.
+	if fftWorthwhile(n, maxLag) {
+		autocorrFFT(ds, denom, out)
+	} else {
+		autocorrDirect(ds, denom, out)
+	}
+	return out, nil
+}
+
+// autocorrDirect fills out[k] = Σ_i ds[i]·ds[i+k] / denom by the direct sum.
+func autocorrDirect(ds []float64, denom float64, out []float64) {
+	n := len(ds)
+	for k := range out {
 		num := 0.0
 		for i, d := range ds[:n-k] {
 			num += d * ds[i+k]
 		}
 		out[k] = num / denom
 	}
-	return out, nil
 }
 
 // DominantPeriod estimates the fundamental period of xs in samples: the

@@ -1,0 +1,109 @@
+// FFT-accelerated autocorrelation. The direct evaluator in analysis.go costs
+// O(n·maxLag), which for the detector workloads (rate series of tens of
+// thousands of bins, lags spanning several attack periods) becomes the
+// dominant analysis cost. The Wiener–Khinchin theorem gives the same lags in
+// O(n log n): zero-pad the centered series to at least twice its length (so
+// the circular correlation the DFT computes equals the linear one), take the
+// power spectrum, and transform back.
+//
+// The transform is an iterative radix-2 Cooley–Tukey FFT on plain float64
+// slices — stdlib only, no external DSP dependency. Twiddle factors are
+// tabulated with direct trigonometric evaluation per call (no recurrence),
+// keeping the round-trip accurate to ~1e-12 relative even at 2^20 points,
+// far inside the 1e-9 equivalence bar the tests pin.
+package analysis
+
+import "math"
+
+// directCostCeiling is the n·(maxLag+1) product above which the FFT path
+// wins. Below it the direct sum's tiny constant factor and single allocation
+// are faster than the padded transforms; the crossover measured on the
+// repo's benchmarks sits near 2^14–2^16 depending on cache pressure, so the
+// dispatch splits that range.
+const directCostCeiling = 1 << 15
+
+// fftWorthwhile reports whether the FFT evaluator should handle a series of
+// n samples at maxLag lags.
+func fftWorthwhile(n, maxLag int) bool {
+	return n*(maxLag+1) > directCostCeiling
+}
+
+// autocorrFFT fills out[k] = Σ_i ds[i]·ds[i+k] / denom for k < len(out)
+// using the Wiener–Khinchin identity: the inverse transform of |FFT(ds)|²
+// over a ≥2n-point grid is the linear autocorrelation sequence.
+func autocorrFFT(ds []float64, denom float64, out []float64) {
+	n := len(ds)
+	m := 1
+	for m < 2*n {
+		m <<= 1
+	}
+	re := make([]float64, m)
+	im := make([]float64, m)
+	copy(re, ds)
+	w := newTwiddles(m)
+	fft(re, im, w, false)
+	for i := range re {
+		re[i] = re[i]*re[i] + im[i]*im[i]
+		im[i] = 0
+	}
+	fft(re, im, w, true)
+	// The forward/inverse pair used here omits the 1/m normalization; fold
+	// it into the variance denominator.
+	inv := 1 / (float64(m) * denom)
+	for k := range out {
+		out[k] = re[k] * inv
+	}
+}
+
+// twiddles tabulates e^{-2πi·j/m} for j < m/2, the full set of roots any
+// butterfly stage needs (stage `length` reads every (m/length)-th entry).
+type twiddles struct {
+	cos, sin []float64
+}
+
+func newTwiddles(m int) twiddles {
+	half := m / 2
+	w := twiddles{cos: make([]float64, half), sin: make([]float64, half)}
+	for j := 0; j < half; j++ {
+		ang := 2 * math.Pi * float64(j) / float64(m)
+		w.cos[j] = math.Cos(ang)
+		w.sin[j] = -math.Sin(ang)
+	}
+	return w
+}
+
+// fft runs an in-place iterative radix-2 transform over re/im, whose length
+// must be the power of two the table was built for. invert computes the
+// unnormalized inverse (conjugate twiddles, no 1/m scaling).
+func fft(re, im []float64, w twiddles, invert bool) {
+	m := len(re)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < m; i++ {
+		bit := m >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= m; length <<= 1 {
+		half := length >> 1
+		stride := m / length
+		for start := 0; start < m; start += length {
+			for off := 0; off < half; off++ {
+				cr, ci := w.cos[off*stride], w.sin[off*stride]
+				if invert {
+					ci = -ci
+				}
+				a, b := start+off, start+off+half
+				tr := re[b]*cr - im[b]*ci
+				ti := re[b]*ci + im[b]*cr
+				re[b], im[b] = re[a]-tr, im[a]-ti
+				re[a], im[a] = re[a]+tr, im[a]+ti
+			}
+		}
+	}
+}

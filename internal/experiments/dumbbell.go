@@ -253,6 +253,20 @@ func (d *Dumbbell) Attach(train attack.Train) (*attack.Generator, error) {
 	return attack.NewGenerator(d.Kernel, d.attackIn, train, d.Config.AttackPacketSize)
 }
 
+// RunUntil advances the simulation to t (the serial executor; the sharded
+// counterpart routes through the parallel engine).
+func (d *Dumbbell) RunUntil(t sim.Time) error { return d.Kernel.RunUntil(t) }
+
+// Processed reports total events fired.
+func (d *Dumbbell) Processed() uint64 { return d.Kernel.Processed() }
+
+// BottleStats snapshots the forward bottleneck counters.
+func (d *Dumbbell) BottleStats() netem.LinkStats { return d.Bottle.Stats() }
+
+// Close implements the sharded environment's lifecycle for interface parity;
+// the serial dumbbell holds no goroutines, so it is a no-op.
+func (d *Dumbbell) Close() {}
+
 // TimeoutModel implements Environment.
 func (d *Dumbbell) TimeoutModel() model.TimeoutModelConfig {
 	return model.TimeoutModelConfig{

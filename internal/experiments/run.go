@@ -44,6 +44,14 @@ var (
 	_ Environment = (*Testbed)(nil)
 )
 
+// engineEnv is implemented by sharded environments whose execution is driven
+// by the conservative parallel engine rather than a single kernel. Run
+// detects it and swaps the executor; everything else — taps, goodput
+// accounting, attack attachment — is engine-agnostic.
+type engineEnv interface {
+	Engine() *sim.Engine
+}
+
 // Sim implements Environment.
 func (d *Dumbbell) Sim() *sim.Kernel { return d.Kernel }
 
@@ -144,7 +152,11 @@ func Run(env Environment, opt RunOptions) (*RunResult, error) {
 	if err := env.StartFlows(); err != nil {
 		return nil, err
 	}
-	if err := k.RunUntil(end); err != nil {
+	runUntil := k.RunUntil
+	if pe, ok := env.(engineEnv); ok {
+		runUntil = pe.Engine().RunUntil
+	}
+	if err := runUntil(end); err != nil {
 		return nil, fmt.Errorf("experiments: run: %w", err)
 	}
 	env.StopFlows()

@@ -12,6 +12,7 @@ import (
 	"pulsedos/internal/model"
 	"pulsedos/internal/netem"
 	"pulsedos/internal/sim"
+	"pulsedos/internal/trace"
 )
 
 // ScaleSweepConfig parameterizes the many-flow scaling study: the same pulsed
@@ -35,6 +36,12 @@ type ScaleSweepConfig struct {
 
 	Seed         uint64
 	HeapBaseline bool // also run each attacked point on the heap kernel
+
+	// Shards > 1 runs each attacked point on the conservative parallel
+	// engine with that many workers (the heap baseline stays serial, so
+	// DeliveredMatch then certifies the sharded run against the serial
+	// golden reference). 0 or 1 = the serial wheel kernel.
+	Shards int
 }
 
 // DefaultScaleSweepConfig returns the BENCH_2 sweep: 100 → 50k flows, 60
@@ -67,6 +74,7 @@ func (c ScaleSweepConfig) measureFor(flows int) time.Duration {
 // is what internal/perf embeds into BENCH_2.json.
 type ScalePoint struct {
 	Flows          int     `json:"flows"`
+	Shards         int     `json:"shards,omitempty"` // parallel-engine workers; 0 = serial
 	BottleneckBps  float64 `json:"bottleneck_bps"`
 	VirtualSeconds float64 `json:"virtual_seconds"`
 
@@ -85,6 +93,7 @@ type ScalePoint struct {
 	// pure 4-ary-heap kernel. DeliveredMatch asserts the two kernels produced
 	// byte-identical goodput (the ordering-equivalence contract, end to end).
 	HeapEventsPerSec float64 `json:"heap_events_per_sec,omitempty"`
+	HeapWallSeconds  float64 `json:"heap_wall_seconds,omitempty"`
 	SpeedupVsHeap    float64 `json:"speedup_vs_heap,omitempty"`
 	DeliveredMatch   bool    `json:"heap_delivered_match,omitempty"`
 
@@ -132,8 +141,8 @@ func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, erro
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scale point %d flows: %w", flows, err)
 		}
-		say("scale: %d flows done: %.2fM events/sec, %.1f ns/flow/vsec, %.4f allocs/packet, degradation %.3f (model %.3f)",
-			flows, p.EventsPerSec/1e6, p.NsPerFlowPerSec, p.AllocsPerPacket,
+		say("scale: %d flows done: %.1fs wall, %.2fM events/sec, %.1f ns/flow/vsec, %.4f allocs/packet, degradation %.3f (model %.3f)",
+			flows, p.WallSeconds, p.EventsPerSec/1e6, p.NsPerFlowPerSec, p.AllocsPerPacket,
 			p.MeasuredDegradation, p.AnalyticDegradation)
 		points = append(points, p)
 	}
@@ -184,10 +193,11 @@ func measureScalePoint(cfg ScaleSweepConfig, flows int) (ScalePoint, error) {
 	baseEnv = nil
 
 	// The attacked wheel run, instrumented over the measurement window.
-	att, err := runAttackedScale(dcfg, cfg, attackRate, period, measure)
+	att, err := runAttackedScale(dcfg, cfg, attackRate, period, measure, cfg.Shards)
 	if err != nil {
 		return ScalePoint{}, err
 	}
+	p.Shards = cfg.Shards
 	p.Events = att.events
 	p.WallSeconds = att.wall.Seconds()
 	if p.WallSeconds > 0 {
@@ -211,10 +221,11 @@ func measureScalePoint(cfg ScaleSweepConfig, flows int) (ScalePoint, error) {
 	if cfg.HeapBaseline {
 		hcfg := dcfg
 		hcfg.HeapKernel = true
-		heap, err := runAttackedScale(hcfg, cfg, attackRate, period, measure)
+		heap, err := runAttackedScale(hcfg, cfg, attackRate, period, measure, 0)
 		if err != nil {
 			return ScalePoint{}, err
 		}
+		p.HeapWallSeconds = heap.wall.Seconds()
 		if heap.wall > 0 {
 			p.HeapEventsPerSec = float64(heap.events) / heap.wall.Seconds()
 		}
@@ -234,19 +245,47 @@ type attackedScale struct {
 	mallocs   uint64
 	wall      time.Duration
 	delivered uint64
+	windows   uint64   // parallel engine barrier count (0 when serial)
+	lookahead sim.Time // parallel engine window width (0 when serial)
+}
+
+// scaleRunEnv is the surface runAttackedScale needs from either the serial
+// dumbbell or its sharded counterpart.
+type scaleRunEnv interface {
+	Attach(train attack.Train) (*attack.Generator, error)
+	Goodput() *trace.FlowAccount
+	StartFlows() error
+	StopFlows()
+	RunUntil(t sim.Time) error
+	Processed() uint64
+	BottleStats() netem.LinkStats
+	Close()
 }
 
 // runAttackedScale executes one pulsed run and instruments the measurement
 // window only. The pulse train starts halfway through the warm-up — not at
 // its end as Run does — so every capacity high-water mark the attack provokes
 // (queue rings, event free list, packet pool) is reached before counters
-// start, leaving the window itself allocation-free.
-func runAttackedScale(dcfg DumbbellConfig, cfg ScaleSweepConfig, attackRate float64, period time.Duration, measure time.Duration) (attackedScale, error) {
-	env, err := BuildDumbbell(dcfg)
-	if err != nil {
-		return attackedScale{}, err
+// start, leaving the window itself allocation-free. shards > 1 runs the
+// scenario on the conservative parallel engine.
+func runAttackedScale(dcfg DumbbellConfig, cfg ScaleSweepConfig, attackRate float64, period time.Duration, measure time.Duration, shards int) (attackedScale, error) {
+	var env scaleRunEnv
+	var eng *sim.Engine
+	if shards > 1 {
+		sd, err := BuildShardedDumbbell(dcfg, shards)
+		if err != nil {
+			return attackedScale{}, err
+		}
+		env = sd
+		eng = sd.Engine()
+	} else {
+		d, err := BuildDumbbell(dcfg)
+		if err != nil {
+			return attackedScale{}, err
+		}
+		env = d
 	}
-	k := env.Kernel
+	defer env.Close()
 	warmup := sim.FromDuration(cfg.Warmup)
 	attackStart := warmup / 2
 	end := warmup + sim.FromDuration(measure)
@@ -266,32 +305,37 @@ func runAttackedScale(dcfg DumbbellConfig, cfg ScaleSweepConfig, attackRate floa
 	if err := env.StartFlows(); err != nil {
 		return attackedScale{}, err
 	}
-	if err := k.RunUntil(warmup); err != nil {
+	if err := env.RunUntil(warmup); err != nil {
 		return attackedScale{}, err
 	}
 
-	stats0 := env.Bottle.Stats()
-	events0 := k.Processed()
+	stats0 := env.BottleStats()
+	events0 := env.Processed()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	wall0 := time.Now()
-	if err := k.RunUntil(end); err != nil {
+	if err := env.RunUntil(end); err != nil {
 		return attackedScale{}, err
 	}
 	wall := time.Since(wall0)
 	runtime.ReadMemStats(&m1)
-	stats1 := env.Bottle.Stats()
+	stats1 := env.BottleStats()
 
 	env.StopFlows()
 	gen.Stop()
-	return attackedScale{
-		events:    k.Processed() - events0,
+	out := attackedScale{
+		events:    env.Processed() - events0,
 		packets:   stats1.Arrivals - stats0.Arrivals,
 		drops:     stats1.Drops - stats0.Drops,
 		mallocs:   m1.Mallocs - m0.Mallocs,
 		wall:      wall,
 		delivered: env.Goodput().Total(),
-	}, nil
+	}
+	if eng != nil {
+		out.windows = eng.Windows()
+		out.lookahead = eng.Lookahead()
+	}
+	return out, nil
 }
 
 // peakRSSBytes reads the process resident-set high-water mark (VmHWM) from

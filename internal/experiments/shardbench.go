@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardScalePoint is one measured (population, worker-count) cell of the
+// parallel-engine speedup study. The JSON shape is what internal/perf embeds
+// into BENCH_3.json. Workers == 1 rows are the serial wheel-kernel reference
+// the speedups are computed against.
+type ShardScalePoint struct {
+	Flows           int     `json:"flows"`
+	Workers         int     `json:"workers"`
+	VirtualSeconds  float64 `json:"virtual_seconds"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	Packets         uint64  `json:"packets"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	DeliveredBytes  uint64  `json:"delivered_bytes"`
+
+	// SpeedupVsSerial is serial wall / this wall; MatchesSerial certifies the
+	// determinism contract held (identical delivered bytes and event counts).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	MatchesSerial   bool    `json:"matches_serial,omitempty"`
+
+	// Parallel-engine diagnostics: barrier count over the measured window's
+	// whole run and the conservative window width.
+	Windows     uint64  `json:"windows,omitempty"`
+	LookaheadMs float64 `json:"lookahead_ms,omitempty"`
+}
+
+// ShardSweep measures the parallel engine against the serial kernel: for
+// every population in cfg.FlowCounts it runs the attacked scale scenario
+// once serial, then once per entry of workerCounts, and reports wall-clock,
+// events/sec, allocs/packet, and the determinism check for each cell. Like
+// ScaleSweep, points run sequentially because each one times wall-clock and
+// reads allocator counters.
+func ShardSweep(cfg ScaleSweepConfig, workerCounts []int, progress func(string)) ([]ShardScalePoint, error) {
+	if cfg.Gamma <= 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("experiments: scale gamma %g outside (0,1)", cfg.Gamma)
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	var points []ShardScalePoint
+	for _, flows := range cfg.FlowCounts {
+		dcfg := scaleDumbbellConfig(cfg, flows)
+		attackRate := cfg.RateFactor * dcfg.BottleneckRate
+		period := PeriodForGamma(cfg.Gamma, attackRate, cfg.Extent, dcfg.BottleneckRate)
+		if period < cfg.Extent {
+			return nil, fmt.Errorf("experiments: gamma %g unreachable at rate factor %g", cfg.Gamma, cfg.RateFactor)
+		}
+		measure := cfg.measureFor(flows)
+
+		toPoint := func(workers int, att attackedScale) ShardScalePoint {
+			p := ShardScalePoint{
+				Flows:          flows,
+				Workers:        workers,
+				VirtualSeconds: measure.Seconds(),
+				WallSeconds:    att.wall.Seconds(),
+				Events:         att.events,
+				Packets:        att.packets,
+				DeliveredBytes: att.delivered,
+				Windows:        att.windows,
+				LookaheadMs:    float64(att.lookahead) / float64(time.Millisecond),
+			}
+			if p.WallSeconds > 0 {
+				p.EventsPerSec = float64(att.events) / p.WallSeconds
+			}
+			if att.packets > 0 {
+				p.AllocsPerPacket = float64(att.mallocs) / float64(att.packets)
+			}
+			return p
+		}
+
+		say("parallel: %d flows serial reference (%v measured)...", flows, measure)
+		serial, err := runAttackedScale(dcfg, cfg, attackRate, period, measure, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: parallel sweep %d flows serial: %w", flows, err)
+		}
+		ref := toPoint(1, serial)
+		say("parallel: %d flows serial: %.1fs wall, %.2fM events/sec, %.4f allocs/packet",
+			flows, ref.WallSeconds, ref.EventsPerSec/1e6, ref.AllocsPerPacket)
+		points = append(points, ref)
+
+		for _, workers := range workerCounts {
+			if workers <= 1 {
+				continue
+			}
+			say("parallel: %d flows x %d workers...", flows, workers)
+			att, err := runAttackedScale(dcfg, cfg, attackRate, period, measure, workers)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: parallel sweep %d flows x %d workers: %w", flows, workers, err)
+			}
+			p := toPoint(workers, att)
+			if p.WallSeconds > 0 {
+				p.SpeedupVsSerial = ref.WallSeconds / p.WallSeconds
+			}
+			p.MatchesSerial = att.delivered == serial.delivered && att.events == serial.events
+			say("parallel: %d flows x %d workers: %.1fs wall (%.2fx serial), %.4f allocs/packet, window %.2f ms x %d barriers, match=%v",
+				flows, workers, p.WallSeconds, p.SpeedupVsSerial, p.AllocsPerPacket,
+				p.LookaheadMs, p.Windows, p.MatchesSerial)
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}

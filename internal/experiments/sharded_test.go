@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+)
+
+// TestPlanDumbbell pins the planner's structural invariants.
+func TestPlanDumbbell(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		plan := PlanDumbbell(100, workers)
+		if plan.Workers != workers {
+			t.Errorf("workers %d: plan has %d", workers, plan.Workers)
+		}
+		if plan.FwdCore != 0 {
+			t.Errorf("workers %d: fwd core on shard %d", workers, plan.FwdCore)
+		}
+		if workers >= 2 && plan.RevCore == plan.FwdCore {
+			t.Errorf("workers %d: rev core shares the fwd core shard", workers)
+		}
+		counts := make([]int, workers)
+		for i, s := range plan.FlowShard {
+			if s < 0 || s >= workers {
+				t.Fatalf("workers %d: flow %d on shard %d", workers, i, s)
+			}
+			counts[s]++
+		}
+		if workers > 1 {
+			// The greedy balance must not starve any non-core shard (the two
+			// cores may own no flows once their fixed load exceeds the fair
+			// share, which is correct — they are the serialized resources).
+			for s, c := range counts {
+				if c == 0 && s != plan.FwdCore && s != plan.RevCore {
+					t.Errorf("workers %d: shard %d owns no flows", workers, s)
+				}
+			}
+		}
+	}
+	// Tiny populations clamp the worker count instead of creating empty shards.
+	if plan := PlanDumbbell(1, 16); plan.Workers > 3 {
+		t.Errorf("1 flow over 16 workers kept %d shards", plan.Workers)
+	}
+}
+
+// shardedScenario holds everything observable from one dumbbell run.
+type shardedScenario struct {
+	res       *RunResult
+	processed uint64
+	rateCSV   []byte
+	flowCSV   []byte
+	unrouted  uint64
+}
+
+func runScenario(t *testing.T, cfg DumbbellConfig, workers int, opt RunOptions) shardedScenario {
+	t.Helper()
+	var (
+		env       Environment
+		processed func() uint64
+		unrouted  func() uint64
+	)
+	if workers > 1 {
+		sd, err := BuildShardedDumbbell(cfg, workers)
+		if err != nil {
+			t.Fatalf("build sharded (%d workers): %v", workers, err)
+		}
+		defer sd.Close()
+		env = sd
+		processed = sd.Processed
+		unrouted = func() uint64 { return 0 }
+	} else {
+		d, err := BuildDumbbell(cfg)
+		if err != nil {
+			t.Fatalf("build serial: %v", err)
+		}
+		env = d
+		processed = d.Processed
+		unrouted = func() uint64 { return d.RouterS.Unrouted() + d.RouterR.Unrouted() }
+	}
+	res, err := Run(env, opt)
+	if err != nil {
+		t.Fatalf("run (%d workers): %v", workers, err)
+	}
+	out := shardedScenario{res: res, processed: processed(), unrouted: unrouted()}
+
+	// Figure CSV bytes, exactly as the figure pipeline would emit them.
+	if res.Rate != nil {
+		s := Series{Label: "bottleneck-rate"}
+		for i, y := range res.Rate.Rates() {
+			s.Points = append(s.Points, Point{X: float64(i), Y: y})
+		}
+		var buf bytes.Buffer
+		if err := WriteSeriesCSV(&buf, []Series{s}); err != nil {
+			t.Fatal(err)
+		}
+		out.rateCSV = buf.Bytes()
+	}
+	flowSeries := Series{Label: "goodput-per-flow"}
+	for i := 0; i < cfg.Flows; i++ {
+		flowSeries.Points = append(flowSeries.Points, Point{X: float64(i), Y: float64(res.PerFlow[i])})
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []Series{flowSeries}); err != nil {
+		t.Fatal(err)
+	}
+	out.flowCSV = buf.Bytes()
+	return out
+}
+
+func compareScenarios(t *testing.T, label string, want, got shardedScenario) {
+	t.Helper()
+	w, g := want.res, got.res
+	if w.Delivered != g.Delivered {
+		t.Errorf("%s: delivered %d bytes, serial %d", label, g.Delivered, w.Delivered)
+	}
+	if w.Timeouts != g.Timeouts || w.FastRecoveries != g.FastRecoveries {
+		t.Errorf("%s: TO/FR %d/%d, serial %d/%d", label, g.Timeouts, g.FastRecoveries, w.Timeouts, w.FastRecoveries)
+	}
+	if w.Retransmits != g.Retransmits || w.SegmentsSent != g.SegmentsSent {
+		t.Errorf("%s: retx/sent %d/%d, serial %d/%d", label, g.Retransmits, g.SegmentsSent, w.Retransmits, w.SegmentsSent)
+	}
+	if w.AttackStats != g.AttackStats {
+		t.Errorf("%s: attack stats %+v, serial %+v", label, g.AttackStats, w.AttackStats)
+	}
+	if w.Drops.Total != g.Drops.Total {
+		t.Errorf("%s: drops %d, serial %d", label, g.Drops.Total, w.Drops.Total)
+	}
+	if want.processed != got.processed {
+		t.Errorf("%s: processed %d events, serial %d", label, got.processed, want.processed)
+	}
+	if got.unrouted != 0 {
+		t.Errorf("%s: %d unrouted packets", label, got.unrouted)
+	}
+	if !bytes.Equal(want.rateCSV, got.rateCSV) {
+		t.Errorf("%s: rate-series CSV diverges from serial", label)
+	}
+	if !bytes.Equal(want.flowCSV, got.flowCSV) {
+		t.Errorf("%s: per-flow goodput CSV diverges from serial", label)
+	}
+	for f, b := range w.PerFlow {
+		if g.PerFlow[f] != b {
+			t.Errorf("%s: flow %d delivered %d, serial %d", label, f, g.PerFlow[f], b)
+			break
+		}
+	}
+}
+
+// randomShardedConfig derives a randomized-but-valid dumbbell + attack from
+// the seed, the same spirit as wheel_test.go's randomized programs.
+func randomShardedConfig(seed uint64) (DumbbellConfig, RunOptions) {
+	r := rng.New(seed)
+	flows := 3 + int(r.Int63n(9))
+	cfg := DefaultDumbbellConfig(flows)
+	cfg.Seed = seed
+	cfg.BottleneckRate = float64(1+r.Int63n(4)) * 2e6
+	cfg.QueueLimit = 30 + int(r.Int63n(60))
+	cfg.BottleneckOWD = time.Duration(3+r.Int63n(4)) * time.Millisecond
+	cfg.RTTMin = 2*cfg.BottleneckOWD + time.Duration(8+r.Int63n(20))*time.Millisecond
+	cfg.RTTMax = cfg.RTTMin + time.Duration(50+r.Int63n(300))*time.Millisecond
+	cfg.DropTail = r.Int63n(3) == 0
+	cfg.AttackAccessRate = 100e6
+
+	extent := time.Duration(40+r.Int63n(50)) * time.Millisecond
+	period := time.Duration(400+r.Int63n(1100)) * time.Millisecond
+	rate := float64(2+r.Int63n(2)) * cfg.BottleneckRate
+	opt := RunOptions{
+		Warmup:  2 * time.Second,
+		Measure: 3 * time.Second,
+		RateBin: 100 * time.Millisecond,
+	}
+	train, err := attack.AIMDTrain(sim.FromDuration(extent), rate, sim.FromDuration(period), PulsesFor(opt.Measure, period))
+	if err == nil {
+		opt.Train = &train
+	}
+	return cfg, opt
+}
+
+// TestShardedDumbbellEquivalence is the topology-level determinism contract:
+// pulsed dumbbell scenarios must produce identical results — delivered
+// bytes, per-flow accounts, TCP state statistics, drop counts, processed
+// event totals, and byte-identical figure CSVs — on the serial kernel and on
+// the parallel engine at 1, 2, 4, and 8 workers.
+func TestShardedDumbbellEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second virtual scenarios")
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg, opt := randomShardedConfig(seed)
+		serial := runScenario(t, cfg, 0, opt)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := runScenario(t, cfg, workers, opt)
+			compareScenarios(t, fmt.Sprintf("seed %d workers %d", seed, workers), serial, got)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence at seed %d (cfg %+v)", seed, cfg)
+		}
+	}
+}
+
+// TestShardedDumbbellBaselineEquivalence covers the no-attack path (the
+// baseline runs of every figure) at a single representative seed.
+func TestShardedDumbbellBaselineEquivalence(t *testing.T) {
+	cfg, opt := randomShardedConfig(42)
+	opt.Train = nil
+	serial := runScenario(t, cfg, 0, opt)
+	for _, workers := range []int{2, 4} {
+		got := runScenario(t, cfg, workers, opt)
+		compareScenarios(t, fmt.Sprintf("baseline workers %d", workers), serial, got)
+	}
+}

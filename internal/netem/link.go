@@ -51,9 +51,10 @@ type Link struct {
 	dst   Node
 	pool  *PacketPool
 
-	busy  bool
-	stats LinkStats
-	taps  []Tap
+	busy   bool
+	stats  LinkStats
+	taps   []Tap
+	remote Remote // non-nil: propagation crosses a shard boundary (portal.go)
 
 	// Prebuilt kernel callbacks so the per-packet transmit/deliver events
 	// carry the packet as an argument instead of allocating a fresh closure
@@ -120,6 +121,18 @@ func (l *Link) NewPacket() *Packet {
 	return &Packet{}
 }
 
+// SetRemote routes this link's post-serialization deliveries through a shard
+// boundary (see portal.go). A nil remote (the default) keeps the serial local
+// path; the only cost on that path is one pointer nil-check per departure.
+func (l *Link) SetRemote(r Remote) { l.remote = r }
+
+// deliverLocal schedules the packet's propagation and delivery on the link's
+// own kernel — the serial path, also used by remotes falling back for flows
+// homed on this shard.
+func (l *Link) deliverLocal(p *Packet) {
+	l.k.AfterTicksArg(l.delay, l.deliverFn, p)
+}
+
 // AddTap attaches a traffic observer.
 func (l *Link) AddTap(t Tap) {
 	if t != nil {
@@ -175,7 +188,11 @@ func (l *Link) finishTransmit(p *Packet) {
 	for _, t := range l.taps {
 		t.OnDepart(p, now)
 	}
-	l.k.AfterTicksArg(l.delay, l.deliverFn, p)
+	if l.remote != nil {
+		l.remote.Transfer(l, now, p)
+	} else {
+		l.deliverLocal(p)
+	}
 	l.busy = false
 	if l.queue.Len() > 0 {
 		l.startTransmit()

@@ -1,0 +1,140 @@
+package netem
+
+import (
+	"pulsedos/internal/sim"
+)
+
+// This file is the netem side of the conservative parallel engine
+// (internal/sim/parallel.go): when a topology is sharded, a link whose
+// propagation hop crosses a shard boundary hands its packets to a Remote
+// instead of scheduling a local delivery event. The packet is packed into a
+// fixed-size sim.Payload, released to the source shard's pool, carried over
+// the engine's boundary-event machinery, and re-materialized from the
+// destination shard's pool by an Inbox — so pools stay strictly shard-local
+// and the 0 allocs/packet steady state survives sharding.
+//
+// The link's propagation delay is the lookahead the edge declares: a packet
+// finishing serialization at instant s is delivered at s+delay, which is at
+// or beyond the next window boundary by construction.
+
+// Remote routes packets whose propagation crosses a shard boundary. Transfer
+// takes ownership of the packet: implementations must either forward it to a
+// boundary edge (packing and releasing it) or fall back to the link's local
+// delivery path.
+type Remote interface {
+	Transfer(l *Link, now sim.Time, p *Packet)
+}
+
+// packPacket encodes a packet into a boundary payload. The layout is private
+// to this file; unpackPacket is its inverse.
+func packPacket(p *Packet, w *sim.Payload) {
+	w[0] = uint64(int64(p.Flow))
+	flags := uint64(p.Class) | uint64(p.Dir)<<8
+	if p.Retx {
+		flags |= 1 << 16
+	}
+	w[1] = flags | uint64(uint32(p.Size))<<32
+	w[2] = uint64(p.Seq)
+	w[3] = uint64(p.Ack)
+	w[4] = uint64(p.SentAt)
+	w[5] = uint64(p.EchoSentAt)
+}
+
+// unpackPacket decodes a boundary payload into a packet (leaving its pool
+// binding untouched).
+func unpackPacket(w *sim.Payload, p *Packet) {
+	p.Flow = int(int64(w[0]))
+	p.Class = Class(w[1])
+	p.Dir = Dir(w[1] >> 8)
+	p.Retx = w[1]&(1<<16) != 0
+	p.Size = int(uint32(w[1] >> 32))
+	p.Seq = int64(w[2])
+	p.Ack = int64(w[3])
+	p.SentAt = sim.Time(w[4])
+	p.EchoSentAt = sim.Time(w[5])
+}
+
+// SingleRemote sends every transferred packet over one boundary edge — the
+// common case of an access link whose far end lives on another shard.
+type SingleRemote struct {
+	out *sim.Outbox
+}
+
+// NewSingleRemote returns a Remote that forwards everything over out.
+func NewSingleRemote(out *sim.Outbox) *SingleRemote {
+	return &SingleRemote{out: out}
+}
+
+// Transfer implements Remote.
+func (r *SingleRemote) Transfer(l *Link, now sim.Time, p *Packet) {
+	var w sim.Payload
+	packPacket(p, &w)
+	p.Release()
+	r.out.Send(now.Add(l.Delay()), &w)
+}
+
+// DemuxRemote fans a shared link's deliveries out by flow id — the bottleneck
+// case, where one link carries every flow but the flows' endpoints are spread
+// over all shards. A nil entry (or a flow outside the table, e.g. the attack
+// generator's negative ids, when deflt is nil) falls back to the link's local
+// delivery path, preserving serial behaviour for flows homed on the link's
+// own shard.
+type DemuxRemote struct {
+	byFlow []*sim.Outbox // dense, indexed by flow id
+	deflt  *sim.Outbox   // out-of-range flows; nil = deliver locally
+}
+
+// NewDemuxRemote returns a demuxing Remote over a dense flow table.
+func NewDemuxRemote(byFlow []*sim.Outbox, deflt *sim.Outbox) *DemuxRemote {
+	return &DemuxRemote{byFlow: byFlow, deflt: deflt}
+}
+
+// Transfer implements Remote.
+func (r *DemuxRemote) Transfer(l *Link, now sim.Time, p *Packet) {
+	out := r.deflt
+	if p.Flow >= 0 && p.Flow < len(r.byFlow) {
+		out = r.byFlow[p.Flow]
+	}
+	if out == nil {
+		l.deliverLocal(p)
+		return
+	}
+	var w sim.Payload
+	packPacket(p, &w)
+	p.Release()
+	out.Send(now.Add(l.Delay()), &w)
+}
+
+// Inbox is the receiving side of a boundary edge: a sim.Port that
+// re-materializes packets from the destination shard's pool and injects
+// their delivery to a destination node. Register it on the destination shard
+// and point the source side's Remote at the resulting port.
+type Inbox struct {
+	pool      *PacketPool
+	deliverFn func(any)
+}
+
+var _ sim.Port = (*Inbox)(nil)
+
+// NewInbox builds an inbox delivering to dst, drawing packets from pool (a
+// nil pool falls back to heap allocation).
+func NewInbox(pool *PacketPool, dst Node) *Inbox {
+	return &Inbox{pool: pool, deliverFn: func(arg any) { dst.Receive(arg.(*Packet)) }}
+}
+
+// Inject implements sim.Port: decode the packet and schedule its delivery
+// with the source shard's determinism stamp.
+func (in *Inbox) Inject(k *sim.Kernel, when, at sim.Time, w *sim.Payload) {
+	var p *Packet
+	if in.pool != nil {
+		p = in.pool.Get()
+	} else {
+		p = &Packet{}
+	}
+	unpackPacket(w, p)
+	if err := k.InjectArg(when, at, in.deliverFn, p); err != nil {
+		// The engine guarantees when >= now at every barrier; reaching this
+		// indicates a wiring bug, which must not fail silently.
+		panic("netem: boundary injection in the past: " + err.Error())
+	}
+}

@@ -50,6 +50,7 @@ type Report struct {
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
 	NumCPU      int           `json:"num_cpu"`
+	MaxProcs    int           `json:"gomaxprocs,omitempty"`
 	Benchmarks  []BenchResult `json:"benchmarks"`
 	Figures     []FigurePeak  `json:"figures,omitempty"`
 
@@ -57,6 +58,13 @@ type Report struct {
 	// events/sec against the heap-kernel baseline, ns/flow/virtual-second,
 	// allocs/packet, peak RSS, and the measured-vs-analytic degradation.
 	Scale []experiments.ScalePoint `json:"scale,omitempty"`
+
+	// Parallel carries the conservative-parallel-engine speedup study
+	// (BENCH_3 onward): per (population, worker-count) cell, wall-clock
+	// against the serial reference, allocs/packet, and the determinism
+	// check. Speedup cells are only meaningful when NumCPU/MaxProcs cover
+	// the worker count; the guard test skips the speedup floor otherwise.
+	Parallel []experiments.ShardScalePoint `json:"parallel,omitempty"`
 }
 
 // baseline is a pre-optimization measurement of one hot path, taken with the
@@ -263,6 +271,7 @@ func NewReport(benchmarks []BenchResult, figures []FigurePeak) Report {
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+		MaxProcs:    runtime.GOMAXPROCS(0),
 		Benchmarks:  benchmarks,
 		Figures:     figures,
 	}

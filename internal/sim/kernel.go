@@ -24,6 +24,7 @@ const (
 // reused.
 type event struct {
 	when Time
+	at   Time   // virtual instant the event was scheduled (see before)
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	fn   func()
 
@@ -44,10 +45,20 @@ type event struct {
 	gen   uint32 // incremented every time the event returns to the free list
 }
 
-// before reports the (when, seq) firing order.
+// before reports the (when, at, seq) firing order. For events scheduled
+// locally this is exactly the classic (when, seq) order — seq is monotone in
+// schedule time, so comparing at first can never disagree with seq — but the
+// extra key is what lets the parallel engine's boundary events (InjectArg)
+// slot into the order the serial kernel would have produced: an injected
+// event carries the virtual instant it was scheduled at in its source shard,
+// and therefore sorts against local events exactly where the serial run's
+// schedule sequence would have placed it.
 func (e *event) before(o *event) bool {
 	if e.when != o.when {
 		return e.when < o.when
+	}
+	if e.at != o.at {
+		return e.at < o.at
 	}
 	return e.seq < o.seq
 }
@@ -273,6 +284,7 @@ func (k *Kernel) alloc(t Time) *event {
 		ev = &event{slot: -1}
 	}
 	ev.when = t
+	ev.at = k.now
 	ev.seq = k.seq
 	k.seq++
 	return ev
@@ -448,4 +460,50 @@ func (k *Kernel) RunUntil(t Time) error {
 // RunFor advances the simulation by the given wall-duration of virtual time.
 func (k *Kernel) RunFor(d time.Duration) error {
 	return k.RunUntil(k.now + FromDuration(d))
+}
+
+// RunBefore fires all events scheduled strictly before the virtual instant t,
+// then advances the clock to exactly t. It is the window-execution primitive
+// of the conservative parallel engine (see parallel.go): a shard runs to the
+// window edge exclusively, so that boundary events injected at the barrier
+// for instant t still order against local events at t through the full
+// (when, at, seq) comparator rather than having already fired past them.
+func (k *Kernel) RunBefore(t Time) error {
+	for {
+		ev := k.locate()
+		if ev == nil || ev.when >= t {
+			break
+		}
+		k.fire(ev)
+		if k.limit > 0 && k.processed >= k.limit {
+			return ErrEventLimit
+		}
+	}
+	if t > k.now {
+		k.now = t
+	}
+	return nil
+}
+
+// InjectArg schedules fn(arg) at the absolute instant `when`, carrying the
+// foreign schedule stamp `at` — the virtual instant the event was created in
+// its source shard. It is the boundary-event entry point of the parallel
+// engine: injected events interleave with locally scheduled ones in the same
+// (when, at, seq) order the serial kernel would have produced, because a
+// serial kernel would have assigned the event a seq drawn at exactly that
+// source instant. Callers must present injections in deterministic order:
+// ties at identical (when, at) fall back to the local seq counter.
+func (k *Kernel) InjectArg(when, at Time, fn func(any), arg any) error {
+	if when < k.now {
+		return ErrPastTime
+	}
+	if at > when {
+		at = when
+	}
+	ev := k.alloc(when)
+	ev.at = at
+	ev.argFn = fn
+	ev.arg = arg
+	k.enqueue(ev)
+	return nil
 }

@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+)
+
+// This file implements a conservative parallel discrete-event engine: one
+// topology is partitioned into shards, each shard owns a private Kernel and
+// runs on its own goroutine, and the shards synchronize through lookahead
+// windows derived from the minimum cross-shard propagation delay.
+//
+// The synchronization protocol is the classic conservative window scheme
+// (Chandy/Misra lookahead with a global barrier instead of null messages):
+//
+//	W = min over all cross-shard edges of their minimum delay (the lookahead)
+//	repeat:
+//	    inject every buffered boundary event, merged in (when, at, edge, seq)
+//	    order, into its destination kernel
+//	    every shard runs RunBefore(T + W) concurrently   — the window
+//	    barrier; T = T + W
+//
+// A shard executing inside window [T, T+W) can only create boundary events
+// for instants >= T+W, because every cross-shard edge imposes at least W of
+// delay. So no shard can ever receive an event for its own past — the merge
+// at the next barrier is always safe, with no rollback machinery.
+//
+// Determinism is a hard contract: a sharded run must reproduce the serial
+// kernel's observable behaviour exactly, at any worker count. The mechanism
+// is the (when, at, seq) comparator in kernel.go — boundary events carry the
+// virtual instant they were scheduled in the source shard ("at"), which is
+// precisely the key the serial kernel's monotone seq counter encodes. The
+// only residual freedom is the order of two boundary events with identical
+// (when, at) arriving over different edges, which the merge breaks by edge
+// id; the serial kernel would have broken it by the relative execution order
+// of the two source events at that instant. Real topologies make such exact
+// ties vanishingly rare (delays differ per flow), and the randomized
+// equivalence tests pin the contract end to end.
+
+// ErrNoLookahead is returned when a cross-shard edge declares a non-positive
+// minimum delay: conservative synchronization requires strictly positive
+// lookahead on every boundary edge.
+var ErrNoLookahead = errors.New("sim: cross-shard edge with non-positive lookahead")
+
+// Payload is the fixed-size boundary-event body. Models pack their
+// cross-shard state (the netem layer packs a Packet) into the words; the
+// engine never interprets them.
+type Payload [6]uint64
+
+// Port is the typed landing point for boundary events on a destination
+// shard. Inject must schedule the decoded event on k via k.InjectArg with
+// the provided (when, at) stamps; it runs on the engine's driver goroutine
+// between windows, never concurrently with shard execution.
+type Port interface {
+	Inject(k *Kernel, when, at Time, w *Payload)
+}
+
+// Msg is one boundary event in flight between two shards.
+type Msg struct {
+	When Time    // delivery instant in the destination shard
+	At   Time    // schedule instant in the source shard (determinism stamp)
+	Seq  uint64  // source-shard transfer counter (FIFO within an edge)
+	Edge int32   // outbox id: stable tie-break across edges
+	Port int32   // destination port index
+	W    Payload // packed model state
+}
+
+// Outbox is the sending side of one cross-shard edge. Each outbox is a
+// single-producer (its source shard's goroutine) single-consumer (the driver
+// at the barrier) buffer: the source appends during a window, the driver
+// drains between windows, and the window barrier is the synchronization
+// point — no locks or atomics are needed.
+type Outbox struct {
+	s        *Shard
+	dst      int
+	port     int32
+	edge     int32
+	minDelay Time
+}
+
+// Send buffers a boundary event for delivery at `when`, stamping it with the
+// source shard's current instant and transfer sequence. It must only be
+// called from model code running on the source shard's kernel.
+func (o *Outbox) Send(when Time, w *Payload) {
+	s := o.s
+	if when < s.eng.windowEnd {
+		panic(fmt.Sprintf(
+			"sim: conservative lookahead violated: edge %d sends for t=%d inside window ending %d",
+			o.edge, when, s.eng.windowEnd))
+	}
+	s.xferSeq++
+	s.out[o.dst] = append(s.out[o.dst], Msg{
+		When: when,
+		At:   s.k.now,
+		Seq:  s.xferSeq,
+		Edge: o.edge,
+		Port: o.port,
+		W:    *w,
+	})
+}
+
+// Shard is one partition of the topology: a private kernel plus the boundary
+// plumbing that connects it to its peers.
+type Shard struct {
+	id      int
+	eng     *Engine
+	k       *Kernel
+	ports   []Port
+	xferSeq uint64
+	out     [][]Msg // per destination shard, drained at the barrier
+
+	start chan shardCmd
+	done  chan error
+}
+
+type shardCmd struct {
+	target    Time
+	inclusive bool // final window: fire events at exactly target too
+}
+
+// ID reports the shard's index within its engine.
+func (s *Shard) ID() int { return s.id }
+
+// Kernel exposes the shard's private kernel for building model components.
+func (s *Shard) Kernel() *Kernel { return s.k }
+
+// RegisterPort registers a boundary landing point and returns its index for
+// use in NewOutbox on peer shards. Registration order must be deterministic
+// (it is part of the merge tie-break via outbox edge ids).
+func (s *Shard) RegisterPort(p Port) int32 {
+	s.ports = append(s.ports, p)
+	return int32(len(s.ports) - 1)
+}
+
+// run is the shard's worker loop: execute one window per command.
+func (s *Shard) run() {
+	for cmd := range s.start {
+		var err error
+		if cmd.inclusive {
+			err = s.k.RunUntil(cmd.target)
+		} else {
+			err = s.k.RunBefore(cmd.target)
+		}
+		s.done <- err
+	}
+}
+
+// Engine drives a set of shards through conservative lookahead windows.
+// Build phase (NewEngine, RegisterPort, NewOutbox, model wiring) is
+// single-goroutine; RunUntil then alternates concurrent shard windows with
+// serial barrier merges. With a single shard the engine degenerates to the
+// serial kernel: RunUntil forwards directly with no goroutines, channels, or
+// barrier overhead.
+type Engine struct {
+	shards    []*Shard
+	edges     int32
+	lookahead Time // min over outboxes; recomputed per RunUntil
+	now       Time
+	windowEnd Time   // shards may not Send below this (conservative guard)
+	windows   uint64 // barrier count, for diagnostics and benchmarks
+	started   bool
+	closed    bool
+	scratch   []Msg
+}
+
+// NewEngine returns an engine with n empty shards (n >= 1), each owning a
+// fresh timing-wheel kernel.
+func NewEngine(n int) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	e := &Engine{shards: make([]*Shard, n)}
+	for i := range e.shards {
+		e.shards[i] = &Shard{
+			id:  i,
+			eng: e,
+			k:   New(),
+			out: make([][]Msg, n),
+		}
+	}
+	return e
+}
+
+// Shards reports the number of partitions.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns partition i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Now reports the engine's barrier clock: every shard's kernel has reached
+// at least this instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Windows reports how many barrier windows have been executed.
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// Lookahead reports the conservative window width: the minimum declared
+// delay over all cross-shard edges (0 until the first edge exists).
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// Processed reports the total events fired across all shards. Because a
+// boundary transfer suppresses exactly one delivery event in the source
+// shard and creates exactly one in the destination, this equals the serial
+// kernel's Processed for an equivalent run.
+func (e *Engine) Processed() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.k.Processed()
+	}
+	return n
+}
+
+// Pending reports the pending events across all shards plus boundary events
+// buffered for future windows.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.k.Pending()
+		for _, buf := range s.out {
+			n += len(buf)
+		}
+	}
+	return n
+}
+
+// NewOutbox creates a cross-shard edge from src to dst, landing on dst's
+// port (a RegisterPort result). minDelay is the edge's guaranteed minimum
+// delivery latency — the engine's lookahead is the minimum over all edges,
+// so it must be strictly positive.
+func (e *Engine) NewOutbox(src, dst *Shard, port int32, minDelay Time) (*Outbox, error) {
+	if minDelay <= 0 {
+		return nil, ErrNoLookahead
+	}
+	if src.eng != e || dst.eng != e {
+		return nil, errors.New("sim: outbox endpoints belong to a different engine")
+	}
+	if src == dst {
+		return nil, errors.New("sim: outbox source and destination are the same shard")
+	}
+	if int(port) >= len(dst.ports) {
+		return nil, fmt.Errorf("sim: destination shard %d has no port %d", dst.id, port)
+	}
+	o := &Outbox{s: src, dst: dst.id, port: port, edge: e.edges, minDelay: minDelay}
+	e.edges++
+	if e.lookahead == 0 || minDelay < e.lookahead {
+		e.lookahead = minDelay
+	}
+	return o, nil
+}
+
+// compareMsg orders boundary events for the barrier merge: delivery instant,
+// then source schedule instant (the determinism stamp), then edge id, then
+// the per-edge FIFO sequence. Allocation-free under slices.SortFunc.
+func compareMsg(a, b Msg) int {
+	switch {
+	case a.When != b.When:
+		if a.When < b.When {
+			return -1
+		}
+		return 1
+	case a.At != b.At:
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	case a.Edge != b.Edge:
+		if a.Edge < b.Edge {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// exchange drains every outbox and injects the buffered boundary events into
+// their destination kernels, merged per destination in (when, at, edge, seq)
+// order so that destination seq assignment — the final tie-break — is
+// deterministic. Runs on the driver goroutine only.
+func (e *Engine) exchange() {
+	for _, dst := range e.shards {
+		buf := e.scratch[:0]
+		for _, src := range e.shards {
+			if pending := src.out[dst.id]; len(pending) > 0 {
+				buf = append(buf, pending...)
+				src.out[dst.id] = pending[:0]
+			}
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		slices.SortFunc(buf, compareMsg)
+		for i := range buf {
+			m := &buf[i]
+			dst.ports[m.Port].Inject(dst.k, m.When, m.At, &m.W)
+		}
+		e.scratch = buf[:0]
+	}
+}
+
+// ensureWorkers lazily starts one goroutine per shard.
+func (e *Engine) ensureWorkers() {
+	if e.started {
+		return
+	}
+	e.started = true
+	for _, s := range e.shards {
+		s.start = make(chan shardCmd, 1)
+		s.done = make(chan error, 1)
+		go s.run()
+	}
+}
+
+// Close stops the worker goroutines. The engine must not be run again after
+// Close; calling Close on a never-run or already-closed engine is a no-op.
+func (e *Engine) Close() {
+	if !e.started || e.closed {
+		e.closed = true
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.start)
+	}
+}
+
+// RunUntil advances every shard to the virtual instant t, firing all events
+// scheduled at or before t — exactly the serial kernel's RunUntil contract,
+// lifted to the sharded topology. Windows of width Lookahead() run
+// concurrently; the final window is inclusive of t so instants at exactly t
+// fire, matching the serial semantics.
+func (e *Engine) RunUntil(t Time) error {
+	if t < e.now {
+		return ErrPastTime
+	}
+	if len(e.shards) == 1 {
+		// Degenerate partition: the serial path, no goroutines or barriers.
+		k := e.shards[0].k
+		if err := k.RunUntil(t); err != nil {
+			return err
+		}
+		e.now = t
+		return nil
+	}
+	if e.closed {
+		return errors.New("sim: engine is closed")
+	}
+	w := e.lookahead
+	if w <= 0 {
+		// No cross-shard edges: the shards are independent; one window.
+		w = t - e.now + 1
+	}
+	e.ensureWorkers()
+	for {
+		e.exchange()
+		target := e.now + w
+		if target > t || target < e.now { // second clause: Time overflow
+			target = t
+		}
+		final := target >= t
+		e.windowEnd = target
+		for _, s := range e.shards {
+			s.start <- shardCmd{target: target, inclusive: final}
+		}
+		var firstErr error
+		for _, s := range e.shards {
+			if err := <-s.done; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		e.now = target
+		e.windows++
+		if final {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The parallel engine's determinism contract is pinned the same way the
+// wheel kernel's was (wheel_test.go): run a randomized program on the serial
+// kernel and on sharded engines at several worker counts, and require the
+// observable results — per-node firing logs, counters, processed and pending
+// totals — to match exactly.
+//
+// The program is a message-passing world: N nodes exchange hop-limited
+// messages whose routing, fan-out, and delays derive from a rng state
+// carried inside each message (so decisions depend only on message content,
+// never on which shard executes them). Messages between distinct nodes
+// always travel with delay >= L, the declared lookahead; self-messages may
+// use any delay. Each arrival folds the node's order-sensitive state into
+// the message value, so any divergence in event ordering cascades into the
+// logs and is caught.
+
+func pxorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+type ptmsg struct {
+	node int32
+	hops int32
+	rng  uint64
+	val  uint64
+}
+
+type prec struct {
+	when Time
+	val  uint64
+}
+
+type pnode struct {
+	counter uint64
+	log     []prec
+}
+
+type pworld struct {
+	nodes []pnode
+	L     Time
+	emit  func(k *Kernel, src int32, when Time, m *ptmsg)
+}
+
+// arrive is the shared model step: record the arrival, then derive and emit
+// the next hop(s) from the carried rng state.
+func (w *pworld) arrive(k *Kernel, m *ptmsg) {
+	now := k.Now()
+	n := &w.nodes[m.node]
+	m.val += n.counter ^ uint64(len(n.log))
+	n.counter += m.val
+	n.log = append(n.log, prec{now, m.val})
+	if m.hops <= 0 {
+		return
+	}
+	r := pxorshift(m.rng)
+	fan := 1
+	if r%5 == 0 {
+		fan = 2
+	}
+	for i := 0; i < fan; i++ {
+		r = pxorshift(r)
+		next := int32(r % uint64(len(w.nodes)))
+		r = pxorshift(r)
+		var delay Time
+		if next == m.node {
+			delay = Time(r % uint64(w.L)) // self-hops may undercut the lookahead
+		} else {
+			delay = w.L + Time(r%uint64(3*w.L))
+		}
+		r = pxorshift(r)
+		w.emit(k, m.node, now+delay, &ptmsg{node: next, hops: m.hops - 1, rng: r, val: m.val + uint64(i)})
+	}
+}
+
+func (w *pworld) seedInitial(seed uint64, horizon Time) []ptmsg {
+	r := seed
+	msgs := make([]ptmsg, len(w.nodes))
+	for i := range msgs {
+		r = pxorshift(r)
+		start := Time(r % uint64(horizon/4))
+		r = pxorshift(r)
+		hops := int32(3 + r%20)
+		r = pxorshift(r)
+		msgs[i] = ptmsg{node: int32(i), hops: hops, rng: r, val: uint64(i)}
+		_ = start
+		msgs[i].val = uint64(i)<<32 | uint64(start)
+	}
+	return msgs
+}
+
+type pworldResult struct {
+	nodes     []pnode
+	processed uint64
+	pending   int
+}
+
+// runSerialWorld executes the program on a single serial kernel.
+func runSerialWorld(t *testing.T, nodes int, L Time, seed uint64, horizon Time) pworldResult {
+	t.Helper()
+	k := New()
+	w := &pworld{nodes: make([]pnode, nodes), L: L}
+	deliver := func(a any) { w.arrive(k, a.(*ptmsg)) }
+	w.emit = func(_ *Kernel, _ int32, when Time, m *ptmsg) {
+		if _, err := k.AtArg(when, deliver, m); err != nil {
+			t.Fatalf("serial schedule: %v", err)
+		}
+	}
+	for _, m := range w.seedInitial(seed, horizon) {
+		mm := m
+		start := Time(mm.val & 0xffffffff)
+		if _, err := k.AtArg(start, deliver, &mm); err != nil {
+			t.Fatalf("serial seed: %v", err)
+		}
+	}
+	if err := k.RunUntil(horizon); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return pworldResult{nodes: w.nodes, processed: k.Processed(), pending: k.Pending()}
+}
+
+type pport struct {
+	k       *Kernel
+	deliver func(any)
+}
+
+func (p *pport) Inject(k *Kernel, when, at Time, wd *Payload) {
+	m := &ptmsg{
+		node: int32(wd[0]),
+		hops: int32(wd[1]),
+		rng:  wd[2],
+		val:  wd[3],
+	}
+	if err := k.InjectArg(when, at, p.deliver, m); err != nil {
+		panic(err)
+	}
+}
+
+// runShardedWorld executes the same program on an engine with the nodes
+// distributed round-robin over `workers` shards.
+func runShardedWorld(t *testing.T, nodes, workers int, L Time, seed uint64, horizon Time) pworldResult {
+	t.Helper()
+	e := NewEngine(workers)
+	defer e.Close()
+	w := &pworld{nodes: make([]pnode, nodes), L: L}
+	owner := func(node int32) int { return int(node) % workers }
+
+	delivers := make([]func(any), workers)
+	ports := make([]int32, workers)
+	for s := 0; s < workers; s++ {
+		sh := e.Shard(s)
+		k := sh.Kernel()
+		delivers[s] = func(a any) { w.arrive(k, a.(*ptmsg)) }
+		ports[s] = sh.RegisterPort(&pport{k: k, deliver: delivers[s]})
+	}
+	// Full mesh of boundary edges, all with lookahead L.
+	outbox := make([][]*Outbox, workers)
+	for s := 0; s < workers; s++ {
+		outbox[s] = make([]*Outbox, workers)
+		for d := 0; d < workers; d++ {
+			if s == d {
+				continue
+			}
+			ob, err := e.NewOutbox(e.Shard(s), e.Shard(d), ports[d], L)
+			if err != nil {
+				t.Fatalf("outbox %d->%d: %v", s, d, err)
+			}
+			outbox[s][d] = ob
+		}
+	}
+	w.emit = func(k *Kernel, src int32, when Time, m *ptmsg) {
+		so, do := owner(src), owner(m.node)
+		if so == do {
+			if _, err := k.AtArg(when, delivers[do], m); err != nil {
+				panic(err)
+			}
+			return
+		}
+		var wd Payload
+		wd[0] = uint64(uint32(m.node))
+		wd[1] = uint64(uint32(m.hops))
+		wd[2] = m.rng
+		wd[3] = m.val
+		outbox[so][do].Send(when, &wd)
+	}
+	for _, m := range w.seedInitial(seed, horizon) {
+		mm := m
+		start := Time(mm.val & 0xffffffff)
+		s := owner(mm.node)
+		if _, err := e.Shard(s).Kernel().AtArg(start, delivers[s], &mm); err != nil {
+			t.Fatalf("sharded seed: %v", err)
+		}
+	}
+	if err := e.RunUntil(horizon); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	return pworldResult{nodes: w.nodes, processed: e.Processed(), pending: e.Pending()}
+}
+
+func comparePWorlds(t *testing.T, label string, want, got pworldResult) {
+	t.Helper()
+	if want.processed != got.processed {
+		t.Errorf("%s: processed %d, serial %d", label, got.processed, want.processed)
+	}
+	if want.pending != got.pending {
+		t.Errorf("%s: pending %d, serial %d", label, got.pending, want.pending)
+	}
+	for i := range want.nodes {
+		wn, gn := &want.nodes[i], &got.nodes[i]
+		if wn.counter != gn.counter {
+			t.Errorf("%s: node %d counter %d, serial %d", label, i, gn.counter, wn.counter)
+		}
+		if len(wn.log) != len(gn.log) {
+			t.Errorf("%s: node %d log length %d, serial %d", label, i, len(gn.log), len(wn.log))
+			continue
+		}
+		for j := range wn.log {
+			if wn.log[j] != gn.log[j] {
+				t.Errorf("%s: node %d log[%d] = %+v, serial %+v", label, i, j, gn.log[j], wn.log[j])
+				break
+			}
+		}
+	}
+}
+
+// TestEngineSerialEquivalence is the randomized determinism contract: the
+// sharded engine must reproduce the serial kernel's behaviour exactly at
+// every worker count, including counts that do not divide the node count.
+func TestEngineSerialEquivalence(t *testing.T) {
+	const (
+		nodes   = 37
+		L       = Time(1 * Millisecond)
+		horizon = Time(2 * Second)
+	)
+	for seed := uint64(1); seed <= 25; seed++ {
+		want := runSerialWorld(t, nodes, L, seed, horizon)
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			got := runShardedWorld(t, nodes, workers, L, seed, horizon)
+			comparePWorlds(t, fmt.Sprintf("seed %d workers %d", seed, workers), want, got)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence at seed %d", seed)
+		}
+	}
+}
+
+// TestEngineDegenerateIsSerial pins the zero-overhead contract for the
+// single-shard engine: RunUntil must forward to the serial kernel without
+// ever starting worker goroutines or opening barrier windows.
+func TestEngineDegenerateIsSerial(t *testing.T) {
+	e := NewEngine(1)
+	k := e.Shard(0).Kernel()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		d := Time(i) * Millisecond
+		k.AfterTicks(d, func() { fired++ })
+	}
+	if err := e.RunUntil(Time(20 * Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 {
+		t.Errorf("fired %d events, want 10", fired)
+	}
+	if e.started {
+		t.Error("degenerate engine started worker goroutines")
+	}
+	if e.Windows() != 0 {
+		t.Errorf("degenerate engine opened %d windows, want 0", e.Windows())
+	}
+	if e.Now() != Time(20*Millisecond) {
+		t.Errorf("engine now %d, want %d", e.Now(), Time(20*Millisecond))
+	}
+}
+
+// TestEngineInjectOrdering pins the comparator contract directly: a boundary
+// event injected with an earlier schedule stamp must fire before a local
+// event at the same instant that was scheduled later in virtual time, and
+// after one scheduled earlier — exactly where the serial kernel would have
+// placed it.
+func TestEngineInjectOrdering(t *testing.T) {
+	k := New()
+	var order []string
+	// Local event scheduled at virtual time 0 for t=100.
+	if _, err := k.At(100, func() { order = append(order, "local-at0") }); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary event scheduled in its source shard at virtual time 40,
+	// delivered at t=100.
+	if err := k.InjectArg(100, 40, func(any) { order = append(order, "inject-at40") }, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Local event scheduled at virtual time 60 (after the injection's source
+	// instant) for the same t=100: schedule it from inside an event at 60.
+	if _, err := k.At(60, func() {
+		if _, err := k.At(100, func() { order = append(order, "local-at60") }); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(200); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"local-at0", "inject-at40", "local-at60"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}

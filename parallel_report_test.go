@@ -1,0 +1,67 @@
+package pulsedos
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"pulsedos/internal/perf"
+)
+
+// TestParallelReportBudgets guards the committed parallel-engine speedup
+// study: BENCH_3.json (regenerated with `pdos-bench -parallel-bench
+// BENCH_3.json`) must parse into the perf schema and uphold its budgets.
+// Determinism and allocation budgets are unconditional — they hold on any
+// hardware. The speedup floor is physics: a conservative parallel engine
+// cannot beat serial wall-clock without cores to run on, so the ≥2.5x bar at
+// 4 workers applies only when the recorded host had ≥4 CPUs available; a
+// report generated on a smaller machine records honest numbers and the floor
+// re-arms the next time the report is regenerated on real parallel hardware.
+func TestParallelReportBudgets(t *testing.T) {
+	data, err := os.ReadFile("BENCH_3.json")
+	if err != nil {
+		t.Fatalf("BENCH_3.json must be committed: %v", err)
+	}
+	var rep perf.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_3.json does not parse into perf.Report: %v", err)
+	}
+	if len(rep.Parallel) == 0 {
+		t.Fatal("report carries no parallel scale points")
+	}
+
+	cores := rep.NumCPU
+	if rep.MaxProcs > 0 && rep.MaxProcs < cores {
+		cores = rep.MaxProcs
+	}
+
+	var saw10kx4 bool
+	for _, p := range rep.Parallel {
+		if p.AllocsPerPacket > 0.01 {
+			t.Errorf("parallel %d flows x %d workers: %.4f allocs/packet, want 0",
+				p.Flows, p.Workers, p.AllocsPerPacket)
+		}
+		if p.Workers > 1 && !p.MatchesSerial {
+			t.Errorf("parallel %d flows x %d workers: diverged from the serial kernel",
+				p.Flows, p.Workers)
+		}
+		if p.Workers > 1 && p.Windows == 0 {
+			t.Errorf("parallel %d flows x %d workers: engine ran no conservative windows",
+				p.Flows, p.Workers)
+		}
+		if p.Flows >= 10000 && p.Workers == 4 {
+			saw10kx4 = true
+			if cores >= 4 && p.SpeedupVsSerial < 2.5 {
+				t.Errorf("parallel %d flows x 4 workers: %.2fx vs serial is below the 2.5x floor (host had %d cores)",
+					p.Flows, p.SpeedupVsSerial, cores)
+			}
+			if cores < 4 {
+				t.Logf("speedup floor skipped: report generated on a %d-core host (measured %.2fx at 4 workers)",
+					cores, p.SpeedupVsSerial)
+			}
+		}
+	}
+	if !saw10kx4 {
+		t.Error("report lacks the 10k-flow, 4-worker cell")
+	}
+}

@@ -194,6 +194,14 @@ func BuildDumbbell(cfg DumbbellConfig) (*experiments.Dumbbell, error) {
 	return experiments.BuildDumbbell(cfg)
 }
 
+// BuildShardedDumbbell wires the Fig. 5 dumbbell across `workers` shards of
+// the conservative parallel engine. Results are bit-identical to the serial
+// BuildDumbbell at any worker count; call Close when done to join the shard
+// goroutines.
+func BuildShardedDumbbell(cfg DumbbellConfig, workers int) (*experiments.ShardedDumbbell, error) {
+	return experiments.BuildShardedDumbbell(cfg, workers)
+}
+
 // BuildTestbed wires a Fig. 11 test-bed environment.
 func BuildTestbed(cfg TestbedConfig) (*experiments.Testbed, error) {
 	return experiments.BuildTestbed(cfg)
