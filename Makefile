@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet race-parallel bench-smoke figures scale-bench parallel-bench profile clean
+.PHONY: all build test race vet lint race-assert race-parallel bench-smoke figures scale-bench parallel-bench profile clean
 
 all: build
 
@@ -17,6 +17,23 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs pdos-lint (the stdlib-only analyzer suite enforcing the
+# determinism, pool-ownership, hot-path, and float-equality contracts — see
+# DESIGN.md §10) over the module, then fails on any gofmt drift.
+lint:
+	$(GO) run ./cmd/pdos-lint ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# race-assert reruns the determinism/equivalence suites and the assertion
+# tests with the pdosassert runtime invariants compiled in (pool
+# double-release and leak accounting, kernel firing-order monotonicity,
+# shard-boundary conservation) under the race detector.
+race-assert:
+	$(GO) test -race -tags pdosassert ./internal/sim ./internal/netem ./internal/tcp ./internal/experiments
 
 # race-parallel drives the parallel-engine determinism contracts under the
 # race detector: the randomized engine/topology equivalence suites and the

@@ -1,0 +1,96 @@
+// Command pdos-lint runs the repository's static-analysis suite
+// (internal/lint): the determinism, pool-ownership, hot-path-hygiene, and
+// float-equality analyzers that machine-check the contracts the simulator's
+// reproducibility and 0 allocs/packet arguments rest on. It is stdlib-only —
+// go/parser + go/types with a source-mode importer — so `make lint` needs no
+// tool downloads.
+//
+// Usage:
+//
+//	pdos-lint [-root dir] [package-dir ...]
+//
+// With no package arguments (or the conventional "./..."), every buildable
+// package in the module is analyzed. Findings print as
+// file:line:col: [analyzer] message, and a non-empty finding set exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pulsedos/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root directory (holds go.mod)")
+	flag.Parse()
+
+	if err := run(*root, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pdos-lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(root string, args []string) error {
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		return err
+	}
+	paths := l.Paths()
+	if want := selectPaths(l, args); want != nil {
+		paths = want
+	}
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := lint.Run(lint.Default(), pkgs)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	fmt.Fprintf(os.Stderr, "pdos-lint: %d package(s), %d finding(s)\n", len(pkgs), len(diags))
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// selectPaths maps directory arguments to import paths; "./..." (or no
+// arguments) selects everything.
+func selectPaths(l *lint.Loader, args []string) []string {
+	var out []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "all" {
+			return nil
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(a, "/..."))
+		if err != nil {
+			continue
+		}
+		rel, err := filepath.Rel(l.Root, abs)
+		if err != nil {
+			continue
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		if strings.HasSuffix(a, "/...") {
+			for _, p := range l.Paths() {
+				if p == ip || strings.HasPrefix(p, ip+"/") {
+					out = append(out, p)
+				}
+			}
+		} else {
+			out = append(out, ip)
+		}
+	}
+	return out
+}

@@ -224,6 +224,8 @@ func (g *Generator) Stop() {
 }
 
 // beginPulse starts emitting the current pulse's packets.
+//
+//pdos:hotpath
 func (g *Generator) beginPulse() {
 	if g.stopped || g.pulseIdx >= len(g.train.Pulses) {
 		return
@@ -236,6 +238,8 @@ func (g *Generator) beginPulse() {
 
 // emit sends one attack packet and chains the next emission, spacing packets
 // at the pulse's line rate until the pulse window closes.
+//
+//pdos:hotpath
 func (g *Generator) emit() {
 	if g.stopped {
 		return
@@ -262,6 +266,8 @@ func (g *Generator) emit() {
 }
 
 // finishPulse schedules the next pulse after the inter-pulse gap.
+//
+//pdos:hotpath
 func (g *Generator) finishPulse() {
 	g.pulseIdx++
 	if g.pulseIdx >= len(g.train.Pulses) {

@@ -33,6 +33,7 @@ func RunTasks(parallel, n int, run func(i int) error) error {
 	next := make(chan int)
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		//pdos:nondeterministic-ok — each task owns a private kernel and writes only errs[i]; results merge by index, so completion order never reaches the output
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -11,6 +11,7 @@ import (
 	"pulsedos/internal/attack"
 	"pulsedos/internal/model"
 	"pulsedos/internal/netem"
+	"pulsedos/internal/perf/clock"
 	"pulsedos/internal/sim"
 	"pulsedos/internal/trace"
 )
@@ -313,11 +314,11 @@ func runAttackedScale(dcfg DumbbellConfig, cfg ScaleSweepConfig, attackRate floa
 	events0 := env.Processed()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	wall0 := time.Now()
+	wall0 := clock.Wall.Now() //pdos:wallclock — events/sec measurement, not simulation state
 	if err := env.RunUntil(end); err != nil {
 		return attackedScale{}, err
 	}
-	wall := time.Since(wall0)
+	wall := clock.Wall.Since(wall0) //pdos:wallclock — events/sec measurement, not simulation state
 	runtime.ReadMemStats(&m1)
 	stats1 := env.BottleStats()
 

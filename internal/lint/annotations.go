@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //pdos: directive family. Directives are machine-readable comments
+// (no space after //, like //go: directives) with an optional free-text
+// rationale after the directive word:
+//
+//	//pdos:wallclock             — this line / function intentionally reads
+//	                               the wall clock (perf measurement seams)
+//	//pdos:nondeterministic-ok   — this map iteration / goroutine spawn is
+//	                               intentionally order-free (the rationale
+//	                               should say why the output stays stable)
+//	//pdos:hotpath               — opt this function INTO the hot-path
+//	                               hygiene analyzer (no fmt, closures,
+//	                               boxing, or foreign appends)
+//	//pdos:float-eq-ok           — approved tolerance helper / exact
+//	                               sentinel comparison
+//	//pdos:pool-ok               — suppress a pool-ownership finding the
+//	                               analyzer cannot see through (ownership
+//	                               held in a field, conditional transfer)
+//
+// Placement: in a function's doc comment the directive covers the whole
+// function; on (or immediately above) a statement it covers that line.
+const (
+	dirWallclock    = "wallclock"
+	dirNondet       = "nondeterministic-ok"
+	dirHotPath      = "hotpath"
+	dirFloatEq      = "float-eq-ok"
+	dirPoolOk       = "pool-ok"
+	directivePrefix = "//pdos:"
+)
+
+// annotations indexes every //pdos: directive in a package: by the line the
+// directive sits on, and by enclosing function declaration.
+type annotations struct {
+	fset *token.FileSet
+	// line[file][line] holds the directives whose comment starts on that line.
+	line map[string]map[int][]string
+	// funcs maps each annotated FuncDecl to its doc directives.
+	funcs map[*ast.FuncDecl][]string
+	// decls holds every FuncDecl in the package, for enclosing-function
+	// lookups by position.
+	decls []*ast.FuncDecl
+}
+
+// buildAnnotations scans the package's comments once.
+func (p *Package) buildAnnotations() {
+	if p.ann != nil {
+		return
+	}
+	a := &annotations{
+		fset:  p.Fset,
+		line:  make(map[string]map[int][]string),
+		funcs: make(map[*ast.FuncDecl][]string),
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := a.line[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					a.line[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], dir)
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			a.decls = append(a.decls, fd)
+			if fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if dir, ok := parseDirective(c.Text); ok {
+					a.funcs[fd] = append(a.funcs[fd], dir)
+				}
+			}
+		}
+	}
+	p.ann = a
+}
+
+// parseDirective extracts the directive word from a //pdos: comment.
+func parseDirective(text string) (string, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// enclosingFunc returns the FuncDecl whose body spans pos, or nil.
+func (a *annotations) enclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, fd := range a.decls {
+		if fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// funcHas reports whether fd's doc comment carries dir.
+func (a *annotations) funcHas(fd *ast.FuncDecl, dir string) bool {
+	for _, d := range a.funcs[fd] {
+		if d == dir {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether a finding at pos is excused by dir: a directive
+// on the same line, on the line directly above, or in the enclosing
+// function's doc comment.
+func (a *annotations) suppressed(pos token.Pos, dir string) bool {
+	p := a.fset.Position(pos)
+	if byLine := a.line[p.Filename]; byLine != nil {
+		for _, d := range byLine[p.Line] {
+			if d == dir {
+				return true
+			}
+		}
+		for _, d := range byLine[p.Line-1] {
+			if d == dir {
+				return true
+			}
+		}
+	}
+	if fd := a.enclosingFunc(pos); fd != nil && a.funcHas(fd, dir) {
+		return true
+	}
+	return false
+}

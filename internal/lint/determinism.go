@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runDeterminism enforces the reproducibility contract of the simulation
+// packages: every figure CSV must be byte-identical across runs and worker
+// counts, so nothing in those packages may observe the wall clock, draw from
+// process-global randomness, iterate a Go map (iteration order is
+// deliberately randomized by the runtime), or spawn goroutines outside the
+// conservative parallel engine.
+//
+// Escape hatches: //pdos:wallclock on intentional timing seams (perf
+// measurement), //pdos:nondeterministic-ok on iterations/spawns whose effect
+// on observable output is order-free (the rationale goes in the comment).
+func runDeterminism(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !hasPath(cfg.DeterministicPkgs, pkg.Path) {
+		return
+	}
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				f := funcObj(info, n)
+				if f == nil {
+					return true
+				}
+				if wallClockFunc(f) {
+					if !pkg.ann.suppressed(n.Pos(), dirWallclock) {
+						report(n.Pos(), "wall-clock read %s.%s in deterministic package %s (use virtual sim.Time, or annotate the measurement seam //pdos:wallclock)",
+							f.Pkg().Path(), f.Name(), pkg.Path)
+					}
+					return true
+				}
+				if globalRandFunc(f) {
+					if !pkg.ann.suppressed(n.Pos(), dirNondet) {
+						report(n.Pos(), "process-global math/rand call %s in deterministic package %s (use the seeded internal/rng source, or annotate //pdos:nondeterministic-ok)",
+							f.Name(), pkg.Path)
+					}
+					return true
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					if !pkg.ann.suppressed(n.Pos(), dirNondet) {
+						report(n.Pos(), "map iteration in deterministic package %s: runtime map order is randomized and leaks into event scheduling or output (sort the keys first, or annotate //pdos:nondeterministic-ok with why order cannot matter)",
+							pkg.Path)
+					}
+				}
+			case *ast.GoStmt:
+				if pkg.Path == cfg.KernelPkg {
+					return true // the parallel engine owns its worker goroutines
+				}
+				if !pkg.ann.suppressed(n.Pos(), dirNondet) {
+					report(n.Pos(), "goroutine spawn in deterministic package %s: concurrency outside sim.Engine breaks the single-goroutine kernel contract (route parallelism through the engine, or annotate //pdos:nondeterministic-ok with the merge argument)",
+						pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wallClockFunc reports whether f reads the wall clock: time.Now and its
+// derived readers, plus the repository's one sanctioned seam
+// (internal/perf/clock) so call sites of the seam still need the annotation.
+func wallClockFunc(f *types.Func) bool {
+	if f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			return recvTypeName(f) == ""
+		}
+	case "pulsedos/internal/perf/clock":
+		switch f.Name() {
+		case "Now", "Since":
+			return true
+		}
+	}
+	return false
+}
+
+// globalRandFunc reports whether f is a math/rand (or v2) package-level
+// function backed by process-global state. Constructors for explicitly
+// seeded sources remain fine — determinism comes from owning the seed.
+func globalRandFunc(f *types.Func) bool {
+	if f.Pkg() == nil || recvTypeName(f) != "" {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return false
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}

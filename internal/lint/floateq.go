@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// runFloatEq forbids == and != on floating-point operands in the analytic
+// packages (the paper's throughput model and the attack optimizer), where an
+// exact comparison is almost always a latent bug: the quantities compared are
+// products of division chains and transcendental terms, and "equal" must mean
+// "within tolerance". Two escapes:
+//
+//   - comparison against the exact literal 0 passes: IEEE-754 represents
+//     zero exactly, and x == 0 division guards are both idiomatic and
+//     correct;
+//   - //pdos:float-eq-ok on the line or the enclosing function marks an
+//     approved tolerance helper or a deliberate exact-sentinel comparison.
+func runFloatEq(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !hasPath(cfg.FloatPkgs, pkg.Path) {
+		return
+	}
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.TypeOf(be.X), info.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			if isExactZero(pkg, be.X) || isExactZero(pkg, be.Y) {
+				return true
+			}
+			if pkg.ann.suppressed(be.Pos(), dirFloatEq) {
+				return true
+			}
+			report(be.OpPos, "floating-point %s comparison (%s %s %s) in %s: exact float equality is a latent bug here — compare within a tolerance, or annotate an approved helper //pdos:float-eq-ok",
+				be.Op, exprString(be.X), be.Op, exprString(be.Y), pkg.Path)
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// fixtureConfig scopes the path-selected analyzers to the fixture packages
+// the same way Default() scopes them to the repository.
+func fixtureConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{"fixture/determinism"},
+		KernelPkg:         "fixture/kernel",
+		FloatPkgs:         []string{"fixture/floateq"},
+	}
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", name, err)
+	}
+	return pkg
+}
+
+// wantRE matches the expected-diagnostic markers in fixture sources:
+// a trailing comment of the form `// want "regexp"`.
+var wantRE = regexp.MustCompile(`^// want "(.+)"$`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// collectWants indexes every `// want "..."` marker by file and line.
+func collectWants(t *testing.T, pkg *Package) map[wantKey][]*want {
+	t.Helper()
+	wants := make(map[wantKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				rx, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := wantKey{filepath.Base(pos.Filename), pos.Line}
+				wants[k] = append(wants[k], &want{rx: rx})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the full suite over one fixture package and requires an
+// exact two-way match between diagnostics and want markers: every diagnostic
+// must land on a line whose want pattern matches it, and every want must be
+// hit. Removing an analyzer therefore fails its fixture test (unmatched
+// wants), and a false positive fails it too (unexpected diagnostic).
+func checkFixture(t *testing.T, analyzerName, fixture string) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	wants := collectWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %q has no want markers — it tests nothing", fixture)
+	}
+
+	diags := Run(fixtureConfig(), []*Package{pkg})
+	for _, d := range diags {
+		if d.Analyzer != analyzerName {
+			t.Errorf("diagnostic from unexpected analyzer %q in %s fixture: %s", d.Analyzer, fixture, d)
+			continue
+		}
+		k := wantKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		hit := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic (no want marker on %s:%d): %s", k.file, k.line, d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("missing diagnostic: %s:%d expected a finding matching %q, got none", k.file, k.line, w.rx)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { checkFixture(t, "determinism", "determinism") }
+func TestPoolOwnerFixture(t *testing.T)   { checkFixture(t, "poolowner", "poolowner") }
+func TestHotPathFixture(t *testing.T)     { checkFixture(t, "hotpath", "hotpath") }
+func TestFloatEqFixture(t *testing.T)     { checkFixture(t, "floateq", "floateq") }
+
+// TestFixturesOutsideScopeAreQuiet pins the config scoping: the determinism
+// and floateq fixtures are riddled with violations, but with an empty Config
+// (no package in any analyzer's scope) only the annotation-driven and
+// universal analyzers run — and those fixtures contain no pool or hotpath
+// constructs, so the suite must stay silent.
+func TestFixturesOutsideScopeAreQuiet(t *testing.T) {
+	for _, name := range []string{"determinism", "floateq"} {
+		pkg := loadFixture(t, name)
+		if diags := Run(Config{}, []*Package{pkg}); len(diags) != 0 {
+			t.Errorf("fixture %q under empty config: got %d diagnostics, want 0; first: %s",
+				name, len(diags), diags[0])
+		}
+	}
+}
+
+// TestRepoTreeClean is the acceptance gate in test form: the analyzer suite
+// under the repository Default() config must report zero findings on the
+// tree itself (make lint enforces the same from the command line).
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags := Run(Default(), pkgs)
+	for _, d := range diags {
+		t.Errorf("tree not lint-clean: %s", d)
+	}
+}

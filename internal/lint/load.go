@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages without golang.org/x/
+// tools: module-internal imports are resolved against the source tree being
+// linted, everything else (the stdlib) through go/importer's source-mode
+// importer, so the linter needs no export data and no build step.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root directory (holds go.mod)
+	Module string // module path from go.mod
+
+	std  types.Importer      // stdlib (source-mode) importer
+	pkgs map[string]*Package // import path → loaded package
+	dirs map[string]string   // import path → directory
+	busy map[string]bool     // import cycle guard
+}
+
+// NewLoader builds a loader for the module rooted at root, discovering the
+// module path from go.mod and the package set by walking the tree (skipping
+// testdata, hidden, and underscore directories).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:   fset,
+		Root:   abs,
+		Module: mod,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+		dirs:   make(map[string]string),
+		busy:   make(map[string]bool),
+	}
+	if err := l.discover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// discover maps every buildable package directory under Root to its import
+// path.
+func (l *Loader) discover() error {
+	return filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "results" || name == "results-full") {
+			return filepath.SkipDir
+		}
+		bp, err := build.ImportDir(path, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return nil // unbuildable dir: not ours to judge
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Root, path)
+		if err != nil {
+			return err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = path
+		return nil
+	})
+}
+
+// Paths lists every discovered import path, sorted.
+func (l *Loader) Paths() []string {
+	out := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadAll loads every discovered package, in sorted import-path order.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var out []*Package
+	for _, p := range l.Paths() {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Load parses and type-checks one module-internal package by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %q", path)
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	pkg, err := checkDir(l.Fset, dir, path, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths come from the
+// source tree under analysis, everything else from the stdlib importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks a standalone package directory (used by the
+// fixture tests, whose packages only import the stdlib) under the given
+// import path.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	return checkDir(fset, dir, importPath, importer.ForCompiler(fset, "source", nil))
+}
+
+// checkDir parses the non-test, build-constraint-satisfying Go files of dir
+// and type-checks them as importPath using imp for dependencies.
+func checkDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}

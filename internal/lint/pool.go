@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runPoolOwner enforces the PacketPool ownership protocol (netem/pool.go):
+// whoever acquires a packet — PacketPool.Get or Link.NewPacket — owns it, and
+// before the function returns must either Release it or transfer ownership
+// (hand it to a call such as Link.Send, return it, or store it into a
+// longer-lived structure). Two function-local defects are flagged:
+//
+//   - leak: an acquired packet that is never released nor transferred —
+//     correctness survives (the GC collects it) but the 0 allocs/packet
+//     steady state silently dies;
+//   - use-after-release: touching the packet after a Release on the same
+//     straight-line path — the pool may already have re-issued it.
+//
+// The analysis is deliberately function-local and straight-line (release and
+// use must share a statement list); cross-function ownership is the
+// documented protocol's job. //pdos:pool-ok suppresses a finding the
+// analyzer cannot see through (ownership parked in a field, conditional
+// transfer).
+func runPoolOwner(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pkg, fd, report)
+		}
+	}
+}
+
+// acquireCall reports whether call acquires a pool packet, by method
+// identity: Get on a PacketPool or NewPacket on a Link.
+func acquireCall(info *types.Info, call *ast.CallExpr) bool {
+	f := funcObj(info, call)
+	if f == nil {
+		return false
+	}
+	switch recvTypeName(f) {
+	case "PacketPool":
+		return f.Name() == "Get"
+	case "Link":
+		return f.Name() == "NewPacket"
+	}
+	return false
+}
+
+// checkPoolFunc tracks every packet acquired inside fd.
+func checkPoolFunc(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	// Pass 1: find acquisitions bound to simple local identifiers.
+	type acquired struct {
+		obj      types.Object
+		pos      token.Pos
+		end      token.Pos // tracking window closes at straight-line reassignment
+		blockEnd token.Pos // end of the acquire's innermost statement list
+	}
+	var tracked []*acquired
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !acquireCall(info, call) || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		// The innermost enclosing statement list bounds where a later
+		// reassignment is provably sequential with this acquire (a
+		// reassignment in a sibling branch must not truncate the window).
+		blockEnd := fd.Body.End()
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch b := stack[i].(type) {
+			case *ast.BlockStmt:
+				blockEnd = b.End()
+			case *ast.CaseClause:
+				blockEnd = b.End()
+			case *ast.CommClause:
+				blockEnd = b.End()
+			default:
+				continue
+			}
+			break
+		}
+		tracked = append(tracked, &acquired{obj: obj, pos: as.Pos(), end: fd.Body.End(), blockEnd: blockEnd})
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+	// Close each acquisition's window at the next straight-line reassignment
+	// of the same variable (the name then refers to a different packet).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			for _, tr := range tracked {
+				if obj == tr.obj && as.Pos() > tr.pos && as.Pos() < tr.end && as.Pos() < tr.blockEnd {
+					tr.end = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	for _, tr := range tracked {
+		if pkg.ann.suppressed(tr.pos, dirPoolOk) {
+			continue
+		}
+		if !releasedOrTransferred(info, fd.Body, tr.obj, tr.pos, tr.end) {
+			report(tr.pos, "packet acquired from the pool is neither released nor ownership-transferred before %s returns — this leaks the packet out of the 0 allocs/packet budget (Release it, hand it to Link.Send/a Node, or annotate //pdos:pool-ok)",
+				fd.Name.Name)
+		}
+		checkUseAfterRelease(pkg, fd.Body, tr.obj, tr.pos, tr.end, report)
+	}
+}
+
+// usesObj reports whether the subtree mentions obj.
+func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// releaseStmtOf returns the receiver identifier when stmt is exactly
+// `x.Release()` (not deferred, not nested in control flow), else nil.
+func releaseStmtOf(info *types.Info, stmt ast.Stmt) *ast.Ident {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	f, _ := info.Uses[sel.Sel].(*types.Func)
+	if f == nil || recvTypeName(f) != "Packet" {
+		return nil
+	}
+	id, _ := sel.X.(*ast.Ident)
+	return id
+}
+
+// releasedOrTransferred reports whether obj is released or escapes ownership
+// anywhere inside [from, to): passed to a call, returned, stored into a
+// non-local destination, sent on a channel, or placed in a composite literal.
+func releasedOrTransferred(info *types.Info, body *ast.BlockStmt, obj types.Object, from, to token.Pos) bool {
+	done := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if done || n == nil || n.End() < from || n.Pos() >= to {
+			return !done
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesObj(info, arg, obj) {
+					done = true // transfer (or Release via method value — same outcome)
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok2 := sel.X.(*ast.Ident); ok2 && info.Uses[id] == obj {
+					done = true // any method call consuming it, incl. Release
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(info, r, obj) {
+					done = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, n.Value, obj) {
+				done = true
+			}
+		case *ast.CompositeLit:
+			if usesObj(info, n, obj) {
+				done = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !usesObj(info, rhs, obj) {
+					continue
+				}
+				// Storing the packet anywhere but a plain local variable
+				// (field, slice element, map entry, dereference) parks
+				// ownership beyond this function's view.
+				if i < len(n.Lhs) {
+					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
+						done = true
+					}
+				}
+			}
+		}
+		return !done
+	})
+	return done
+}
+
+// checkUseAfterRelease flags mentions of obj in statements that follow a
+// straight-line `x.Release()` in the same statement list.
+func checkUseAfterRelease(pkg *Package, body *ast.BlockStmt, obj types.Object, from, to token.Pos, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		relAt := -1
+		for i, stmt := range list {
+			if stmt.Pos() < from || stmt.Pos() >= to {
+				continue
+			}
+			if relAt >= 0 {
+				if usesObj(info, stmt, obj) && !pkg.ann.suppressed(stmt.Pos(), dirPoolOk) {
+					report(stmt.Pos(), "packet used after Release on line %d: the pool may have re-issued it (copy what you need before releasing)",
+						pkg.Fset.Position(list[relAt].Pos()).Line)
+				}
+				continue
+			}
+			if id := releaseStmtOf(info, stmt); id != nil && info.Uses[id] == obj {
+				relAt = i
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,72 @@
+// Package determinism is a pdos-lint fixture: every construct the
+// determinism analyzer must flag, next to the annotated escapes it must not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall is the deliberately injected wall-clock read of the acceptance
+// criteria: lint must catch a bare time.Now in a deterministic package.
+func Wall() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// WallSince: the derived readers count too.
+func WallSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+// AnnotatedWall is a sanctioned measurement seam.
+//
+//pdos:wallclock — fixture: perf measurement seam
+func AnnotatedWall() time.Time {
+	return time.Now()
+}
+
+// AnnotatedWallLine carries the escape on the call line instead.
+func AnnotatedWallLine() time.Time {
+	return time.Now() //pdos:wallclock — fixture: line-level escape
+}
+
+// GlobalRand draws from process-global state.
+func GlobalRand() int {
+	return rand.Int() // want "process-global math/rand"
+}
+
+// SeededRand owns its seed: constructors stay legal.
+func SeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// MapOrder leaks runtime map order into its result.
+func MapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "map iteration"
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapOrderOK is annotated: the fold is commutative.
+func MapOrderOK(m map[int]int) int {
+	sum := 0
+	//pdos:nondeterministic-ok — fixture: commutative sum, order cannot reach the output
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Spawn forks concurrency outside the engine.
+func Spawn(done chan struct{}) {
+	go close(done) // want "goroutine spawn"
+}
+
+// SpawnOK is annotated with its merge argument.
+func SpawnOK(done chan struct{}) {
+	//pdos:nondeterministic-ok — fixture: result joins through the channel before anything observes it
+	go close(done)
+	<-done
+}

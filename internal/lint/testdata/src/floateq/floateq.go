@@ -1,0 +1,47 @@
+// Package floateq is a pdos-lint fixture for the float-discipline analyzer:
+// exact float comparisons that must be flagged, next to the exact-zero and
+// approved-helper forms that pass.
+package floateq
+
+// Equal compares floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// NotEqual: != is the same hazard.
+func NotEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// Mixed: one float operand is enough.
+func Mixed(a float64) bool {
+	return a == 0.3 // want "floating-point == comparison"
+}
+
+// ZeroGuard: comparison against an exact zero constant is IEEE-exact and
+// idiomatic as a division guard.
+func ZeroGuard(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// ApproxEqual is an approved tolerance helper.
+//
+//pdos:float-eq-ok — fixture: the approved comparison helper itself
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// IntsCompareFine: integer equality is exact.
+func IntsCompareFine(a, b int) bool {
+	return a == b
+}

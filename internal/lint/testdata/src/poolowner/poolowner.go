@@ -1,0 +1,120 @@
+// Package poolowner is a pdos-lint fixture for the pool-ownership analyzer:
+// self-contained PacketPool/Link/Packet shapes (matched by type and method
+// name, like the real netem ones) exercising leak, use-after-release, and
+// every legal ownership-transfer form.
+package poolowner
+
+// PacketPool mimics netem.PacketPool for the analyzer's acquire matching.
+type PacketPool struct{ free []*Packet }
+
+// Packet mimics netem.Packet.
+type Packet struct {
+	pool *PacketPool
+	Size int
+}
+
+// Get acquires a packet.
+func (pl *PacketPool) Get() *Packet { return &Packet{pool: pl} }
+
+// Release returns the packet.
+func (p *Packet) Release() { p.pool = nil }
+
+// Link mimics netem.Link.
+type Link struct{ pool *PacketPool }
+
+// NewPacket acquires through the link.
+func (l *Link) NewPacket() *Packet { return l.pool.Get() }
+
+// Send takes ownership.
+func (l *Link) Send(p *Packet) { p.Release() }
+
+// Holder parks ownership in a field.
+type Holder struct{ p *Packet }
+
+// Leak acquires and drops the packet on the floor — the deliberate
+// injection the acceptance criteria require lint to catch.
+func Leak(pl *PacketPool) int {
+	p := pl.Get() // want "neither released nor ownership-transferred"
+	n := p.Size
+	return n
+}
+
+// LeakViaLink: acquiring through the link counts too.
+func LeakViaLink(l *Link) {
+	p := l.NewPacket() // want "neither released nor ownership-transferred"
+	p.Size = 64
+}
+
+// ReleaseOK copies what it needs, then releases.
+func ReleaseOK(pl *PacketPool) int {
+	p := pl.Get()
+	n := p.Size
+	p.Release()
+	return n
+}
+
+// TransferOK hands ownership to the link.
+func TransferOK(l *Link) {
+	p := l.NewPacket()
+	p.Size = 1000
+	l.Send(p)
+}
+
+// ReturnOK passes ownership to the caller.
+func ReturnOK(pl *PacketPool) *Packet {
+	p := pl.Get()
+	return p
+}
+
+// StoreOK parks ownership in a longer-lived structure.
+func StoreOK(pl *PacketPool, h *Holder) {
+	p := pl.Get()
+	h.p = p
+}
+
+// UseAfterRelease touches the packet after giving it back.
+func UseAfterRelease(pl *PacketPool) int {
+	p := pl.Get()
+	p.Release()
+	return p.Size // want "used after Release"
+}
+
+// DoubleRelease releases twice on a straight line.
+func DoubleRelease(pl *PacketPool) {
+	p := pl.Get()
+	p.Release()
+	p.Release() // want "used after Release"
+}
+
+// BranchRelease must not trip the straight-line tracker: the else-branch
+// reassignment is not sequential with the acquire, and the Release consumes
+// whichever packet p names.
+func BranchRelease(pl *PacketPool, cond bool) {
+	var p *Packet
+	if cond {
+		p = pl.Get()
+	} else {
+		p = &Packet{}
+	}
+	p.Release()
+}
+
+// ConditionalUse after a branch-local Release is fine: the Release is not
+// straight-line with the use.
+func ConditionalUse(pl *PacketPool, cond bool) int {
+	p := pl.Get()
+	if cond {
+		n := p.Size
+		p.Release()
+		return n
+	}
+	defer p.Release()
+	return p.Size
+}
+
+// SuppressedLeak documents an ownership pattern the analyzer cannot see.
+func SuppressedLeak(pl *PacketPool, sink chan<- int) {
+	//pdos:pool-ok — fixture: ownership conceptually handed to the sink by id
+	p := pl.Get()
+	sink <- p.Size
+}

@@ -291,9 +291,9 @@ func ClassifyRisk(kappa float64) RiskPreference {
 	switch {
 	case kappa < 1:
 		return RiskLoving
-	case kappa == 1:
-		return RiskNeutral
-	default:
+	case kappa > 1:
 		return RiskAverse
+	default:
+		return RiskNeutral
 	}
 }

@@ -1,0 +1,73 @@
+//go:build pdosassert
+
+package netem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAssertDoubleReleaseCaught pins the deliberate-injection acceptance
+// case: releasing a pooled packet twice must panic under -tags pdosassert
+// (the production build absorbs it silently via the pool-detach guard).
+func TestAssertDoubleReleaseCaught(t *testing.T) {
+	pl := NewPacketPool()
+	p := pl.Get()
+	p.Release()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		p.Release()
+		t.Fatal("double release did not panic under pdosassert")
+	}()
+	if !strings.Contains(msg, "double release") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+// TestAssertLiteralReleaseStaysBenign: packets built as plain literals carry
+// no pool and may be released any number of times, tag or no tag.
+func TestAssertLiteralReleaseStaysBenign(t *testing.T) {
+	p := &Packet{}
+	p.Release()
+	p.Release()
+}
+
+// TestAssertReissueRearms: a released packet re-issued by Get is a fresh
+// ownership; its next single Release must not be misread as a double.
+func TestAssertReissueRearms(t *testing.T) {
+	pl := NewPacketPool()
+	p := pl.Get()
+	p.Release()
+	q := pl.Get() // same struct off the free list
+	if q != p {
+		t.Fatalf("expected free-list reuse, got a fresh packet")
+	}
+	q.Release() // must not panic
+	if live := pl.Live(); live != 0 {
+		t.Fatalf("Live = %d after balanced get/release, want 0", live)
+	}
+}
+
+// TestAssertLeakAccounting pins Live as the leak meter: packets checked out
+// and abandoned stay counted until released.
+func TestAssertLeakAccounting(t *testing.T) {
+	pl := NewPacketPool()
+	a, b, c := pl.Get(), pl.Get(), pl.Get()
+	if live := pl.Live(); live != 3 {
+		t.Fatalf("Live = %d with 3 outstanding, want 3", live)
+	}
+	b.Release()
+	if live := pl.Live(); live != 2 {
+		t.Fatalf("Live = %d after one release, want 2", live)
+	}
+	a.Release()
+	c.Release()
+	if live := pl.Live(); live != 0 {
+		t.Fatalf("Live = %d after all released, want 0", live)
+	}
+}

@@ -114,6 +114,8 @@ func (l *Link) Pool() *PacketPool { return l.pool }
 
 // NewPacket returns a zeroed packet for transmission on this link, drawn
 // from the attached pool when one is present.
+//
+//pdos:hotpath
 func (l *Link) NewPacket() *Packet {
 	if l.pool != nil {
 		return l.pool.Get()
@@ -129,6 +131,8 @@ func (l *Link) SetRemote(r Remote) { l.remote = r }
 // deliverLocal schedules the packet's propagation and delivery on the link's
 // own kernel — the serial path, also used by remotes falling back for flows
 // homed on this shard.
+//
+//pdos:hotpath
 func (l *Link) deliverLocal(p *Packet) {
 	l.k.AfterTicksArg(l.delay, l.deliverFn, p)
 }
@@ -143,6 +147,8 @@ func (l *Link) AddTap(t Tap) {
 // Send offers a packet to the link. If the queue discipline rejects it the
 // packet is silently dropped (after notifying taps), exactly as a congested
 // router would.
+//
+//pdos:hotpath
 func (l *Link) Send(p *Packet) {
 	now := l.k.Now()
 	l.stats.Arrivals++
@@ -165,11 +171,15 @@ func (l *Link) Send(p *Packet) {
 }
 
 // TxTime reports the serialization delay of a packet of the given size.
+//
+//pdos:hotpath
 func (l *Link) TxTime(sizeBytes int) sim.Time {
 	return sim.FromSeconds(float64(sizeBytes) * 8 / l.rate)
 }
 
 // startTransmit pulls the head-of-line packet and schedules its completion.
+//
+//pdos:hotpath
 func (l *Link) startTransmit() {
 	p := l.queue.Dequeue(l.k.Now())
 	if p == nil {
@@ -181,6 +191,8 @@ func (l *Link) startTransmit() {
 
 // finishTransmit fires when serialization completes: the packet enters the
 // propagation pipe and the transmitter turns to the next queued packet.
+//
+//pdos:hotpath
 func (l *Link) finishTransmit(p *Packet) {
 	now := l.k.Now()
 	l.stats.Departures++

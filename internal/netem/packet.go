@@ -79,4 +79,8 @@ type Packet struct {
 	// Release. Packets built as plain literals carry no pool and Release is
 	// a no-op for them.
 	pool *PacketPool
+
+	// asserts is the pdosassert ownership state: zero-size in normal builds,
+	// double-release tracking under -tags pdosassert (see assert.go).
+	asserts packetAsserts
 }

@@ -42,6 +42,8 @@ func NewPacketPool() *PacketPool {
 
 // Get returns a zeroed packet owned by the caller. The packet remembers its
 // pool so that Release can return it.
+//
+//pdos:hotpath
 func (pl *PacketPool) Get() *Packet {
 	pl.gets++
 	if n := len(pl.free); n > 0 {
@@ -49,14 +51,19 @@ func (pl *PacketPool) Get() *Packet {
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
 		*p = Packet{pool: pl}
+		p.assertGet()
 		return p
 	}
 	pl.news++
-	return &Packet{pool: pl}
+	p := &Packet{pool: pl}
+	p.assertGet()
+	return p
 }
 
 // put returns a packet to the free list. Callers go through Packet.Release,
 // which guards against double-release.
+//
+//pdos:hotpath
 func (pl *PacketPool) put(p *Packet) {
 	pl.puts++
 	pl.free = append(pl.free, p)
@@ -67,14 +74,29 @@ func (pl *PacketPool) Stats() PacketPoolStats {
 	return PacketPoolStats{Gets: pl.gets, News: pl.news, Puts: pl.puts}
 }
 
+// Live reports the packets currently checked out of the pool (Gets - Puts):
+// in queues, on the wire, or leaked. A drained, idle environment should see
+// Live equal the packets parked in queues at shutdown — the pdosassert leak
+// tests pin this accounting.
+func (pl *PacketPool) Live() uint64 {
+	return pl.gets - pl.puts
+}
+
 // Release returns the packet to the pool it came from. Safe (and a no-op)
 // on nil packets, on packets built with plain &Packet{} literals, and on
 // double release — the first Release detaches the packet from its pool.
 // Callers must not touch the packet afterwards.
+//
+//pdos:hotpath
 func (p *Packet) Release() {
-	if p == nil || p.pool == nil {
+	if p == nil {
 		return
 	}
+	if p.pool == nil {
+		p.assertDetachedRelease() // pdosassert: loud on double release
+		return
+	}
+	p.assertRelease()
 	pl := p.pool
 	p.pool = nil
 	pl.put(p)

@@ -27,6 +27,8 @@ type Remote interface {
 
 // packPacket encodes a packet into a boundary payload. The layout is private
 // to this file; unpackPacket is its inverse.
+//
+//pdos:hotpath
 func packPacket(p *Packet, w *sim.Payload) {
 	w[0] = uint64(int64(p.Flow))
 	flags := uint64(p.Class) | uint64(p.Dir)<<8
@@ -42,6 +44,8 @@ func packPacket(p *Packet, w *sim.Payload) {
 
 // unpackPacket decodes a boundary payload into a packet (leaving its pool
 // binding untouched).
+//
+//pdos:hotpath
 func unpackPacket(w *sim.Payload, p *Packet) {
 	p.Flow = int(int64(w[0]))
 	p.Class = Class(w[1])
@@ -66,6 +70,8 @@ func NewSingleRemote(out *sim.Outbox) *SingleRemote {
 }
 
 // Transfer implements Remote.
+//
+//pdos:hotpath
 func (r *SingleRemote) Transfer(l *Link, now sim.Time, p *Packet) {
 	var w sim.Payload
 	packPacket(p, &w)
@@ -90,6 +96,8 @@ func NewDemuxRemote(byFlow []*sim.Outbox, deflt *sim.Outbox) *DemuxRemote {
 }
 
 // Transfer implements Remote.
+//
+//pdos:hotpath
 func (r *DemuxRemote) Transfer(l *Link, now sim.Time, p *Packet) {
 	out := r.deflt
 	if p.Flow >= 0 && p.Flow < len(r.byFlow) {
@@ -124,6 +132,8 @@ func NewInbox(pool *PacketPool, dst Node) *Inbox {
 
 // Inject implements sim.Port: decode the packet and schedule its delivery
 // with the source shard's determinism stamp.
+//
+//pdos:hotpath
 func (in *Inbox) Inject(k *sim.Kernel, when, at sim.Time, w *sim.Payload) {
 	var p *Packet
 	if in.pool != nil {

@@ -39,6 +39,8 @@ func NewDropTail(limit int) *DropTail {
 }
 
 // Enqueue implements Queue.
+//
+//pdos:hotpath
 func (q *DropTail) Enqueue(p *Packet, _ sim.Time) bool {
 	if q.Len() >= q.limit {
 		return false
@@ -49,6 +51,8 @@ func (q *DropTail) Enqueue(p *Packet, _ sim.Time) bool {
 }
 
 // Dequeue implements Queue.
+//
+//pdos:hotpath
 func (q *DropTail) Dequeue(_ sim.Time) *Packet {
 	if q.head >= len(q.pkts) {
 		return nil

@@ -93,6 +93,8 @@ func NewRED(cfg REDConfig, rand *rng.Source, linkRate float64) *RED {
 }
 
 // Enqueue implements Queue, applying the RED drop test before admission.
+//
+//pdos:hotpath
 func (q *RED) Enqueue(p *Packet, now sim.Time) bool {
 	q.updateAverage(now)
 	q.maybeAdapt(now)
@@ -115,6 +117,8 @@ func (q *RED) Enqueue(p *Packet, now sim.Time) bool {
 }
 
 // Dequeue implements Queue.
+//
+//pdos:hotpath
 func (q *RED) Dequeue(now sim.Time) *Packet {
 	p := q.fifo.Dequeue(now)
 	if p != nil && q.fifo.Len() == 0 {
@@ -140,6 +144,8 @@ func (q *RED) ForcedDrops() uint64 { return q.forcedDrops }
 
 // occupancy reports the instantaneous queue size in the units the EWMA
 // tracks: packets, or mean-packet-size equivalents in byte mode.
+//
+//pdos:hotpath
 func (q *RED) occupancy() float64 {
 	if q.cfg.ByteMode {
 		return float64(q.fifo.Bytes()) / float64(q.cfg.MeanPacketSize)
@@ -150,6 +156,8 @@ func (q *RED) occupancy() float64 {
 // updateAverage folds the instantaneous queue length into the EWMA. Across
 // an idle period the average decays as if m small packets had drained, per
 // the RED paper's idle-time adjustment.
+//
+//pdos:hotpath
 func (q *RED) updateAverage(now sim.Time) {
 	if q.fifo.Len() > 0 || q.idleSince < 0 || q.drainRate <= 0 {
 		q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*q.occupancy()
@@ -175,6 +183,8 @@ func pow1mWq(wq, m float64) float64 {
 }
 
 // dropEarly applies the RED probabilistic drop test to an arriving packet.
+//
+//pdos:hotpath
 func (q *RED) dropEarly(p *Packet) bool {
 	avg := q.avg
 	cfg := q.cfg

@@ -50,6 +50,8 @@ func (r *Router) SetDefault(dir Dir, l *Link) {
 func (r *Router) Unrouted() uint64 { return r.dropped }
 
 // Receive implements Node: look up the output link and forward.
+//
+//pdos:hotpath
 func (r *Router) Receive(p *Packet) {
 	if l, ok := r.routes[routeKey{flow: p.Flow, dir: p.Dir}]; ok {
 		l.Send(p)
@@ -73,6 +75,8 @@ var _ Node = (*Sink)(nil)
 
 // Receive implements Node. As a terminal node the sink releases pooled
 // packets back to their free list.
+//
+//pdos:hotpath
 func (s *Sink) Receive(p *Packet) {
 	s.Packets++
 	s.Bytes += uint64(p.Size)

@@ -17,6 +17,7 @@ import (
 
 	"pulsedos/internal/experiments"
 	"pulsedos/internal/netem"
+	"pulsedos/internal/perf/clock"
 	"pulsedos/internal/rng"
 	"pulsedos/internal/sim"
 )
@@ -266,7 +267,7 @@ func PeakOf(fig *experiments.FigureResult) FigurePeak {
 // NewReport assembles a report, stamping the runtime environment.
 func NewReport(benchmarks []BenchResult, figures []FigurePeak) Report {
 	return Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: clock.Wall.Now().UTC().Format(time.RFC3339), //pdos:wallclock — report stamp
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,

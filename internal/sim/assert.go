@@ -1,0 +1,88 @@
+//go:build pdosassert
+
+package sim
+
+import "fmt"
+
+// This file (with its !pdosassert twin assert_off.go) is the runtime half of
+// the enforcement story in DESIGN.md §10: cheap invariant checks compiled
+// into `-tags pdosassert` builds and compiled out — types empty, methods
+// no-op — of normal ones. `make race-assert` runs the parallel-engine
+// equivalence suites with these armed.
+
+// AssertsEnabled reports whether this binary was built with -tags pdosassert.
+const AssertsEnabled = true
+
+// kernelAsserts carries the last fired (when, at, seq) key. The kernel's
+// determinism contract — and the parallel engine's "identical to serial"
+// argument — is that the fired sequence of every kernel is strictly
+// increasing in lexicographic (when, at, seq): locally scheduled events can
+// never violate it (seq is monotone in schedule time), so a trip means a
+// boundary injection landed in a shard's past — a conservative-lookahead or
+// barrier-ordering regression.
+type kernelAsserts struct {
+	armed    bool
+	lastWhen Time
+	lastAt   Time
+	lastSeq  uint64
+}
+
+// assertFire checks the strict (when, at, seq) firing order.
+func (k *Kernel) assertFire(ev *event) {
+	a := &k.asserts
+	if a.armed {
+		ok := ev.when > a.lastWhen ||
+			(ev.when == a.lastWhen && (ev.at > a.lastAt ||
+				(ev.at == a.lastAt && ev.seq > a.lastSeq)))
+		if !ok {
+			panic(fmt.Sprintf(
+				"sim: pdosassert: event fired out of order: (when=%d at=%d seq=%d) after (when=%d at=%d seq=%d) — a boundary injection landed in this kernel's past",
+				ev.when, ev.at, ev.seq, a.lastWhen, a.lastAt, a.lastSeq))
+		}
+	}
+	a.armed = true
+	a.lastWhen, a.lastAt, a.lastSeq = ev.when, ev.at, ev.seq
+}
+
+// shardAsserts counts boundary events this shard has produced. The counter
+// is written only by the shard's own goroutine during a window and read only
+// by the driver at the barrier, so it needs no synchronization beyond the
+// window barrier itself.
+type shardAsserts struct {
+	sent uint64
+}
+
+// assertSent records one boundary event buffered by this shard.
+func (s *Shard) assertSent() {
+	s.asserts.sent++
+}
+
+// engineAsserts counts boundary events injected by the driver.
+type engineAsserts struct {
+	injected uint64
+}
+
+// assertInjected records one boundary event delivered to a destination
+// kernel.
+func (e *Engine) assertInjected() {
+	e.asserts.injected++
+}
+
+// assertConserved verifies shard-boundary conservation at the end of an
+// exchange: every boundary event ever sent has been injected exactly once
+// (exchange drains every outbox, so nothing may remain buffered). A mismatch
+// means the barrier merge lost or duplicated a message.
+func (e *Engine) assertConserved() {
+	var sent, buffered uint64
+	for _, s := range e.shards {
+		sent += s.asserts.sent
+		for _, buf := range s.out {
+			buffered += uint64(len(buf))
+		}
+	}
+	if sent != e.asserts.injected+buffered {
+		panic(fmt.Sprintf(
+			"sim: pdosassert: boundary conservation violated: %d sent != %d injected + %d buffered",
+			sent, e.asserts.injected, buffered))
+	}
+}

@@ -1,0 +1,132 @@
+//go:build pdosassert
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if s, ok := r.(string); ok {
+					msg = s
+				} else {
+					msg = "non-string panic"
+				}
+			}
+		}()
+		fn()
+		t.Fatal("expected a pdosassert panic, ran to completion")
+	}()
+	return msg
+}
+
+// TestAssertFireOrderViolationCaught drives the raw kernel into the exact
+// situation the parallel engine must never create: a boundary injection
+// whose (when, at) key lands in the kernel's already-fired past. The
+// pdosassert firing-order monitor must trip.
+func TestAssertFireOrderViolationCaught(t *testing.T) {
+	k := New()
+	// An event scheduled at instant 3 for instant 5: after it fires, the
+	// kernel's last fired key is (when=5, at=3).
+	if _, err := k.At(3, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	k.After(0, func() {}) // advance origin bookkeeping deterministically
+	if err := k.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.At(5, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("setup event did not fire")
+	}
+	// A foreign injection for the same instant 5 but stamped at=0 sorts
+	// BEFORE the event that already fired — a serial kernel would have run
+	// it first, so firing it now is a determinism violation.
+	if err := k.InjectArg(5, 0, func(any) {}, nil); err != nil {
+		t.Fatal(err)
+	}
+	msg := mustPanic(t, func() { _ = k.Run() })
+	if !strings.Contains(msg, "fired out of order") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+// TestAssertFireOrderCleanRun pins the other side: ordinary scheduling —
+// including same-instant ties and callback-time rescheduling — never trips
+// the monitor.
+func TestAssertFireOrderCleanRun(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 0; i < 100; i++ {
+		k.AfterTicks(Time(i%7)*Millisecond, func() { n++ })
+	}
+	k.AfterTicks(Millisecond, func() {
+		k.AfterTicks(0, func() { n++ }) // same-instant reschedule from a callback
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 101 {
+		t.Fatalf("fired %d, want 101", n)
+	}
+}
+
+// TestAssertBoundaryConservation runs a two-shard ping-pong and checks the
+// conservation accounting stays balanced through every barrier (a mismatch
+// panics inside exchange).
+func TestAssertBoundaryConservation(t *testing.T) {
+	e := NewEngine(2)
+	a, b := e.Shard(0), e.Shard(1)
+	var hops int
+	var outAB, outBA *Outbox
+	mk := func(s *Shard, out **Outbox) int32 {
+		return s.RegisterPort(portFunc(func(k *Kernel, when, at Time, w *Payload) {
+			if err := k.InjectArg(when, at, func(any) {
+				hops++
+				if hops < 10 {
+					(*out).Send(k.Now()+Millisecond, &Payload{})
+				}
+			}, nil); err != nil {
+				t.Error(err)
+			}
+		}))
+	}
+	pa := mk(a, &outAB)
+	pb := mk(b, &outBA)
+	var err error
+	outAB, err = e.NewOutbox(a, b, pb, Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBA, err = e.NewOutbox(b, a, pa, Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Kernel().AfterTicks(0, func() { outAB.Send(Millisecond, &Payload{}) })
+	defer e.Close()
+	if err := e.RunUntil(20 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if hops < 10 {
+		t.Fatalf("ping-pong stalled at %d hops", hops)
+	}
+}
+
+// portFunc adapts a function to the Port interface for tests.
+type portFunc func(k *Kernel, when, at Time, w *Payload)
+
+func (f portFunc) Inject(k *Kernel, when, at Time, w *Payload) { f(k, when, at, w) }

@@ -137,6 +137,11 @@ type Kernel struct {
 	floor      Time // wheel mapping origin: every slotted event has when >= floor
 	occupied   [wheelLevels][wheelSlots / 64]uint64
 	wheel      [wheelLevels][wheelSlots]*event // slot heads (intrusive lists)
+
+	// asserts is the pdosassert invariant state: zero-size and unused in
+	// normal builds, the last fired (when, at, seq) key under -tags
+	// pdosassert (see assert.go).
+	asserts kernelAsserts
 }
 
 // New returns a kernel with the clock at the virtual origin, using the
@@ -192,12 +197,16 @@ var ErrEventLimit = errors.New("sim: event limit exceeded")
 // ---- heap primitives (4-ary, index-maintaining) ----
 
 // push appends ev and restores the heap invariant.
+//
+//pdos:hotpath
 func (k *Kernel) push(ev *event) {
 	k.events = append(k.events, ev)
 	k.siftUp(len(k.events) - 1)
 }
 
 // siftUp moves the event at index i toward the root until ordered.
+//
+//pdos:hotpath
 func (k *Kernel) siftUp(i int) {
 	h := k.events
 	ev := h[i]
@@ -216,6 +225,8 @@ func (k *Kernel) siftUp(i int) {
 }
 
 // siftDown moves the event at index i toward the leaves until ordered.
+//
+//pdos:hotpath
 func (k *Kernel) siftDown(i int) {
 	h := k.events
 	n := len(h)
@@ -248,6 +259,8 @@ func (k *Kernel) siftDown(i int) {
 }
 
 // remove deletes the event at heap index i.
+//
+//pdos:hotpath
 func (k *Kernel) remove(i int) {
 	h := k.events
 	n := len(h) - 1
@@ -274,6 +287,8 @@ func (k *Kernel) remove(i int) {
 
 // alloc takes an event struct from the free list (or the heap allocator when
 // the list is empty) and initializes it for scheduling at t.
+//
+//pdos:hotpath
 func (k *Kernel) alloc(t Time) *event {
 	var ev *event
 	if n := len(k.free); n > 0 {
@@ -293,6 +308,8 @@ func (k *Kernel) alloc(t Time) *event {
 // release returns a fired or cancelled event to the free list. Bumping the
 // generation invalidates every outstanding Timer handle to it, so a recycled
 // struct can never be cancelled through a stale handle.
+//
+//pdos:hotpath
 func (k *Kernel) release(ev *event) {
 	ev.fn = nil
 	ev.argFn = nil
@@ -310,6 +327,8 @@ func (k *Kernel) release(ev *event) {
 // enqueue adds a freshly allocated event to the pending set: the wheel when
 // its instant maps onto a live slot, the heap otherwise (heap-only mode,
 // instants behind the wheel floor, or beyond the wheel horizon).
+//
+//pdos:hotpath
 func (k *Kernel) enqueue(ev *event) {
 	k.pending++
 	if k.pending == 1 {
@@ -337,6 +356,8 @@ func (k *Kernel) enqueue(ev *event) {
 
 // At schedules fn to run at the absolute virtual instant t. Events at equal
 // instants fire in the order they were scheduled.
+//
+//pdos:hotpath
 func (k *Kernel) At(t Time, fn func()) (Timer, error) {
 	if t < k.now {
 		return Timer{}, ErrPastTime
@@ -351,6 +372,8 @@ func (k *Kernel) At(t Time, fn func()) (Timer, error) {
 // allocation-free flavour for hot paths: fn is typically built once per
 // component, and arg (commonly a *Packet) rides in the event instead of a
 // freshly captured closure.
+//
+//pdos:hotpath
 func (k *Kernel) AtArg(t Time, fn func(any), arg any) (Timer, error) {
 	if t < k.now {
 		return Timer{}, ErrPastTime
@@ -379,6 +402,8 @@ func (k *Kernel) AfterTicks(delta Time, fn func()) Timer {
 
 // AfterTicksArg is the closure-free counterpart of AfterTicks: it schedules
 // the prebuilt fn with arg after delta virtual nanoseconds.
+//
+//pdos:hotpath
 func (k *Kernel) AfterTicksArg(delta Time, fn func(any), arg any) Timer {
 	tm, _ := k.AtArg(k.clampDelta(delta), fn, arg)
 	return tm
@@ -386,6 +411,8 @@ func (k *Kernel) AfterTicksArg(delta Time, fn func(any), arg any) Timer {
 
 // clampDelta resolves now+delta with saturation: negative deltas clamp to
 // now, and deltas that would wrap past MaxTime clamp to MaxTime.
+//
+//pdos:hotpath
 func (k *Kernel) clampDelta(delta Time) Time {
 	if delta < 0 {
 		return k.now
@@ -401,7 +428,10 @@ func (k *Kernel) clampDelta(delta Time) Time {
 
 // fire removes ev — which locate() just proved is the global (when, seq)
 // minimum — from the pending set, advances the clock, and runs its callback.
+//
+//pdos:hotpath
 func (k *Kernel) fire(ev *event) {
+	k.assertFire(ev)
 	k.unschedule(ev)
 	k.now = ev.when
 	k.processed++
@@ -418,6 +448,8 @@ func (k *Kernel) fire(ev *event) {
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
+//
+//pdos:hotpath
 func (k *Kernel) Step() bool {
 	ev := k.locate()
 	if ev == nil {

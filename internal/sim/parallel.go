@@ -89,6 +89,7 @@ func (o *Outbox) Send(when Time, w *Payload) {
 			"sim: conservative lookahead violated: edge %d sends for t=%d inside window ending %d",
 			o.edge, when, s.eng.windowEnd))
 	}
+	s.assertSent()
 	s.xferSeq++
 	s.out[o.dst] = append(s.out[o.dst], Msg{
 		When: when,
@@ -112,6 +113,8 @@ type Shard struct {
 
 	start chan shardCmd
 	done  chan error
+
+	asserts shardAsserts // pdosassert boundary-send accounting (assert.go)
 }
 
 type shardCmd struct {
@@ -162,6 +165,8 @@ type Engine struct {
 	started   bool
 	closed    bool
 	scratch   []Msg
+
+	asserts engineAsserts // pdosassert boundary-injection accounting (assert.go)
 }
 
 // NewEngine returns an engine with n empty shards (n >= 1), each owning a
@@ -298,9 +303,11 @@ func (e *Engine) exchange() {
 		for i := range buf {
 			m := &buf[i]
 			dst.ports[m.Port].Inject(dst.k, m.When, m.At, &m.W)
+			e.assertInjected()
 		}
 		e.scratch = buf[:0]
 	}
+	e.assertConserved()
 }
 
 // ensureWorkers lazily starts one goroutine per shard.

@@ -52,6 +52,8 @@ func (k *Kernel) setFloor(t Time) {
 // place links ev into the wheel slot covering ev.when, or pushes it to the
 // heap when ev.when lies beyond the wheel horizon. The caller guarantees
 // ev.when >= k.floor.
+//
+//pdos:hotpath
 func (k *Kernel) place(ev *event) {
 	t := ev.when
 	f := k.floor
@@ -87,6 +89,8 @@ func (k *Kernel) place(ev *event) {
 // unschedule removes a pending event from wherever it lives — heap or wheel
 // slot — without releasing it. Wheel removal is O(1): unlink from the slot's
 // intrusive list and clear the occupancy bit if the slot empties.
+//
+//pdos:hotpath
 func (k *Kernel) unschedule(ev *event) {
 	k.pending--
 	k.solo = nil
@@ -119,6 +123,8 @@ func (k *Kernel) unschedule(ev *event) {
 
 // scanFrom returns the first occupied slot of level lvl at position >= from,
 // using the occupancy bitmap to skip empty runs a word at a time.
+//
+//pdos:hotpath
 func (k *Kernel) scanFrom(lvl, from int) (int, bool) {
 	if from >= wheelSlots {
 		return 0, false
@@ -140,6 +146,8 @@ func (k *Kernel) scanFrom(lvl, from int) (int, bool) {
 
 // drainSlot empties a due level-0 slot into the heap, which restores the
 // exact (when, seq) order among its events and anything already heaped.
+//
+//pdos:hotpath
 func (k *Kernel) drainSlot(lvl, pos int) {
 	ev := k.wheel[lvl][pos]
 	k.wheel[lvl][pos] = nil
@@ -160,6 +168,8 @@ func (k *Kernel) drainSlot(lvl, pos int) {
 // current level-(lvl-1) epoch or below, whether the slot is due because the
 // floor was just advanced to its base or because the floor drifted into its
 // range across an epoch boundary.
+//
+//pdos:hotpath
 func (k *Kernel) cascade(lvl, pos int) {
 	ev := k.wheel[lvl][pos]
 	k.wheel[lvl][pos] = nil
@@ -181,6 +191,8 @@ func (k *Kernel) cascade(lvl, pos int) {
 // levels) as needed. It returns nil when nothing is pending. The caller
 // fires or cancels the returned event before any other mutation, so the
 // peeked pointer cannot go stale.
+//
+//pdos:hotpath
 func (k *Kernel) locate() *event {
 	if k.pending == 0 {
 		return nil

@@ -100,6 +100,8 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // Receive implements netem.Node: process a data segment and produce ACKs per
 // RFC 5681 (immediate dup-ACK on out-of-order data, ACK every d-th in-order
 // segment otherwise, delayed-ACK timer as the fallback).
+//
+//pdos:hotpath
 func (r *Receiver) Receive(p *netem.Packet) {
 	if p.Class != netem.ClassData || p.Flow != r.flow {
 		p.Release()
@@ -140,6 +142,8 @@ func (r *Receiver) Receive(p *netem.Packet) {
 
 // advance consumes the just-arrived in-order segment plus any buffered
 // continuation, crediting goodput.
+//
+//pdos:hotpath
 func (r *Receiver) advance(payload int) {
 	if payload < 0 {
 		payload = 0
@@ -173,6 +177,7 @@ func (r *Receiver) growOO(span int64) {
 	}
 }
 
+//pdos:hotpath
 func (r *Receiver) credit(bytes int) {
 	if r.account != nil {
 		r.account.Deliver(r.flow, bytes, r.k.Now())
@@ -180,6 +185,8 @@ func (r *Receiver) credit(bytes int) {
 }
 
 // sendAck emits a cumulative ACK now and resets delayed-ACK state.
+//
+//pdos:hotpath
 func (r *Receiver) sendAck() {
 	r.delayTimer.Cancel()
 	r.sinceAck = 0
@@ -196,6 +203,8 @@ func (r *Receiver) sendAck() {
 }
 
 // armDelayTimer schedules the delayed-ACK fallback if not already pending.
+//
+//pdos:hotpath
 func (r *Receiver) armDelayTimer() {
 	if r.cfg.AckEvery <= 1 {
 		// d = 1 should have ACKed immediately; defensive fallback.
@@ -209,6 +218,8 @@ func (r *Receiver) armDelayTimer() {
 }
 
 // delayedAckFire is the delayed-ACK timer callback.
+//
+//pdos:hotpath
 func (r *Receiver) delayedAckFire() {
 	if r.sinceAck > 0 {
 		r.stats.DelayedAcks++

@@ -126,6 +126,8 @@ func (s *Sender) Stop() {
 // Receive implements netem.Node; the reverse path delivers ACKs here. The
 // sender is the ACK path's terminal node, so pooled packets are released
 // here after their fields have been consumed.
+//
+//pdos:hotpath
 func (s *Sender) Receive(p *netem.Packet) {
 	if s.t.has(s.i, flagClosed) || p.Class != netem.ClassAck || p.Flow != s.flow {
 		p.Release()
@@ -145,6 +147,8 @@ func (s *Sender) Receive(p *netem.Packet) {
 }
 
 // handleNewAck processes a cumulative ACK that advances the left window edge.
+//
+//pdos:hotpath
 func (s *Sender) handleNewAck(p *netem.Packet) {
 	t, i := s.t, s.i
 	// Karn: only un-ambiguous echoes produce RTT samples.
@@ -198,6 +202,8 @@ func (s *Sender) handleNewAck(p *netem.Packet) {
 // is the number of segments this ACK newly covered: with delayed ACKs
 // (d > 1) one ACK covers d segments and window growth must account for all
 // of them, or the sender would under-grow relative to the a/d-per-RTT model.
+//
+//pdos:hotpath
 func (s *Sender) openWindow(acked int64) {
 	t, i := s.t, s.i
 	cwnd, ssthresh := t.cwnd[i], t.ssthresh[i]
@@ -217,6 +223,8 @@ func (s *Sender) openWindow(acked int64) {
 
 // handleDupAck counts duplicate ACKs, entering fast retransmit at the
 // threshold and inflating the window during recovery.
+//
+//pdos:hotpath
 func (s *Sender) handleDupAck() {
 	t, i := s.t, s.i
 	t.stats[i].DupAcks++
@@ -310,6 +318,8 @@ func (s *Sender) handleTimeout() {
 
 // trySend transmits as long as the effective window has room (and, for
 // finite transfers, data remains).
+//
+//pdos:hotpath
 func (s *Sender) trySend() {
 	t, i := s.t, s.i
 	flags := t.flags[i]
@@ -339,11 +349,15 @@ func (s *Sender) trySend() {
 
 // retransmit resends one specific segment immediately (fast retransmit and
 // NewReno partial-ACK holes).
+//
+//pdos:hotpath
 func (s *Sender) retransmit(seq int64) {
 	s.sendSegment(seq)
 }
 
 // sendSegment puts one data segment on the wire.
+//
+//pdos:hotpath
 func (s *Sender) sendSegment(seq int64) {
 	t, i := s.t, s.i
 	retx := seq < t.maxSent[i]
@@ -371,6 +385,8 @@ func (s *Sender) sendSegment(seq int64) {
 // per ACK, it records the deadline and keeps any pending event that fires
 // no later — onRTOEvent re-arms the difference when it fires early. The
 // observable expiry instant is exactly the recorded deadline either way.
+//
+//pdos:hotpath
 func (s *Sender) restartRTOTimer() {
 	t, i := s.t, s.i
 	rto := t.rto(i)
@@ -392,6 +408,8 @@ func (s *Sender) restartRTOTimer() {
 // at or past the recorded deadline it is a real timeout; fired early (the
 // deadline was pushed out by ACKs since this event was armed) it re-arms for
 // the remainder.
+//
+//pdos:hotpath
 func (s *Sender) onRTOEvent() {
 	deadline := s.t.rtoDeadline[s.i]
 	if deadline == 0 {
@@ -406,6 +424,8 @@ func (s *Sender) onRTOEvent() {
 }
 
 // setCwnd assigns the window and fires the observer.
+//
+//pdos:hotpath
 func (s *Sender) setCwnd(w float64) {
 	t, i := s.t, s.i
 	if w < 1 {
@@ -418,6 +438,7 @@ func (s *Sender) setCwnd(w float64) {
 	s.notifyCwnd()
 }
 
+//pdos:hotpath
 func (s *Sender) notifyCwnd() {
 	if s.observer != nil {
 		s.observer(s.k.Now(), s.t.cwnd[s.i])
