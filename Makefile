@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint race-assert race-parallel bench-smoke figures scale-bench parallel-bench profile clean
+.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench profile clean
 
 all: build
 
@@ -40,6 +40,16 @@ race-assert:
 # cross-shard packet portal.
 race-parallel:
 	$(GO) test -race -run 'TestEngine|TestSharded|TestCrossShard' ./internal/sim ./internal/netem ./internal/experiments
+
+# topo-equivalence is the topology-graph layer's contract gate: the legacy
+# hand-wired builders (preserved as test-only references) versus topo.Build
+# must produce byte-identical figure CSVs at 1/2/4/8 workers, for the
+# dumbbell and the test-bed, and the new multi-bottleneck generators must
+# hold serial ≡ sharded — all under the race detector.
+topo-equivalence:
+	$(GO) test -race -count=1 \
+		-run 'TestSharded|TestTestbed|TestPlan|TestParkingLot|TestCrossTraffic|TestBuild' \
+		./internal/experiments ./internal/topo
 
 # bench-smoke runs the hot-path micro-benchmarks once — enough to catch an
 # allocation or throughput regression without the full figure benches.

@@ -1,10 +1,13 @@
-// Command pdos-sim runs a single PDoS attack scenario on either evaluation
-// topology (the Fig. 5 ns-2 dumbbell or the Fig. 11 Dummynet test-bed) and
-// reports throughput degradation, attack gain, and TCP state statistics.
+// Command pdos-sim runs a single PDoS attack scenario on one of the
+// evaluation topologies — the Fig. 5 ns-2 dumbbell, the Fig. 11 Dummynet
+// test-bed, the parking-lot multi-bottleneck chain, or the dumbbell with
+// cross-traffic — and reports throughput degradation, attack gain, and TCP
+// state statistics.
 //
 // Example:
 //
 //	pdos-sim -topology dumbbell -flows 25 -rate 35e6 -extent 75ms -gamma 0.5
+//	pdos-sim -topology parkinglot -workers 4
 //	pdos-sim -config scenario.json
 package main
 
@@ -17,6 +20,7 @@ import (
 	"pulsedos"
 	"pulsedos/internal/experiments"
 	"pulsedos/internal/scenario"
+	"pulsedos/internal/topo"
 )
 
 func main() {
@@ -30,7 +34,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("pdos-sim", flag.ContinueOnError)
 	var (
 		config   = fs.String("config", "", "JSON scenario file (overrides the other flags)")
-		topology = fs.String("topology", "dumbbell", "dumbbell (ns-2 Fig. 5) or testbed (Fig. 11)")
+		topology = fs.String("topology", "dumbbell", "dumbbell (ns-2 Fig. 5), testbed (Fig. 11), parkinglot, or crosstraffic")
 		flows    = fs.Int("flows", 25, "number of victim TCP flows")
 		rate     = fs.Float64("rate", 35e6, "pulse rate R_attack (bps)")
 		extent   = fs.Duration("extent", 75*time.Millisecond, "pulse width T_extent")
@@ -39,7 +43,7 @@ func run(args []string) error {
 		warmup   = fs.Duration("warmup", 10*time.Second, "warm-up before measurement")
 		measure  = fs.Duration("measure", 30*time.Second, "measurement window")
 		seed     = fs.Uint64("seed", 1, "simulation seed")
-		workers  = fs.Int("workers", 1, "shard the dumbbell across N cores (results identical to -workers 1)")
+		workers  = fs.Int("workers", 1, "shard the topology across N cores (results identical to -workers 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,31 +169,44 @@ func runScenario(path string) error {
 }
 
 // environmentFactory builds identically configured environments on demand.
-// workers > 1 shards the dumbbell across the conservative parallel engine;
-// results are bit-identical to the serial build at any worker count.
+// Every topology resolves to a declarative graph and builds through
+// topo.Build; workers > 1 shards it across the conservative parallel engine
+// with results bit-identical to the serial build at any worker count.
 func environmentFactory(topology string, flows int, seed uint64, workers int) (func() (pulsedos.Environment, error), error) {
+	var gen func() topo.Graph
 	switch topology {
 	case "dumbbell":
-		return func() (pulsedos.Environment, error) {
-			cfg := pulsedos.DefaultDumbbellConfig(flows)
+		gen = func() topo.Graph {
+			cfg := topo.DefaultDumbbellConfig(flows)
 			cfg.Seed = seed
-			if workers > 1 {
-				return pulsedos.BuildShardedDumbbell(cfg, workers)
-			}
-			return pulsedos.BuildDumbbell(cfg)
-		}, nil
-	case "testbed":
-		if workers > 1 {
-			return nil, fmt.Errorf("-workers applies to the dumbbell topology only (testbed is serial)")
+			return topo.Dumbbell(cfg)
 		}
-		return func() (pulsedos.Environment, error) {
-			cfg := pulsedos.DefaultTestbedConfig(flows)
+	case "testbed":
+		gen = func() topo.Graph {
+			cfg := topo.DefaultTestbedConfig(flows)
 			cfg.Seed = seed
-			return pulsedos.BuildTestbed(cfg)
-		}, nil
+			return topo.Testbed(cfg)
+		}
+	case "parkinglot":
+		gen = func() topo.Graph {
+			cfg := topo.DefaultParkingLotConfig()
+			cfg.LongFlows = flows
+			cfg.Seed = seed
+			return topo.ParkingLot(cfg)
+		}
+	case "crosstraffic":
+		gen = func() topo.Graph {
+			cfg := topo.DefaultCrossTrafficConfig()
+			cfg.Flows = flows
+			cfg.Seed = seed
+			return topo.CrossTraffic(cfg)
+		}
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want dumbbell or testbed)", topology)
+		return nil, fmt.Errorf("unknown topology %q (want dumbbell, testbed, parkinglot, or crosstraffic)", topology)
 	}
+	return func() (pulsedos.Environment, error) {
+		return topo.Build(gen(), topo.Options{Workers: workers})
+	}, nil
 }
 
 // closeEnv joins any shard goroutines an environment may own.

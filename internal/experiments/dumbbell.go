@@ -1,289 +1,31 @@
-// Package experiments builds the paper's two evaluation environments — the
-// ns-2 dumbbell of Fig. 5 and the Dummynet test-bed of Fig. 11 — and runs
-// every experiment of §4 against them: the gain-vs-γ sweeps of Figs. 6–9 and
-// 12, the quasi-global-synchronization snapshots of Fig. 3, the shrew
-// resonance study of Fig. 10, the cwnd trace of Fig. 1, the risk curves of
-// Fig. 4, and the normal/under/over-gain classification of §4.1.1.
+// Package experiments runs every experiment of the paper's §4 — the
+// gain-vs-γ sweeps of Figs. 6–9 and 12, the quasi-global-synchronization
+// snapshots of Fig. 3, the shrew resonance study of Fig. 10, the cwnd trace
+// of Fig. 1, the risk curves of Fig. 4, and the normal/under/over-gain
+// classification of §4.1.1 — against environments produced by the
+// declarative topology layer (internal/topo). The evaluation topologies
+// themselves (the ns-2 dumbbell of Fig. 5, the Dummynet test-bed of Fig. 11,
+// and the newer multi-bottleneck graphs) are generated there; this package
+// re-exports the classic builders as thin wrappers over topo.Build.
 package experiments
 
-import (
-	"fmt"
-	"time"
+import "pulsedos/internal/topo"
 
-	"pulsedos/internal/attack"
-	"pulsedos/internal/model"
-	"pulsedos/internal/netem"
-	"pulsedos/internal/rng"
-	"pulsedos/internal/sim"
-	"pulsedos/internal/tcp"
-	"pulsedos/internal/trace"
-)
-
-// DumbbellConfig parameterizes the Fig. 5 topology: M TCP sender/receiver
-// pairs over 50 Mbps access links joined by a 15 Mbps RED bottleneck between
-// routers S and R, RTTs spread across 20–460 ms, with the attacker injecting
-// pulses at router S.
-type DumbbellConfig struct {
-	Flows          int
-	BottleneckRate float64       // bps; paper: 15 Mbps
-	AccessRate     float64       // bps; paper: 50 Mbps
-	BottleneckOWD  time.Duration // bottleneck one-way propagation delay
-	RTTMin         time.Duration // paper: 20 ms
-	RTTMax         time.Duration // paper: 460 ms
-	QueueLimit     int           // bottleneck queue capacity, packets
-	DropTail       bool          // true = tail-drop bottleneck (RED ablation)
-	AdaptiveRED    bool          // true = Adaptive-RED max_p self-tuning
-	RED            *netem.REDConfig
-
-	TCP tcp.Config
-
-	Seed             uint64
-	StartSpread      time.Duration // flow start times jittered over [0, spread)
-	AttackAccessRate float64       // attacker's ingress link rate, bps
-	AttackPacketSize int           // attack packet wire size, bytes
-
-	// HeapKernel forces the pure binary-heap event scheduler instead of the
-	// timer-wheel one. The two are observably identical (see internal/sim);
-	// this is the baseline knob for the scaling benchmarks.
-	HeapKernel bool
-}
+// DumbbellConfig parameterizes the Fig. 5 topology; see topo.DumbbellConfig.
+type DumbbellConfig = topo.DumbbellConfig
 
 // DefaultDumbbellConfig returns the paper's ns-2 settings for the given
 // number of victim flows.
 func DefaultDumbbellConfig(flows int) DumbbellConfig {
-	return DumbbellConfig{
-		Flows:          flows,
-		BottleneckRate: 15 * netem.Mbps,
-		AccessRate:     50 * netem.Mbps,
-		BottleneckOWD:  5 * time.Millisecond,
-		RTTMin:         20 * time.Millisecond,
-		RTTMax:         460 * time.Millisecond,
-		// 150 packets keeps the no-attack aggregate near full utilization
-		// (Lemma 1's premise) while remaining small enough that a 50 ms
-		// pulse at the paper's attack rates overflows the buffer — the
-		// mechanism behind both the FR-state cuts and the shrew resonances.
-		QueueLimit:       150,
-		TCP:              tcp.DefaultConfig(),
-		Seed:             1,
-		StartSpread:      time.Second,
-		AttackAccessRate: 1 * netem.Gbps,
-		AttackPacketSize: 1000,
-	}
+	return topo.DefaultDumbbellConfig(flows)
 }
 
-// Dumbbell is a fully wired instance of the Fig. 5 topology.
-type Dumbbell struct {
-	Kernel   *sim.Kernel
-	Config   DumbbellConfig
-	Table    *tcp.FlowTable // owns all per-flow TCP state (struct of arrays)
-	Senders  []*tcp.Sender
-	Recvs    []*tcp.Receiver
-	Account  *trace.FlowAccount
-	RTTs     []float64 // propagation RTT per flow, seconds
-	RouterS  *netem.Router
-	RouterR  *netem.Router
-	Bottle   *netem.Link // forward bottleneck S→R, the attack target
-	Sink     *netem.Sink // attack traffic terminus
-	Pool     *netem.PacketPool
-	attackIn *netem.Link // attacker → router S
-	rand     *rng.Source
-}
+// Dumbbell is a fully wired instance of the Fig. 5 topology — since the
+// topology-graph refactor, the generic graph environment.
+type Dumbbell = topo.Environment
 
-// BuildDumbbell constructs and wires the topology. Flows are created but not
-// started; call StartFlows.
+// BuildDumbbell constructs and wires the serial Fig. 5 topology. Flows are
+// created but not started; call StartFlows.
 func BuildDumbbell(cfg DumbbellConfig) (*Dumbbell, error) {
-	if cfg.Flows < 1 {
-		return nil, fmt.Errorf("experiments: dumbbell needs >= 1 flow, got %d", cfg.Flows)
-	}
-	if cfg.RTTMax < cfg.RTTMin || cfg.RTTMin < 2*cfg.BottleneckOWD {
-		return nil, fmt.Errorf("experiments: invalid RTT range [%v, %v] for bottleneck OWD %v",
-			cfg.RTTMin, cfg.RTTMax, cfg.BottleneckOWD)
-	}
-	if err := cfg.TCP.Validate(); err != nil {
-		return nil, err
-	}
-
-	k := sim.New()
-	if cfg.HeapKernel {
-		k = sim.NewHeapKernel()
-	}
-	rand := rng.New(cfg.Seed)
-	d := &Dumbbell{
-		Kernel:  k,
-		Config:  cfg,
-		Account: trace.NewFlowAccountSized(cfg.Flows),
-		RouterS: netem.NewRouter("S"),
-		RouterR: netem.NewRouter("R"),
-		Sink:    &netem.Sink{},
-		Pool:    netem.NewPacketPool(),
-		rand:    rand,
-	}
-
-	// Forward bottleneck S→R with the configured AQM; this is the queue the
-	// attack pulses overflow.
-	var fwdQueue netem.Queue
-	redCfg := netem.DefaultREDConfig(cfg.QueueLimit)
-	if cfg.RED != nil {
-		redCfg = *cfg.RED
-		redCfg.Limit = cfg.QueueLimit
-	}
-	switch {
-	case cfg.DropTail:
-		fwdQueue = netem.NewDropTail(cfg.QueueLimit)
-	case cfg.AdaptiveRED:
-		fwdQueue = netem.NewAdaptiveRED(redCfg, rand.Split(), cfg.BottleneckRate)
-	default:
-		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
-	}
-	owd := sim.FromDuration(cfg.BottleneckOWD)
-	bottle, err := netem.NewLink(k, "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, d.RouterR)
-	if err != nil {
-		return nil, err
-	}
-	d.Bottle = bottle
-	d.RouterS.SetDefault(netem.DirForward, bottle)
-
-	// Reverse bottleneck R→S carries ACKs; generously buffered tail-drop.
-	bottleRev, err := netem.NewLink(k, "bottleneck-rev", cfg.BottleneckRate, owd,
-		netem.NewDropTail(4096), d.RouterS)
-	if err != nil {
-		return nil, err
-	}
-	d.RouterR.SetDefault(netem.DirReverse, bottleRev)
-
-	// Attack traffic exits router R into a sink over an uncongested link.
-	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
-		netem.NewDropTail(1<<20), d.Sink)
-	if err != nil {
-		return nil, err
-	}
-	d.RouterR.SetDefault(netem.DirForward, sinkLink)
-
-	// Attacker ingress into router S.
-	attackIn, err := netem.NewLink(k, "attacker", cfg.AttackAccessRate, sim.FromDuration(2*time.Millisecond),
-		netem.NewDropTail(1<<20), d.RouterS)
-	if err != nil {
-		return nil, err
-	}
-	attackIn.SetPool(d.Pool)
-	d.attackIn = attackIn
-
-	// Victim flows: RTT_i spread evenly across [RTTMin, RTTMax], realized by
-	// splitting the non-bottleneck propagation budget across the two access
-	// links of the flow. All per-flow TCP state lives in one FlowTable so a
-	// many-flow population shares flat, contiguous storage.
-	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
-	if err != nil {
-		return nil, err
-	}
-	d.Table = table
-	d.Senders = make([]*tcp.Sender, cfg.Flows)
-	d.Recvs = make([]*tcp.Receiver, cfg.Flows)
-	d.RTTs = make([]float64, cfg.Flows)
-	for i := 0; i < cfg.Flows; i++ {
-		rtt := cfg.RTTMin
-		if cfg.Flows > 1 {
-			rtt += time.Duration(int64(cfg.RTTMax-cfg.RTTMin) * int64(i) / int64(cfg.Flows-1))
-		}
-		d.RTTs[i] = rtt.Seconds()
-		accessOWD := (sim.FromDuration(rtt)/2 - owd) / 2
-
-		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterS)
-		if err != nil {
-			return nil, err
-		}
-		fwdIn.SetPool(d.Pool)
-		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterR)
-		if err != nil {
-			return nil, err
-		}
-		revOut.SetPool(d.Pool)
-
-		sender, err := table.BindSender(i, i, fwdIn)
-		if err != nil {
-			return nil, err
-		}
-		receiver, err := table.BindReceiver(i, i, revOut, d.Account)
-		if err != nil {
-			return nil, err
-		}
-		d.Senders[i] = sender
-		d.Recvs[i] = receiver
-
-		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
-		if err != nil {
-			return nil, err
-		}
-		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
-		if err != nil {
-			return nil, err
-		}
-		d.RouterR.AddRoute(i, netem.DirForward, fwdOut)
-		d.RouterS.AddRoute(i, netem.DirReverse, revIn)
-	}
-	return d, nil
-}
-
-// StartFlows schedules every victim flow to begin within the configured
-// start spread, deterministically from the topology seed.
-func (d *Dumbbell) StartFlows() error {
-	spread := sim.FromDuration(d.Config.StartSpread)
-	for _, s := range d.Senders {
-		at := sim.Time(0)
-		if spread > 0 {
-			at = sim.Time(d.rand.Int63n(int64(spread)))
-		}
-		if err := s.Start(at); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// StopFlows halts every victim sender (teardown for finite experiments).
-func (d *Dumbbell) StopFlows() {
-	for _, s := range d.Senders {
-		s.Stop()
-	}
-}
-
-// Attach builds an attack generator feeding the attacker's ingress link.
-func (d *Dumbbell) Attach(train attack.Train) (*attack.Generator, error) {
-	return attack.NewGenerator(d.Kernel, d.attackIn, train, d.Config.AttackPacketSize)
-}
-
-// RunUntil advances the simulation to t (the serial executor; the sharded
-// counterpart routes through the parallel engine).
-func (d *Dumbbell) RunUntil(t sim.Time) error { return d.Kernel.RunUntil(t) }
-
-// Processed reports total events fired.
-func (d *Dumbbell) Processed() uint64 { return d.Kernel.Processed() }
-
-// BottleStats snapshots the forward bottleneck counters.
-func (d *Dumbbell) BottleStats() netem.LinkStats { return d.Bottle.Stats() }
-
-// Close implements the sharded environment's lifecycle for interface parity;
-// the serial dumbbell holds no goroutines, so it is a no-op.
-func (d *Dumbbell) Close() {}
-
-// TimeoutModel implements Environment.
-func (d *Dumbbell) TimeoutModel() model.TimeoutModelConfig {
-	return model.TimeoutModelConfig{
-		MinRTO:           d.Config.TCP.RTOMin.Seconds(),
-		BufferPackets:    d.Config.QueueLimit,
-		AttackPacketSize: d.Config.AttackPacketSize,
-	}
-}
-
-// ModelParams assembles the analytic-model parameters corresponding to this
-// topology instance.
-func (d *Dumbbell) ModelParams() model.Params {
-	return model.Params{
-		AIMD:       model.AIMD{A: d.Config.TCP.IncreaseA, B: d.Config.TCP.DecreaseB},
-		AckRatio:   float64(d.Config.TCP.AckEvery),
-		PacketSize: float64(d.Config.TCP.MSS + d.Config.TCP.HeaderSize),
-		Bottleneck: d.Config.BottleneckRate,
-		RTTs:       append([]float64(nil), d.RTTs...),
-	}
+	return topo.Build(topo.Dumbbell(cfg), topo.Options{})
 }

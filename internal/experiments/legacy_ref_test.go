@@ -1,0 +1,740 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/dummynet"
+	"pulsedos/internal/model"
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/trace"
+)
+
+// This file preserves the pre-topo hand-wired builders verbatim (renamed
+// with a legacy prefix) as test-only reference implementations. They are the
+// fixed side of the topology layer's equivalence contract: topo.Build must
+// reproduce their outputs byte-identically at any worker count, forever.
+// Nothing outside the equivalence suites may use them.
+
+const legacyLoadFwd, legacyLoadRev, legacyLoadAttack = 4.0 / 7.0, 1.0 / 7.0, 2.0 / 7.0
+
+type legacyDumbbell struct {
+	Kernel   *sim.Kernel
+	Config   DumbbellConfig
+	Table    *tcp.FlowTable
+	Senders  []*tcp.Sender
+	Recvs    []*tcp.Receiver
+	Account  *trace.FlowAccount
+	RTTs     []float64
+	RouterS  *netem.Router
+	RouterR  *netem.Router
+	Bottle   *netem.Link
+	Sink     *netem.Sink
+	Pool     *netem.PacketPool
+	attackIn *netem.Link
+	rand     *rng.Source
+}
+
+func buildLegacyDumbbell(cfg DumbbellConfig) (*legacyDumbbell, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("experiments: dumbbell needs >= 1 flow, got %d", cfg.Flows)
+	}
+	if cfg.RTTMax < cfg.RTTMin || cfg.RTTMin < 2*cfg.BottleneckOWD {
+		return nil, fmt.Errorf("experiments: invalid RTT range [%v, %v] for bottleneck OWD %v",
+			cfg.RTTMin, cfg.RTTMax, cfg.BottleneckOWD)
+	}
+	if err := cfg.TCP.Validate(); err != nil {
+		return nil, err
+	}
+
+	k := sim.New()
+	if cfg.HeapKernel {
+		k = sim.NewHeapKernel()
+	}
+	rand := rng.New(cfg.Seed)
+	d := &legacyDumbbell{
+		Kernel:  k,
+		Config:  cfg,
+		Account: trace.NewFlowAccountSized(cfg.Flows),
+		RouterS: netem.NewRouter("S"),
+		RouterR: netem.NewRouter("R"),
+		Sink:    &netem.Sink{},
+		Pool:    netem.NewPacketPool(),
+		rand:    rand,
+	}
+
+	var fwdQueue netem.Queue
+	redCfg := netem.DefaultREDConfig(cfg.QueueLimit)
+	if cfg.RED != nil {
+		redCfg = *cfg.RED
+		redCfg.Limit = cfg.QueueLimit
+	}
+	switch {
+	case cfg.DropTail:
+		fwdQueue = netem.NewDropTail(cfg.QueueLimit)
+	case cfg.AdaptiveRED:
+		fwdQueue = netem.NewAdaptiveRED(redCfg, rand.Split(), cfg.BottleneckRate)
+	default:
+		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
+	}
+	owd := sim.FromDuration(cfg.BottleneckOWD)
+	bottle, err := netem.NewLink(k, "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, d.RouterR)
+	if err != nil {
+		return nil, err
+	}
+	d.Bottle = bottle
+	d.RouterS.SetDefault(netem.DirForward, bottle)
+
+	bottleRev, err := netem.NewLink(k, "bottleneck-rev", cfg.BottleneckRate, owd,
+		netem.NewDropTail(4096), d.RouterS)
+	if err != nil {
+		return nil, err
+	}
+	d.RouterR.SetDefault(netem.DirReverse, bottleRev)
+
+	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
+		netem.NewDropTail(1<<20), d.Sink)
+	if err != nil {
+		return nil, err
+	}
+	d.RouterR.SetDefault(netem.DirForward, sinkLink)
+
+	attackIn, err := netem.NewLink(k, "attacker", cfg.AttackAccessRate, sim.FromDuration(2*time.Millisecond),
+		netem.NewDropTail(1<<20), d.RouterS)
+	if err != nil {
+		return nil, err
+	}
+	attackIn.SetPool(d.Pool)
+	d.attackIn = attackIn
+
+	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	d.Table = table
+	d.Senders = make([]*tcp.Sender, cfg.Flows)
+	d.Recvs = make([]*tcp.Receiver, cfg.Flows)
+	d.RTTs = make([]float64, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		rtt := cfg.RTTMin
+		if cfg.Flows > 1 {
+			rtt += time.Duration(int64(cfg.RTTMax-cfg.RTTMin) * int64(i) / int64(cfg.Flows-1))
+		}
+		d.RTTs[i] = rtt.Seconds()
+		accessOWD := (sim.FromDuration(rtt)/2 - owd) / 2
+
+		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
+		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterS)
+		if err != nil {
+			return nil, err
+		}
+		fwdIn.SetPool(d.Pool)
+		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterR)
+		if err != nil {
+			return nil, err
+		}
+		revOut.SetPool(d.Pool)
+
+		sender, err := table.BindSender(i, i, fwdIn)
+		if err != nil {
+			return nil, err
+		}
+		receiver, err := table.BindReceiver(i, i, revOut, d.Account)
+		if err != nil {
+			return nil, err
+		}
+		d.Senders[i] = sender
+		d.Recvs[i] = receiver
+
+		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
+		if err != nil {
+			return nil, err
+		}
+		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
+		if err != nil {
+			return nil, err
+		}
+		d.RouterR.AddRoute(i, netem.DirForward, fwdOut)
+		d.RouterS.AddRoute(i, netem.DirReverse, revIn)
+	}
+	return d, nil
+}
+
+func (d *legacyDumbbell) StartFlows() error {
+	spread := sim.FromDuration(d.Config.StartSpread)
+	for _, s := range d.Senders {
+		at := sim.Time(0)
+		if spread > 0 {
+			at = sim.Time(d.rand.Int63n(int64(spread)))
+		}
+		if err := s.Start(at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *legacyDumbbell) StopFlows() {
+	for _, s := range d.Senders {
+		s.Stop()
+	}
+}
+
+func (d *legacyDumbbell) Attach(train attack.Train) (*attack.Generator, error) {
+	return attack.NewGenerator(d.Kernel, d.attackIn, train, d.Config.AttackPacketSize)
+}
+
+func (d *legacyDumbbell) Sim() *sim.Kernel             { return d.Kernel }
+func (d *legacyDumbbell) Goodput() *trace.FlowAccount  { return d.Account }
+func (d *legacyDumbbell) Target() *netem.Link          { return d.Bottle }
+func (d *legacyDumbbell) Flows() []*tcp.Sender         { return d.Senders }
+func (d *legacyDumbbell) RunUntil(t sim.Time) error    { return d.Kernel.RunUntil(t) }
+func (d *legacyDumbbell) Processed() uint64            { return d.Kernel.Processed() }
+func (d *legacyDumbbell) BottleStats() netem.LinkStats { return d.Bottle.Stats() }
+func (d *legacyDumbbell) Close()                       {}
+
+func (d *legacyDumbbell) TimeoutModel() model.TimeoutModelConfig {
+	return model.TimeoutModelConfig{
+		MinRTO:           d.Config.TCP.RTOMin.Seconds(),
+		BufferPackets:    d.Config.QueueLimit,
+		AttackPacketSize: d.Config.AttackPacketSize,
+	}
+}
+
+func (d *legacyDumbbell) ModelParams() model.Params {
+	return model.Params{
+		AIMD:       model.AIMD{A: d.Config.TCP.IncreaseA, B: d.Config.TCP.DecreaseB},
+		AckRatio:   float64(d.Config.TCP.AckEvery),
+		PacketSize: float64(d.Config.TCP.MSS + d.Config.TCP.HeaderSize),
+		Bottleneck: d.Config.BottleneckRate,
+		RTTs:       append([]float64(nil), d.RTTs...),
+	}
+}
+
+type legacyDumbbellPlan struct {
+	Workers     int
+	FwdCore     int
+	RevCore     int
+	AttackShard int
+	FlowShard   []int
+}
+
+func legacyPlanDumbbell(flows, workers int) legacyDumbbellPlan {
+	if workers < 1 {
+		workers = 1
+	}
+	if max := flows + 2; workers > max {
+		workers = max
+	}
+	plan := legacyDumbbellPlan{
+		Workers:   workers,
+		FlowShard: make([]int, flows),
+	}
+	if workers >= 2 {
+		plan.RevCore = 1
+		plan.AttackShard = 1
+	}
+	weight := make([]float64, workers)
+	f := float64(flows)
+	weight[plan.FwdCore] += legacyLoadFwd * f
+	weight[plan.RevCore] += legacyLoadRev * f
+	weight[plan.AttackShard] += legacyLoadAttack * f
+	for i := 0; i < flows; i++ {
+		best := 0
+		for s := 1; s < workers; s++ {
+			if weight[s] < weight[best] {
+				best = s
+			}
+		}
+		plan.FlowShard[i] = best
+		weight[best]++
+	}
+	return plan
+}
+
+type legacyShardedDumbbell struct {
+	eng     *sim.Engine
+	Config  DumbbellConfig
+	Plan    legacyDumbbellPlan
+	Senders []*tcp.Sender
+	Recvs   []*tcp.Receiver
+	Account *trace.FlowAccount
+	RTTs    []float64
+	Bottle  *netem.Link
+	Sink    *netem.Sink
+	Pools   []*netem.PacketPool
+
+	attackIn *netem.Link
+	attackK  *sim.Kernel
+	rand     *rng.Source
+}
+
+func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacyShardedDumbbell, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("experiments: dumbbell needs >= 1 flow, got %d", cfg.Flows)
+	}
+	if cfg.RTTMax < cfg.RTTMin || cfg.RTTMin < 2*cfg.BottleneckOWD {
+		return nil, fmt.Errorf("experiments: invalid RTT range [%v, %v] for bottleneck OWD %v",
+			cfg.RTTMin, cfg.RTTMax, cfg.BottleneckOWD)
+	}
+	if err := cfg.TCP.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HeapKernel {
+		return nil, fmt.Errorf("experiments: sharded dumbbell does not support the heap-kernel baseline")
+	}
+	owd := sim.FromDuration(cfg.BottleneckOWD)
+	minAccessOWD := (sim.FromDuration(cfg.RTTMin)/2 - owd) / 2
+	plan := legacyPlanDumbbell(cfg.Flows, workers)
+	if plan.Workers > 1 && minAccessOWD <= 0 {
+		return nil, fmt.Errorf("experiments: RTTMin %v leaves zero access propagation — no cross-shard lookahead; run serial",
+			cfg.RTTMin)
+	}
+
+	eng := sim.NewEngine(plan.Workers)
+	w := plan.Workers
+	rand := rng.New(cfg.Seed)
+	sd := &legacyShardedDumbbell{
+		eng:     eng,
+		Config:  cfg,
+		Plan:    plan,
+		Account: trace.NewFlowAccountSized(cfg.Flows),
+		Sink:    &netem.Sink{},
+		Pools:   make([]*netem.PacketPool, w),
+		Senders: make([]*tcp.Sender, cfg.Flows),
+		Recvs:   make([]*tcp.Receiver, cfg.Flows),
+		RTTs:    make([]float64, cfg.Flows),
+		rand:    rand,
+	}
+
+	kernels := make([]*sim.Kernel, w)
+	routerS := make([]*netem.Router, w)
+	routerR := make([]*netem.Router, w)
+	flowsOf := make([][]int, w)
+	shardMinOWD := make([]sim.Time, w)
+	for s := 0; s < w; s++ {
+		kernels[s] = eng.Shard(s).Kernel()
+		sd.Pools[s] = netem.NewPacketPool()
+		routerS[s] = netem.NewRouter(fmt.Sprintf("S#%d", s))
+		routerR[s] = netem.NewRouter(fmt.Sprintf("R#%d", s))
+	}
+	flowOWD := make([]sim.Time, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		rtt := cfg.RTTMin
+		if cfg.Flows > 1 {
+			rtt += time.Duration(int64(cfg.RTTMax-cfg.RTTMin) * int64(i) / int64(cfg.Flows-1))
+		}
+		sd.RTTs[i] = rtt.Seconds()
+		flowOWD[i] = (sim.FromDuration(rtt)/2 - owd) / 2
+		s := plan.FlowShard[i]
+		if len(flowsOf[s]) == 0 || flowOWD[i] < shardMinOWD[s] {
+			shardMinOWD[s] = flowOWD[i]
+		}
+		flowsOf[s] = append(flowsOf[s], i)
+	}
+
+	portS := make([]int32, w)
+	portR := make([]int32, w)
+	for s := 0; s < w; s++ {
+		portS[s] = eng.Shard(s).RegisterPort(netem.NewInbox(sd.Pools[s], routerS[s]))
+		portR[s] = eng.Shard(s).RegisterPort(netem.NewInbox(sd.Pools[s], routerR[s]))
+	}
+
+	obToFwdS := make([]*sim.Outbox, w)
+	obToRevR := make([]*sim.Outbox, w)
+	obFwdDel := make([]*sim.Outbox, w)
+	obRevDel := make([]*sim.Outbox, w)
+	var err error
+	for s := 0; s < w; s++ {
+		if len(flowsOf[s]) == 0 {
+			continue
+		}
+		if s != plan.FwdCore {
+			if obToFwdS[s], err = eng.NewOutbox(eng.Shard(s), eng.Shard(plan.FwdCore), portS[plan.FwdCore], shardMinOWD[s]); err != nil {
+				return nil, err
+			}
+			if obFwdDel[s], err = eng.NewOutbox(eng.Shard(plan.FwdCore), eng.Shard(s), portR[s], owd); err != nil {
+				return nil, err
+			}
+		}
+		if s != plan.RevCore {
+			if obToRevR[s], err = eng.NewOutbox(eng.Shard(s), eng.Shard(plan.RevCore), portR[plan.RevCore], shardMinOWD[s]); err != nil {
+				return nil, err
+			}
+			if obRevDel[s], err = eng.NewOutbox(eng.Shard(plan.RevCore), eng.Shard(s), portS[s], owd); err != nil {
+				return nil, err
+			}
+		}
+	}
+	attackOWD := sim.FromDuration(2 * time.Millisecond)
+	var obAttack *sim.Outbox
+	if plan.AttackShard != plan.FwdCore {
+		if obAttack, err = eng.NewOutbox(eng.Shard(plan.AttackShard), eng.Shard(plan.FwdCore), portS[plan.FwdCore], attackOWD); err != nil {
+			return nil, err
+		}
+	}
+
+	var fwdQueue netem.Queue
+	redCfg := netem.DefaultREDConfig(cfg.QueueLimit)
+	if cfg.RED != nil {
+		redCfg = *cfg.RED
+		redCfg.Limit = cfg.QueueLimit
+	}
+	switch {
+	case cfg.DropTail:
+		fwdQueue = netem.NewDropTail(cfg.QueueLimit)
+	case cfg.AdaptiveRED:
+		fwdQueue = netem.NewAdaptiveRED(redCfg, rand.Split(), cfg.BottleneckRate)
+	default:
+		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
+	}
+	fc, rc := plan.FwdCore, plan.RevCore
+	bottle, err := netem.NewLink(kernels[fc], "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, routerR[fc])
+	if err != nil {
+		return nil, err
+	}
+	sd.Bottle = bottle
+	routerS[fc].SetDefault(netem.DirForward, bottle)
+	if w > 1 {
+		byFlowFwd := make([]*sim.Outbox, cfg.Flows)
+		for i := range byFlowFwd {
+			byFlowFwd[i] = obFwdDel[plan.FlowShard[i]]
+		}
+		bottle.SetRemote(netem.NewDemuxRemote(byFlowFwd, nil))
+	}
+
+	bottleRev, err := netem.NewLink(kernels[rc], "bottleneck-rev", cfg.BottleneckRate, owd,
+		netem.NewDropTail(4096), routerS[rc])
+	if err != nil {
+		return nil, err
+	}
+	routerR[rc].SetDefault(netem.DirReverse, bottleRev)
+	if w > 1 {
+		byFlowRev := make([]*sim.Outbox, cfg.Flows)
+		for i := range byFlowRev {
+			byFlowRev[i] = obRevDel[plan.FlowShard[i]]
+		}
+		bottleRev.SetRemote(netem.NewDemuxRemote(byFlowRev, nil))
+	}
+
+	sinkLink, err := netem.NewLink(kernels[fc], "attack-sink", 10*netem.Gbps, 0,
+		netem.NewDropTail(1<<20), sd.Sink)
+	if err != nil {
+		return nil, err
+	}
+	routerR[fc].SetDefault(netem.DirForward, sinkLink)
+
+	attackIn, err := netem.NewLink(kernels[plan.AttackShard], "attacker", cfg.AttackAccessRate, attackOWD,
+		netem.NewDropTail(1<<20), routerS[plan.AttackShard])
+	if err != nil {
+		return nil, err
+	}
+	attackIn.SetPool(sd.Pools[plan.AttackShard])
+	if obAttack != nil {
+		attackIn.SetRemote(netem.NewSingleRemote(obAttack))
+	}
+	sd.attackIn = attackIn
+	sd.attackK = kernels[plan.AttackShard]
+
+	tables := make([]*tcp.FlowTable, w)
+	slots := make([]int, w)
+	for s := 0; s < w; s++ {
+		if len(flowsOf[s]) == 0 {
+			continue
+		}
+		if tables[s], err = tcp.NewFlowTable(kernels[s], cfg.TCP, len(flowsOf[s])); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		s := plan.FlowShard[i]
+		k := kernels[s]
+		accessOWD := flowOWD[i]
+		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
+
+		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerS[s])
+		if err != nil {
+			return nil, err
+		}
+		fwdIn.SetPool(sd.Pools[s])
+		if s != fc {
+			fwdIn.SetRemote(netem.NewSingleRemote(obToFwdS[s]))
+		}
+		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerR[s])
+		if err != nil {
+			return nil, err
+		}
+		revOut.SetPool(sd.Pools[s])
+		if s != rc {
+			revOut.SetRemote(netem.NewSingleRemote(obToRevR[s]))
+		}
+
+		sender, err := tables[s].BindSender(slots[s], i, fwdIn)
+		if err != nil {
+			return nil, err
+		}
+		receiver, err := tables[s].BindReceiver(slots[s], i, revOut, sd.Account)
+		if err != nil {
+			return nil, err
+		}
+		slots[s]++
+		sd.Senders[i] = sender
+		sd.Recvs[i] = receiver
+
+		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
+		if err != nil {
+			return nil, err
+		}
+		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
+		if err != nil {
+			return nil, err
+		}
+		routerR[s].AddRoute(i, netem.DirForward, fwdOut)
+		routerS[s].AddRoute(i, netem.DirReverse, revIn)
+	}
+	return sd, nil
+}
+
+func (sd *legacyShardedDumbbell) Engine() *sim.Engine { return sd.eng }
+func (sd *legacyShardedDumbbell) Sim() *sim.Kernel {
+	return sd.eng.Shard(sd.Plan.FwdCore).Kernel()
+}
+func (sd *legacyShardedDumbbell) Goodput() *trace.FlowAccount { return sd.Account }
+func (sd *legacyShardedDumbbell) Target() *netem.Link         { return sd.Bottle }
+func (sd *legacyShardedDumbbell) Flows() []*tcp.Sender        { return sd.Senders }
+
+func (sd *legacyShardedDumbbell) StartFlows() error {
+	spread := sim.FromDuration(sd.Config.StartSpread)
+	for _, s := range sd.Senders {
+		at := sim.Time(0)
+		if spread > 0 {
+			at = sim.Time(sd.rand.Int63n(int64(spread)))
+		}
+		if err := s.Start(at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sd *legacyShardedDumbbell) StopFlows() {
+	for _, s := range sd.Senders {
+		s.Stop()
+	}
+}
+
+func (sd *legacyShardedDumbbell) Attach(train attack.Train) (*attack.Generator, error) {
+	return attack.NewGenerator(sd.attackK, sd.attackIn, train, sd.Config.AttackPacketSize)
+}
+
+func (sd *legacyShardedDumbbell) TimeoutModel() model.TimeoutModelConfig {
+	return model.TimeoutModelConfig{
+		MinRTO:           sd.Config.TCP.RTOMin.Seconds(),
+		BufferPackets:    sd.Config.QueueLimit,
+		AttackPacketSize: sd.Config.AttackPacketSize,
+	}
+}
+
+func (sd *legacyShardedDumbbell) ModelParams() model.Params {
+	return model.Params{
+		AIMD:       model.AIMD{A: sd.Config.TCP.IncreaseA, B: sd.Config.TCP.DecreaseB},
+		AckRatio:   float64(sd.Config.TCP.AckEvery),
+		PacketSize: float64(sd.Config.TCP.MSS + sd.Config.TCP.HeaderSize),
+		Bottleneck: sd.Config.BottleneckRate,
+		RTTs:       append([]float64(nil), sd.RTTs...),
+	}
+}
+
+func (sd *legacyShardedDumbbell) RunUntil(t sim.Time) error    { return sd.eng.RunUntil(t) }
+func (sd *legacyShardedDumbbell) Processed() uint64            { return sd.eng.Processed() }
+func (sd *legacyShardedDumbbell) BottleStats() netem.LinkStats { return sd.Bottle.Stats() }
+func (sd *legacyShardedDumbbell) Close()                       { sd.eng.Close() }
+
+type legacyTestbed struct {
+	Kernel  *sim.Kernel
+	Config  TestbedConfig
+	Table   *tcp.FlowTable
+	Senders []*tcp.Sender
+	Recvs   []*tcp.Receiver
+	Account *trace.FlowAccount
+	RTTs    []float64
+
+	PipeFwd  *dummynet.Pipe
+	QueueLen int
+	Sink     *netem.Sink
+	Pool     *netem.PacketPool
+	attackIn *netem.Link
+	rand     *rng.Source
+}
+
+func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("experiments: testbed needs >= 1 flow, got %d", cfg.Flows)
+	}
+	if err := cfg.TCP.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.New()
+	rand := rng.New(cfg.Seed)
+	tb := &legacyTestbed{
+		Kernel:  k,
+		Config:  cfg,
+		Account: trace.NewFlowAccountSized(cfg.Flows),
+		Sink:    &netem.Sink{},
+		Pool:    netem.NewPacketPool(),
+		rand:    rand,
+	}
+
+	rtt := 2 * (cfg.PipeDelay + 2*cfg.AccessOWD)
+	packetSize := cfg.TCP.MSS + cfg.TCP.HeaderSize
+	queueLen := cfg.QueueLen
+	if queueLen == 0 {
+		queueLen = dummynet.RuleOfThumbQueueLen(rtt, cfg.BottleneckRate, packetSize)
+	}
+
+	victimRouter := netem.NewRouter("victim")
+	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
+		netem.NewDropTail(1<<20), tb.Sink)
+	if err != nil {
+		return nil, err
+	}
+	victimRouter.SetDefault(netem.DirForward, sinkLink)
+
+	pipeCfg := dummynet.PipeConfig{
+		Bandwidth: cfg.BottleneckRate,
+		Delay:     cfg.PipeDelay,
+		QueueLen:  queueLen,
+	}
+	if !cfg.DropTail {
+		red := netem.DefaultREDConfig(queueLen)
+		pipeCfg.RED = &red
+	}
+	pipeFwd, err := dummynet.NewPipe(k, "dummynet-fwd", pipeCfg, victimRouter, rand.Split())
+	if err != nil {
+		return nil, err
+	}
+	tb.PipeFwd = pipeFwd
+	tb.QueueLen = queueLen
+
+	userRouter := netem.NewRouter("users")
+	pipeRev, err := dummynet.NewPipe(k, "dummynet-rev", dummynet.PipeConfig{
+		Bandwidth: cfg.AccessRate,
+		Delay:     cfg.PipeDelay,
+		QueueLen:  4096,
+	}, userRouter, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	attackIn, err := netem.NewLink(k, "attacker", cfg.AccessRate, sim.FromDuration(cfg.AccessOWD),
+		netem.NewDropTail(1<<20), pipeFwd)
+	if err != nil {
+		return nil, err
+	}
+	attackIn.SetPool(tb.Pool)
+	tb.attackIn = attackIn
+
+	accessOWD := sim.FromDuration(cfg.AccessOWD)
+	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
+	if err != nil {
+		return nil, err
+	}
+	tb.Table = table
+	tb.Senders = make([]*tcp.Sender, cfg.Flows)
+	tb.Recvs = make([]*tcp.Receiver, cfg.Flows)
+	tb.RTTs = make([]float64, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		tb.RTTs[i] = rtt.Seconds()
+		fwdIn, err := netem.NewLink(k, fmt.Sprintf("user-fwd-%d", i), cfg.AccessRate, accessOWD,
+			netem.NewDropTail(1024), pipeFwd)
+		if err != nil {
+			return nil, err
+		}
+		fwdIn.SetPool(tb.Pool)
+		revOut, err := netem.NewLink(k, fmt.Sprintf("victim-rev-%d", i), cfg.AccessRate, accessOWD,
+			netem.NewDropTail(1024), pipeRev)
+		if err != nil {
+			return nil, err
+		}
+		revOut.SetPool(tb.Pool)
+		sender, err := table.BindSender(i, i, fwdIn)
+		if err != nil {
+			return nil, err
+		}
+		receiver, err := table.BindReceiver(i, i, revOut, tb.Account)
+		if err != nil {
+			return nil, err
+		}
+		tb.Senders[i] = sender
+		tb.Recvs[i] = receiver
+
+		toRecv, err := netem.NewLink(k, fmt.Sprintf("victim-fwd-%d", i), cfg.AccessRate, accessOWD,
+			netem.NewDropTail(1024), receiver)
+		if err != nil {
+			return nil, err
+		}
+		toSender, err := netem.NewLink(k, fmt.Sprintf("user-rev-%d", i), cfg.AccessRate, accessOWD,
+			netem.NewDropTail(1024), sender)
+		if err != nil {
+			return nil, err
+		}
+		victimRouter.AddRoute(i, netem.DirForward, toRecv)
+		userRouter.AddRoute(i, netem.DirReverse, toSender)
+	}
+	return tb, nil
+}
+
+func (tb *legacyTestbed) StartFlows() error {
+	spread := sim.FromDuration(tb.Config.StartSpread)
+	for _, s := range tb.Senders {
+		at := sim.Time(0)
+		if spread > 0 {
+			at = sim.Time(tb.rand.Int63n(int64(spread)))
+		}
+		if err := s.Start(at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tb *legacyTestbed) StopFlows() {
+	for _, s := range tb.Senders {
+		s.Stop()
+	}
+}
+
+func (tb *legacyTestbed) Attach(train attack.Train) (*attack.Generator, error) {
+	return attack.NewGenerator(tb.Kernel, tb.attackIn, train, tb.Config.AttackPacketSize)
+}
+
+func (tb *legacyTestbed) Sim() *sim.Kernel             { return tb.Kernel }
+func (tb *legacyTestbed) Goodput() *trace.FlowAccount  { return tb.Account }
+func (tb *legacyTestbed) Target() *netem.Link          { return tb.PipeFwd.Link() }
+func (tb *legacyTestbed) Flows() []*tcp.Sender         { return tb.Senders }
+func (tb *legacyTestbed) RunUntil(t sim.Time) error    { return tb.Kernel.RunUntil(t) }
+func (tb *legacyTestbed) Processed() uint64            { return tb.Kernel.Processed() }
+func (tb *legacyTestbed) BottleStats() netem.LinkStats { return tb.PipeFwd.Link().Stats() }
+func (tb *legacyTestbed) Close()                       {}
+
+func (tb *legacyTestbed) TimeoutModel() model.TimeoutModelConfig {
+	return model.TimeoutModelConfig{
+		MinRTO:           tb.Config.TCP.RTOMin.Seconds(),
+		BufferPackets:    tb.QueueLen,
+		AttackPacketSize: tb.Config.AttackPacketSize,
+	}
+}
+
+func (tb *legacyTestbed) ModelParams() model.Params {
+	return model.Params{
+		AIMD:       model.AIMD{A: tb.Config.TCP.IncreaseA, B: tb.Config.TCP.DecreaseB},
+		AckRatio:   float64(tb.Config.TCP.AckEvery),
+		PacketSize: float64(tb.Config.TCP.MSS + tb.Config.TCP.HeaderSize),
+		Bottleneck: tb.Config.BottleneckRate,
+		RTTs:       append([]float64(nil), tb.RTTs...),
+	}
+}

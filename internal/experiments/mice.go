@@ -86,7 +86,7 @@ func MiceStudy(cfg MiceConfig) (*MiceResult, error) {
 	// Elephants: flows [0, E), jittered starts inside the warm-up.
 	spread := sim.FromDuration(dcfg.StartSpread)
 	for i := 0; i < cfg.Elephants; i++ {
-		at := sim.Time(env.rand.Int63n(int64(spread) + 1))
+		at := sim.Time(env.Rand().Int63n(int64(spread) + 1))
 		if err := env.Senders[i].Start(at); err != nil {
 			return nil, err
 		}
@@ -100,7 +100,7 @@ func MiceStudy(cfg MiceConfig) (*MiceResult, error) {
 		sizes = &workload.Fixed{Segments: cfg.MiceSegments}
 	}
 	arrivals, err := workload.NewPoisson(
-		float64(cfg.Mice)/cfg.ArrivalSpan.Seconds(), warmup, env.rand.Split())
+		float64(cfg.Mice)/cfg.ArrivalSpan.Seconds(), warmup, env.Rand().Split())
 	if err != nil {
 		return nil, err
 	}

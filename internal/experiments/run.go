@@ -38,43 +38,18 @@ type Environment interface {
 	TimeoutModel() model.TimeoutModelConfig
 }
 
-// Interface conformance for the two topologies.
-var (
-	_ Environment = (*Dumbbell)(nil)
-	_ Environment = (*Testbed)(nil)
-)
+// Interface conformance: the graph layer's environment is the one
+// implementation behind every topology.
+var _ Environment = (*Dumbbell)(nil)
 
-// engineEnv is implemented by sharded environments whose execution is driven
-// by the conservative parallel engine rather than a single kernel. Run
-// detects it and swaps the executor; everything else — taps, goodput
+// engineEnv is implemented by environments that may be driven by the
+// conservative parallel engine rather than a single kernel. Run probes for
+// it and swaps the executor when the engine is non-nil (a serial graph build
+// satisfies the interface but returns nil); everything else — taps, goodput
 // accounting, attack attachment — is engine-agnostic.
 type engineEnv interface {
 	Engine() *sim.Engine
 }
-
-// Sim implements Environment.
-func (d *Dumbbell) Sim() *sim.Kernel { return d.Kernel }
-
-// Goodput implements Environment.
-func (d *Dumbbell) Goodput() *trace.FlowAccount { return d.Account }
-
-// Target implements Environment.
-func (d *Dumbbell) Target() *netem.Link { return d.Bottle }
-
-// Flows implements Environment.
-func (d *Dumbbell) Flows() []*tcp.Sender { return d.Senders }
-
-// Sim implements Environment.
-func (tb *Testbed) Sim() *sim.Kernel { return tb.Kernel }
-
-// Goodput implements Environment.
-func (tb *Testbed) Goodput() *trace.FlowAccount { return tb.Account }
-
-// Target implements Environment.
-func (tb *Testbed) Target() *netem.Link { return tb.PipeFwd.Link() }
-
-// Flows implements Environment.
-func (tb *Testbed) Flows() []*tcp.Sender { return tb.Senders }
 
 // RunOptions parameterizes one scenario execution. The timeline is: victim
 // flows start (jittered) at the virtual origin and warm up for Warmup; the
@@ -154,7 +129,9 @@ func Run(env Environment, opt RunOptions) (*RunResult, error) {
 	}
 	runUntil := k.RunUntil
 	if pe, ok := env.(engineEnv); ok {
-		runUntil = pe.Engine().RunUntil
+		if eng := pe.Engine(); eng != nil {
+			runUntil = eng.RunUntil
+		}
 	}
 	if err := runUntil(end); err != nil {
 		return nil, fmt.Errorf("experiments: run: %w", err)

@@ -1,443 +1,18 @@
 package experiments
 
-import (
-	"fmt"
-	"time"
+import "pulsedos/internal/topo"
 
-	"pulsedos/internal/attack"
-	"pulsedos/internal/model"
-	"pulsedos/internal/netem"
-	"pulsedos/internal/rng"
-	"pulsedos/internal/sim"
-	"pulsedos/internal/tcp"
-	"pulsedos/internal/trace"
-)
+// ShardedDumbbell is the Fig. 5 topology partitioned over the conservative
+// parallel engine — since the topology-graph refactor, the generic graph
+// environment (whose Engine() is non-nil when built with workers > 1).
+type ShardedDumbbell = topo.Environment
 
-// This file shards the Fig. 5 dumbbell across the conservative parallel
-// engine (internal/sim/parallel.go). The partitioning follows the topology's
-// natural cut lines — every cross-shard edge is a link propagation hop, so
-// its delay is the lookahead:
-//
-//   - the forward core (shard 0) owns the forward bottleneck, router S's
-//     forward role, and the attack sink: the serialized resource every flow
-//     contends for cannot be split without losing the drop coupling;
-//   - the reverse core owns the reverse bottleneck (the ACK path) and the
-//     attack generator;
-//   - the flows — sender, receiver, and all four access links — are spread
-//     over every shard by a greedy balance over estimated per-packet event
-//     loads. Routers are stateless demultiplexers, so each shard gets
-//     lightweight replicas holding only the routes of its own flows.
-//
-// Cross-shard edges and their lookahead:
-//
-//	flow shard → fwd core   (access fwd-in propagation, (RTT_i/2-owd)/2)
-//	flow shard → rev core   (access rev-out propagation, same bound)
-//	fwd core   → flow shard (forward bottleneck propagation, owd)
-//	rev core   → flow shard (reverse bottleneck propagation, owd)
-//	rev core   → fwd core   (attacker ingress propagation, 2 ms)
-//
-// The engine's window is the minimum of these, which for the paper's
-// RTT range (20-460 ms over a 5 ms bottleneck) is the attacker's 2 ms hop —
-// i.e. hundreds of microseconds of event work per barrier at scale.
-
-// Estimated per-data-packet event load of the fixed components, in units of
-// one flow's own per-packet work (sender, receiver, and four access-link
-// hops ≈ 7 events per delivered segment). The constants seed the greedy flow
-// balance: the forward core burns ~4 events per segment (bottleneck enqueue,
-// tx-done, router S forward, sink hop for attack mixes), the reverse
-// bottleneck ~1, the attack generator ~2 at the paper's pulse rates.
-const (
-	fwdCoreLoad = 4.0 / 7.0
-	revCoreLoad = 1.0 / 7.0
-	attackLoad  = 2.0 / 7.0
-)
-
-// DumbbellPlan assigns every component of a dumbbell to a shard.
-type DumbbellPlan struct {
-	Workers     int
-	FwdCore     int   // forward bottleneck + router S fwd role + attack sink
-	RevCore     int   // reverse bottleneck (ACK path)
-	AttackShard int   // attack generator + attacker ingress link
-	FlowShard   []int // per-flow home shard (sender, receiver, access links)
-}
-
-// PlanDumbbell partitions a dumbbell of the given population over the given
-// worker count. Workers are clamped to the population plus the two cores —
-// beyond that extra shards would sit empty. The flow assignment greedily
-// levels estimated event load, which also interleaves the RTT gradient
-// (consecutive flows land on different shards).
-func PlanDumbbell(flows, workers int) DumbbellPlan {
-	if workers < 1 {
-		workers = 1
-	}
-	if max := flows + 2; workers > max {
-		workers = max
-	}
-	plan := DumbbellPlan{
-		Workers:   workers,
-		FlowShard: make([]int, flows),
-	}
-	if workers >= 2 {
-		plan.RevCore = 1
-		plan.AttackShard = 1
-	}
-	weight := make([]float64, workers)
-	f := float64(flows)
-	weight[plan.FwdCore] += fwdCoreLoad * f
-	weight[plan.RevCore] += revCoreLoad * f
-	weight[plan.AttackShard] += attackLoad * f
-	for i := 0; i < flows; i++ {
-		best := 0
-		for s := 1; s < workers; s++ {
-			if weight[s] < weight[best] {
-				best = s
-			}
-		}
-		plan.FlowShard[i] = best
-		weight[best]++
-	}
-	return plan
-}
-
-// ShardedDumbbell is the Fig. 5 topology partitioned over a parallel engine.
-// It implements Environment, so every experiment and figure runs unchanged;
-// execution is driven by the engine instead of a single kernel.
-type ShardedDumbbell struct {
-	eng     *sim.Engine
-	Config  DumbbellConfig
-	Plan    DumbbellPlan
-	Senders []*tcp.Sender
-	Recvs   []*tcp.Receiver
-	Account *trace.FlowAccount
-	RTTs    []float64
-	Bottle  *netem.Link // forward bottleneck, on the fwd core
-	Sink    *netem.Sink
-	Pools   []*netem.PacketPool // per shard
-
-	attackIn *netem.Link
-	attackK  *sim.Kernel
-	rand     *rng.Source
-}
-
-var _ Environment = (*ShardedDumbbell)(nil)
-
-// BuildShardedDumbbell constructs the dumbbell over `workers` shards. The
-// topology, seeds, and rng consumption order mirror BuildDumbbell exactly,
-// so a sharded run reproduces the serial run's results at any worker count.
+// BuildShardedDumbbell constructs the dumbbell over `workers` shards via the
+// graph layer's generalized planner (topo.Plan). The topology, seeds, and
+// rng consumption order mirror BuildDumbbell exactly, so a sharded run
+// reproduces the serial run's results byte-identically at any worker count.
 // The HeapKernel knob is not supported here: shard kernels are always the
 // timing wheel (the heap kernel remains the serial golden reference).
 func BuildShardedDumbbell(cfg DumbbellConfig, workers int) (*ShardedDumbbell, error) {
-	if cfg.Flows < 1 {
-		return nil, fmt.Errorf("experiments: dumbbell needs >= 1 flow, got %d", cfg.Flows)
-	}
-	if cfg.RTTMax < cfg.RTTMin || cfg.RTTMin < 2*cfg.BottleneckOWD {
-		return nil, fmt.Errorf("experiments: invalid RTT range [%v, %v] for bottleneck OWD %v",
-			cfg.RTTMin, cfg.RTTMax, cfg.BottleneckOWD)
-	}
-	if err := cfg.TCP.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.HeapKernel {
-		return nil, fmt.Errorf("experiments: sharded dumbbell does not support the heap-kernel baseline")
-	}
-	owd := sim.FromDuration(cfg.BottleneckOWD)
-	minAccessOWD := (sim.FromDuration(cfg.RTTMin)/2 - owd) / 2
-	plan := PlanDumbbell(cfg.Flows, workers)
-	if plan.Workers > 1 && minAccessOWD <= 0 {
-		return nil, fmt.Errorf("experiments: RTTMin %v leaves zero access propagation — no cross-shard lookahead; run serial",
-			cfg.RTTMin)
-	}
-
-	eng := sim.NewEngine(plan.Workers)
-	w := plan.Workers
-	rand := rng.New(cfg.Seed)
-	sd := &ShardedDumbbell{
-		eng:     eng,
-		Config:  cfg,
-		Plan:    plan,
-		Account: trace.NewFlowAccountSized(cfg.Flows),
-		Sink:    &netem.Sink{},
-		Pools:   make([]*netem.PacketPool, w),
-		Senders: make([]*tcp.Sender, cfg.Flows),
-		Recvs:   make([]*tcp.Receiver, cfg.Flows),
-		RTTs:    make([]float64, cfg.Flows),
-		rand:    rand,
-	}
-
-	// Per-shard scaffolding: pool, router replicas, owned-flow census.
-	kernels := make([]*sim.Kernel, w)
-	routerS := make([]*netem.Router, w)
-	routerR := make([]*netem.Router, w)
-	flowsOf := make([][]int, w)
-	shardMinOWD := make([]sim.Time, w)
-	for s := 0; s < w; s++ {
-		kernels[s] = eng.Shard(s).Kernel()
-		sd.Pools[s] = netem.NewPacketPool()
-		routerS[s] = netem.NewRouter(fmt.Sprintf("S#%d", s))
-		routerR[s] = netem.NewRouter(fmt.Sprintf("R#%d", s))
-	}
-	flowOWD := make([]sim.Time, cfg.Flows)
-	for i := 0; i < cfg.Flows; i++ {
-		rtt := cfg.RTTMin
-		if cfg.Flows > 1 {
-			rtt += time.Duration(int64(cfg.RTTMax-cfg.RTTMin) * int64(i) / int64(cfg.Flows-1))
-		}
-		sd.RTTs[i] = rtt.Seconds()
-		flowOWD[i] = (sim.FromDuration(rtt)/2 - owd) / 2
-		s := plan.FlowShard[i]
-		if len(flowsOf[s]) == 0 || flowOWD[i] < shardMinOWD[s] {
-			shardMinOWD[s] = flowOWD[i]
-		}
-		flowsOf[s] = append(flowsOf[s], i)
-	}
-
-	// Boundary landing points: every shard gets one inbox per router replica.
-	// Router S's inbox receives forward arrivals (on the fwd core) and
-	// reverse-bottleneck deliveries (on flow shards); router R's receives
-	// reverse arrivals (on the rev core) and forward-bottleneck deliveries.
-	portS := make([]int32, w)
-	portR := make([]int32, w)
-	for s := 0; s < w; s++ {
-		portS[s] = eng.Shard(s).RegisterPort(netem.NewInbox(sd.Pools[s], routerS[s]))
-		portR[s] = eng.Shard(s).RegisterPort(netem.NewInbox(sd.Pools[s], routerR[s]))
-	}
-
-	// Boundary edges, in a fixed creation order (edge ids are the final
-	// cross-edge tie-break in the barrier merge).
-	obToFwdS := make([]*sim.Outbox, w) // flow shard -> fwd core (data arrivals)
-	obToRevR := make([]*sim.Outbox, w) // flow shard -> rev core (ACK arrivals)
-	obFwdDel := make([]*sim.Outbox, w) // fwd core -> flow shard (bottleneck deliveries)
-	obRevDel := make([]*sim.Outbox, w) // rev core -> flow shard (ACK deliveries)
-	var err error
-	for s := 0; s < w; s++ {
-		if len(flowsOf[s]) == 0 {
-			continue
-		}
-		if s != plan.FwdCore {
-			if obToFwdS[s], err = eng.NewOutbox(eng.Shard(s), eng.Shard(plan.FwdCore), portS[plan.FwdCore], shardMinOWD[s]); err != nil {
-				return nil, err
-			}
-			if obFwdDel[s], err = eng.NewOutbox(eng.Shard(plan.FwdCore), eng.Shard(s), portR[s], owd); err != nil {
-				return nil, err
-			}
-		}
-		if s != plan.RevCore {
-			if obToRevR[s], err = eng.NewOutbox(eng.Shard(s), eng.Shard(plan.RevCore), portR[plan.RevCore], shardMinOWD[s]); err != nil {
-				return nil, err
-			}
-			if obRevDel[s], err = eng.NewOutbox(eng.Shard(plan.RevCore), eng.Shard(s), portS[s], owd); err != nil {
-				return nil, err
-			}
-		}
-	}
-	attackOWD := sim.FromDuration(2 * time.Millisecond)
-	var obAttack *sim.Outbox
-	if plan.AttackShard != plan.FwdCore {
-		if obAttack, err = eng.NewOutbox(eng.Shard(plan.AttackShard), eng.Shard(plan.FwdCore), portS[plan.FwdCore], attackOWD); err != nil {
-			return nil, err
-		}
-	}
-
-	// Forward bottleneck on the fwd core — same queue construction (and the
-	// same single rand.Split()) as the serial build.
-	var fwdQueue netem.Queue
-	redCfg := netem.DefaultREDConfig(cfg.QueueLimit)
-	if cfg.RED != nil {
-		redCfg = *cfg.RED
-		redCfg.Limit = cfg.QueueLimit
-	}
-	switch {
-	case cfg.DropTail:
-		fwdQueue = netem.NewDropTail(cfg.QueueLimit)
-	case cfg.AdaptiveRED:
-		fwdQueue = netem.NewAdaptiveRED(redCfg, rand.Split(), cfg.BottleneckRate)
-	default:
-		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
-	}
-	fc, rc := plan.FwdCore, plan.RevCore
-	bottle, err := netem.NewLink(kernels[fc], "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, routerR[fc])
-	if err != nil {
-		return nil, err
-	}
-	sd.Bottle = bottle
-	routerS[fc].SetDefault(netem.DirForward, bottle)
-	if w > 1 {
-		byFlowFwd := make([]*sim.Outbox, cfg.Flows)
-		for i := range byFlowFwd {
-			byFlowFwd[i] = obFwdDel[plan.FlowShard[i]] // nil for fwd-core flows: local
-		}
-		bottle.SetRemote(netem.NewDemuxRemote(byFlowFwd, nil))
-	}
-
-	// Reverse bottleneck on the rev core.
-	bottleRev, err := netem.NewLink(kernels[rc], "bottleneck-rev", cfg.BottleneckRate, owd,
-		netem.NewDropTail(4096), routerS[rc])
-	if err != nil {
-		return nil, err
-	}
-	routerR[rc].SetDefault(netem.DirReverse, bottleRev)
-	if w > 1 {
-		byFlowRev := make([]*sim.Outbox, cfg.Flows)
-		for i := range byFlowRev {
-			byFlowRev[i] = obRevDel[plan.FlowShard[i]] // nil for rev-core flows: local
-		}
-		bottleRev.SetRemote(netem.NewDemuxRemote(byFlowRev, nil))
-	}
-
-	// Attack traffic terminates in a sink behind the fwd core's router R.
-	sinkLink, err := netem.NewLink(kernels[fc], "attack-sink", 10*netem.Gbps, 0,
-		netem.NewDropTail(1<<20), sd.Sink)
-	if err != nil {
-		return nil, err
-	}
-	routerR[fc].SetDefault(netem.DirForward, sinkLink)
-
-	// Attacker ingress on its own shard, crossing into the fwd core.
-	attackIn, err := netem.NewLink(kernels[plan.AttackShard], "attacker", cfg.AttackAccessRate, attackOWD,
-		netem.NewDropTail(1<<20), routerS[plan.AttackShard])
-	if err != nil {
-		return nil, err
-	}
-	attackIn.SetPool(sd.Pools[plan.AttackShard])
-	if obAttack != nil {
-		attackIn.SetRemote(netem.NewSingleRemote(obAttack))
-	}
-	sd.attackIn = attackIn
-	sd.attackK = kernels[plan.AttackShard]
-
-	// Victim flows, one FlowTable per shard, global flow ids throughout.
-	tables := make([]*tcp.FlowTable, w)
-	slots := make([]int, w)
-	for s := 0; s < w; s++ {
-		if len(flowsOf[s]) == 0 {
-			continue
-		}
-		if tables[s], err = tcp.NewFlowTable(kernels[s], cfg.TCP, len(flowsOf[s])); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < cfg.Flows; i++ {
-		s := plan.FlowShard[i]
-		k := kernels[s]
-		accessOWD := flowOWD[i]
-		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
-
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerS[s])
-		if err != nil {
-			return nil, err
-		}
-		fwdIn.SetPool(sd.Pools[s])
-		if s != fc {
-			fwdIn.SetRemote(netem.NewSingleRemote(obToFwdS[s]))
-		}
-		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerR[s])
-		if err != nil {
-			return nil, err
-		}
-		revOut.SetPool(sd.Pools[s])
-		if s != rc {
-			revOut.SetRemote(netem.NewSingleRemote(obToRevR[s]))
-		}
-
-		sender, err := tables[s].BindSender(slots[s], i, fwdIn)
-		if err != nil {
-			return nil, err
-		}
-		receiver, err := tables[s].BindReceiver(slots[s], i, revOut, sd.Account)
-		if err != nil {
-			return nil, err
-		}
-		slots[s]++
-		sd.Senders[i] = sender
-		sd.Recvs[i] = receiver
-
-		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
-		if err != nil {
-			return nil, err
-		}
-		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
-		if err != nil {
-			return nil, err
-		}
-		routerR[s].AddRoute(i, netem.DirForward, fwdOut)
-		routerS[s].AddRoute(i, netem.DirReverse, revIn)
-	}
-	return sd, nil
+	return topo.Build(topo.Dumbbell(cfg), topo.Options{Workers: workers})
 }
-
-// Engine exposes the parallel engine driving this environment; Run and the
-// scale harness probe for it to replace the single-kernel RunUntil.
-func (sd *ShardedDumbbell) Engine() *sim.Engine { return sd.eng }
-
-// Sim implements Environment: the fwd core's kernel, whose clock times the
-// bottleneck taps every measurement attaches to.
-func (sd *ShardedDumbbell) Sim() *sim.Kernel { return sd.eng.Shard(sd.Plan.FwdCore).Kernel() }
-
-// Goodput implements Environment.
-func (sd *ShardedDumbbell) Goodput() *trace.FlowAccount { return sd.Account }
-
-// Target implements Environment.
-func (sd *ShardedDumbbell) Target() *netem.Link { return sd.Bottle }
-
-// Flows implements Environment.
-func (sd *ShardedDumbbell) Flows() []*tcp.Sender { return sd.Senders }
-
-// StartFlows implements Environment, drawing the start jitter in global flow
-// order from the same rng stream as the serial build.
-func (sd *ShardedDumbbell) StartFlows() error {
-	spread := sim.FromDuration(sd.Config.StartSpread)
-	for _, s := range sd.Senders {
-		at := sim.Time(0)
-		if spread > 0 {
-			at = sim.Time(sd.rand.Int63n(int64(spread)))
-		}
-		if err := s.Start(at); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// StopFlows implements Environment.
-func (sd *ShardedDumbbell) StopFlows() {
-	for _, s := range sd.Senders {
-		s.Stop()
-	}
-}
-
-// Attach implements Environment: the generator lives on the attack shard.
-func (sd *ShardedDumbbell) Attach(train attack.Train) (*attack.Generator, error) {
-	return attack.NewGenerator(sd.attackK, sd.attackIn, train, sd.Config.AttackPacketSize)
-}
-
-// TimeoutModel implements Environment.
-func (sd *ShardedDumbbell) TimeoutModel() model.TimeoutModelConfig {
-	return model.TimeoutModelConfig{
-		MinRTO:           sd.Config.TCP.RTOMin.Seconds(),
-		BufferPackets:    sd.Config.QueueLimit,
-		AttackPacketSize: sd.Config.AttackPacketSize,
-	}
-}
-
-// ModelParams implements Environment.
-func (sd *ShardedDumbbell) ModelParams() model.Params {
-	return model.Params{
-		AIMD:       model.AIMD{A: sd.Config.TCP.IncreaseA, B: sd.Config.TCP.DecreaseB},
-		AckRatio:   float64(sd.Config.TCP.AckEvery),
-		PacketSize: float64(sd.Config.TCP.MSS + sd.Config.TCP.HeaderSize),
-		Bottleneck: sd.Config.BottleneckRate,
-		RTTs:       append([]float64(nil), sd.RTTs...),
-	}
-}
-
-// RunUntil advances the whole sharded topology to t.
-func (sd *ShardedDumbbell) RunUntil(t sim.Time) error { return sd.eng.RunUntil(t) }
-
-// Processed reports total events fired across all shards.
-func (sd *ShardedDumbbell) Processed() uint64 { return sd.eng.Processed() }
-
-// BottleStats snapshots the forward bottleneck counters.
-func (sd *ShardedDumbbell) BottleStats() netem.LinkStats { return sd.Bottle.Stats() }
-
-// Close stops the engine's worker goroutines.
-func (sd *ShardedDumbbell) Close() { sd.eng.Close() }

@@ -9,46 +9,47 @@ import (
 	"pulsedos/internal/attack"
 	"pulsedos/internal/rng"
 	"pulsedos/internal/sim"
+	"pulsedos/internal/topo"
 )
 
-// TestPlanDumbbell pins the planner's structural invariants.
-func TestPlanDumbbell(t *testing.T) {
-	for _, workers := range []int{1, 2, 3, 4, 8} {
-		plan := PlanDumbbell(100, workers)
-		if plan.Workers != workers {
-			t.Errorf("workers %d: plan has %d", workers, plan.Workers)
-		}
-		if plan.FwdCore != 0 {
-			t.Errorf("workers %d: fwd core on shard %d", workers, plan.FwdCore)
-		}
-		if workers >= 2 && plan.RevCore == plan.FwdCore {
-			t.Errorf("workers %d: rev core shares the fwd core shard", workers)
-		}
-		counts := make([]int, workers)
-		for i, s := range plan.FlowShard {
-			if s < 0 || s >= workers {
-				t.Fatalf("workers %d: flow %d on shard %d", workers, i, s)
+// TestPlanMatchesLegacyDumbbellPlan pins the generalized planner against the
+// retired dumbbell-specific one: on a dumbbell graph, topo.Plan must
+// reproduce the legacy shard assignment exactly (same cores, same per-flow
+// shards, same clamping), because the equivalence contract depends on the
+// flow→shard map being unchanged.
+func TestPlanMatchesLegacyDumbbellPlan(t *testing.T) {
+	for _, flows := range []int{1, 2, 5, 17, 100} {
+		for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+			legacy := legacyPlanDumbbell(flows, workers)
+			plan, err := topo.Plan(topo.Dumbbell(DefaultDumbbellConfig(flows)), workers)
+			if err != nil {
+				t.Fatalf("flows %d workers %d: %v", flows, workers, err)
 			}
-			counts[s]++
-		}
-		if workers > 1 {
-			// The greedy balance must not starve any non-core shard (the two
-			// cores may own no flows once their fixed load exceeds the fair
-			// share, which is correct — they are the serialized resources).
-			for s, c := range counts {
-				if c == 0 && s != plan.FwdCore && s != plan.RevCore {
-					t.Errorf("workers %d: shard %d owns no flows", workers, s)
+			if plan.Workers != legacy.Workers {
+				t.Errorf("flows %d workers %d: plan kept %d shards, legacy %d",
+					flows, workers, plan.Workers, legacy.Workers)
+			}
+			if plan.AttackShard[0] != legacy.AttackShard {
+				t.Errorf("flows %d workers %d: attack shard %d, legacy %d",
+					flows, workers, plan.AttackShard[0], legacy.AttackShard)
+			}
+			// The dumbbell has one trunk: trunk 0 fwd is the legacy fwd core,
+			// rev the legacy rev core.
+			if plan.TrunkFwd[0] != legacy.FwdCore || plan.TrunkRev[0] != legacy.RevCore {
+				t.Errorf("flows %d workers %d: trunk on shards %d/%d, legacy %d/%d",
+					flows, workers, plan.TrunkFwd[0], plan.TrunkRev[0], legacy.FwdCore, legacy.RevCore)
+			}
+			for i, s := range plan.FlowShard {
+				if s != legacy.FlowShard[i] {
+					t.Fatalf("flows %d workers %d: flow %d on shard %d, legacy %d",
+						flows, workers, i, s, legacy.FlowShard[i])
 				}
 			}
 		}
 	}
-	// Tiny populations clamp the worker count instead of creating empty shards.
-	if plan := PlanDumbbell(1, 16); plan.Workers > 3 {
-		t.Errorf("1 flow over 16 workers kept %d shards", plan.Workers)
-	}
 }
 
-// shardedScenario holds everything observable from one dumbbell run.
+// shardedScenario holds everything observable from one run.
 type shardedScenario struct {
 	res       *RunResult
 	processed uint64
@@ -57,38 +58,18 @@ type shardedScenario struct {
 	unrouted  uint64
 }
 
-func runScenario(t *testing.T, cfg DumbbellConfig, workers int, opt RunOptions) shardedScenario {
+// collectScenario runs one built environment and snapshots every observable
+// the equivalence contract compares, including the figure CSV bytes exactly
+// as the figure pipeline would emit them.
+func collectScenario(t *testing.T, env Environment, flows int, opt RunOptions,
+	processed, unrouted func() uint64) shardedScenario {
 	t.Helper()
-	var (
-		env       Environment
-		processed func() uint64
-		unrouted  func() uint64
-	)
-	if workers > 1 {
-		sd, err := BuildShardedDumbbell(cfg, workers)
-		if err != nil {
-			t.Fatalf("build sharded (%d workers): %v", workers, err)
-		}
-		defer sd.Close()
-		env = sd
-		processed = sd.Processed
-		unrouted = func() uint64 { return 0 }
-	} else {
-		d, err := BuildDumbbell(cfg)
-		if err != nil {
-			t.Fatalf("build serial: %v", err)
-		}
-		env = d
-		processed = d.Processed
-		unrouted = func() uint64 { return d.RouterS.Unrouted() + d.RouterR.Unrouted() }
-	}
 	res, err := Run(env, opt)
 	if err != nil {
-		t.Fatalf("run (%d workers): %v", workers, err)
+		t.Fatalf("run: %v", err)
 	}
 	out := shardedScenario{res: res, processed: processed(), unrouted: unrouted()}
 
-	// Figure CSV bytes, exactly as the figure pipeline would emit them.
 	if res.Rate != nil {
 		s := Series{Label: "bottleneck-rate"}
 		for i, y := range res.Rate.Rates() {
@@ -101,7 +82,7 @@ func runScenario(t *testing.T, cfg DumbbellConfig, workers int, opt RunOptions) 
 		out.rateCSV = buf.Bytes()
 	}
 	flowSeries := Series{Label: "goodput-per-flow"}
-	for i := 0; i < cfg.Flows; i++ {
+	for i := 0; i < flows; i++ {
 		flowSeries.Points = append(flowSeries.Points, Point{X: float64(i), Y: float64(res.PerFlow[i])})
 	}
 	var buf bytes.Buffer
@@ -112,39 +93,61 @@ func runScenario(t *testing.T, cfg DumbbellConfig, workers int, opt RunOptions) 
 	return out
 }
 
+// runScenario executes one dumbbell scenario. workers == 0 selects the
+// legacy hand-wired serial builder — the fixed reference implementation the
+// graph layer must reproduce; workers >= 1 selects the topo path (serial
+// construction at 1 worker, the parallel engine above that).
+func runScenario(t *testing.T, cfg DumbbellConfig, workers int, opt RunOptions) shardedScenario {
+	t.Helper()
+	if workers == 0 {
+		d, err := buildLegacyDumbbell(cfg)
+		if err != nil {
+			t.Fatalf("build legacy serial: %v", err)
+		}
+		unrouted := func() uint64 { return d.RouterS.Unrouted() + d.RouterR.Unrouted() }
+		return collectScenario(t, d, cfg.Flows, opt, d.Processed, unrouted)
+	}
+	env, err := BuildShardedDumbbell(cfg, workers)
+	if err != nil {
+		t.Fatalf("build graph (%d workers): %v", workers, err)
+	}
+	defer env.Close()
+	return collectScenario(t, env, cfg.Flows, opt, env.Processed, env.Unrouted)
+}
+
 func compareScenarios(t *testing.T, label string, want, got shardedScenario) {
 	t.Helper()
 	w, g := want.res, got.res
 	if w.Delivered != g.Delivered {
-		t.Errorf("%s: delivered %d bytes, serial %d", label, g.Delivered, w.Delivered)
+		t.Errorf("%s: delivered %d bytes, reference %d", label, g.Delivered, w.Delivered)
 	}
 	if w.Timeouts != g.Timeouts || w.FastRecoveries != g.FastRecoveries {
-		t.Errorf("%s: TO/FR %d/%d, serial %d/%d", label, g.Timeouts, g.FastRecoveries, w.Timeouts, w.FastRecoveries)
+		t.Errorf("%s: TO/FR %d/%d, reference %d/%d", label, g.Timeouts, g.FastRecoveries, w.Timeouts, w.FastRecoveries)
 	}
 	if w.Retransmits != g.Retransmits || w.SegmentsSent != g.SegmentsSent {
-		t.Errorf("%s: retx/sent %d/%d, serial %d/%d", label, g.Retransmits, g.SegmentsSent, w.Retransmits, w.SegmentsSent)
+		t.Errorf("%s: retx/sent %d/%d, reference %d/%d", label, g.Retransmits, g.SegmentsSent, w.Retransmits, w.SegmentsSent)
 	}
 	if w.AttackStats != g.AttackStats {
-		t.Errorf("%s: attack stats %+v, serial %+v", label, g.AttackStats, w.AttackStats)
+		t.Errorf("%s: attack stats %+v, reference %+v", label, g.AttackStats, w.AttackStats)
 	}
 	if w.Drops.Total != g.Drops.Total {
-		t.Errorf("%s: drops %d, serial %d", label, g.Drops.Total, w.Drops.Total)
+		t.Errorf("%s: drops %d, reference %d", label, g.Drops.Total, w.Drops.Total)
 	}
 	if want.processed != got.processed {
-		t.Errorf("%s: processed %d events, serial %d", label, got.processed, want.processed)
+		t.Errorf("%s: processed %d events, reference %d", label, got.processed, want.processed)
 	}
 	if got.unrouted != 0 {
 		t.Errorf("%s: %d unrouted packets", label, got.unrouted)
 	}
 	if !bytes.Equal(want.rateCSV, got.rateCSV) {
-		t.Errorf("%s: rate-series CSV diverges from serial", label)
+		t.Errorf("%s: rate-series CSV diverges from reference", label)
 	}
 	if !bytes.Equal(want.flowCSV, got.flowCSV) {
-		t.Errorf("%s: per-flow goodput CSV diverges from serial", label)
+		t.Errorf("%s: per-flow goodput CSV diverges from reference", label)
 	}
 	for f, b := range w.PerFlow {
 		if g.PerFlow[f] != b {
-			t.Errorf("%s: flow %d delivered %d, serial %d", label, f, g.PerFlow[f], b)
+			t.Errorf("%s: flow %d delivered %d, reference %d", label, f, g.PerFlow[f], b)
 			break
 		}
 	}
@@ -183,18 +186,18 @@ func randomShardedConfig(seed uint64) (DumbbellConfig, RunOptions) {
 // TestShardedDumbbellEquivalence is the topology-level determinism contract:
 // pulsed dumbbell scenarios must produce identical results — delivered
 // bytes, per-flow accounts, TCP state statistics, drop counts, processed
-// event totals, and byte-identical figure CSVs — on the serial kernel and on
-// the parallel engine at 1, 2, 4, and 8 workers.
+// event totals, and byte-identical figure CSVs — on the legacy hand-wired
+// serial builder and on the graph layer at 1, 2, 4, and 8 workers.
 func TestShardedDumbbellEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second virtual scenarios")
 	}
 	for seed := uint64(1); seed <= 6; seed++ {
 		cfg, opt := randomShardedConfig(seed)
-		serial := runScenario(t, cfg, 0, opt)
+		legacy := runScenario(t, cfg, 0, opt)
 		for _, workers := range []int{1, 2, 4, 8} {
 			got := runScenario(t, cfg, workers, opt)
-			compareScenarios(t, fmt.Sprintf("seed %d workers %d", seed, workers), serial, got)
+			compareScenarios(t, fmt.Sprintf("seed %d workers %d", seed, workers), legacy, got)
 		}
 		if t.Failed() {
 			t.Fatalf("divergence at seed %d (cfg %+v)", seed, cfg)
@@ -207,9 +210,68 @@ func TestShardedDumbbellEquivalence(t *testing.T) {
 func TestShardedDumbbellBaselineEquivalence(t *testing.T) {
 	cfg, opt := randomShardedConfig(42)
 	opt.Train = nil
-	serial := runScenario(t, cfg, 0, opt)
+	legacy := runScenario(t, cfg, 0, opt)
 	for _, workers := range []int{2, 4} {
 		got := runScenario(t, cfg, workers, opt)
-		compareScenarios(t, fmt.Sprintf("baseline workers %d", workers), serial, got)
+		compareScenarios(t, fmt.Sprintf("baseline workers %d", workers), legacy, got)
+	}
+}
+
+// runTestbedScenario executes one test-bed scenario. workers == 0 selects
+// the legacy hand-wired Dummynet builder; workers >= 1 the graph layer.
+// Sharded test-beds are new with the graph layer, so the legacy serial run
+// is the reference at every worker count.
+func runTestbedScenario(t *testing.T, cfg TestbedConfig, workers int, opt RunOptions) shardedScenario {
+	t.Helper()
+	if workers == 0 {
+		tb, err := buildLegacyTestbed(cfg)
+		if err != nil {
+			t.Fatalf("build legacy testbed: %v", err)
+		}
+		unrouted := func() uint64 { return 0 }
+		return collectScenario(t, tb, cfg.Flows, opt, tb.Processed, unrouted)
+	}
+	env, err := topo.Build(topo.Testbed(cfg), topo.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("build graph testbed (%d workers): %v", workers, err)
+	}
+	defer env.Close()
+	return collectScenario(t, env, cfg.Flows, opt, env.Processed, env.Unrouted)
+}
+
+// TestTestbedEquivalence extends the contract to the Fig. 11 test-bed: the
+// graph layer must reproduce the legacy Dummynet wiring byte-identically,
+// including the quirk that the legacy pipe constructor consumed one rng
+// split even for DropTail queues (the DropTail case exercises
+// QueueSpec.ReserveRand).
+func TestTestbedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second virtual scenarios")
+	}
+	for _, dropTail := range []bool{false, true} {
+		cfg := DefaultTestbedConfig(5)
+		cfg.Seed = 7
+		cfg.DropTail = dropTail
+		cfg.StartSpread = 500 * time.Millisecond
+		opt := RunOptions{
+			Warmup:  2 * time.Second,
+			Measure: 3 * time.Second,
+			RateBin: 100 * time.Millisecond,
+		}
+		train, err := attack.AIMDTrain(sim.FromDuration(60*time.Millisecond), 2*cfg.BottleneckRate,
+			sim.FromDuration(600*time.Millisecond), PulsesFor(opt.Measure, 600*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Train = &train
+
+		legacy := runTestbedScenario(t, cfg, 0, opt)
+		for _, workers := range []int{1, 2, 4} {
+			got := runTestbedScenario(t, cfg, workers, opt)
+			compareScenarios(t, fmt.Sprintf("testbed dropTail=%v workers %d", dropTail, workers), legacy, got)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence at dropTail=%v", dropTail)
+		}
 	}
 }

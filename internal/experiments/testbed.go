@@ -1,240 +1,21 @@
 package experiments
 
-import (
-	"fmt"
-	"time"
+import "pulsedos/internal/topo"
 
-	"pulsedos/internal/attack"
-	"pulsedos/internal/dummynet"
-	"pulsedos/internal/model"
-	"pulsedos/internal/netem"
-	"pulsedos/internal/rng"
-	"pulsedos/internal/sim"
-	"pulsedos/internal/tcp"
-	"pulsedos/internal/trace"
-)
-
-// TestbedConfig parameterizes the Fig. 11 test-bed: legitimate users and the
-// attacker reach a Dummynet box over 100 Mbps links; Dummynet shapes traffic
-// to a 10 Mbps, 150 ms pipe with RED (min_th = 0.2B, max_th = 0.8B,
-// w_q = 0.002, max_p = 0.1, gentle) and B = RTT·R_bottle; the victims run a
-// Linux 2.6.5-flavoured TCP with RTO_min = 200 ms.
-type TestbedConfig struct {
-	Flows          int
-	BottleneckRate float64       // bps; paper: 10 Mbps
-	PipeDelay      time.Duration // one-way Dummynet delay; paper: 150 ms
-	AccessRate     float64       // bps; paper: 100 Mbps
-	AccessOWD      time.Duration // host access-link delay
-	QueueLen       int           // pipe queue, packets; 0 = B = RTT·R_bottle
-	DropTail       bool          // tail-drop pipe (ablation; paper uses RED)
-
-	TCP tcp.Config
-
-	Seed             uint64
-	StartSpread      time.Duration
-	AttackPacketSize int
-}
+// TestbedConfig parameterizes the Fig. 11 test-bed; see topo.TestbedConfig.
+type TestbedConfig = topo.TestbedConfig
 
 // DefaultTestbedConfig returns the paper's test-bed settings.
 func DefaultTestbedConfig(flows int) TestbedConfig {
-	return TestbedConfig{
-		Flows:            flows,
-		BottleneckRate:   10 * netem.Mbps,
-		PipeDelay:        150 * time.Millisecond,
-		AccessRate:       100 * netem.Mbps,
-		AccessOWD:        time.Millisecond,
-		TCP:              tcp.LinuxConfig(),
-		Seed:             1,
-		StartSpread:      time.Second,
-		AttackPacketSize: 1000,
-	}
+	return topo.DefaultTestbedConfig(flows)
 }
 
-// Testbed is a wired instance of the Fig. 11 topology.
-type Testbed struct {
-	Kernel  *sim.Kernel
-	Config  TestbedConfig
-	Table   *tcp.FlowTable // owns all per-flow TCP state (struct of arrays)
-	Senders []*tcp.Sender
-	Recvs   []*tcp.Receiver
-	Account *trace.FlowAccount
-	RTTs    []float64 // propagation RTT per flow, seconds
-
-	PipeFwd  *dummynet.Pipe // the 10 Mbps bottleneck (attack target)
-	QueueLen int            // resolved pipe queue capacity, packets
-	Sink     *netem.Sink
-	Pool     *netem.PacketPool
-	attackIn *netem.Link
-	rand     *rng.Source
-}
+// Testbed is a wired instance of the Fig. 11 topology — since the
+// topology-graph refactor, the generic graph environment.
+type Testbed = topo.Environment
 
 // BuildTestbed constructs and wires the test-bed. Flows are created but not
 // started; call StartFlows.
 func BuildTestbed(cfg TestbedConfig) (*Testbed, error) {
-	if cfg.Flows < 1 {
-		return nil, fmt.Errorf("experiments: testbed needs >= 1 flow, got %d", cfg.Flows)
-	}
-	if err := cfg.TCP.Validate(); err != nil {
-		return nil, err
-	}
-	k := sim.New()
-	rand := rng.New(cfg.Seed)
-	tb := &Testbed{
-		Kernel:  k,
-		Config:  cfg,
-		Account: trace.NewFlowAccountSized(cfg.Flows),
-		Sink:    &netem.Sink{},
-		Pool:    netem.NewPacketPool(),
-		rand:    rand,
-	}
-
-	rtt := 2 * (cfg.PipeDelay + 2*cfg.AccessOWD)
-	packetSize := cfg.TCP.MSS + cfg.TCP.HeaderSize
-	queueLen := cfg.QueueLen
-	if queueLen == 0 {
-		queueLen = dummynet.RuleOfThumbQueueLen(rtt, cfg.BottleneckRate, packetSize)
-	}
-
-	// Victim-side demux router sits behind the forward pipe.
-	victimRouter := netem.NewRouter("victim")
-	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
-		netem.NewDropTail(1<<20), tb.Sink)
-	if err != nil {
-		return nil, err
-	}
-	victimRouter.SetDefault(netem.DirForward, sinkLink)
-
-	// Forward Dummynet pipe: the 10 Mbps / 150 ms RED bottleneck.
-	pipeCfg := dummynet.PipeConfig{
-		Bandwidth: cfg.BottleneckRate,
-		Delay:     cfg.PipeDelay,
-		QueueLen:  queueLen,
-	}
-	if !cfg.DropTail {
-		red := netem.DefaultREDConfig(queueLen)
-		pipeCfg.RED = &red
-	}
-	pipeFwd, err := dummynet.NewPipe(k, "dummynet-fwd", pipeCfg, victimRouter, rand.Split())
-	if err != nil {
-		return nil, err
-	}
-	tb.PipeFwd = pipeFwd
-	tb.QueueLen = queueLen
-
-	// Reverse pipe: same delay, uncongested bandwidth, generous buffer.
-	userRouter := netem.NewRouter("users")
-	pipeRev, err := dummynet.NewPipe(k, "dummynet-rev", dummynet.PipeConfig{
-		Bandwidth: cfg.AccessRate,
-		Delay:     cfg.PipeDelay,
-		QueueLen:  4096,
-	}, userRouter, nil)
-	if err != nil {
-		return nil, err
-	}
-
-	// Attacker ingress (100 Mbps) straight into the forward pipe.
-	attackIn, err := netem.NewLink(k, "attacker", cfg.AccessRate, sim.FromDuration(cfg.AccessOWD),
-		netem.NewDropTail(1<<20), pipeFwd)
-	if err != nil {
-		return nil, err
-	}
-	attackIn.SetPool(tb.Pool)
-	tb.attackIn = attackIn
-
-	accessOWD := sim.FromDuration(cfg.AccessOWD)
-	table, err := tcp.NewFlowTable(k, cfg.TCP, cfg.Flows)
-	if err != nil {
-		return nil, err
-	}
-	tb.Table = table
-	tb.Senders = make([]*tcp.Sender, cfg.Flows)
-	tb.Recvs = make([]*tcp.Receiver, cfg.Flows)
-	tb.RTTs = make([]float64, cfg.Flows)
-	for i := 0; i < cfg.Flows; i++ {
-		tb.RTTs[i] = rtt.Seconds()
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("user-fwd-%d", i), cfg.AccessRate, accessOWD,
-			netem.NewDropTail(1024), pipeFwd)
-		if err != nil {
-			return nil, err
-		}
-		fwdIn.SetPool(tb.Pool)
-		revOut, err := netem.NewLink(k, fmt.Sprintf("victim-rev-%d", i), cfg.AccessRate, accessOWD,
-			netem.NewDropTail(1024), pipeRev)
-		if err != nil {
-			return nil, err
-		}
-		revOut.SetPool(tb.Pool)
-		sender, err := table.BindSender(i, i, fwdIn)
-		if err != nil {
-			return nil, err
-		}
-		receiver, err := table.BindReceiver(i, i, revOut, tb.Account)
-		if err != nil {
-			return nil, err
-		}
-		tb.Senders[i] = sender
-		tb.Recvs[i] = receiver
-
-		toRecv, err := netem.NewLink(k, fmt.Sprintf("victim-fwd-%d", i), cfg.AccessRate, accessOWD,
-			netem.NewDropTail(1024), receiver)
-		if err != nil {
-			return nil, err
-		}
-		toSender, err := netem.NewLink(k, fmt.Sprintf("user-rev-%d", i), cfg.AccessRate, accessOWD,
-			netem.NewDropTail(1024), sender)
-		if err != nil {
-			return nil, err
-		}
-		victimRouter.AddRoute(i, netem.DirForward, toRecv)
-		userRouter.AddRoute(i, netem.DirReverse, toSender)
-	}
-	return tb, nil
-}
-
-// StartFlows schedules every iperf-style flow to begin within the start
-// spread.
-func (tb *Testbed) StartFlows() error {
-	spread := sim.FromDuration(tb.Config.StartSpread)
-	for _, s := range tb.Senders {
-		at := sim.Time(0)
-		if spread > 0 {
-			at = sim.Time(tb.rand.Int63n(int64(spread)))
-		}
-		if err := s.Start(at); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// StopFlows halts every sender.
-func (tb *Testbed) StopFlows() {
-	for _, s := range tb.Senders {
-		s.Stop()
-	}
-}
-
-// Attach builds an attack generator feeding the attacker's 100 Mbps link.
-func (tb *Testbed) Attach(train attack.Train) (*attack.Generator, error) {
-	return attack.NewGenerator(tb.Kernel, tb.attackIn, train, tb.Config.AttackPacketSize)
-}
-
-// TimeoutModel implements Environment.
-func (tb *Testbed) TimeoutModel() model.TimeoutModelConfig {
-	return model.TimeoutModelConfig{
-		MinRTO:           tb.Config.TCP.RTOMin.Seconds(),
-		BufferPackets:    tb.QueueLen,
-		AttackPacketSize: tb.Config.AttackPacketSize,
-	}
-}
-
-// ModelParams assembles the analytic-model parameters for this test-bed.
-func (tb *Testbed) ModelParams() model.Params {
-	return model.Params{
-		AIMD:       model.AIMD{A: tb.Config.TCP.IncreaseA, B: tb.Config.TCP.DecreaseB},
-		AckRatio:   float64(tb.Config.TCP.AckEvery),
-		PacketSize: float64(tb.Config.TCP.MSS + tb.Config.TCP.HeaderSize),
-		Bottleneck: tb.Config.BottleneckRate,
-		RTTs:       append([]float64(nil), tb.RTTs...),
-	}
+	return topo.Build(topo.Testbed(cfg), topo.Options{})
 }

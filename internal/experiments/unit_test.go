@@ -269,8 +269,8 @@ func TestRunLeavesNoUnroutedPackets(t *testing.T) {
 	if _, err := Run(d, RunOptions{Warmup: 2 * time.Second, Measure: 5 * time.Second, Train: &train}); err != nil {
 		t.Fatal(err)
 	}
-	if d.RouterS.Unrouted() != 0 || d.RouterR.Unrouted() != 0 {
-		t.Errorf("unrouted packets: S=%d R=%d", d.RouterS.Unrouted(), d.RouterR.Unrouted())
+	if d.Unrouted() != 0 {
+		t.Errorf("unrouted packets: %d", d.Unrouted())
 	}
 	// All attack packets that crossed the bottleneck terminated in the sink.
 	if d.Sink.Packets == 0 {

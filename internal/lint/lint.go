@@ -91,6 +91,7 @@ func Default() Config {
 			"pulsedos/internal/workload",
 			"pulsedos/internal/scenario",
 			"pulsedos/internal/experiments",
+			"pulsedos/internal/topo",
 		},
 		KernelPkg: "pulsedos/internal/sim",
 		FloatPkgs: []string{

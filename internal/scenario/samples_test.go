@@ -6,8 +6,10 @@ import (
 	"testing"
 )
 
-// TestShippedScenariosAreValid loads every JSON file under scenarios/ and
-// checks it parses, validates, builds, and produces a train.
+// TestShippedScenariosAreValid round-trips every JSON file under scenarios/:
+// it must parse, validate, build through topo.Build, produce a train, and
+// survive a short smoke simulation (the shipped windows are shrunk so the
+// suite stays fast).
 func TestShippedScenariosAreValid(t *testing.T) {
 	dir := filepath.Join("..", "..", "scenarios")
 	entries, err := os.ReadDir(dir)
@@ -33,8 +35,28 @@ func TestShippedScenariosAreValid(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			if cl, ok := env.(interface{ Close() }); ok {
+				defer cl.Close()
+			}
 			if _, err := cfg.Train(env); err != nil {
 				t.Fatal(err)
+			}
+			if testing.Short() {
+				return
+			}
+			// Smoke-run the scenario on compressed windows: the same topology
+			// and attack shape, 2 virtual seconds of measurement.
+			cfg.WarmupSec = 1
+			cfg.MeasureSec = 2
+			res, err := cfg.Run()
+			if err != nil {
+				t.Fatalf("smoke run: %v", err)
+			}
+			if res.Delivered == 0 {
+				t.Error("smoke run delivered no victim bytes")
+			}
+			if cfg.Attack != nil && res.AttackStats.PacketsSent == 0 {
+				t.Error("smoke run: attack never fired")
 			}
 		})
 	}

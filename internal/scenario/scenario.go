@@ -2,8 +2,9 @@
 // experiment harness, so scenarios can be defined, versioned, and replayed
 // without writing Go — the role ns-2's Tcl scripts played for the paper.
 //
-// A scenario file names a topology (dumbbell or testbed, with optional
-// overrides), an optional attack (by explicit period or by target γ), and
+// A scenario file names a topology (dumbbell, testbed, parkinglot, or a
+// fully declarative graph, with optional overrides), an optional attack (by
+// explicit period or by target γ — setting both is a validation error), and
 // the measurement windows:
 //
 //	{
@@ -12,6 +13,20 @@
 //	  "attack":   {"kind": "aimd", "rateMbps": 35, "extentMs": 75, "gamma": 0.5},
 //	  "warmupSec": 8, "measureSec": 20, "seed": 1
 //	}
+//
+// Every topology builds through the graph layer (internal/topo), so any kind
+// can run sharded by setting "workers" > 1. The "graph" kind spells out the
+// topology inline:
+//
+//	"topology": {"kind": "graph", "workers": 4, "graph": {
+//	  "routers": ["S", "M", "R"],
+//	  "trunks": [{"from": 0, "to": 1, "rateMbps": 15, "delayMs": 5, "queuePackets": 150},
+//	             {"from": 1, "to": 2, "rateMbps": 100, "delayMs": 5, "queuePackets": 1000, "dropTail": true}],
+//	  "groups": [{"flows": 10, "ingress": 0, "egress": 2, "accessRateMbps": 50,
+//	              "rttMinMs": 30, "rttMaxMs": 460}],
+//	  "attacks": [{"router": 0, "rateMbps": 1000}],
+//	  "sink": 2
+//	}}
 package scenario
 
 import (
@@ -25,18 +40,31 @@ import (
 	"pulsedos/internal/experiments"
 	"pulsedos/internal/rng"
 	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/topo"
 )
 
-// Topology selects and overrides one of the two evaluation environments.
+// Topology selects and overrides one of the evaluation environments.
 type Topology struct {
-	Kind  string `json:"kind"`  // "dumbbell" or "testbed"
-	Flows int    `json:"flows"` // victim population; 0 = paper default
+	Kind  string `json:"kind"`  // "dumbbell", "testbed", "parkinglot", or "graph"
+	Flows int    `json:"flows"` // victim population; 0 = kind default
 
-	// Dumbbell-only overrides (zero = default).
+	// Workers shards the topology over the conservative parallel engine;
+	// 0 or 1 builds serial. Results are identical at any worker count.
+	Workers int `json:"workers,omitempty"`
+
+	// Bottleneck overrides (zero = default); ignored by "graph".
 	BottleneckMbps float64 `json:"bottleneckMbps,omitempty"`
 	QueuePackets   int     `json:"queuePackets,omitempty"`
 	DropTail       bool    `json:"dropTail,omitempty"`
 	AdaptiveRED    bool    `json:"adaptiveRed,omitempty"`
+
+	// Parkinglot-only overrides (zero = default).
+	Hops       int `json:"hops,omitempty"`       // bottleneck trunks in the chain
+	CrossFlows int `json:"crossFlows,omitempty"` // per-hop cross flows
+
+	// Graph spells out the topology for kind "graph".
+	Graph *GraphSpec `json:"graph,omitempty"`
 
 	// TCP overrides (zero = default).
 	RTOMinMs        float64 `json:"rtoMinMs,omitempty"`
@@ -45,8 +73,56 @@ type Topology struct {
 	LimitedTransmit bool    `json:"limitedTransmit,omitempty"`
 }
 
+// GraphSpec is the JSON shape of a declarative topo.Graph: routers by name,
+// trunks and flow groups by router index. Deep structural validation
+// (connectivity, delay positivity, sink leafness) happens in topo.Build.
+type GraphSpec struct {
+	Routers []string      `json:"routers"`
+	Trunks  []GraphTrunk  `json:"trunks"`
+	Groups  []GraphGroup  `json:"groups"`
+	Attacks []GraphAttack `json:"attacks,omitempty"`
+	Sink    int           `json:"sink"`
+	Target  int           `json:"target,omitempty"` // measured trunk index
+}
+
+// GraphTrunk is one duplex inter-router link. The forward queue defaults to
+// RED; DropTail and AdaptiveRED select the other disciplines.
+type GraphTrunk struct {
+	Name         string  `json:"name,omitempty"`
+	From         int     `json:"from"`
+	To           int     `json:"to"`
+	RateMbps     float64 `json:"rateMbps"`
+	RevRateMbps  float64 `json:"revRateMbps,omitempty"`
+	DelayMs      float64 `json:"delayMs"`
+	QueuePackets int     `json:"queuePackets"`
+	DropTail     bool    `json:"dropTail,omitempty"`
+	AdaptiveRED  bool    `json:"adaptiveRed,omitempty"`
+}
+
+// GraphGroup places TCP flows between two routers. Give either an RTT band
+// (rttMinMs/rttMaxMs, the dumbbell model) or a fixed access delay
+// (accessOwdMs, the test-bed model).
+type GraphGroup struct {
+	Flows          int     `json:"flows"`
+	Ingress        int     `json:"ingress"`
+	Egress         int     `json:"egress"`
+	AccessRateMbps float64 `json:"accessRateMbps"`
+	RTTMinMs       float64 `json:"rttMinMs,omitempty"`
+	RTTMaxMs       float64 `json:"rttMaxMs,omitempty"`
+	AccessOWDMs    float64 `json:"accessOwdMs,omitempty"`
+}
+
+// GraphAttack is an attacker ingress point. DelayMs defaults to 2 ms.
+type GraphAttack struct {
+	Router   int     `json:"router"`
+	RateMbps float64 `json:"rateMbps"`
+	DelayMs  float64 `json:"delayMs,omitempty"`
+}
+
 // Attack describes the pulse train. Exactly one of Gamma or PeriodMs selects
-// the period (Gamma wins when both are set). Flood ignores both.
+// the period; setting both is a validation error (earlier versions silently
+// let Gamma win, which hid typos in hand-edited scenarios). Flood ignores
+// both.
 type Attack struct {
 	Kind     string  `json:"kind"` // "aimd", "shrew", "flood", "jittered"
 	RateMbps float64 `json:"rateMbps"`
@@ -89,12 +165,19 @@ func Load(r io.Reader) (Config, error) {
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	switch c.Topology.Kind {
-	case "dumbbell", "testbed":
+	case "dumbbell", "testbed", "parkinglot":
+	case "graph":
+		if c.Topology.Graph == nil {
+			return errors.New(`scenario: topology kind "graph" needs a graph spec`)
+		}
 	default:
-		return fmt.Errorf("scenario: topology kind %q (want dumbbell or testbed)", c.Topology.Kind)
+		return fmt.Errorf("scenario: topology kind %q (want dumbbell, testbed, parkinglot, or graph)", c.Topology.Kind)
 	}
 	if c.Topology.Flows < 0 {
 		return errors.New("scenario: negative flows")
+	}
+	if c.Topology.Workers < 0 {
+		return errors.New("scenario: negative workers")
 	}
 	if c.MeasureSec <= 0 {
 		return errors.New("scenario: measureSec must be positive")
@@ -111,6 +194,9 @@ func (c Config) Validate() error {
 			}
 			if a.Gamma == 0 && a.PeriodMs == 0 {
 				return fmt.Errorf("scenario: %s attack needs gamma or periodMs", a.Kind)
+			}
+			if a.Gamma != 0 && a.PeriodMs != 0 {
+				return fmt.Errorf("scenario: %s attack sets both gamma and periodMs — pick one", a.Kind)
 			}
 			if a.Gamma < 0 || a.Gamma >= 1 {
 				if a.Gamma != 0 {
@@ -135,8 +221,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Build wires the environment the scenario describes.
+// Build wires the environment the scenario describes: every kind resolves to
+// a topo.Graph and goes through the one topo.Build path, serial or sharded
+// per Topology.Workers.
 func (c Config) Build() (experiments.Environment, error) {
+	g, err := c.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return topo.Build(g, topo.Options{Workers: c.Topology.Workers})
+}
+
+// Graph resolves the scenario's topology to the declarative graph it builds.
+func (c Config) Graph() (topo.Graph, error) {
 	top := c.Topology
 	flows := top.Flows
 	switch top.Kind {
@@ -144,7 +241,7 @@ func (c Config) Build() (experiments.Environment, error) {
 		if flows == 0 {
 			flows = 15
 		}
-		dc := experiments.DefaultDumbbellConfig(flows)
+		dc := topo.DefaultDumbbellConfig(flows)
 		if c.Seed != 0 {
 			dc.Seed = c.Seed
 		}
@@ -157,12 +254,12 @@ func (c Config) Build() (experiments.Environment, error) {
 		dc.DropTail = top.DropTail
 		dc.AdaptiveRED = top.AdaptiveRED
 		applyTCP(&dc.TCP.RTOMin, &dc.TCP.AckEvery, &dc.TCP.RTOJitter, &dc.TCP.LimitedTransmit, top)
-		return experiments.BuildDumbbell(dc)
+		return topo.Dumbbell(dc), nil
 	case "testbed":
 		if flows == 0 {
 			flows = 10
 		}
-		tc := experiments.DefaultTestbedConfig(flows)
+		tc := topo.DefaultTestbedConfig(flows)
 		if c.Seed != 0 {
 			tc.Seed = c.Seed
 		}
@@ -174,10 +271,103 @@ func (c Config) Build() (experiments.Environment, error) {
 		}
 		tc.DropTail = top.DropTail
 		applyTCP(&tc.TCP.RTOMin, &tc.TCP.AckEvery, &tc.TCP.RTOJitter, &tc.TCP.LimitedTransmit, top)
-		return experiments.BuildTestbed(tc)
+		return topo.Testbed(tc), nil
+	case "parkinglot":
+		pc := topo.DefaultParkingLotConfig()
+		if flows > 0 {
+			pc.LongFlows = flows
+		}
+		if top.Hops > 0 {
+			pc.Hops = top.Hops
+		}
+		if top.CrossFlows > 0 {
+			pc.CrossFlows = top.CrossFlows
+		}
+		if c.Seed != 0 {
+			pc.Seed = c.Seed
+		}
+		if top.BottleneckMbps > 0 {
+			pc.BottleneckRate = top.BottleneckMbps * 1e6
+		}
+		if top.QueuePackets > 0 {
+			pc.QueueLimit = top.QueuePackets
+		}
+		pc.DropTail = top.DropTail
+		applyTCP(&pc.TCP.RTOMin, &pc.TCP.AckEvery, &pc.TCP.RTOJitter, &pc.TCP.LimitedTransmit, top)
+		return topo.ParkingLot(pc), nil
+	case "graph":
+		if top.Graph == nil {
+			return topo.Graph{}, errors.New(`scenario: topology kind "graph" needs a graph spec`)
+		}
+		return c.declaredGraph()
 	default:
-		return nil, fmt.Errorf("scenario: topology kind %q", top.Kind)
+		return topo.Graph{}, fmt.Errorf("scenario: topology kind %q", top.Kind)
 	}
+}
+
+// declaredGraph converts the JSON graph spec into a topo.Graph.
+func (c Config) declaredGraph() (topo.Graph, error) {
+	spec := c.Topology.Graph
+	g := topo.Graph{
+		Name:             c.Name,
+		Routers:          spec.Routers,
+		SinkRouter:       spec.Sink,
+		Target:           spec.Target,
+		TCP:              tcp.DefaultConfig(),
+		Seed:             1,
+		StartSpread:      time.Second,
+		AttackPacketSize: 1000,
+	}
+	if c.Seed != 0 {
+		g.Seed = c.Seed
+	}
+	applyTCP(&g.TCP.RTOMin, &g.TCP.AckEvery, &g.TCP.RTOJitter, &g.TCP.LimitedTransmit, c.Topology)
+	for i, t := range spec.Trunks {
+		kind := topo.QueueRED
+		switch {
+		case t.DropTail:
+			kind = topo.QueueDropTail
+		case t.AdaptiveRED:
+			kind = topo.QueueARED
+		}
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("trunk%d", i)
+		}
+		g.Trunks = append(g.Trunks, topo.TrunkSpec{
+			Name:     name,
+			From:     t.From,
+			To:       t.To,
+			Rate:     t.RateMbps * 1e6,
+			RevRate:  t.RevRateMbps * 1e6,
+			Delay:    time.Duration(t.DelayMs * float64(time.Millisecond)),
+			Queue:    topo.QueueSpec{Kind: kind, Limit: t.QueuePackets},
+			RevQueue: topo.QueueSpec{Kind: topo.QueueDropTail, Limit: 4096},
+		})
+	}
+	for _, grp := range spec.Groups {
+		g.Groups = append(g.Groups, topo.FlowGroup{
+			Flows:      grp.Flows,
+			Ingress:    grp.Ingress,
+			Egress:     grp.Egress,
+			AccessRate: grp.AccessRateMbps * 1e6,
+			RTTMin:     time.Duration(grp.RTTMinMs * float64(time.Millisecond)),
+			RTTMax:     time.Duration(grp.RTTMaxMs * float64(time.Millisecond)),
+			AccessOWD:  time.Duration(grp.AccessOWDMs * float64(time.Millisecond)),
+		})
+	}
+	for _, a := range spec.Attacks {
+		delay := time.Duration(a.DelayMs * float64(time.Millisecond))
+		if delay == 0 {
+			delay = 2 * time.Millisecond
+		}
+		g.Attacks = append(g.Attacks, topo.AttackPoint{
+			Router: a.Router,
+			Rate:   a.RateMbps * 1e6,
+			Delay:  delay,
+		})
+	}
+	return g, nil
 }
 
 // applyTCP folds the TCP overrides into a config's fields.
@@ -266,6 +456,9 @@ func (c Config) Run() (*experiments.RunResult, error) {
 	env, err := c.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cl, ok := env.(interface{ Close() }); ok {
+		defer cl.Close()
 	}
 	train, err := c.Train(env)
 	if err != nil {

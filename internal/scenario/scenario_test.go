@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"pulsedos/internal/experiments"
 )
 
 func TestLoadValid(t *testing.T) {
@@ -56,6 +59,11 @@ func TestValidateErrors(t *testing.T) {
 		{"bad attack kind", func(c *Config) { c.Attack = &Attack{Kind: "tsunami", RateMbps: 10} }},
 		{"aimd no extent", func(c *Config) { c.Attack = &Attack{Kind: "aimd", RateMbps: 10, Gamma: 0.5} }},
 		{"aimd no period", func(c *Config) { c.Attack = &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 50} }},
+		{"aimd gamma and period", func(c *Config) {
+			c.Attack = &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 50, Gamma: 0.5, PeriodMs: 600}
+		}},
+		{"negative workers", func(c *Config) { c.Topology.Workers = -1 }},
+		{"graph without spec", func(c *Config) { c.Topology = Topology{Kind: "graph"} }},
 		{"gamma too big", func(c *Config) {
 			c.Attack = &Attack{Kind: "aimd", RateMbps: 10, ExtentMs: 50, Gamma: 1.5}
 		}},
@@ -80,7 +88,7 @@ func TestValidateErrors(t *testing.T) {
 }
 
 func TestBuildBothTopologies(t *testing.T) {
-	for _, kind := range []string{"dumbbell", "testbed"} {
+	for _, kind := range []string{"dumbbell", "testbed", "parkinglot"} {
 		cfg := Config{Topology: Topology{Kind: kind}, MeasureSec: 1}
 		env, err := cfg.Build()
 		if err != nil {
@@ -89,6 +97,71 @@ func TestBuildBothTopologies(t *testing.T) {
 		if len(env.Flows()) == 0 {
 			t.Errorf("%s: no default flows", kind)
 		}
+	}
+}
+
+func TestBuildDeclaredGraph(t *testing.T) {
+	cfg, err := Load(strings.NewReader(`{
+		"name": "inline-graph",
+		"topology": {"kind": "graph", "workers": 2, "graph": {
+			"routers": ["S", "M", "R"],
+			"trunks": [
+				{"from": 0, "to": 1, "rateMbps": 15, "delayMs": 5, "queuePackets": 150},
+				{"from": 1, "to": 2, "rateMbps": 100, "delayMs": 5, "queuePackets": 1000, "dropTail": true}
+			],
+			"groups": [{"flows": 4, "ingress": 0, "egress": 2, "accessRateMbps": 50,
+				"rttMinMs": 30, "rttMaxMs": 460}],
+			"attacks": [{"router": 0, "rateMbps": 1000}],
+			"sink": 2
+		}},
+		"measureSec": 2, "seed": 3
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl, ok := env.(interface{ Close() }); ok {
+		defer cl.Close()
+	}
+	if len(env.Flows()) != 4 {
+		t.Errorf("flows = %d", len(env.Flows()))
+	}
+	if env.ModelParams().Bottleneck != 15e6 {
+		t.Errorf("bottleneck = %g", env.ModelParams().Bottleneck)
+	}
+}
+
+// TestBuildShardedMatchesSerial: the workers knob must not change results.
+func TestBuildShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	base := `{
+		"topology": {"kind": "dumbbell", "flows": 5%s},
+		"attack": {"kind": "aimd", "rateMbps": 35, "extentMs": 75, "gamma": 0.5},
+		"warmupSec": 1, "measureSec": 2, "seed": 4
+	}`
+	load := func(workers string) *experiments.RunResult {
+		cfg, err := Load(strings.NewReader(fmt.Sprintf(base, workers)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cfg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := load("")
+	sharded := load(`, "workers": 4`)
+	if serial.Delivered != sharded.Delivered {
+		t.Errorf("sharded delivered %d, serial %d", sharded.Delivered, serial.Delivered)
+	}
+	if serial.Timeouts != sharded.Timeouts {
+		t.Errorf("sharded timeouts %d, serial %d", sharded.Timeouts, serial.Timeouts)
 	}
 }
 

@@ -1,0 +1,156 @@
+package topo
+
+import (
+	"fmt"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/model"
+	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/trace"
+)
+
+// Environment is a running instance of a Graph — the one implementation
+// behind every topology, serial or sharded. It satisfies the experiments
+// package's Environment interface structurally.
+type Environment struct {
+	// Kernel is the shard kernel owning the target trunk's forward link (the
+	// only kernel when serial). Taps, generators, and probes attached to the
+	// target run here.
+	Kernel  *sim.Kernel
+	Graph   Graph
+	Plan    ShardPlan
+	Senders []*tcp.Sender
+	Recvs   []*tcp.Receiver
+	Account *trace.FlowAccount
+	RTTs    []float64   // propagation RTT per flow, seconds
+	Bottle  *netem.Link // forward link of the target trunk
+	Sink    *netem.Sink // attack traffic terminus
+	Pools   []*netem.PacketPool
+
+	eng      *sim.Engine // nil when serial
+	routers  [][]*netem.Router
+	attackIn []*netem.Link
+	attackK  []*sim.Kernel
+	rand     *rng.Source
+}
+
+// Sim exposes the target-shard event kernel.
+func (e *Environment) Sim() *sim.Kernel { return e.Kernel }
+
+// Goodput exposes the shared per-flow delivery account.
+func (e *Environment) Goodput() *trace.FlowAccount { return e.Account }
+
+// Target exposes the bottleneck link the attack pulses congest.
+func (e *Environment) Target() *netem.Link { return e.Bottle }
+
+// Flows exposes the victim TCP senders.
+func (e *Environment) Flows() []*tcp.Sender { return e.Senders }
+
+// Engine exposes the parallel engine, nil when the build is serial. Callers
+// probing for it through an interface must nil-check the result.
+func (e *Environment) Engine() *sim.Engine { return e.eng }
+
+// Rand exposes the environment's rng stream (consumed by builds layering
+// extra workload on top, e.g. the mice/web traffic of the test-bed runs).
+func (e *Environment) Rand() *rng.Source { return e.rand }
+
+// StartFlows schedules every victim flow to begin within the configured
+// start spread, deterministically from the topology seed: one draw per flow
+// in global flow-id order.
+func (e *Environment) StartFlows() error {
+	spread := sim.FromDuration(e.Graph.StartSpread)
+	for _, s := range e.Senders {
+		at := sim.Time(0)
+		if spread > 0 {
+			at = sim.Time(e.rand.Int63n(int64(spread)))
+		}
+		if err := s.Start(at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StopFlows halts every victim sender (teardown for finite experiments).
+func (e *Environment) StopFlows() {
+	for _, s := range e.Senders {
+		s.Stop()
+	}
+}
+
+// Attach builds an attack generator feeding the first attack point's ingress
+// link, on that point's shard kernel.
+func (e *Environment) Attach(train attack.Train) (*attack.Generator, error) {
+	return e.AttachAt(0, train)
+}
+
+// AttachAt builds an attack generator feeding attack point i.
+func (e *Environment) AttachAt(i int, train attack.Train) (*attack.Generator, error) {
+	if i < 0 || i >= len(e.attackIn) {
+		return nil, fmt.Errorf("topo: attack point %d out of range (%d points)", i, len(e.attackIn))
+	}
+	return attack.NewGenerator(e.attackK[i], e.attackIn[i], train, e.Graph.AttackPacketSize)
+}
+
+// RunUntil advances the simulation to t through whichever executor the build
+// produced — the serial kernel or the conservative parallel engine.
+func (e *Environment) RunUntil(t sim.Time) error {
+	if e.eng != nil {
+		return e.eng.RunUntil(t)
+	}
+	return e.Kernel.RunUntil(t)
+}
+
+// Processed reports total events fired across all shards.
+func (e *Environment) Processed() uint64 {
+	if e.eng != nil {
+		return e.eng.Processed()
+	}
+	return e.Kernel.Processed()
+}
+
+// BottleStats snapshots the target trunk's forward-link counters.
+func (e *Environment) BottleStats() netem.LinkStats { return e.Bottle.Stats() }
+
+// Unrouted sums the unrouted-packet counters over every router replica.
+func (e *Environment) Unrouted() uint64 {
+	var n uint64
+	for s := range e.routers {
+		for r := range e.routers[s] {
+			n += e.routers[s][r].Unrouted()
+		}
+	}
+	return n
+}
+
+// Close releases the engine's worker goroutines; a no-op when serial.
+func (e *Environment) Close() {
+	if e.eng != nil {
+		e.eng.Close()
+	}
+}
+
+// TimeoutModel assembles the TO-state model configuration from the target
+// trunk's buffer and the victims' RTO floor.
+func (e *Environment) TimeoutModel() model.TimeoutModelConfig {
+	return model.TimeoutModelConfig{
+		MinRTO:           e.Graph.TCP.RTOMin.Seconds(),
+		BufferPackets:    e.Graph.Trunks[e.Graph.Target].Queue.Limit,
+		AttackPacketSize: e.Graph.AttackPacketSize,
+	}
+}
+
+// ModelParams assembles the analytic-model parameters corresponding to this
+// topology instance; the bottleneck is the target trunk's forward rate.
+func (e *Environment) ModelParams() model.Params {
+	return model.Params{
+		AIMD:       model.AIMD{A: e.Graph.TCP.IncreaseA, B: e.Graph.TCP.DecreaseB},
+		AckRatio:   float64(e.Graph.TCP.AckEvery),
+		PacketSize: float64(e.Graph.TCP.MSS + e.Graph.TCP.HeaderSize),
+		Bottleneck: e.Graph.Trunks[e.Graph.Target].Rate,
+		RTTs:       append([]float64(nil), e.RTTs...),
+	}
+}

@@ -1,0 +1,213 @@
+package topo
+
+import (
+	"fmt"
+
+	"pulsedos/internal/sim"
+)
+
+// This file generalizes the dumbbell-only PlanDumbbell of PR 3 to arbitrary
+// graphs. The partitioning keeps the topology's natural cut lines — every
+// cross-shard edge is a link propagation hop, so its delay is the lookahead:
+//
+//   - the forward core (shard 0) owns every forward trunk and the attack
+//     sink: the serialized resources all flows contend for cannot be split
+//     without losing the drop coupling, and keeping the whole forward chain
+//     on one shard makes multi-bottleneck hops shard-local;
+//   - the reverse core (shard 1) owns every reverse trunk (the ACK path)
+//     and the attack generators;
+//   - the flows — sender, receiver, and all four access links — are spread
+//     over every shard by a greedy balance over estimated per-packet event
+//     loads, exactly as the legacy planner did.
+//
+// The cut is minimal in the sense that matters for a conservative engine:
+// shard boundaries only cross positive-delay propagation hops (access links,
+// trunk deliveries, attacker ingress), never the zero-delay router fan-out,
+// and the engine's window is the minimum delay over the edges actually cut.
+
+// Estimated per-data-packet event load of the fixed components, in units of
+// one flow's own per-packet work (sender, receiver, and four access-link
+// hops ~= 7 events per delivered segment). The constants seed the greedy
+// flow balance: the forward core burns ~4 events per segment per trunk hop,
+// the reverse path ~1, the attack generator ~2 at the paper's pulse rates.
+const (
+	fwdCoreLoad = 4.0 / 7.0
+	revCoreLoad = 1.0 / 7.0
+	attackLoad  = 2.0 / 7.0
+)
+
+// ShardPlan assigns every component of a graph to a shard.
+type ShardPlan struct {
+	Workers     int
+	TrunkFwd    []int // per trunk: shard owning the forward link
+	TrunkRev    []int // per trunk: shard owning the reverse link
+	AttackShard []int // per attack point: shard owning generator + ingress
+	SinkShard   int   // shard owning the attack sink
+	FlowShard   []int // per flow (global id): home shard
+
+	// Lookahead is the conservative window the engine will run with: the
+	// minimum propagation delay over all cross-shard edges. Zero when the
+	// plan is serial.
+	Lookahead sim.Time
+}
+
+// Plan partitions a graph over the given worker count. Workers are clamped
+// to the flow population plus the two cores — beyond that extra shards would
+// sit empty. A plan with Workers == 1 is the serial degenerate: every
+// component on shard 0, no cross-shard edges, Build wires exactly the serial
+// construction. Plans with Workers > 1 fail when any would-be cross-shard
+// edge has no positive propagation delay (no lookahead).
+func Plan(g Graph, workers int) (ShardPlan, error) {
+	info, err := analyze(&g)
+	if err != nil {
+		return ShardPlan{}, err
+	}
+	return planWith(&g, info, workers)
+}
+
+// planWith is Plan over a pre-analyzed graph (Build reuses the analysis).
+func planWith(g *Graph, info *graphInfo, workers int) (ShardPlan, error) {
+	flows := len(info.flows)
+	if workers < 1 {
+		workers = 1
+	}
+	if max := flows + 2; workers > max {
+		workers = max
+	}
+	p := ShardPlan{
+		Workers:     workers,
+		TrunkFwd:    make([]int, len(g.Trunks)),
+		TrunkRev:    make([]int, len(g.Trunks)),
+		AttackShard: make([]int, len(g.Attacks)),
+		FlowShard:   make([]int, flows),
+	}
+	revCore := 0
+	if workers >= 2 {
+		revCore = 1
+		for t := range p.TrunkRev {
+			p.TrunkRev[t] = revCore
+		}
+		for a := range p.AttackShard {
+			p.AttackShard[a] = revCore
+		}
+	}
+
+	// Greedy balance, seeded with the fixed components' estimated loads. The
+	// load unit generalizes from "one flow" to "one flow-trunk crossing", so
+	// a single-trunk graph reproduces the legacy dumbbell weights (and flow
+	// assignment) exactly.
+	crossings := 0
+	for i := range info.flows {
+		crossings += len(info.flows[i].path)
+	}
+	weight := make([]float64, workers)
+	f := float64(crossings)
+	weight[0] += fwdCoreLoad * f
+	weight[revCore] += revCoreLoad * f
+	if len(g.Attacks) > 0 {
+		weight[revCore] += attackLoad * f
+	}
+	for i := 0; i < flows; i++ {
+		best := 0
+		for s := 1; s < workers; s++ {
+			if weight[s] < weight[best] {
+				best = s
+			}
+		}
+		p.FlowShard[i] = best
+		weight[best]++
+	}
+
+	if workers > 1 {
+		edges := crossEdges(g, info, &p)
+		for _, e := range edges {
+			if e.minDelay <= 0 {
+				return ShardPlan{}, fmt.Errorf(
+					"topo: cross-shard edge into router %q has zero propagation delay — no lookahead; run serial",
+					g.Routers[e.key.router])
+			}
+			if p.Lookahead == 0 || e.minDelay < p.Lookahead {
+				p.Lookahead = e.minDelay
+			}
+		}
+	}
+	return p, nil
+}
+
+// edgeKey identifies one boundary edge: all traffic from shard src landing
+// at shard dst's replica of a router shares one outbox, whose declared
+// lookahead is the minimum delay over the links that use it.
+type edgeKey struct {
+	src, dst, router int
+}
+
+type crossEdge struct {
+	key      edgeKey
+	minDelay sim.Time
+}
+
+// crossEdges enumerates the boundary edges a build of this plan will create,
+// in a fixed deterministic order (flows, then trunk defaults, then attacks),
+// deduplicated by key with the minimum delay retained. Plan derives the
+// engine lookahead from it; Build creates one outbox per entry, in order.
+func crossEdges(g *Graph, info *graphInfo, p *ShardPlan) []crossEdge {
+	var edges []crossEdge
+	index := make(map[edgeKey]int)
+	add := func(src, dst, router int, delay sim.Time) {
+		if src == dst {
+			return
+		}
+		k := edgeKey{src: src, dst: dst, router: router}
+		if i, ok := index[k]; ok {
+			if delay < edges[i].minDelay {
+				edges[i].minDelay = delay
+			}
+			return
+		}
+		index[k] = len(edges)
+		edges = append(edges, crossEdge{key: k, minDelay: delay})
+	}
+
+	for fid := range info.flows {
+		fi := &info.flows[fid]
+		s := p.FlowShard[fid]
+		first, last := fi.path[0], fi.path[len(fi.path)-1]
+		// Access fwd-in: flow shard -> shard of the first forward trunk.
+		add(s, p.TrunkFwd[first], fi.ingress, fi.owd)
+		// Access rev-out: flow shard -> shard of the last trunk's reverse.
+		add(s, p.TrunkRev[last], fi.egress, fi.owd)
+		for j, t := range fi.path {
+			delay := sim.FromDuration(g.Trunks[t].Delay)
+			// Forward delivery off trunk t: toward the next trunk's shard,
+			// or home to the flow shard after the last hop.
+			if j == len(fi.path)-1 {
+				add(p.TrunkFwd[t], s, g.Trunks[t].To, delay)
+			} else {
+				add(p.TrunkFwd[t], p.TrunkFwd[fi.path[j+1]], g.Trunks[t].To, delay)
+			}
+			// Reverse delivery off trunk t: toward the previous trunk's
+			// reverse shard, or home to the flow shard before the first hop.
+			if j == 0 {
+				add(p.TrunkRev[t], s, g.Trunks[t].From, delay)
+			} else {
+				add(p.TrunkRev[t], p.TrunkRev[fi.path[j-1]], g.Trunks[t].From, delay)
+			}
+		}
+	}
+	// Default (attack) traffic continuing past each trunk's head.
+	for ti := range g.Trunks {
+		r := g.Trunks[ti].To
+		delay := sim.FromDuration(g.Trunks[ti].Delay)
+		if r == g.SinkRouter {
+			add(p.TrunkFwd[ti], p.SinkShard, r, delay)
+		} else if nt := info.defaultFwd[r]; nt >= 0 {
+			add(p.TrunkFwd[ti], p.TrunkFwd[nt], r, delay)
+		}
+	}
+	// Attacker ingress into the first trunk of its default path.
+	for ai := range g.Attacks {
+		first := info.attackPath[ai][0]
+		add(p.AttackShard[ai], p.TrunkFwd[first], g.Attacks[ai].Router, sim.FromDuration(g.Attacks[ai].Delay))
+	}
+	return edges
+}

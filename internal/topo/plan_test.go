@@ -1,0 +1,176 @@
+package topo_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pulsedos/internal/netem"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/tcp"
+	"pulsedos/internal/topo"
+)
+
+// twoRouterGraph is a minimal explicit graph with hand-computable delays:
+// one 5 ms trunk, a fixed 3 ms access-delay flow group, a 2 ms attacker.
+func twoRouterGraph(flows int) topo.Graph {
+	return topo.Graph{
+		Name:    "unit",
+		Routers: []string{"a", "b"},
+		Trunks: []topo.TrunkSpec{{
+			Name:     "trunk",
+			From:     0,
+			To:       1,
+			Rate:     10 * netem.Mbps,
+			Delay:    5 * time.Millisecond,
+			Queue:    topo.QueueSpec{Kind: topo.QueueDropTail, Limit: 50},
+			RevQueue: topo.QueueSpec{Kind: topo.QueueDropTail, Limit: 4096},
+		}},
+		Groups: []topo.FlowGroup{{
+			Flows:      flows,
+			Ingress:    0,
+			Egress:     1,
+			AccessRate: 50 * netem.Mbps,
+			AccessOWD:  3 * time.Millisecond,
+		}},
+		Attacks:          []topo.AttackPoint{{Router: 0, Rate: netem.Gbps, Delay: 2 * time.Millisecond}},
+		SinkRouter:       1,
+		Target:           0,
+		TCP:              tcp.DefaultConfig(),
+		AttackPacketSize: 1000,
+	}
+}
+
+// TestPlanSerialDegenerate: one worker means everything on shard 0 and no
+// lookahead — Build of such a plan is exactly the serial construction.
+func TestPlanSerialDegenerate(t *testing.T) {
+	for _, workers := range []int{1, 0, -3} {
+		plan, err := topo.Plan(twoRouterGraph(4), workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if plan.Workers != 1 {
+			t.Fatalf("workers %d: kept %d shards", workers, plan.Workers)
+		}
+		if plan.Lookahead != 0 {
+			t.Errorf("serial plan has lookahead %v", plan.Lookahead)
+		}
+		for _, s := range [][]int{plan.TrunkFwd, plan.TrunkRev, plan.AttackShard, plan.FlowShard} {
+			for i, v := range s {
+				if v != 0 {
+					t.Fatalf("serial plan placed component %d on shard %d", i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanClamp: worker counts beyond flows+2 would leave shards empty, so
+// the planner clamps instead.
+func TestPlanClamp(t *testing.T) {
+	plan, err := topo.Plan(twoRouterGraph(1), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers > 3 {
+		t.Errorf("1 flow over 16 workers kept %d shards", plan.Workers)
+	}
+}
+
+// TestPlanLoadBalance pins the balance invariants on a non-dumbbell graph:
+// flows land on valid shards, no non-core shard is starved, and the greedy
+// unit-increment balance keeps non-core shard populations within one flow of
+// each other.
+func TestPlanLoadBalance(t *testing.T) {
+	g := topo.ParkingLot(topo.DefaultParkingLotConfig()) // 6 long + 9 cross flows
+	for _, workers := range []int{2, 3, 4, 8} {
+		plan, err := topo.Plan(g, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		counts := make([]int, plan.Workers)
+		for i, s := range plan.FlowShard {
+			if s < 0 || s >= plan.Workers {
+				t.Fatalf("workers %d: flow %d on shard %d", workers, i, s)
+			}
+			counts[s]++
+		}
+		core := func(s int) bool {
+			return s == plan.TrunkFwd[0] || s == plan.TrunkRev[0]
+		}
+		min, max := -1, -1
+		for s, c := range counts {
+			if core(s) {
+				continue
+			}
+			if c == 0 {
+				t.Errorf("workers %d: shard %d owns no flows", workers, s)
+			}
+			if min == -1 || c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("workers %d: non-core shard populations spread %d..%d", workers, min, max)
+		}
+	}
+}
+
+// TestPlanLookahead: the plan's lookahead is the minimum propagation delay
+// over cross-shard edges. With the attacker on the reverse core, its 2 ms
+// ingress into the forward core is always cut and is the graph minimum;
+// without an attacker the 3 ms access hops become the minimum cut delay.
+func TestPlanLookahead(t *testing.T) {
+	g := twoRouterGraph(4)
+	plan, err := topo.Plan(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.FromDuration(2 * time.Millisecond); plan.Lookahead != want {
+		t.Errorf("lookahead %v, want %v (attacker ingress)", plan.Lookahead, want)
+	}
+
+	g.Attacks = nil
+	plan, err = topo.Plan(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.FromDuration(3 * time.Millisecond); plan.Lookahead != want {
+		t.Errorf("lookahead %v, want %v (access hop)", plan.Lookahead, want)
+	}
+}
+
+// TestPlanLookaheadMatchesEngine: the window Build hands the engine is the
+// plan's lookahead.
+func TestPlanLookaheadMatchesEngine(t *testing.T) {
+	g := twoRouterGraph(4)
+	env, err := topo.Build(g, topo.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	eng := env.Engine()
+	if eng == nil {
+		t.Fatal("sharded build returned no engine")
+	}
+	if eng.Lookahead() != env.Plan.Lookahead {
+		t.Errorf("engine lookahead %v, plan %v", eng.Lookahead(), env.Plan.Lookahead)
+	}
+}
+
+// TestPlanZeroLookaheadError: a cross-shard edge with no propagation delay
+// cannot exist under a conservative engine; the planner must say so rather
+// than deadlock, and the serial plan of the same graph must still work.
+func TestPlanZeroLookaheadError(t *testing.T) {
+	g := twoRouterGraph(4)
+	g.Attacks[0].Delay = 0
+	if _, err := topo.Plan(g, 2); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("zero-delay cross edge accepted (err %v)", err)
+	}
+	if _, err := topo.Plan(g, 1); err != nil {
+		t.Errorf("serial plan rejected: %v", err)
+	}
+}
