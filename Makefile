@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench profile clean
+.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke profile clean
 
 all: build
 
@@ -73,6 +73,23 @@ scale-bench:
 # anything on a machine with ≥4 idle cores.
 parallel-bench:
 	$(GO) run ./cmd/pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
+
+# million-bench regenerates the committed BENCH_4.json: the mixed-fidelity
+# scale sweep up to one million flows (10k packet-accurate foreground + a
+# fluid-aggregated background). Takes ~10+ minutes on one idle core.
+million-bench:
+	$(GO) run ./cmd/pdos-bench -scale-bench BENCH_4.json \
+		-foreground-flows 10000 -scale-flows 10000,100000,1000000
+
+# scale-smoke is the CI-sized slice of million-bench: a tiny two-point
+# mixed-fidelity sweep with truncated measurement windows and the heap guard
+# armed, exercising the foreground/fluid split, the OOM-skip bookkeeping,
+# and the report schema end to end in under a minute. The report goes to a
+# scratch file — only the full million-bench run updates BENCH_4.json.
+scale-smoke:
+	$(GO) run ./cmd/pdos-bench -scale-bench /tmp/scale-smoke.json \
+		-foreground-flows 200 -scale-flows 200,2000 \
+		-scale-measure-sec 3 -max-heap-mb 4096
 
 # profile captures CPU and heap pprof profiles of a representative figure
 # regeneration for `go tool pprof cpu.pprof` digestion.

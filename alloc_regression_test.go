@@ -92,6 +92,64 @@ func TestManyFlowAllocRegression(t *testing.T) {
 	}
 }
 
+// TestMillionFlowAllocRegression guards the zero budget at the BENCH_4
+// headline scale: a million flows total — a packet-accurate foreground of
+// 500 beside a fluid-aggregated background of 999,500 — through one
+// bottleneck. The fluid tier is O(1) in both memory and events (one
+// aggregate ODE per group, ticked at RTT/2), so the steady state must stay
+// allocation-free per forwarded packet exactly like the small populations:
+// the macroflow tick reads link counters and credits a byte account, and
+// neither path touches the heap.
+func TestMillionFlowAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-flow steady-state run in -short mode")
+	}
+	const (
+		packetFlows = 500
+		totalFlows  = 1_000_000
+	)
+	cfg := experiments.DefaultDumbbellConfig(packetFlows)
+	cfg.FluidBackgroundFlows = totalFlows - packetFlows
+	// Match the scale sweep's regime: 1 Mbps of carved residual per packet
+	// flow (rate x 500/1e6 per flow) and a 10-packets-per-flow trunk buffer,
+	// so queue high-water marks settle inside the warm-up instead of creeping
+	// through the measurement window.
+	cfg.BottleneckRate = 1e6 * totalFlows
+	cfg.QueueLimit = 10 * packetFlows
+	d, err := experiments.BuildDumbbell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.StartFlows(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Kernel.RunFor(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	arrivals0 := d.Bottle.Stats().Arrivals
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := d.Kernel.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+
+	packets := d.Bottle.Stats().Arrivals - arrivals0
+	if packets == 0 {
+		t.Fatal("no packets crossed the bottleneck")
+	}
+	perPacket := float64(m1.Mallocs-m0.Mallocs) / float64(packets)
+	t.Logf("%d packets, %.3f allocs/packet", packets, perPacket)
+	if perPacket > 0.01 {
+		t.Errorf("steady-state million-flow dumbbell allocates %.3f objects/packet, want 0", perPacket)
+	}
+	if got := d.Goodput().Flow(packetFlows); got == 0 {
+		t.Error("fluid background delivered nothing — the million-flow claim is vacuous")
+	}
+}
+
 // TestShardedAllocRegression guards the zero budget across the parallel
 // engine's 4-worker path: boundary crossings hand packets between shard-local
 // pools (release at the source, pool get at the destination), outboxes and

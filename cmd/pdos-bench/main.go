@@ -14,7 +14,12 @@
 // (100 → 50k victim flows through a proportionally scaled pulsed bottleneck,
 // wheel kernel vs heap-kernel baseline) plus the hot paths, and writes the
 // combined report (BENCH_2.json shape) to the given path; figures are skipped
-// unless -figures selects some.
+// unless -figures selects some. Adding -foreground-flows N switches to the
+// million-flow mode (BENCH_4.json shape): N packet-accurate flows per point,
+// the rest of the population on the fluid macroflow tier; -scale-flows
+// overrides the populations, -max-heap-mb guards against OOM by recording
+// oversized points as skipped, and -scale-measure-sec shortens the windows
+// for smoke runs.
 //
 // With -parallel-bench the command runs the parallel-engine speedup study
 // (serial wheel kernel vs the conservative sharded engine at each -workers
@@ -31,6 +36,7 @@
 //	pdos-bench -scale quick -bench-json results/BENCH_1.json
 //	pdos-bench -scale-bench BENCH_2.json
 //	pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
+//	pdos-bench -scale-bench BENCH_4.json -foreground-flows 10000 -scale-flows 10000,100000,1000000
 //	pdos-bench -scale quick -figures fig6 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -73,6 +79,10 @@ func run(args []string) error {
 		parallel  = fs.Int("parallel", 1, "figure-level worker count (1 = sequential)")
 		benchJSON = fs.String("bench-json", "", "write a hot-path benchmark report to this path")
 		scaleJSON = fs.String("scale-bench", "", "run the many-flow scaling sweep and write the report to this path")
+		scFlows   = fs.String("scale-flows", "", "comma-separated flow populations for -scale-bench (default: the BENCH_2 sweep)")
+		scFg      = fs.Int("foreground-flows", 0, "packet-accurate foreground cap for -scale-bench; populations above it run a fluid background tier (the BENCH_4 million-flow mode)")
+		scHeapMB  = fs.Int("max-heap-mb", 0, "skip -scale-bench points whose projected footprint exceeds this many MiB, recording them as skipped_oom")
+		scMeasure = fs.Float64("scale-measure-sec", 0, "override the -scale-bench measurement window, seconds (smoke runs)")
 		parJSON   = fs.String("parallel-bench", "", "run the parallel-engine speedup study and write the report to this path")
 		workers   = fs.String("workers", "2,4,8", "comma-separated worker counts for -parallel-bench")
 		parFlows  = fs.String("parallel-flows", "10000,50000", "comma-separated flow populations for -parallel-bench")
@@ -116,7 +126,7 @@ func run(args []string) error {
 		return runParallelBench(*parJSON, *workers, *parFlows)
 	}
 	if *scaleJSON != "" {
-		return runScaleBench(*scaleJSON)
+		return runScaleBench(*scaleJSON, *scFlows, *scFg, *scHeapMB, *scMeasure)
 	}
 	var scale experiments.Scale
 	switch *scaleName {
@@ -229,18 +239,41 @@ func run(args []string) error {
 	return nil
 }
 
-// runScaleBench executes the BENCH_2 pipeline: the full many-flow scaling
+// runScaleBench executes the BENCH_2/BENCH_4 pipeline: the many-flow scaling
 // sweep (sequential — each point owns the process's wall clock and allocator
 // counters) followed by the hot-path micro-benchmarks, written as one report.
-func runScaleBench(path string) error {
+// foreground > 0 selects the million-flow mode: that many packet-accurate
+// flows, the rest of each population on the fluid macroflow tier, heap
+// baseline off (BENCH_4.json shape).
+func runScaleBench(path, flowsCSV string, foreground, maxHeapMB int, measureSec float64) error {
 	out, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer out.Close()
 
+	cfg := experiments.DefaultScaleSweepConfig()
+	if foreground > 0 {
+		cfg = experiments.MillionFlowSweepConfig()
+		cfg.ForegroundFlows = foreground
+	}
+	if flowsCSV != "" {
+		flows, err := parseIntList(flowsCSV)
+		if err != nil {
+			return fmt.Errorf("-scale-flows: %w", err)
+		}
+		cfg.FlowCounts = flows
+	}
+	if maxHeapMB > 0 {
+		cfg.MaxHeapBytes = uint64(maxHeapMB) << 20
+	}
+	if measureSec > 0 {
+		cfg.Measure = time.Duration(measureSec * float64(time.Second))
+		cfg.ShortMeasure = cfg.Measure
+		cfg.Warmup = cfg.Measure
+	}
 	start := time.Now()
-	points, err := experiments.ScaleSweep(experiments.DefaultScaleSweepConfig(), func(msg string) {
+	points, err := experiments.ScaleSweep(cfg, func(msg string) {
 		fmt.Println("== " + msg)
 	})
 	if err != nil {
@@ -265,9 +298,20 @@ func runScaleBench(path string) error {
 		fmt.Println()
 	}
 	for _, p := range rep.Scale {
-		fmt.Printf("   scale %6d flows: %.2fM events/sec (%.2fx vs heap), %.1f ns/flow/vsec, %.4f allocs/packet, RSS %.0f MiB\n",
-			p.Flows, p.EventsPerSec/1e6, p.SpeedupVsHeap, p.NsPerFlowPerSec,
-			p.AllocsPerPacket, float64(p.PeakRSSBytes)/(1<<20))
+		if p.SkippedOOM {
+			fmt.Printf("   scale %8d flows: skipped (heap guard)\n", p.Flows)
+			continue
+		}
+		fmt.Printf("   scale %8d flows", p.Flows)
+		if p.FluidFlows > 0 {
+			fmt.Printf(" (%d packet + %d fluid)", p.PacketFlows, p.FluidFlows)
+		}
+		fmt.Printf(": %.2fM events/sec", p.EventsPerSec/1e6)
+		if p.SpeedupVsHeap > 0 {
+			fmt.Printf(" (%.2fx vs heap)", p.SpeedupVsHeap)
+		}
+		fmt.Printf(", %.1f ns/flow/vsec, %.4f allocs/packet, RSS %.0f MiB\n",
+			p.NsPerFlowPerSec, p.AllocsPerPacket, float64(p.PeakRSSBytes)/(1<<20))
 	}
 	fmt.Printf("== scale bench report -> %s\n", path)
 	return nil
@@ -304,7 +348,9 @@ func runParallelBench(path, workersCSV, flowsCSV string) error {
 		return err
 	}
 	fmt.Printf("== parallel sweep done in %.1fs\n", time.Since(start).Seconds())
-	rep := perf.NewReport([]perf.BenchResult{}, nil)
+	// No hot-path micro-benchmarks in this mode: nil keeps the report's
+	// "benchmarks" key absent (omitempty) instead of an empty literal.
+	rep := perf.NewReport(nil, nil)
 	rep.Parallel = points
 	writeErr := perf.WriteJSON(out, rep)
 	closeErr := out.Close()

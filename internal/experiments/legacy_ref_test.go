@@ -188,12 +188,14 @@ func (d *legacyDumbbell) Attach(train attack.Train) (*attack.Generator, error) {
 	return attack.NewGenerator(d.Kernel, d.attackIn, train, d.Config.AttackPacketSize)
 }
 
-func (d *legacyDumbbell) Sim() *sim.Kernel             { return d.Kernel }
-func (d *legacyDumbbell) Goodput() *trace.FlowAccount  { return d.Account }
-func (d *legacyDumbbell) Target() *netem.Link          { return d.Bottle }
-func (d *legacyDumbbell) Flows() []*tcp.Sender         { return d.Senders }
-func (d *legacyDumbbell) RunUntil(t sim.Time) error    { return d.Kernel.RunUntil(t) }
-func (d *legacyDumbbell) Processed() uint64            { return d.Kernel.Processed() }
+func (d *legacyDumbbell) Sim() *sim.Kernel            { return d.Kernel }
+func (d *legacyDumbbell) Goodput() *trace.FlowAccount { return d.Account }
+func (d *legacyDumbbell) Target() *netem.Link         { return d.Bottle }
+func (d *legacyDumbbell) Flows() []*tcp.Sender        { return d.Senders }
+func (d *legacyDumbbell) RunUntil(t sim.Time) error   { return d.Kernel.RunUntil(t) }
+func (d *legacyDumbbell) Processed() uint64 {
+	return d.Kernel.Processed() - d.Table.TimerTicks()
+}
 func (d *legacyDumbbell) BottleStats() netem.LinkStats { return d.Bottle.Stats() }
 func (d *legacyDumbbell) Close()                       {}
 
@@ -271,6 +273,7 @@ type legacyShardedDumbbell struct {
 	attackIn *netem.Link
 	attackK  *sim.Kernel
 	rand     *rng.Source
+	tables   []*tcp.FlowTable
 }
 
 func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacyShardedDumbbell, error) {
@@ -449,6 +452,7 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		if tables[s], err = tcp.NewFlowTable(kernels[s], cfg.TCP, len(flowsOf[s])); err != nil {
 			return nil, err
 		}
+		sd.tables = append(sd.tables, tables[s])
 	}
 	for i := 0; i < cfg.Flows; i++ {
 		s := plan.FlowShard[i]
@@ -549,8 +553,14 @@ func (sd *legacyShardedDumbbell) ModelParams() model.Params {
 	}
 }
 
-func (sd *legacyShardedDumbbell) RunUntil(t sim.Time) error    { return sd.eng.RunUntil(t) }
-func (sd *legacyShardedDumbbell) Processed() uint64            { return sd.eng.Processed() }
+func (sd *legacyShardedDumbbell) RunUntil(t sim.Time) error { return sd.eng.RunUntil(t) }
+func (sd *legacyShardedDumbbell) Processed() uint64 {
+	var ticks uint64
+	for _, t := range sd.tables {
+		ticks += t.TimerTicks()
+	}
+	return sd.eng.Processed() - ticks
+}
 func (sd *legacyShardedDumbbell) BottleStats() netem.LinkStats { return sd.Bottle.Stats() }
 func (sd *legacyShardedDumbbell) Close()                       { sd.eng.Close() }
 
@@ -712,12 +722,14 @@ func (tb *legacyTestbed) Attach(train attack.Train) (*attack.Generator, error) {
 	return attack.NewGenerator(tb.Kernel, tb.attackIn, train, tb.Config.AttackPacketSize)
 }
 
-func (tb *legacyTestbed) Sim() *sim.Kernel             { return tb.Kernel }
-func (tb *legacyTestbed) Goodput() *trace.FlowAccount  { return tb.Account }
-func (tb *legacyTestbed) Target() *netem.Link          { return tb.PipeFwd.Link() }
-func (tb *legacyTestbed) Flows() []*tcp.Sender         { return tb.Senders }
-func (tb *legacyTestbed) RunUntil(t sim.Time) error    { return tb.Kernel.RunUntil(t) }
-func (tb *legacyTestbed) Processed() uint64            { return tb.Kernel.Processed() }
+func (tb *legacyTestbed) Sim() *sim.Kernel            { return tb.Kernel }
+func (tb *legacyTestbed) Goodput() *trace.FlowAccount { return tb.Account }
+func (tb *legacyTestbed) Target() *netem.Link         { return tb.PipeFwd.Link() }
+func (tb *legacyTestbed) Flows() []*tcp.Sender        { return tb.Senders }
+func (tb *legacyTestbed) RunUntil(t sim.Time) error   { return tb.Kernel.RunUntil(t) }
+func (tb *legacyTestbed) Processed() uint64 {
+	return tb.Kernel.Processed() - tb.Table.TimerTicks()
+}
 func (tb *legacyTestbed) BottleStats() netem.LinkStats { return tb.PipeFwd.Link().Stats() }
 func (tb *legacyTestbed) Close()                       {}
 

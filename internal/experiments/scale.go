@@ -43,6 +43,19 @@ type ScaleSweepConfig struct {
 	// DeliveredMatch then certifies the sharded run against the serial
 	// golden reference). 0 or 1 = the serial wheel kernel.
 	Shards int
+
+	// ForegroundFlows caps the packet-accurate tier: populations above it
+	// keep ForegroundFlows packet flows and model the rest as a fluid
+	// macroflow aggregate sharing the bottleneck (the million-flow mode).
+	// 0 = every flow packet-accurate. The attack is sized against the
+	// packet tier's effective capacity, so the foreground physics match the
+	// all-packet run of the same foreground population.
+	ForegroundFlows int
+
+	// MaxHeapBytes skips any population whose projected footprint exceeds
+	// this bound, recording a partial point with SkippedOOM instead of
+	// taking down the whole sweep. 0 = no guard.
+	MaxHeapBytes uint64
 }
 
 // DefaultScaleSweepConfig returns the BENCH_2 sweep: 100 → 50k flows, 60
@@ -64,6 +77,19 @@ func DefaultScaleSweepConfig() ScaleSweepConfig {
 	}
 }
 
+// MillionFlowSweepConfig returns the BENCH_4 sweep: 10k → 1M flows with a
+// fixed 10k packet-accurate foreground; everything above it rides the fluid
+// macroflow tier. The heap-kernel baseline is off — at these populations the
+// comparison is the scaling curve itself, and replaying each point twice
+// would double a sweep that already runs for minutes.
+func MillionFlowSweepConfig() ScaleSweepConfig {
+	c := DefaultScaleSweepConfig()
+	c.FlowCounts = []int{10000, 100000, 1000000}
+	c.ForegroundFlows = 10000
+	c.HeapBaseline = false
+	return c
+}
+
 func (c ScaleSweepConfig) measureFor(flows int) time.Duration {
 	if flows > c.LongMeasureMax && c.ShortMeasure > 0 {
 		return c.ShortMeasure
@@ -75,7 +101,10 @@ func (c ScaleSweepConfig) measureFor(flows int) time.Duration {
 // is what internal/perf embeds into BENCH_2.json.
 type ScalePoint struct {
 	Flows          int     `json:"flows"`
-	Shards         int     `json:"shards,omitempty"` // parallel-engine workers; 0 = serial
+	PacketFlows    int     `json:"packet_flows,omitempty"` // packet-accurate tier (fluid mode only)
+	FluidFlows     int     `json:"fluid_flows,omitempty"`  // fluid-aggregated background flows
+	SkippedOOM     bool    `json:"skipped_oom,omitempty"`  // point skipped by the MaxHeapBytes guard
+	Shards         int     `json:"shards,omitempty"`       // parallel-engine workers; 0 = serial
 	BottleneckBps  float64 `json:"bottleneck_bps"`
 	VirtualSeconds float64 `json:"virtual_seconds"`
 
@@ -107,19 +136,59 @@ type ScalePoint struct {
 	LossRate            float64 `json:"loss_rate"`             // bottleneck drops/arrivals in the window
 }
 
+// splitFlows resolves a population into its packet-accurate and
+// fluid-aggregated tiers under the config's foreground cap.
+func (c ScaleSweepConfig) splitFlows(flows int) (packet, fluid int) {
+	if c.ForegroundFlows > 0 && flows > c.ForegroundFlows {
+		return c.ForegroundFlows, flows - c.ForegroundFlows
+	}
+	return flows, 0
+}
+
+// Per-flow footprint estimates for the MaxHeapBytes guard, in bytes. A
+// packet flow owns four access links whose 1024-slot queue rings dominate
+// its cost; a fluid flow is only a population count inside its group's
+// aggregate, so its marginal footprint is nominal. The constant tail covers
+// the shared topology (routers, bottleneck rings, packet pool).
+const (
+	packetFlowFootprint = 64 << 10
+	fluidFlowFootprint  = 16
+	sweepBaseFootprint  = 64 << 20
+)
+
+// projectedHeapBytes estimates a point's build footprint for the OOM guard.
+func projectedHeapBytes(packet, fluid int) uint64 {
+	return uint64(packet)*packetFlowFootprint + uint64(fluid)*fluidFlowFootprint + sweepBaseFootprint
+}
+
 // scaleDumbbellConfig scales the Fig. 5 topology to the given population,
-// holding the per-flow regime fixed: bottleneck bandwidth and queue capacity
-// grow linearly with the population (the paper's 15 flows / 15 Mbps / 150
-// packets ratios), RTTs keep their 20–460 ms spread.
+// holding the per-flow regime fixed: bottleneck bandwidth grows linearly
+// with the population (the paper's 15 flows / 15 Mbps ratio), RTTs keep
+// their 20–460 ms spread. Above the foreground cap the population splits
+// into a packet-accurate foreground and a fluid background group; the queue
+// and the attacker's access rate track the packet tier's effective share of
+// the bottleneck (the fluid carve-out removes the rest), so the foreground
+// contention regime is invariant across the fluid points.
 func scaleDumbbellConfig(cfg ScaleSweepConfig, flows int) DumbbellConfig {
-	d := DefaultDumbbellConfig(flows)
+	packet, fluid := cfg.splitFlows(flows)
+	d := DefaultDumbbellConfig(packet)
+	d.FluidBackgroundFlows = fluid
 	d.Seed = cfg.Seed
 	d.BottleneckRate = cfg.PerFlowRate * float64(flows)
-	d.QueueLimit = 10 * flows
-	if r := 4 * d.BottleneckRate; r > d.AttackAccessRate {
+	d.QueueLimit = 10 * packet
+	if r := 4 * cfg.PerFlowRate * float64(packet); r > d.AttackAccessRate {
 		d.AttackAccessRate = r
 	}
 	return d
+}
+
+// packetTierRate reports the bottleneck capacity the packet-accurate tier
+// contends for at this population: the full rate when every flow is packet,
+// the post-carve-out share in fluid mode. The per-trunk carve is flow-count
+// proportional, so this is simply PerFlowRate x packet flows.
+func (c ScaleSweepConfig) packetTierRate(flows int) float64 {
+	packet, _ := c.splitFlows(flows)
+	return c.PerFlowRate * float64(packet)
 }
 
 // ScaleSweep runs every population sequentially (each point times wall-clock
@@ -136,6 +205,19 @@ func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, erro
 	}
 	points := make([]ScalePoint, 0, len(cfg.FlowCounts))
 	for _, flows := range cfg.FlowCounts {
+		packet, fluid := cfg.splitFlows(flows)
+		if cfg.MaxHeapBytes > 0 {
+			if proj := projectedHeapBytes(packet, fluid); proj > cfg.MaxHeapBytes {
+				say("scale: %d flows skipped: projected %.0f MiB exceeds the %.0f MiB heap guard",
+					flows, float64(proj)/(1<<20), float64(cfg.MaxHeapBytes)/(1<<20))
+				p := ScalePoint{Flows: flows, SkippedOOM: true}
+				if fluid > 0 {
+					p.PacketFlows, p.FluidFlows = packet, fluid
+				}
+				points = append(points, p)
+				continue
+			}
+		}
 		say("scale: %d flows (%.0f Mbps bottleneck, %v measured)...",
 			flows, cfg.PerFlowRate*float64(flows)/1e6, cfg.measureFor(flows))
 		p, err := measureScalePoint(cfg, flows)
@@ -152,8 +234,12 @@ func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, erro
 
 func measureScalePoint(cfg ScaleSweepConfig, flows int) (ScalePoint, error) {
 	dcfg := scaleDumbbellConfig(cfg, flows)
-	attackRate := cfg.RateFactor * dcfg.BottleneckRate
-	period := PeriodForGamma(cfg.Gamma, attackRate, cfg.Extent, dcfg.BottleneckRate)
+	// The pulse is sized against the capacity the packet tier actually
+	// contends for (the whole bottleneck minus the fluid carve-out), so the
+	// γ target means the same thing at every population.
+	tierRate := cfg.packetTierRate(flows)
+	attackRate := cfg.RateFactor * tierRate
+	period := PeriodForGamma(cfg.Gamma, attackRate, cfg.Extent, tierRate)
 	if period < cfg.Extent {
 		return ScalePoint{}, fmt.Errorf("gamma %g unreachable at rate factor %g", cfg.Gamma, cfg.RateFactor)
 	}
@@ -190,6 +276,10 @@ func measureScalePoint(cfg ScaleSweepConfig, flows int) (ScalePoint, error) {
 		BaselineBytes:       baseRes.Delivered,
 		AnalyticDegradation: model.Degradation(cPsi, cfg.Gamma),
 		MeanConvergedWindow: meanW1,
+	}
+	if dcfg.FluidBackgroundFlows > 0 {
+		p.PacketFlows = dcfg.Flows
+		p.FluidFlows = dcfg.FluidBackgroundFlows
 	}
 	baseEnv = nil
 

@@ -85,6 +85,9 @@ func Default() Config {
 		DeterministicPkgs: []string{
 			"pulsedos/internal/sim",
 			"pulsedos/internal/netem",
+			// tcp includes the fluid macroflow tier (macroflow.go): the
+			// aggregate ODE feeds figure output exactly like packet TCP, so
+			// it lives under the same determinism discipline.
 			"pulsedos/internal/tcp",
 			"pulsedos/internal/attack",
 			"pulsedos/internal/iperf",

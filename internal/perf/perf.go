@@ -52,7 +52,7 @@ type Report struct {
 	GOARCH      string        `json:"goarch"`
 	NumCPU      int           `json:"num_cpu"`
 	MaxProcs    int           `json:"gomaxprocs,omitempty"`
-	Benchmarks  []BenchResult `json:"benchmarks"`
+	Benchmarks  []BenchResult `json:"benchmarks,omitempty"`
 	Figures     []FigurePeak  `json:"figures,omitempty"`
 
 	// Scale carries the many-flow sweep (BENCH_2 onward): per population,

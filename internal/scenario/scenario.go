@@ -101,7 +101,11 @@ type GraphTrunk struct {
 
 // GraphGroup places TCP flows between two routers. Give either an RTT band
 // (rttMinMs/rttMaxMs, the dumbbell model) or a fixed access delay
-// (accessOwdMs, the test-bed model).
+// (accessOwdMs, the test-bed model). Model selects the simulation fidelity:
+// "packet" (the default) simulates every segment; "fluid" aggregates the
+// group into a deterministic rate process (tcp.Macroflow) — background
+// traffic at million-flow scale — and requires at least one packet group
+// sharing its bottleneck to supply the loss signal.
 type GraphGroup struct {
 	Flows          int     `json:"flows"`
 	Ingress        int     `json:"ingress"`
@@ -110,6 +114,7 @@ type GraphGroup struct {
 	RTTMinMs       float64 `json:"rttMinMs,omitempty"`
 	RTTMaxMs       float64 `json:"rttMaxMs,omitempty"`
 	AccessOWDMs    float64 `json:"accessOwdMs,omitempty"`
+	Model          string  `json:"model,omitempty"` // "packet" (default) or "fluid"
 }
 
 // GraphAttack is an attacker ingress point. DelayMs defaults to 2 ms.
@@ -169,6 +174,14 @@ func (c Config) Validate() error {
 	case "graph":
 		if c.Topology.Graph == nil {
 			return errors.New(`scenario: topology kind "graph" needs a graph spec`)
+		}
+		for i, grp := range c.Topology.Graph.Groups {
+			switch grp.Model {
+			case "", topo.ModelPacket, topo.ModelFluid:
+			default:
+				return fmt.Errorf("scenario: group %d model %q (want %q or %q)",
+					i, grp.Model, topo.ModelPacket, topo.ModelFluid)
+			}
 		}
 	default:
 		return fmt.Errorf("scenario: topology kind %q (want dumbbell, testbed, parkinglot, or graph)", c.Topology.Kind)
@@ -354,6 +367,7 @@ func (c Config) declaredGraph() (topo.Graph, error) {
 			RTTMin:     time.Duration(grp.RTTMinMs * float64(time.Millisecond)),
 			RTTMax:     time.Duration(grp.RTTMaxMs * float64(time.Millisecond)),
 			AccessOWD:  time.Duration(grp.AccessOWDMs * float64(time.Millisecond)),
+			Model:      grp.Model,
 		})
 	}
 	for _, a := range spec.Attacks {

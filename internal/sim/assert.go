@@ -76,9 +76,9 @@ func (e *Engine) assertConserved() {
 	var sent, buffered uint64
 	for _, s := range e.shards {
 		sent += s.asserts.sent
-		for _, buf := range s.out {
-			buffered += uint64(len(buf))
-		}
+	}
+	for _, ob := range e.outboxes {
+		buffered += uint64(len(ob.buf))
 	}
 	if sent != e.asserts.injected+buffered {
 		panic(fmt.Sprintf(

@@ -459,6 +459,20 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// PeekNext reports the instant of the earliest pending event without firing
+// or detaching it; ok is false when nothing is pending. Peeking may advance
+// the timing wheel's internal cascade (locate's contract), but the pending
+// set and its order are untouched, so any number of peeks between Run calls
+// observe the same front. The parallel engine's adaptive barrier uses this
+// to size lookahead windows to the measured event horizon.
+func (k *Kernel) PeekNext() (Time, bool) {
+	ev := k.locate()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.when, true
+}
+
 // Run fires events until the queue drains or the event budget is exhausted.
 func (k *Kernel) Run() error {
 	for k.Step() {

@@ -18,13 +18,23 @@ import (
 //	repeat:
 //	    inject every buffered boundary event, merged in (when, at, edge, seq)
 //	    order, into its destination kernel
-//	    every shard runs RunBefore(T + W) concurrently   — the window
-//	    barrier; T = T + W
+//	    every shard runs RunBefore(target) concurrently — the window barrier
 //
-// A shard executing inside window [T, T+W) can only create boundary events
-// for instants >= T+W, because every cross-shard edge imposes at least W of
-// delay. So no shard can ever receive an event for its own past — the merge
-// at the next barrier is always safe, with no rollback machinery.
+// The window target is adaptive: each barrier peeks the earliest pending
+// instant m across all shards (the measured front of in-flight work,
+// including just-injected cross-shard events) and advances to min(t, m+W)
+// instead of the static now+W. When the shards are idle ahead of the next
+// event — between attack pulses, or while a fluid tier ticks on one shard —
+// this skips the empty windows entirely; it degrades gracefully to the
+// static scheme under saturation, because then m is just past the previous
+// barrier. Safety is unchanged: every event fired inside the window has
+// when >= m, so a boundary send occurs for m + edgeDelay >= m + W >= target.
+//
+// A shard executing inside a window ending at `target` can only create
+// boundary events for instants >= target, because every cross-shard edge
+// imposes at least W of delay. So no shard can ever receive an event for its
+// own past — the merge at the next barrier is always safe, with no rollback
+// machinery.
 //
 // Determinism is a hard contract: a sharded run must reproduce the serial
 // kernel's observable behaviour exactly, at any worker count. The mechanism
@@ -36,7 +46,10 @@ import (
 // id; the serial kernel would have broken it by the relative execution order
 // of the two source events at that instant. Real topologies make such exact
 // ties vanishingly rare (delays differ per flow), and the randomized
-// equivalence tests pin the contract end to end.
+// equivalence tests pin the contract end to end. Window placement does not
+// enter the argument at all — any barrier schedule that respects the
+// conservative guard injects the same events in the same merged order — so
+// the adaptive targets cannot perturb a trajectory.
 
 // ErrNoLookahead is returned when a cross-shard edge declares a non-positive
 // minimum delay: conservative synchronization requires strictly positive
@@ -56,60 +69,63 @@ type Port interface {
 	Inject(k *Kernel, when, at Time, w *Payload)
 }
 
-// Msg is one boundary event in flight between two shards.
-type Msg struct {
-	When Time    // delivery instant in the destination shard
-	At   Time    // schedule instant in the source shard (determinism stamp)
-	Seq  uint64  // source-shard transfer counter (FIFO within an edge)
-	Edge int32   // outbox id: stable tie-break across edges
-	Port int32   // destination port index
-	W    Payload // packed model state
+// boundaryEntry is one boundary event buffered in its source outbox: the
+// delivery instant, the source-shard schedule instant (the determinism
+// stamp), and the packed model state. Exactly 64 bytes — one cache line per
+// event, appended sequentially by the source shard and read sequentially by
+// the driver's merge, so a window's worth of boundary traffic streams
+// through the cache instead of bouncing per-message.
+type boundaryEntry struct {
+	when Time
+	at   Time
+	w    Payload
 }
 
 // Outbox is the sending side of one cross-shard edge. Each outbox is a
 // single-producer (its source shard's goroutine) single-consumer (the driver
 // at the barrier) buffer: the source appends during a window, the driver
 // drains between windows, and the window barrier is the synchronization
-// point — no locks or atomics are needed.
+// point — no locks or atomics are needed. The buffer is retained across
+// windows, so steady state appends allocate nothing.
 type Outbox struct {
 	s        *Shard
 	dst      int
 	port     int32
 	edge     int32
 	minDelay Time
+	buf      []boundaryEntry
 }
 
 // Send buffers a boundary event for delivery at `when`, stamping it with the
-// source shard's current instant and transfer sequence. It must only be
-// called from model code running on the source shard's kernel.
+// source shard's current instant. It must only be called from model code
+// running on the source shard's kernel. The per-edge append order is the
+// FIFO sequence the barrier merge uses as its final tie-break.
+//
+//pdos:hotpath
 func (o *Outbox) Send(when Time, w *Payload) {
 	s := o.s
 	if when < s.eng.windowEnd {
-		panic(fmt.Sprintf(
-			"sim: conservative lookahead violated: edge %d sends for t=%d inside window ending %d",
-			o.edge, when, s.eng.windowEnd))
+		o.lookaheadViolation(when)
 	}
 	s.assertSent()
-	s.xferSeq++
-	s.out[o.dst] = append(s.out[o.dst], Msg{
-		When: when,
-		At:   s.k.now,
-		Seq:  s.xferSeq,
-		Edge: o.edge,
-		Port: o.port,
-		W:    *w,
-	})
+	o.buf = append(o.buf, boundaryEntry{when: when, at: s.k.now, w: *w})
+}
+
+// lookaheadViolation panics with the conservative-guard diagnostic; split
+// from Send so the hot path carries no formatting.
+func (o *Outbox) lookaheadViolation(when Time) {
+	panic(fmt.Sprintf(
+		"sim: conservative lookahead violated: edge %d sends for t=%d inside window ending %d",
+		o.edge, when, o.s.eng.windowEnd))
 }
 
 // Shard is one partition of the topology: a private kernel plus the boundary
 // plumbing that connects it to its peers.
 type Shard struct {
-	id      int
-	eng     *Engine
-	k       *Kernel
-	ports   []Port
-	xferSeq uint64
-	out     [][]Msg // per destination shard, drained at the barrier
+	id    int
+	eng   *Engine
+	k     *Kernel
+	ports []Port
 
 	start chan shardCmd
 	done  chan error
@@ -157,14 +173,15 @@ func (s *Shard) run() {
 // barrier overhead.
 type Engine struct {
 	shards    []*Shard
-	edges     int32
-	lookahead Time // min over outboxes; recomputed per RunUntil
+	outboxes  []*Outbox   // every edge, in creation (= edge id) order
+	inbound   [][]*Outbox // per destination shard, in edge id order
+	lookahead Time        // min over outboxes; the conservative window floor
 	now       Time
 	windowEnd Time   // shards may not Send below this (conservative guard)
 	windows   uint64 // barrier count, for diagnostics and benchmarks
 	started   bool
 	closed    bool
-	scratch   []Msg
+	scratch   []boundaryRef
 
 	asserts engineAsserts // pdosassert boundary-injection accounting (assert.go)
 }
@@ -175,13 +192,15 @@ func NewEngine(n int) *Engine {
 	if n < 1 {
 		n = 1
 	}
-	e := &Engine{shards: make([]*Shard, n)}
+	e := &Engine{
+		shards:  make([]*Shard, n),
+		inbound: make([][]*Outbox, n),
+	}
 	for i := range e.shards {
 		e.shards[i] = &Shard{
 			id:  i,
 			eng: e,
 			k:   New(),
-			out: make([][]Msg, n),
 		}
 	}
 	return e
@@ -201,13 +220,18 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Windows() uint64 { return e.windows }
 
 // Lookahead reports the conservative window width: the minimum declared
-// delay over all cross-shard edges (0 until the first edge exists).
+// delay over all cross-shard edges (0 until the first edge exists). The
+// adaptive barrier advances windows beyond this floor whenever every shard's
+// next event lies further out.
 func (e *Engine) Lookahead() Time { return e.lookahead }
 
-// Processed reports the total events fired across all shards. Because a
-// boundary transfer suppresses exactly one delivery event in the source
+// Processed reports the total kernel events fired across all shards. Because
+// a boundary transfer suppresses exactly one delivery event in the source
 // shard and creates exactly one in the destination, this equals the serial
-// kernel's Processed for an equivalent run.
+// kernel's Processed for an equivalent run — up to bookkeeping timers that
+// model layers run per shard (the tcp package's RTO-wheel heartbeats);
+// layers that own such timers subtract them, as topo.Environment.Processed
+// does.
 func (e *Engine) Processed() uint64 {
 	var n uint64
 	for _, s := range e.shards {
@@ -222,9 +246,9 @@ func (e *Engine) Pending() int {
 	n := 0
 	for _, s := range e.shards {
 		n += s.k.Pending()
-		for _, buf := range s.out {
-			n += len(buf)
-		}
+	}
+	for _, ob := range e.outboxes {
+		n += len(ob.buf)
 	}
 	return n
 }
@@ -246,36 +270,49 @@ func (e *Engine) NewOutbox(src, dst *Shard, port int32, minDelay Time) (*Outbox,
 	if int(port) >= len(dst.ports) {
 		return nil, fmt.Errorf("sim: destination shard %d has no port %d", dst.id, port)
 	}
-	o := &Outbox{s: src, dst: dst.id, port: port, edge: e.edges, minDelay: minDelay}
-	e.edges++
+	o := &Outbox{s: src, dst: dst.id, port: port, edge: int32(len(e.outboxes)), minDelay: minDelay}
+	e.outboxes = append(e.outboxes, o)
+	e.inbound[dst.id] = append(e.inbound[dst.id], o)
 	if e.lookahead == 0 || minDelay < e.lookahead {
 		e.lookahead = minDelay
 	}
 	return o, nil
 }
 
-// compareMsg orders boundary events for the barrier merge: delivery instant,
+// boundaryRef points at one buffered boundary event for the barrier merge:
+// the sort key is copied out, the 48-byte payload stays in its outbox buffer
+// and is read exactly once, at injection.
+type boundaryRef struct {
+	when Time
+	at   Time
+	ob   *Outbox
+	pos  int32
+}
+
+// compareRef orders boundary events for the barrier merge: delivery instant,
 // then source schedule instant (the determinism stamp), then edge id, then
-// the per-edge FIFO sequence. Allocation-free under slices.SortFunc.
-func compareMsg(a, b Msg) int {
+// the per-edge FIFO position. Within one edge the buffer position is the
+// append order, so this is the same total order the per-message transfer
+// sequence used to encode. Allocation-free under slices.SortFunc.
+func compareRef(a, b boundaryRef) int {
 	switch {
-	case a.When != b.When:
-		if a.When < b.When {
+	case a.when != b.when:
+		if a.when < b.when {
 			return -1
 		}
 		return 1
-	case a.At != b.At:
-		if a.At < b.At {
+	case a.at != b.at:
+		if a.at < b.at {
 			return -1
 		}
 		return 1
-	case a.Edge != b.Edge:
-		if a.Edge < b.Edge {
+	case a.ob.edge != b.ob.edge:
+		if a.ob.edge < b.ob.edge {
 			return -1
 		}
 		return 1
-	case a.Seq != b.Seq:
-		if a.Seq < b.Seq {
+	case a.pos != b.pos:
+		if a.pos < b.pos {
 			return -1
 		}
 		return 1
@@ -284,30 +321,54 @@ func compareMsg(a, b Msg) int {
 }
 
 // exchange drains every outbox and injects the buffered boundary events into
-// their destination kernels, merged per destination in (when, at, edge, seq)
+// their destination kernels, merged per destination in (when, at, edge, pos)
 // order so that destination seq assignment — the final tie-break — is
-// deterministic. Runs on the driver goroutine only.
+// deterministic. Runs on the driver goroutine only. The merge sorts
+// references, not messages: payloads stream once from the outbox buffers
+// straight into the destination kernels.
 func (e *Engine) exchange() {
-	for _, dst := range e.shards {
-		buf := e.scratch[:0]
-		for _, src := range e.shards {
-			if pending := src.out[dst.id]; len(pending) > 0 {
-				buf = append(buf, pending...)
-				src.out[dst.id] = pending[:0]
+	for di, dst := range e.shards {
+		refs := e.scratch[:0]
+		for _, ob := range e.inbound[di] {
+			for pos := range ob.buf {
+				refs = append(refs, boundaryRef{
+					when: ob.buf[pos].when,
+					at:   ob.buf[pos].at,
+					ob:   ob,
+					pos:  int32(pos),
+				})
 			}
 		}
-		if len(buf) == 0 {
+		if len(refs) == 0 {
 			continue
 		}
-		slices.SortFunc(buf, compareMsg)
-		for i := range buf {
-			m := &buf[i]
-			dst.ports[m.Port].Inject(dst.k, m.When, m.At, &m.W)
+		slices.SortFunc(refs, compareRef)
+		for i := range refs {
+			r := &refs[i]
+			ent := &r.ob.buf[r.pos]
+			dst.ports[r.ob.port].Inject(dst.k, ent.when, ent.at, &ent.w)
 			e.assertInjected()
 		}
-		e.scratch = buf[:0]
+		for _, ob := range e.inbound[di] {
+			ob.buf = ob.buf[:0]
+		}
+		e.scratch = refs[:0]
 	}
 	e.assertConserved()
+}
+
+// peekMin reports the earliest pending instant over all shard kernels, after
+// the barrier's injections. Runs on the driver goroutine between windows;
+// peeking may advance a kernel's wheel cascade but never detaches events.
+func (e *Engine) peekMin() (Time, bool) {
+	var m Time
+	found := false
+	for _, s := range e.shards {
+		if w, ok := s.k.PeekNext(); ok && (!found || w < m) {
+			m, found = w, true
+		}
+	}
+	return m, found
 }
 
 // ensureWorkers lazily starts one goroutine per shard.
@@ -338,9 +399,11 @@ func (e *Engine) Close() {
 
 // RunUntil advances every shard to the virtual instant t, firing all events
 // scheduled at or before t — exactly the serial kernel's RunUntil contract,
-// lifted to the sharded topology. Windows of width Lookahead() run
-// concurrently; the final window is inclusive of t so instants at exactly t
-// fire, matching the serial semantics.
+// lifted to the sharded topology. Each window runs concurrently to the
+// adaptive target min(t, m+W), where m is the earliest pending instant
+// across the shards at the barrier and W the conservative lookahead; the
+// final window is inclusive of t so instants at exactly t fire, matching the
+// serial semantics.
 func (e *Engine) RunUntil(t Time) error {
 	if t < e.now {
 		return ErrPastTime
@@ -365,9 +428,14 @@ func (e *Engine) RunUntil(t Time) error {
 	e.ensureWorkers()
 	for {
 		e.exchange()
-		target := e.now + w
-		if target > t || target < e.now { // second clause: Time overflow
-			target = t
+		target := t
+		if m, ok := e.peekMin(); ok {
+			// m >= e.now always (RunBefore drained everything earlier and
+			// injections respect the guard), so nt > e.now unless m+w
+			// overflowed — in which case the t default stands.
+			if nt := m + w; nt < t && nt > e.now {
+				target = nt
+			}
 		}
 		final := target >= t
 		e.windowEnd = target

@@ -1,0 +1,70 @@
+package tcp
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+
+	"pulsedos/internal/sim"
+)
+
+// TestFlowHotRecordSize pins the hot per-flow record to exactly one cache
+// line. The compaction contract (DESIGN.md §12) is that every field the
+// per-packet path touches — window state, RTT estimator, RTO deadline,
+// sequence cursors, flags — fits in 64 bytes, so a packet event dirties one
+// line per flow instead of several. Growing the record is an explicit design
+// decision, not a drive-by field addition; shrink something else first.
+func TestFlowHotRecordSize(t *testing.T) {
+	if got := unsafe.Sizeof(flowHot{}); got != 64 {
+		t.Fatalf("flowHot is %d bytes, want exactly 64 (one cache line)", got)
+	}
+}
+
+// TestMillionFlowTableFootprint guards the bytes-per-flow budget of an
+// unbound million-slot FlowTable: hot record (64) + sender (72) + receiver
+// (304) + per-flow stats (56) + recovery/limit/wheel columns (~28) ≈ 520
+// bytes today. The 560-byte ceiling leaves ~8% headroom for alignment drift
+// while still failing loudly if a column quietly widens back to the
+// pre-compaction layout (which was over 700).
+func TestMillionFlowTableFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-slot table allocation in -short mode")
+	}
+	const flows = 1_000_000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	tbl, err := NewFlowTable(sim.New(), DefaultConfig(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	perFlow := float64(m1.HeapAlloc-m0.HeapAlloc) / flows
+	t.Logf("%d-slot table: %.1f bytes/flow", flows, perFlow)
+	if perFlow > 560 {
+		t.Errorf("unbound FlowTable costs %.1f bytes/flow, budget 560", perFlow)
+	}
+	runtime.KeepAlive(tbl)
+}
+
+// TestRTOWheelSizeIndependentOfFlows pins the epoch wheel's O(buckets)
+// property: the bucket ring is sized by the RTO range (rtoMax, jitter,
+// epoch width), never by the population, so a million-flow table keeps the
+// same handful of buckets — and one heartbeat event per epoch — as a
+// thousand-flow one.
+func TestRTOWheelSizeIndependentOfFlows(t *testing.T) {
+	cfg := DefaultConfig()
+	small, err := NewFlowTable(sim.New(), cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewFlowTable(sim.New(), cfg, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.rtoBucket) != len(big.rtoBucket) {
+		t.Errorf("bucket ring scales with flows: %d buckets at 1k vs %d at 200k",
+			len(small.rtoBucket), len(big.rtoBucket))
+	}
+	t.Logf("wheel has %d buckets for rtoMax=%v", len(big.rtoBucket), cfg.RTOMax)
+}

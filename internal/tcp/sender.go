@@ -26,9 +26,10 @@ type CwndObserver func(now sim.Time, cwndSegments float64)
 // and is limited purely by its congestion window — the victim model used
 // throughout the paper. It implements netem.Node to receive ACKs.
 //
-// The struct holds only the cold wiring (links, timers, callbacks); all
-// state touched per packet lives in the owning FlowTable's flat slices at
-// slot i, so a many-flow population shares contiguous storage.
+// The struct holds only the cold wiring (links, callbacks); all state touched
+// per packet lives in the owning FlowTable's hot record at slot i, so a
+// many-flow population shares contiguous storage. RTO scheduling goes through
+// the table's epoch wheel (rto.go) instead of a per-flow kernel timer.
 type Sender struct {
 	k    *sim.Kernel
 	t    *FlowTable
@@ -36,7 +37,6 @@ type Sender struct {
 	flow int
 	out  *netem.Link
 
-	rtoTimer  sim.Timer
 	rtoRand   *rng.Source // non-nil when the RTO-jitter defense is enabled
 	timeoutFn func()      // prebuilt onRTOEvent callback (avoids a per-arm method-value allocation)
 
@@ -64,13 +64,13 @@ func NewSender(k *sim.Kernel, cfg Config, flow int, out *netem.Link) (*Sender, e
 func (s *Sender) Flow() int { return s.flow }
 
 // Cwnd reports the current congestion window in segments.
-func (s *Sender) Cwnd() float64 { return s.t.cwnd[s.i] }
+func (s *Sender) Cwnd() float64 { return s.t.hot[s.i].cwnd }
 
 // SSThresh reports the current slow-start threshold in segments.
-func (s *Sender) SSThresh() float64 { return s.t.ssthresh[s.i] }
+func (s *Sender) SSThresh() float64 { return s.t.hot[s.i].ssthresh }
 
 // SRTT reports the smoothed RTT estimate in seconds (0 before any sample).
-func (s *Sender) SRTT() float64 { return s.t.srtt[s.i] }
+func (s *Sender) SRTT() float64 { return s.t.hot[s.i].srtt }
 
 // Stats returns a snapshot of the connection counters.
 func (s *Sender) Stats() SenderStats { return s.t.stats[s.i] }
@@ -86,10 +86,13 @@ func (s *Sender) Observe(fn CwndObserver) { s.observer = fn }
 // segments (n·MSS payload bytes). Must be called before Start; n <= 0
 // restores the unbounded bulk source.
 func (s *Sender) LimitSegments(n int64) {
-	if n < 0 {
-		n = 0
+	if n <= 0 {
+		s.t.limit[s.i] = 0
+		s.t.clear(s.i, flagLimited)
+		return
 	}
 	s.t.limit[s.i] = n
+	s.t.set(s.i, flagLimited)
 }
 
 // OnComplete registers a callback fired once when a finite transfer's last
@@ -115,12 +118,12 @@ func (s *Sender) Start(at sim.Time) error {
 	return nil
 }
 
-// Stop halts the connection: pending timers are cancelled and arriving ACKs
-// are ignored. Used by finite-duration experiments during teardown.
+// Stop halts the connection: the RTO is disarmed and arriving ACKs are
+// ignored. Used by finite-duration experiments during teardown.
 func (s *Sender) Stop() {
 	s.t.set(s.i, flagClosed)
-	s.t.rtoDeadline[s.i] = 0
-	s.rtoTimer.Cancel()
+	s.t.hot[s.i].rtoDeadline = 0
+	s.t.unenrollRTO(s.i)
 }
 
 // Receive implements netem.Node; the reverse path delivers ACKs here. The
@@ -134,10 +137,10 @@ func (s *Sender) Receive(p *netem.Packet) {
 		return
 	}
 	s.t.stats[s.i].AcksReceived++
-	switch {
-	case p.Ack > s.t.hiAck[s.i]:
+	switch hi := int64(s.t.hot[s.i].hiAck); {
+	case p.Ack > hi:
 		s.handleNewAck(p)
-	case p.Ack == s.t.hiAck[s.i]:
+	case p.Ack == hi:
 		s.handleDupAck()
 	default:
 		// Stale ACK from before a timeout-induced resequence: ignore.
@@ -151,48 +154,49 @@ func (s *Sender) Receive(p *netem.Packet) {
 //pdos:hotpath
 func (s *Sender) handleNewAck(p *netem.Packet) {
 	t, i := s.t, s.i
+	h := &t.hot[i]
 	// Karn: only un-ambiguous echoes produce RTT samples.
 	if !p.Retx && p.EchoSentAt > 0 {
 		t.rtoSample(i, s.k.Now().Sub(p.EchoSentAt))
 		t.stats[i].RTTSamples++
 	}
-	newlyAcked := p.Ack - t.hiAck[i]
-	t.hiAck[i] = p.Ack
-	if t.limit[i] > 0 && t.hiAck[i] >= t.limit[i] && !t.has(i, flagDone) {
+	newlyAcked := p.Ack - int64(h.hiAck)
+	h.hiAck = uint32(p.Ack)
+	if h.flags&flagLimited != 0 && int64(h.hiAck) >= t.limit[i] && h.flags&flagDone == 0 {
 		s.complete()
 		return
 	}
 
-	if t.has(i, flagInRecovery) {
-		if t.hiAck[i] >= t.recoverSeq[i] {
+	if h.flags&flagInRecovery != 0 {
+		if h.hiAck >= t.recoverSeq[i] {
 			// Full ACK: leave fast recovery, deflate to ssthresh.
-			t.clear(i, flagInRecovery)
-			t.dupAcks[i] = 0
-			s.setCwnd(t.ssthresh[i])
+			h.flags &^= flagInRecovery
+			h.dupAcks = 0
+			s.setCwnd(h.ssthresh)
 		} else {
 			// Partial ACK.
 			switch t.cfg.Variant {
 			case NewReno:
 				// Retransmit the next hole, deflate by the amount acked,
 				// and stay in recovery (RFC 3782).
-				s.retransmit(t.hiAck[i])
-				deflated := t.cwnd[i] - float64(newlyAcked) + 1
+				s.retransmit(int64(h.hiAck))
+				deflated := h.cwnd - float64(newlyAcked) + 1
 				if deflated < 1 {
 					deflated = 1
 				}
 				s.setCwnd(deflated)
 			case Reno:
 				// Reno aborts recovery on the first partial ACK.
-				t.clear(i, flagInRecovery)
-				t.dupAcks[i] = 0
-				s.setCwnd(t.ssthresh[i])
+				h.flags &^= flagInRecovery
+				h.dupAcks = 0
+				s.setCwnd(h.ssthresh)
 			case Tahoe:
 				// Unreachable: Tahoe never sets flagInRecovery.
-				t.clear(i, flagInRecovery)
+				h.flags &^= flagInRecovery
 			}
 		}
 	} else {
-		t.dupAcks[i] = 0
+		h.dupAcks = 0
 		s.openWindow(newlyAcked)
 	}
 	s.restartRTOTimer()
@@ -205,8 +209,9 @@ func (s *Sender) handleNewAck(p *netem.Packet) {
 //
 //pdos:hotpath
 func (s *Sender) openWindow(acked int64) {
-	t, i := s.t, s.i
-	cwnd, ssthresh := t.cwnd[i], t.ssthresh[i]
+	t := s.t
+	h := &t.hot[s.i]
+	cwnd, ssthresh := h.cwnd, h.ssthresh
 	for n := int64(0); n < acked; n++ {
 		if cwnd < ssthresh {
 			cwnd++
@@ -217,7 +222,7 @@ func (s *Sender) openWindow(acked int64) {
 	if cwnd > t.cfg.MaxWindow {
 		cwnd = t.cfg.MaxWindow
 	}
-	t.cwnd[i] = cwnd
+	h.cwnd = cwnd
 	s.notifyCwnd()
 }
 
@@ -227,23 +232,26 @@ func (s *Sender) openWindow(acked int64) {
 //pdos:hotpath
 func (s *Sender) handleDupAck() {
 	t, i := s.t, s.i
+	h := &t.hot[i]
 	t.stats[i].DupAcks++
-	t.dupAcks[i]++
-	if t.has(i, flagInRecovery) {
+	if h.dupAcks < ^uint16(0) {
+		h.dupAcks++
+	}
+	if h.flags&flagInRecovery != 0 {
 		// Window inflation: each further dup ACK signals a departed segment.
-		s.setCwnd(t.cwnd[i] + 1)
+		s.setCwnd(h.cwnd + 1)
 		return
 	}
-	if t.cfg.LimitedTransmit && t.dupAcks[i] <= 2 {
+	if t.cfg.LimitedTransmit && h.dupAcks <= 2 {
 		// RFC 3042: each of the first two dup ACKs signals a delivered
 		// segment; send one new segment beyond cwnd to keep the ACK clock
 		// alive for small windows.
-		if t.limit[i] == 0 || t.nextSeq[i] < t.limit[i] {
-			s.sendSegment(t.nextSeq[i])
-			t.nextSeq[i]++
+		if h.flags&flagLimited == 0 || int64(h.nextSeq) < t.limit[i] {
+			s.sendSegment(int64(h.nextSeq))
+			h.nextSeq++
 		}
 	}
-	if int(t.dupAcks[i]) != t.cfg.DupThresh {
+	if int(h.dupAcks) != t.cfg.DupThresh {
 		return
 	}
 	// ns-2's bugfix_ / RFC 3782's "careful variant": after a loss event,
@@ -251,42 +259,42 @@ func (s *Sender) handleDupAck() {
 	// duplicate ACKs; entering fast retransmit on them would cut the window
 	// again spuriously. Only ACKs that have advanced past the last recovery
 	// point may arm a new fast retransmit.
-	if t.has(i, flagHadLoss) && t.hiAck[i] <= t.recoverSeq[i] {
+	if h.flags&flagHadLoss != 0 && h.hiAck <= t.recoverSeq[i] {
 		return
 	}
 	// Triple duplicate ACK: the FR (fast retransmit / fast recovery) state
 	// of the paper's analysis.
 	t.stats[i].FastRetransmits++
 	s.multiplicativeDecrease()
-	s.retransmit(t.hiAck[i])
-	t.recoverSeq[i] = t.nextSeq[i]
-	t.set(i, flagHadLoss)
+	s.retransmit(int64(h.hiAck))
+	t.recoverSeq[i] = h.nextSeq
+	h.flags |= flagHadLoss
 	switch t.cfg.Variant {
 	case Tahoe:
-		t.dupAcks[i] = 0
+		h.dupAcks = 0
 		s.setCwnd(1)
 	case Reno, NewReno:
-		t.set(i, flagInRecovery)
-		s.setCwnd(t.ssthresh[i] + float64(t.cfg.DupThresh))
+		h.flags |= flagInRecovery
+		s.setCwnd(h.ssthresh + float64(t.cfg.DupThresh))
 	}
 	s.restartRTOTimer()
 }
 
 // multiplicativeDecrease applies the AIMD(a,b) window cut: ssthresh = b·W.
 func (s *Sender) multiplicativeDecrease() {
-	t, i := s.t, s.i
-	t.ssthresh[i] = t.cfg.DecreaseB * t.cwnd[i]
-	if t.ssthresh[i] < 2 {
-		t.ssthresh[i] = 2
+	h := &s.t.hot[s.i]
+	h.ssthresh = s.t.cfg.DecreaseB * h.cwnd
+	if h.ssthresh < 2 {
+		h.ssthresh = 2
 	}
 }
 
-// complete finishes a finite transfer: timers stop and the completion
+// complete finishes a finite transfer: the RTO disarms and the completion
 // callback fires exactly once.
 func (s *Sender) complete() {
 	s.t.set(s.i, flagDone)
-	s.t.rtoDeadline[s.i] = 0
-	s.rtoTimer.Cancel()
+	s.t.hot[s.i].rtoDeadline = 0
+	s.t.unenrollRTO(s.i)
 	if s.onComplete != nil {
 		s.onComplete(s.k.Now())
 	}
@@ -297,21 +305,22 @@ func (s *Sender) complete() {
 // goes back to the first unacknowledged segment.
 func (s *Sender) handleTimeout() {
 	t, i := s.t, s.i
-	if t.has(i, flagClosed) || t.has(i, flagDone) {
+	h := &t.hot[i]
+	if h.flags&flagClosed != 0 || h.flags&flagDone != 0 {
 		return
 	}
 	t.stats[i].Timeouts++
 	s.multiplicativeDecrease()
-	t.clear(i, flagInRecovery)
-	t.dupAcks[i] = 0
-	t.recoverSeq[i] = t.nextSeq[i]
-	t.set(i, flagHadLoss)
+	h.flags &^= flagInRecovery
+	h.dupAcks = 0
+	t.recoverSeq[i] = h.nextSeq
+	h.flags |= flagHadLoss
 	s.setCwnd(1)
 	t.rtoStep(i)
 	// Go-back-N: resequence from the left window edge. The receiver holds
 	// buffered out-of-order segments, so its cumulative ACKs jump forward
 	// quickly across the already-delivered span.
-	t.nextSeq[i] = t.hiAck[i]
+	h.nextSeq = h.hiAck
 	s.restartRTOTimer()
 	s.trySend()
 }
@@ -322,27 +331,29 @@ func (s *Sender) handleTimeout() {
 //pdos:hotpath
 func (s *Sender) trySend() {
 	t, i := s.t, s.i
-	flags := t.flags[i]
+	h := &t.hot[i]
+	flags := h.flags
 	if flags&flagClosed != 0 || flags&flagStarted == 0 || flags&flagDone != 0 {
 		return
 	}
-	window := int64(t.cwnd[i])
+	window := int64(h.cwnd)
 	if window < 1 {
 		window = 1
 	}
 	if maxW := int64(t.cfg.MaxWindow); window > maxW {
 		window = maxW
 	}
+	end := int64(h.hiAck) + window
+	if flags&flagLimited != 0 && end > t.limit[i] {
+		end = t.limit[i]
+	}
 	sent := false
-	for t.nextSeq[i] < t.hiAck[i]+window {
-		if t.limit[i] > 0 && t.nextSeq[i] >= t.limit[i] {
-			break
-		}
-		s.sendSegment(t.nextSeq[i])
-		t.nextSeq[i]++
+	for int64(h.nextSeq) < end {
+		s.sendSegment(int64(h.nextSeq))
+		h.nextSeq++
 		sent = true
 	}
-	if sent && t.rtoDeadline[i] == 0 {
+	if sent && h.rtoDeadline == 0 {
 		s.restartRTOTimer()
 	}
 }
@@ -360,9 +371,10 @@ func (s *Sender) retransmit(seq int64) {
 //pdos:hotpath
 func (s *Sender) sendSegment(seq int64) {
 	t, i := s.t, s.i
-	retx := seq < t.maxSent[i]
-	if seq >= t.maxSent[i] {
-		t.maxSent[i] = seq + 1
+	h := &t.hot[i]
+	retx := seq < int64(h.maxSent)
+	if seq >= int64(h.maxSent) {
+		h.maxSent = uint32(seq) + 1
 	}
 	t.stats[i].SegmentsSent++
 	if retx {
@@ -380,44 +392,70 @@ func (s *Sender) sendSegment(seq int64) {
 }
 
 // restartRTOTimer (re)computes the timeout deadline for the current RTO,
-// stretched by the randomized-timeout defense when enabled. The ACK-side
-// hot path is lazy: instead of cancelling and rescheduling a kernel event
-// per ACK, it records the deadline and keeps any pending event that fires
-// no later — onRTOEvent re-arms the difference when it fires early. The
-// observable expiry instant is exactly the recorded deadline either way.
+// stretched by the randomized-timeout defense when enabled, and makes sure
+// the epoch wheel covers it. The common ACK-path case — the deadline moves
+// later within or beyond the epoch the slot is already enrolled under — is a
+// pure field write: the bucket walk re-homes the entry when it gets there.
+// Kernel events are only created for deadlines the wheel cannot reach (in
+// the already-walked current epoch, or pulled earlier than the enrolled
+// bucket), and those exact probes re-check the live deadline on fire.
 //
 //pdos:hotpath
 func (s *Sender) restartRTOTimer() {
 	t, i := s.t, s.i
+	h := &t.hot[i]
 	rto := t.rto(i)
 	if s.rtoRand != nil {
 		rto = sim.Time(float64(rto) * (1 + t.cfg.RTOJitter*s.rtoRand.Float64()))
 	}
-	deadline := s.k.Now() + rto
-	t.rtoDeadline[i] = deadline
-	if s.rtoTimer.Active() {
-		if s.rtoTimer.When() <= deadline {
-			return
+	now := s.k.Now()
+	deadline := now + rto
+	h.rtoDeadline = deadline
+	e := rtoEpochOf(deadline)
+	if h.flags&flagRTOEnrolled != 0 {
+		if e >= t.rtoEpoch[i] {
+			return // the enrolled bucket walks first and re-homes the entry
 		}
-		s.rtoTimer.Cancel()
+		s.probeAt(deadline)
+		return
 	}
-	s.rtoTimer = s.k.AfterTicks(rto, s.timeoutFn)
+	if e <= rtoEpochOf(now) {
+		s.probeAt(deadline)
+		return
+	}
+	t.enrollRTO(i, deadline)
 }
 
-// onRTOEvent is the kernel-timer callback behind the lazy RTO scheme: fired
-// at or past the recorded deadline it is a real timeout; fired early (the
-// deadline was pushed out by ACKs since this event was armed) it re-arms for
-// the remainder.
+// probeAt schedules an exact expiry event outside the wheel.
+//
+//pdos:hotpath
+func (s *Sender) probeAt(deadline sim.Time) {
+	if _, err := s.k.At(deadline, s.timeoutFn); err != nil {
+		panic("tcp: rto probe: " + err.Error())
+	}
+}
+
+// onRTOEvent is the expiry callback shared by wheel walks and direct probes:
+// fired at or past the recorded deadline it is a real timeout; fired early
+// (the deadline was pushed out since this event was armed) it just makes
+// sure the wheel still covers the live deadline.
 //
 //pdos:hotpath
 func (s *Sender) onRTOEvent() {
-	deadline := s.t.rtoDeadline[s.i]
+	t, i := s.t, s.i
+	deadline := t.hot[i].rtoDeadline
 	if deadline == 0 {
 		return // disarmed by Stop or a completed transfer
 	}
 	now := s.k.Now()
 	if now < deadline {
-		s.rtoTimer = s.k.AfterTicks(deadline.Sub(now), s.timeoutFn)
+		if t.hot[i].flags&flagRTOEnrolled == 0 {
+			if rtoEpochOf(deadline) > rtoEpochOf(now) {
+				t.enrollRTO(i, deadline)
+			} else {
+				s.probeAt(deadline)
+			}
+		}
 		return
 	}
 	s.handleTimeout()
@@ -427,20 +465,20 @@ func (s *Sender) onRTOEvent() {
 //
 //pdos:hotpath
 func (s *Sender) setCwnd(w float64) {
-	t, i := s.t, s.i
+	t := s.t
 	if w < 1 {
 		w = 1
 	}
 	if w > t.cfg.MaxWindow {
 		w = t.cfg.MaxWindow
 	}
-	t.cwnd[i] = w
+	t.hot[s.i].cwnd = w
 	s.notifyCwnd()
 }
 
 //pdos:hotpath
 func (s *Sender) notifyCwnd() {
 	if s.observer != nil {
-		s.observer(s.k.Now(), s.t.cwnd[s.i])
+		s.observer(s.k.Now(), s.t.hot[s.i].cwnd)
 	}
 }

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"math"
 
 	"pulsedos/internal/netem"
 	"pulsedos/internal/rng"
@@ -9,29 +10,71 @@ import (
 	"pulsedos/internal/trace"
 )
 
-// Per-flow state flags packed into FlowTable.flags.
+// Per-flow state flags packed into flowHot.flags.
 const (
 	flagStarted uint8 = 1 << iota
 	flagClosed
 	flagDone
 	flagInRecovery
 	flagHadLoss
-	flagRTTSampled // the RFC 6298 estimator has folded at least one sample
+	flagRTTSampled  // the RFC 6298 estimator has folded at least one sample
+	flagLimited     // finite transfer: FlowTable.limit[i] caps the segment budget
+	flagRTOEnrolled // slot sits in an RTO-wheel bucket (rto.go)
 )
 
-// FlowTable owns the per-flow TCP state that is touched on every packet,
-// laid out as parallel flat slices (struct of arrays): congestion and
-// sequence bookkeeping, the RFC 6298 estimator, and the per-flow counters.
-// A 10k-flow environment walks contiguous memory on its ACK path instead of
-// chasing 10k individually allocated connection objects, and the whole
-// population costs a handful of allocations at build time rather than
-// several per flow.
+// flowHot is the per-flow state touched on every ACK and every send, packed
+// into exactly one 64-byte cache line so the per-event working set of a
+// million-flow population stays cache-resident. Quantities that fit narrower
+// ranges are narrowed:
 //
-// The table also owns the Sender and Receiver structs themselves (the cold
-// halves: links, callbacks, timers), handed out as pointers into two
-// contiguous slices. Slots are indexed 0..n-1 and are distinct from flow
-// ids: single-connection helpers like NewSender wrap a one-slot table with
-// an arbitrary flow id.
+//   - Sequence counters are uint32 segment indices. At MSS=1000 that caps a
+//     single flow at ~4.3 TB of payload before wraparound — far beyond any
+//     scenario this simulator models (a 1 Mbps flow needs ~1 virtual year to
+//     get there). Packet headers stay int64; conversion happens at the table
+//     boundary.
+//   - dupAcks saturates at 65535 instead of counting unboundedly; only the
+//     comparison against DupThresh (single digits) is ever observed.
+//   - rtoBackoff counts consecutive timeouts and is clamped to 12 doublings.
+//
+// The estimator floats (cwnd, ssthresh, srtt, rttvar) stay float64: the
+// congestion-avoidance increment a/W and the RTT fold are numerically
+// sensitive and frozen by the cross-build equivalence contract.
+type flowHot struct {
+	cwnd     float64 // congestion window, segments
+	ssthresh float64 // slow-start threshold, segments
+	srtt     float64 // RFC 6298 smoothed RTT, seconds
+	rttvar   float64 // RFC 6298 RTT variance, seconds
+
+	rtoBase     sim.Time // clamped srtt + 4·rttvar
+	rtoDeadline sim.Time // current timeout target; 0 = disarmed
+
+	hiAck   uint32 // all segments < hiAck are acknowledged
+	nextSeq uint32 // next segment to put on the wire
+	maxSent uint32 // highest segment ever sent + 1 (for Retx marking)
+
+	dupAcks    uint16 // duplicate-ACK run length (saturating)
+	rtoBackoff uint8  // consecutive timeouts; RTO doubles per timeout
+	flags      uint8
+}
+
+// FlowTable owns the per-flow TCP state that is touched on every packet.
+// The hot column is an array of 64-byte flowHot records — one cache line per
+// flow — while rarely touched quantities (recovery points, finite-transfer
+// budgets, counters, the RTO-wheel links, and the Sender/Receiver wiring
+// structs) live in separate cold columns. A million-flow environment walks
+// contiguous memory on its ACK path instead of chasing a million individually
+// allocated connection objects, and the whole population costs a handful of
+// allocations at build time rather than several per flow.
+//
+// The table also owns the Sender and Receiver structs themselves (links,
+// callbacks), handed out as pointers into two contiguous slices. Slots are
+// indexed 0..n-1 and are distinct from flow ids: single-connection helpers
+// like NewSender wrap a one-slot table with an arbitrary flow id.
+//
+// The table also owns the epoch-batched RTO wheel (rto.go): instead of one
+// pending kernel timer per flow, due deadlines are bucketed by coarse epoch
+// and a single self-chaining heartbeat per table walks the due bucket,
+// keeping pending kernel timers O(buckets) instead of O(flows).
 //
 // Ownership rule: the environment that builds the table owns it for the
 // lifetime of the simulation; Senders and Receivers are views into it and
@@ -43,34 +86,33 @@ type FlowTable struct {
 	// RTO bounds derived from cfg once (sim.Time, not time.Duration).
 	rtoMin, rtoMax sim.Time
 
-	// Congestion state (window quantities in segments).
-	cwnd       []float64
-	ssthresh   []float64
-	hiAck      []int64 // all segments < hiAck are acknowledged
-	nextSeq    []int64 // next segment to put on the wire
-	maxSent    []int64 // highest segment ever sent + 1 (for Retx marking)
-	recoverSeq []int64 // recovery point: recovery ends when hiAck >= recoverSeq
-	limit      []int64 // finite-transfer segment budget; 0 = unbounded
-	dupAcks    []int32
-	flags      []uint8
+	hot []flowHot
 
-	// RFC 6298 estimator state (see rto.go) plus the lazy RTO deadline the
-	// ACK path writes instead of cancelling and rescheduling a kernel timer
-	// per ACK (see Sender.restartRTOTimer).
-	srtt        []float64  // seconds
-	rttvar      []float64  // seconds
-	rtoBase     []sim.Time // clamped srtt + 4·rttvar
-	rtoBackoff  []uint8    // consecutive timeouts; RTO doubles per timeout
-	rtoDeadline []sim.Time // current timeout target; 0 = disarmed
+	// Cold columns: touched on loss events, finite-transfer bookkeeping, or
+	// wheel maintenance — not on the common ACK path.
+	recoverSeq []uint32 // recovery point: recovery ends when hiAck >= recoverSeq
+	limit      []int64  // finite-transfer segment budget (valid when flagLimited)
+	stats      []SenderStats
 
-	stats []SenderStats
+	// RTO wheel (rto.go): per-slot doubly linked bucket membership plus the
+	// bucket ring. rtoEpoch records which epoch a slot was enrolled under.
+	rtoNext   []int32
+	rtoPrev   []int32
+	rtoEpoch  []uint32
+	rtoBucket []int32 // epoch & rtoMask → head slot, -1 when empty
+	rtoMask   uint32
+	rtoLive   int       // slots currently enrolled in a bucket
+	tickAt    sim.Time  // next heartbeat instant; 0 = chain stopped
+	tickFn    func(any) // prebuilt heartbeat callback
+	tickFires uint64    // heartbeat events fired (bookkeeping, not model events)
 
 	senders []Sender
 	recvs   []Receiver
 }
 
 // NewFlowTable allocates state for n flows sharing one configuration. Slots
-// are inert until bound with BindSender / BindReceiver.
+// are inert until bound with BindSender / BindReceiver. The table is pre-sized
+// from n: nothing on the per-packet path grows any of its columns.
 func NewFlowTable(k *sim.Kernel, cfg Config, n int) (*FlowTable, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -78,37 +120,36 @@ func NewFlowTable(k *sim.Kernel, cfg Config, n int) (*FlowTable, error) {
 	if k == nil {
 		return nil, fmt.Errorf("tcp: flow table: nil kernel")
 	}
-	if n < 1 {
-		return nil, fmt.Errorf("tcp: flow table needs >= 1 slot, got %d", n)
+	if n < 1 || n > math.MaxInt32 {
+		return nil, fmt.Errorf("tcp: flow table needs 1..%d slots, got %d", math.MaxInt32, n)
 	}
 	t := &FlowTable{
-		k:           k,
-		cfg:         cfg,
-		rtoMin:      sim.FromDuration(cfg.RTOMin),
-		rtoMax:      sim.FromDuration(cfg.RTOMax),
-		cwnd:        make([]float64, n),
-		ssthresh:    make([]float64, n),
-		hiAck:       make([]int64, n),
-		nextSeq:     make([]int64, n),
-		maxSent:     make([]int64, n),
-		recoverSeq:  make([]int64, n),
-		limit:       make([]int64, n),
-		dupAcks:     make([]int32, n),
-		flags:       make([]uint8, n),
-		srtt:        make([]float64, n),
-		rttvar:      make([]float64, n),
-		rtoBase:     make([]sim.Time, n),
-		rtoBackoff:  make([]uint8, n),
-		rtoDeadline: make([]sim.Time, n),
-		stats:       make([]SenderStats, n),
-		senders:     make([]Sender, n),
-		recvs:       make([]Receiver, n),
+		k:          k,
+		cfg:        cfg,
+		rtoMin:     sim.FromDuration(cfg.RTOMin),
+		rtoMax:     sim.FromDuration(cfg.RTOMax),
+		hot:        make([]flowHot, n),
+		recoverSeq: make([]uint32, n),
+		limit:      make([]int64, n),
+		stats:      make([]SenderStats, n),
+		rtoNext:    make([]int32, n),
+		rtoPrev:    make([]int32, n),
+		rtoEpoch:   make([]uint32, n),
+		senders:    make([]Sender, n),
+		recvs:      make([]Receiver, n),
 	}
+	t.rtoBucket = make([]int32, t.wheelSize())
+	t.rtoMask = uint32(len(t.rtoBucket) - 1)
+	for i := range t.rtoBucket {
+		t.rtoBucket[i] = -1
+	}
+	t.tickFn = func(any) { t.onTick() }
 	initial := t.rtoInitial()
-	for i := 0; i < n; i++ {
-		t.cwnd[i] = cfg.InitialCwnd
-		t.ssthresh[i] = cfg.InitialSSThresh
-		t.rtoBase[i] = initial
+	for i := range t.hot {
+		h := &t.hot[i]
+		h.cwnd = cfg.InitialCwnd
+		h.ssthresh = cfg.InitialSSThresh
+		h.rtoBase = initial
 	}
 	return t, nil
 }
@@ -124,6 +165,13 @@ func (t *FlowTable) Sender(i int) *Sender { return &t.senders[i] }
 
 // Receiver returns the receiver bound at slot i.
 func (t *FlowTable) Receiver(i int) *Receiver { return &t.recvs[i] }
+
+// TimerTicks reports how many RTO-wheel heartbeat events this table has
+// fired. Heartbeats are engine bookkeeping, not model events: a sharded run
+// splits one population across several tables, each with its own heartbeat
+// chain, so raw kernel Processed counts diverge between serial and sharded
+// builds by exactly this amount. topo.Environment.Processed subtracts it.
+func (t *FlowTable) TimerTicks() uint64 { return t.tickFires }
 
 // BindSender wires slot i as a bulk TCP source for the given flow id whose
 // first hop is out. The connection does not transmit until Start is called.
@@ -161,6 +209,6 @@ func (t *FlowTable) BindReceiver(i, flow int, out *netem.Link, account *trace.Fl
 	return r, nil
 }
 
-func (t *FlowTable) has(i int, f uint8) bool { return t.flags[i]&f != 0 }
-func (t *FlowTable) set(i int, f uint8)      { t.flags[i] |= f }
-func (t *FlowTable) clear(i int, f uint8)    { t.flags[i] &^= f }
+func (t *FlowTable) has(i int, f uint8) bool { return t.hot[i].flags&f != 0 }
+func (t *FlowTable) set(i int, f uint8)      { t.hot[i].flags |= f }
+func (t *FlowTable) clear(i int, f uint8)    { t.hot[i].flags &^= f }

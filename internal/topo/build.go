@@ -48,12 +48,13 @@ func Build(g Graph, opts Options) (*Environment, error) {
 	env := &Environment{
 		Graph:   g,
 		Plan:    plan,
-		Account: trace.NewFlowAccountSized(flows),
+		Account: trace.NewFlowAccountSized(flows + len(info.fluid)),
 		Sink:    &netem.Sink{},
 		Senders: make([]*tcp.Sender, flows),
 		Recvs:   make([]*tcp.Receiver, flows),
 		RTTs:    make([]float64, flows),
 		rand:    rng.New(g.Seed),
+		effRate: info.effRate,
 	}
 	for i := range info.flows {
 		env.RTTs[i] = info.flows[i].rttSec
@@ -71,6 +72,14 @@ func Build(g Graph, opts Options) (*Environment, error) {
 	b.wireDemuxes()
 	if err := b.wireFlows(); err != nil {
 		return nil, err
+	}
+	if err := b.wireMacroflows(); err != nil {
+		return nil, err
+	}
+	for _, t := range b.tables {
+		if t != nil {
+			env.tables = append(env.tables, t)
+		}
 	}
 	env.Kernel = b.kernels[env.Plan.TrunkFwd[g.Target]]
 	env.Bottle = b.fwdLinks[g.Target]
@@ -200,11 +209,15 @@ func (b *builder) wireTrunks() error {
 	for ti := range b.g.Trunks {
 		t := &b.g.Trunks[ti]
 		sf, sr := b.plan.TrunkFwd[ti], b.plan.TrunkRev[ti]
-		fq, err := buildQueue(&t.Queue, b.env.rand, t.Rate)
+		// Forward trunks run at the effective rate: the declared rate minus
+		// the fluid tier's carve-out (identical to t.Rate when no fluid group
+		// crosses this trunk), so packet-accurate traffic contends for
+		// exactly the residual capacity.
+		fq, err := buildQueue(&t.Queue, b.env.rand, b.info.effRate[ti])
 		if err != nil {
 			return err
 		}
-		fwd, err := netem.NewLink(b.kernels[sf], t.Name+"-fwd", t.Rate, sim.FromDuration(t.Delay),
+		fwd, err := netem.NewLink(b.kernels[sf], t.Name+"-fwd", b.info.effRate[ti], sim.FromDuration(t.Delay),
 			fq, b.routers[sf][t.To])
 		if err != nil {
 			return err
@@ -340,6 +353,35 @@ func (b *builder) wireFlows() error {
 		if err := b.wireFlow(f); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// wireMacroflows builds one fluid aggregate per fluid-model group, on the
+// kernel that owns the group's bottleneck trunk, observing that trunk's
+// forward link. Aggregates are credited under flow ids just above the packet
+// population, in group declaration order.
+func (b *builder) wireMacroflows() error {
+	packetFlows := len(b.info.flows)
+	for mi := range b.info.fluid {
+		fl := &b.info.fluid[mi]
+		cfg := tcp.MacroflowConfig{
+			Flow:      packetFlows + mi,
+			Flows:     fl.flows,
+			RTT:       fl.rttSec,
+			Share:     fl.share,
+			MSS:       b.g.TCP.MSS,
+			IncreaseA: b.g.TCP.IncreaseA,
+			DecreaseB: b.g.TCP.DecreaseB,
+			InitCwnd:  b.g.TCP.InitialCwnd,
+			MaxCwnd:   b.g.TCP.MaxWindow,
+		}
+		m, err := tcp.NewMacroflow(b.kernels[b.plan.TrunkFwd[fl.trunk]], cfg,
+			b.fwdLinks[fl.trunk], b.env.Account)
+		if err != nil {
+			return fmt.Errorf("topo: group %d: %w", fl.group, err)
+		}
+		b.env.macros = append(b.env.macros, m)
 	}
 	return nil
 }

@@ -35,6 +35,9 @@ type Environment struct {
 	attackIn []*netem.Link
 	attackK  []*sim.Kernel
 	rand     *rng.Source
+	tables   []*tcp.FlowTable // one per shard holding flows (for TimerTicks)
+	macros   []*tcp.Macroflow // fluid-tier aggregates, in group order
+	effRate  []float64        // per trunk: forward rate minus the fluid carve-out
 }
 
 // Sim exposes the target-shard event kernel.
@@ -59,7 +62,8 @@ func (e *Environment) Rand() *rng.Source { return e.rand }
 
 // StartFlows schedules every victim flow to begin within the configured
 // start spread, deterministically from the topology seed: one draw per flow
-// in global flow-id order.
+// in global flow-id order. Fluid macroflows start at the origin and consume
+// no draws, so adding a fluid tier never shifts the packet flows' jitter.
 func (e *Environment) StartFlows() error {
 	spread := sim.FromDuration(e.Graph.StartSpread)
 	for _, s := range e.Senders {
@@ -71,15 +75,28 @@ func (e *Environment) StartFlows() error {
 			return err
 		}
 	}
+	for _, m := range e.macros {
+		if err := m.Start(0); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// StopFlows halts every victim sender (teardown for finite experiments).
+// StopFlows halts every victim sender and fluid macroflow (teardown for
+// finite experiments).
 func (e *Environment) StopFlows() {
 	for _, s := range e.Senders {
 		s.Stop()
 	}
+	for _, m := range e.macros {
+		m.Stop()
+	}
 }
+
+// Macroflows exposes the fluid-tier aggregates (empty when every group is
+// packet-accurate), in flow-group declaration order.
+func (e *Environment) Macroflows() []*tcp.Macroflow { return e.macros }
 
 // Attach builds an attack generator feeding the first attack point's ingress
 // link, on that point's shard kernel.
@@ -104,12 +121,20 @@ func (e *Environment) RunUntil(t sim.Time) error {
 	return e.Kernel.RunUntil(t)
 }
 
-// Processed reports total events fired across all shards.
+// Processed reports total model events fired across all shards, excluding
+// the RTO wheel's per-table heartbeat ticks: a sharded build splits one flow
+// population across per-shard tables, each running its own heartbeat chain,
+// so the raw kernel counts differ between serial and sharded builds by
+// exactly the tick total while the model event count is identical.
 func (e *Environment) Processed() uint64 {
-	if e.eng != nil {
-		return e.eng.Processed()
+	var ticks uint64
+	for _, t := range e.tables {
+		ticks += t.TimerTicks()
 	}
-	return e.Kernel.Processed()
+	if e.eng != nil {
+		return e.eng.Processed() - ticks
+	}
+	return e.Kernel.Processed() - ticks
 }
 
 // BottleStats snapshots the target trunk's forward-link counters.
@@ -143,14 +168,21 @@ func (e *Environment) TimeoutModel() model.TimeoutModelConfig {
 	}
 }
 
+// EffectiveRate reports a trunk's forward rate after the fluid tier's
+// carve-out — the capacity the packet-accurate traffic actually contends
+// for. Identical to the declared rate when no fluid group crosses the trunk.
+func (e *Environment) EffectiveRate(trunk int) float64 { return e.effRate[trunk] }
+
 // ModelParams assembles the analytic-model parameters corresponding to this
-// topology instance; the bottleneck is the target trunk's forward rate.
+// topology instance; the bottleneck is the target trunk's effective forward
+// rate (the declared rate minus any fluid-tier carve-out), since the model
+// describes the packet-accurate flows contending there.
 func (e *Environment) ModelParams() model.Params {
 	return model.Params{
 		AIMD:       model.AIMD{A: e.Graph.TCP.IncreaseA, B: e.Graph.TCP.DecreaseB},
 		AckRatio:   float64(e.Graph.TCP.AckEvery),
 		PacketSize: float64(e.Graph.TCP.MSS + e.Graph.TCP.HeaderSize),
-		Bottleneck: e.Graph.Trunks[e.Graph.Target].Rate,
+		Bottleneck: e.effRate[e.Graph.Target],
 		RTTs:       append([]float64(nil), e.RTTs...),
 	}
 }

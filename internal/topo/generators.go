@@ -39,6 +39,12 @@ type DumbbellConfig struct {
 	AttackAccessRate float64       // attacker's ingress link rate, bps
 	AttackPacketSize int           // attack packet wire size, bytes
 
+	// FluidBackgroundFlows adds a second flow group of this size modeled as
+	// a fluid macroflow aggregate (Model: ModelFluid) sharing the bottleneck:
+	// background load at million-flow scale without per-packet cost. The
+	// packet-accurate foreground (Flows) keeps supplying the loss signal.
+	FluidBackgroundFlows int
+
 	// HeapKernel forces the pure binary-heap event scheduler instead of the
 	// timer-wheel one. The two are observably identical (see internal/sim);
 	// this is the baseline knob for the scaling benchmarks.
@@ -78,6 +84,25 @@ func Dumbbell(cfg DumbbellConfig) Graph {
 	case cfg.AdaptiveRED:
 		kind = QueueARED
 	}
+	groups := []FlowGroup{{
+		Flows:      cfg.Flows,
+		Ingress:    0,
+		Egress:     1,
+		AccessRate: cfg.AccessRate,
+		RTTMin:     cfg.RTTMin,
+		RTTMax:     cfg.RTTMax,
+	}}
+	if cfg.FluidBackgroundFlows > 0 {
+		groups = append(groups, FlowGroup{
+			Flows:      cfg.FluidBackgroundFlows,
+			Ingress:    0,
+			Egress:     1,
+			AccessRate: cfg.AccessRate,
+			RTTMin:     cfg.RTTMin,
+			RTTMax:     cfg.RTTMax,
+			Model:      ModelFluid,
+		})
+	}
 	return Graph{
 		Name:    "dumbbell",
 		Routers: []string{"S", "R"},
@@ -91,14 +116,7 @@ func Dumbbell(cfg DumbbellConfig) Graph {
 			// The reverse direction carries ACKs; generously buffered tail drop.
 			RevQueue: QueueSpec{Kind: QueueDropTail, Limit: 4096},
 		}},
-		Groups: []FlowGroup{{
-			Flows:      cfg.Flows,
-			Ingress:    0,
-			Egress:     1,
-			AccessRate: cfg.AccessRate,
-			RTTMin:     cfg.RTTMin,
-			RTTMax:     cfg.RTTMax,
-		}},
+		Groups:           groups,
 		Attacks:          []AttackPoint{{Router: 0, Rate: cfg.AttackAccessRate, Delay: 2 * time.Millisecond}},
 		SinkRouter:       1,
 		Target:           0,

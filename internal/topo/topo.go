@@ -76,6 +76,18 @@ type TrunkSpec struct {
 	RevQueue QueueSpec // reverse queue (typically generous tail drop)
 }
 
+// Flow-group fidelity models.
+const (
+	// ModelPacket is per-packet TCP simulation — the default ("" means packet).
+	ModelPacket = "packet"
+	// ModelFluid aggregates the group into one deterministic rate process
+	// (tcp.Macroflow): no packets are simulated, the group's fair share is
+	// carved out of the trunk links it traverses, and its goodput responds to
+	// the loss fraction the packet-accurate traffic measures at the group's
+	// bottleneck. Background tier for million-flow scenarios.
+	ModelFluid = "fluid"
+)
+
 // FlowGroup places a population of TCP flows between two routers. Each flow
 // gets four private access links (sender->ingress, egress->receiver, and the
 // reverse pair), all at AccessRate with AccessQueue-packet tail-drop queues.
@@ -97,6 +109,12 @@ type FlowGroup struct {
 	RTTMax      time.Duration
 	AccessOWD   time.Duration
 	AccessQueue int // access queue capacity, packets; 0 = 1024
+
+	// Model selects the group's fidelity tier: "" or ModelPacket for
+	// per-packet simulation, ModelFluid for the aggregate fluid tier. A fluid
+	// group contributes no Senders/Recvs slots and draws no start jitter; its
+	// goodput is credited under flow ids above the packet population.
+	Model string
 }
 
 // AttackPoint is an attacker ingress: a fat link into a router, from which
@@ -153,9 +171,23 @@ type flowInfo struct {
 	queue   int
 }
 
+// fluidInfo is the per-group derivation for fluid-model groups: the capacity
+// share carved out of the trunks along the path, the trunk realizing the
+// group's end-to-end bottleneck (where the loss signal is observed), and a
+// representative RTT for the aggregate's control loop.
+type fluidInfo struct {
+	group  int
+	flows  int
+	trunk  int     // path trunk with the smallest carved share
+	share  float64 // end-to-end capacity share, bits per second
+	rttSec float64
+}
+
 // graphInfo caches everything analyze derives from a Graph.
 type graphInfo struct {
 	flows      []flowInfo
+	fluid      []fluidInfo // fluid-model groups, in group declaration order
+	effRate    []float64   // per trunk: forward rate minus the fluid carve-out
 	groupPaths [][]int
 	defaultFwd []int   // router -> first outgoing trunk, -1 = none
 	defaultRev []int   // router -> first incoming trunk, -1 = none
@@ -220,6 +252,9 @@ func analyze(g *Graph) (*graphInfo, error) {
 		if grp.Flows < 1 {
 			return nil, fmt.Errorf("topo: group %d needs >= 1 flow, got %d", gi, grp.Flows)
 		}
+		if grp.Model != "" && grp.Model != ModelPacket && grp.Model != ModelFluid {
+			return nil, fmt.Errorf("topo: group %d has unknown model %q", gi, grp.Model)
+		}
 		if grp.Ingress < 0 || grp.Ingress >= nr || grp.Egress < 0 || grp.Egress >= nr || grp.Ingress == grp.Egress {
 			return nil, fmt.Errorf("topo: group %d endpoints %d->%d invalid", gi, grp.Ingress, grp.Egress)
 		}
@@ -238,10 +273,42 @@ func analyze(g *Graph) (*graphInfo, error) {
 					gi, grp.RTTMin, grp.RTTMax, prop)
 			}
 		}
-		total += grp.Flows
+		if grp.Model != ModelFluid {
+			total += grp.Flows
+		}
 	}
 	if total < 1 {
-		return nil, errors.New("topo: graph needs >= 1 flow")
+		return nil, errors.New("topo: graph needs >= 1 packet-accurate flow")
+	}
+
+	// Fluid carve-out: per trunk, count the packet and fluid populations
+	// crossing it; each trunk traversed by fluid flows cedes the fluid tier's
+	// fair share of its forward rate, leaving the packet tier contending for
+	// the residual. Reverse (ACK) capacity is not carved — fluid aggregates
+	// emit no ACKs and trunk reverse paths are sized generously.
+	packetOn := make([]int, len(g.Trunks))
+	fluidOn := make([]int, len(g.Trunks))
+	for gi, grp := range g.Groups {
+		for _, t := range info.groupPaths[gi] {
+			if grp.Model == ModelFluid {
+				fluidOn[t] += grp.Flows
+			} else {
+				packetOn[t] += grp.Flows
+			}
+		}
+	}
+	info.effRate = make([]float64, len(g.Trunks))
+	for ti := range g.Trunks {
+		rate := g.Trunks[ti].Rate
+		if fluidOn[ti] > 0 {
+			if packetOn[ti] == 0 {
+				return nil, fmt.Errorf("topo: trunk %d (%s) carries only fluid flows; "+
+					"the fluid tier needs packet-accurate traffic on every trunk it traverses for its loss signal",
+					ti, g.Trunks[ti].Name)
+			}
+			rate *= float64(packetOn[ti]) / float64(packetOn[ti]+fluidOn[ti])
+		}
+		info.effRate[ti] = rate
 	}
 
 	info.flows = make([]flowInfo, 0, total)
@@ -250,6 +317,25 @@ func analyze(g *Graph) (*graphInfo, error) {
 		propT := sim.Time(0)
 		for _, t := range path {
 			propT += sim.FromDuration(g.Trunks[t].Delay)
+		}
+		if grp.Model == ModelFluid {
+			// The aggregate's control RTT: the fixed-delay formula when set,
+			// otherwise the midpoint of the group's RTT spread.
+			var rttSec float64
+			if grp.AccessOWD > 0 {
+				rttSec = (2 * (pathDelay(g, path) + 2*grp.AccessOWD)).Seconds()
+			} else {
+				rttSec = (grp.RTTMin + (grp.RTTMax-grp.RTTMin)/2).Seconds()
+			}
+			share, trunk := fluidShare(g, info, fluidOn, gi, path)
+			info.fluid = append(info.fluid, fluidInfo{
+				group:  gi,
+				flows:  grp.Flows,
+				trunk:  trunk,
+				share:  share,
+				rttSec: rttSec,
+			})
+			continue
 		}
 		queue := grp.AccessQueue
 		if queue == 0 {
@@ -373,4 +459,24 @@ func pathDelay(g *Graph, path []int) time.Duration {
 		d += g.Trunks[t].Delay
 	}
 	return d
+}
+
+// fluidShare resolves a fluid group's end-to-end capacity share — the
+// smallest per-trunk carve along its path, capped by the group's aggregate
+// access rate — and the trunk realizing that minimum (ties resolve to the
+// earliest path hop), where the aggregate observes its loss signal.
+func fluidShare(g *Graph, info *graphInfo, fluidOn []int, gi int, path []int) (float64, int) {
+	grp := &g.Groups[gi]
+	share, trunk := 0.0, path[0]
+	for i, ti := range path {
+		carve := g.Trunks[ti].Rate - info.effRate[ti]
+		s := carve * float64(grp.Flows) / float64(fluidOn[ti])
+		if i == 0 || s < share {
+			share, trunk = s, ti
+		}
+	}
+	if lim := grp.AccessRate * float64(grp.Flows); share > lim {
+		share = lim
+	}
+	return share, trunk
 }

@@ -64,4 +64,22 @@ func TestParallelReportBudgets(t *testing.T) {
 	if !saw10kx4 {
 		t.Error("report lacks the 10k-flow, 4-worker cell")
 	}
+
+	// A parallel report has no hot-path microbenchmarks: the "benchmarks"
+	// key must either be omitted entirely (the omitempty contract) or carry
+	// a non-empty list. An explicit `"benchmarks": []` is the regression
+	// this guards against — it reads as "benchmarks ran and found nothing".
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("BENCH_3.json does not parse as an object: %v", err)
+	}
+	if b, ok := raw["benchmarks"]; ok {
+		var list []json.RawMessage
+		if err := json.Unmarshal(b, &list); err != nil {
+			t.Fatalf("benchmarks key is not a list: %v", err)
+		}
+		if len(list) == 0 {
+			t.Error(`report carries an explicit empty "benchmarks": [] — the key must be omitted when no benchmarks ran`)
+		}
+	}
 }
