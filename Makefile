@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke profile clean
+.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench profile clean
 
 all: build
 
@@ -90,6 +90,19 @@ scale-smoke:
 	$(GO) run ./cmd/pdos-bench -scale-bench /tmp/scale-smoke.json \
 		-foreground-flows 200 -scale-flows 200,2000 \
 		-scale-measure-sec 3 -max-heap-mb 4096
+
+# serve-smoke is the pdos-serve CI gate: the shipped fig8-style scenario
+# submitted twice over real HTTP — the first run computes, the second must be
+# a byte-identical cache hit, and both must match a direct kernel recompute.
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke ./internal/serve
+
+# serve-bench regenerates the committed BENCH_5.json: a live pdos-serve
+# instance with a fresh cache, one scenario sweep cold and the same sweep
+# warm, recording the memoization speedup (guarded at >= 10x), the cache
+# counters, and the byte-identity of cached artifacts vs direct recomputes.
+serve-bench:
+	$(GO) run ./cmd/pdos-bench -serve-bench BENCH_5.json
 
 # profile captures CPU and heap pprof profiles of a representative figure
 # regeneration for `go tool pprof cpu.pprof` digestion.

@@ -26,6 +26,17 @@
 // count, per -parallel-flows population) and writes the report (BENCH_3.json
 // shape) to the given path.
 //
+// With -serve-bench the command runs the memoization study (BENCH_5.json
+// shape): a live pdos-serve instance on a loopback listener with a fresh
+// content-addressed cache, one scenario sweep submitted cold (every document
+// computes on the worker pool) and the same sweep again warm (every document
+// answered from the cache without touching the kernel), plus a byte-identity
+// check of the cached artifacts against direct kernel recomputes.
+//
+// -cache routes figure regeneration and -scale-bench points through a
+// persistent content-addressed cache directory: re-running a sweep whose
+// parameters and engine version are unchanged replays from disk.
+//
 // -cpuprofile and -memprofile write pprof profiles covering whichever mode
 // ran, for `go tool pprof` digestion (see `make profile`).
 //
@@ -37,23 +48,35 @@
 //	pdos-bench -scale-bench BENCH_2.json
 //	pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
 //	pdos-bench -scale-bench BENCH_4.json -foreground-flows 10000 -scale-flows 10000,100000,1000000
+//	pdos-bench -serve-bench BENCH_5.json
+//	pdos-bench -scale quick -cache results/cache
 //	pdos-bench -scale quick -figures fig6 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pulsedos/internal/experiments"
 	"pulsedos/internal/perf"
 	"pulsedos/internal/report"
+	"pulsedos/internal/runcache"
+	"pulsedos/internal/scenario"
+	"pulsedos/internal/serve"
 )
 
 func main() {
@@ -86,6 +109,9 @@ func run(args []string) error {
 		parJSON   = fs.String("parallel-bench", "", "run the parallel-engine speedup study and write the report to this path")
 		workers   = fs.String("workers", "2,4,8", "comma-separated worker counts for -parallel-bench")
 		parFlows  = fs.String("parallel-flows", "10000,50000", "comma-separated flow populations for -parallel-bench")
+		serveJSON = fs.String("serve-bench", "", "run the pdos-serve memoization study and write the report to this path")
+		serveWkr  = fs.Int("serve-workers", 2, "worker-pool size for -serve-bench")
+		cacheDir  = fs.String("cache", "", "content-addressed run cache directory for figures and -scale-bench (empty = uncached)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this path on exit")
 	)
@@ -122,11 +148,23 @@ func run(args []string) error {
 			fmt.Printf("== heap profile -> %s\n", *memProf)
 		}()
 	}
+	if *serveJSON != "" {
+		return runServeBench(*serveJSON, *serveWkr)
+	}
 	if *parJSON != "" {
 		return runParallelBench(*parJSON, *workers, *parFlows)
 	}
+	// The persistent cache is shared by the figure pipeline and -scale-bench.
+	var store *runcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = runcache.Open(*cacheDir, 0)
+		if err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+	}
 	if *scaleJSON != "" {
-		return runScaleBench(*scaleJSON, *scFlows, *scFg, *scHeapMB, *scMeasure)
+		return runScaleBench(*scaleJSON, *scFlows, *scFg, *scHeapMB, *scMeasure, store)
 	}
 	var scale experiments.Scale
 	switch *scaleName {
@@ -169,7 +207,7 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	generated, err := experiments.RunFigureJobs(selected, scale, *parallel)
+	generated, err := experiments.RunFigureJobsCached(selected, scale, *parallel, store)
 	if err != nil {
 		return err
 	}
@@ -193,6 +231,11 @@ func run(args []string) error {
 		}
 	}
 	fmt.Printf("== %d figures in %.1fs (parallel=%d)\n", len(generated), time.Since(start).Seconds(), *parallel)
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("== cache %s: %d hits, %d misses, %d entries (%.1f MiB)\n",
+			*cacheDir, st.Hits, st.Misses, st.Entries, float64(st.Bytes)/(1<<20))
+	}
 
 	if *htmlOut {
 		path := filepath.Join(*out, "index.html")
@@ -244,8 +287,9 @@ func run(args []string) error {
 // counters) followed by the hot-path micro-benchmarks, written as one report.
 // foreground > 0 selects the million-flow mode: that many packet-accurate
 // flows, the rest of each population on the fluid macroflow tier, heap
-// baseline off (BENCH_4.json shape).
-func runScaleBench(path, flowsCSV string, foreground, maxHeapMB int, measureSec float64) error {
+// baseline off (BENCH_4.json shape). A non-nil store memoizes sweep points:
+// physics replay exactly, perf fields as recorded at compute time.
+func runScaleBench(path, flowsCSV string, foreground, maxHeapMB int, measureSec float64, store *runcache.Store) error {
 	out, err := os.Create(path)
 	if err != nil {
 		return err
@@ -272,6 +316,7 @@ func runScaleBench(path, flowsCSV string, foreground, maxHeapMB int, measureSec 
 		cfg.ShortMeasure = cfg.Measure
 		cfg.Warmup = cfg.Measure
 	}
+	cfg.Cache = store
 	start := time.Now()
 	points, err := experiments.ScaleSweep(cfg, func(msg string) {
 		fmt.Println("== " + msg)
@@ -370,6 +415,204 @@ func runParallelBench(path, workersCSV, flowsCSV string) error {
 	}
 	fmt.Printf("== parallel bench report -> %s\n", path)
 	return nil
+}
+
+// runServeBench executes the BENCH_5 pipeline: pdos-serve on a loopback
+// listener with a fresh cache, the sweep submitted cold (every document
+// computes) and again warm (every document answered from the cache without
+// touching the kernel), then the byte-identity check of the cached artifacts
+// against direct kernel recomputes. The report records both walls, the
+// warm/cold throughput ratio, and the cache counters.
+func runServeBench(path string, workers int) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	cacheDir, err := os.MkdirTemp("", "pdos-serve-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	srv, err := serve.New(serve.Options{CacheDir: cacheDir, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	docs := serveBenchDocs()
+	fmt.Printf("== serve bench: %d scenarios against %s (%d workers, cache %s)\n",
+		len(docs), base, workers, cacheDir)
+
+	coldWall, cold, err := serveSweep(client, base, docs)
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	for i, st := range cold {
+		if st.State != serve.StateDone || st.Cached {
+			return fmt.Errorf("cold run %d: state %s cached %v (want computed done): %s", i, st.State, st.Cached, st.Error)
+		}
+	}
+	fmt.Printf("== cold sweep: %.2fs (every document computed)\n", coldWall.Seconds())
+
+	warmWall, warm, err := serveSweep(client, base, docs)
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	for i, st := range warm {
+		if st.State != serve.StateDone || !st.Cached {
+			return fmt.Errorf("warm run %d: state %s cached %v (want cache hit): %s", i, st.State, st.Cached, st.Error)
+		}
+	}
+	fmt.Printf("== warm sweep: %.3fs (every document a cache hit)\n", warmWall.Seconds())
+
+	fmt.Println("== verifying byte-identity of cached artifacts against direct recomputes...")
+	identical, err := serveByteIdentity(client, base, docs, warm)
+	if err != nil {
+		return err
+	}
+
+	if warmWall <= 0 {
+		warmWall = time.Microsecond
+	}
+	stats := srv.Cache().Stats()
+	rep := perf.NewReport(nil, nil)
+	rep.Serve = &perf.ServeBench{
+		Scenarios:       len(docs),
+		Workers:         workers,
+		ColdWallSeconds: coldWall.Seconds(),
+		WarmWallSeconds: warmWall.Seconds(),
+		WarmSpeedup:     coldWall.Seconds() / warmWall.Seconds(),
+		ByteIdentical:   identical,
+		CacheHits:       stats.Hits,
+		CacheMisses:     stats.Misses,
+		CacheEvictions:  stats.Evictions,
+		CacheDeduped:    stats.Deduped,
+		CacheEntries:    stats.Entries,
+		CacheBytes:      stats.Bytes,
+	}
+	writeErr := perf.WriteJSON(out, rep)
+	closeErr := out.Close()
+	if writeErr != nil {
+		return writeErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	fmt.Printf("== serve bench: %.1fx warm speedup, byte-identical=%v, %d hits / %d misses, %d entries (%.1f MiB)\n",
+		rep.Serve.WarmSpeedup, identical, stats.Hits, stats.Misses, stats.Entries, float64(stats.Bytes)/(1<<20))
+	fmt.Printf("== serve bench report -> %s\n", path)
+	return nil
+}
+
+// serveBenchDocs returns the BENCH_5 sweep: distinct small dumbbell attack
+// scenarios (different seeds and pulse gains, so different content addresses),
+// each expensive enough that a cold compute dwarfs an HTTP round-trip.
+func serveBenchDocs() []string {
+	var docs []string
+	for seed := 1; seed <= 4; seed++ {
+		for _, gamma := range []float64{0.3, 0.5} {
+			docs = append(docs, fmt.Sprintf(`{
+  "name": "serve-bench-s%d-g%.1f",
+  "topology": {"kind": "dumbbell", "flows": 10},
+  "attack": {"kind": "aimd", "rateMbps": 20, "extentMs": 60, "gamma": %.1f},
+  "warmupSec": 3,
+  "measureSec": 6,
+  "rateBinMs": 100,
+  "measureJitter": true,
+  "seed": %d
+}`, seed, gamma, gamma, seed))
+		}
+	}
+	return docs
+}
+
+// serveSweep submits every document concurrently with ?wait=1 and returns the
+// wall time until the last response, plus the terminal statuses in doc order.
+func serveSweep(client *http.Client, base string, docs []string) (time.Duration, []serve.JobStatus, error) {
+	statuses := make([]serve.JobStatus, len(docs))
+	errs := make([]error, len(docs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, doc := range docs {
+		wg.Add(1)
+		go func(i int, doc string) {
+			defer wg.Done()
+			resp, err := client.Post(base+"/runs?wait=1", "application/json", strings.NewReader(doc))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				body, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("doc %d: HTTP %d: %s", i, resp.StatusCode, strings.TrimSpace(string(body)))
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&statuses[i]); err != nil {
+				errs[i] = fmt.Errorf("doc %d: decode status: %w", i, err)
+			}
+		}(i, doc)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return wall, statuses, nil
+}
+
+// serveByteIdentity recomputes every document directly through the kernel and
+// compares each artifact byte for byte with what the server cached. Any
+// divergence would mean the determinism premise the cache stores under is
+// broken; the guard test on the committed report pins the result true.
+func serveByteIdentity(client *http.Client, base string, docs []string, statuses []serve.JobStatus) (bool, error) {
+	for i, doc := range docs {
+		cfg, err := scenario.Load(strings.NewReader(doc))
+		if err != nil {
+			return false, fmt.Errorf("doc %d: %w", i, err)
+		}
+		direct, err := serve.ComputeArtifacts(context.Background(), cfg, nil)
+		if err != nil {
+			return false, fmt.Errorf("doc %d: recompute: %w", i, err)
+		}
+		if len(statuses[i].Artifacts) != len(direct) {
+			fmt.Printf("   doc %d: artifact set mismatch (cached %d, direct %d)\n", i, len(statuses[i].Artifacts), len(direct))
+			return false, nil
+		}
+		for _, name := range statuses[i].Artifacts {
+			resp, err := client.Get(base + "/runs/" + statuses[i].ID + "/artifacts/" + name)
+			if err != nil {
+				return false, fmt.Errorf("doc %d: fetch %s: %w", i, name, err)
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return false, fmt.Errorf("doc %d: read %s: %w", i, name, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				return false, fmt.Errorf("doc %d: fetch %s: HTTP %d", i, name, resp.StatusCode)
+			}
+			if !bytes.Equal(data, direct[name]) {
+				fmt.Printf("   doc %d: %s differs from direct recompute (%d vs %d bytes)\n", i, name, len(data), len(direct[name]))
+				return false, nil
+			}
+		}
+	}
+	return true, nil
 }
 
 // parseIntList parses a comma-separated list of positive integers.

@@ -1,0 +1,95 @@
+// Command pdos-serve is the memoized scenario-execution daemon: an HTTP/JSON
+// front-end over the content-addressed run cache. Submit a scenario document
+// and get its artifacts back; submit the same document (under any cosmetic
+// spelling) twice and the second answer comes from disk without touching the
+// simulation kernel.
+//
+// Example:
+//
+//	pdos-serve -addr 127.0.0.1:8973 -cache results/cache -cache-mb 512 -workers 4
+//	curl -s --data-binary @scenarios/fig8-style.json 'localhost:8973/runs?wait=1'
+//	curl -s localhost:8973/status
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /runs[?priority=N][&wait=1][&stream=1]
+//	GET    /runs/{id}
+//	GET    /runs/{id}/artifacts/{name}
+//	GET    /runs/{id}/events
+//	DELETE /runs/{id}
+//	GET    /status
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pulsedos/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdos-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdos-serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8973", "listen address")
+		cacheDir   = fs.String("cache", "results/cache", "content-addressed artifact store root")
+		cacheMB    = fs.Int64("cache-mb", 512, "cache byte budget in MiB (0 = unbounded)")
+		workers    = fs.Int("workers", max(1, runtime.NumCPU()/2), "concurrent scenario runs")
+		maxPending = fs.Int("max-pending", 64, "queued-job admission limit (beyond it: 503)")
+		maxHeapMB  = fs.Uint64("max-heap-mb", 4096, "per-run projected heap budget in MiB (0 = unlimited)")
+		maxWall    = fs.Duration("max-run-wall", 10*time.Minute, "per-run wall-clock budget (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := serve.New(serve.Options{
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMB << 20,
+		Workers:       *workers,
+		MaxPending:    *maxPending,
+		MaxHeapBytes:  *maxHeapMB << 20,
+		MaxRunWall:    *maxWall,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	st := s.Cache().Stats()
+	fmt.Fprintf(os.Stderr, "pdos-serve: listening on %s (cache %s: %d entries, %d bytes)\n",
+		*addr, *cacheDir, st.Entries, st.Bytes)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "pdos-serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pulsedos/internal/runcache"
+)
+
+// TestRunTasksCtxCancellation pins the cancellation contract: a pre-canceled
+// context starts nothing, a mid-sweep cancel stops dispatch, and a real task
+// error is preferred over the context error.
+func TestRunTasksCtxCancellation(t *testing.T) {
+	t.Run("pre-canceled starts nothing", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		err := RunTasksCtx(ctx, 4, 16, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("%d tasks ran under a pre-canceled context, want 0", n)
+		}
+	})
+
+	t.Run("mid-sweep cancel stops dispatch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := RunTasksCtx(ctx, 2, 1000, func(i int) error {
+			if ran.Add(1) == 4 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		// In-flight tasks finish; nothing is dispatched after the cancel
+		// beyond what the workers had already pulled.
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("all %d tasks ran despite cancellation", n)
+		}
+	})
+
+	t.Run("task error beats context error", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		boom := errors.New("boom")
+		err := RunTasksCtx(ctx, 2, 8, func(i int) error {
+			if i == 1 {
+				cancel()
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want the task error", err)
+		}
+	})
+
+	t.Run("sequential honors cancel between tasks", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int
+		err := RunTasksCtx(ctx, 1, 100, func(i int) error {
+			ran++
+			if i == 2 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran != 3 {
+			t.Errorf("ran %d tasks, want exactly 3 (cancel polls between tasks)", ran)
+		}
+	})
+}
+
+// TestRunCtxChunkedMatchesRun is the premise the run cache and pdos-serve
+// stand on: slicing the timeline into runChunks cancellation-poll horizons
+// is invisible to results. Two identical environments, one driven by Run
+// (single horizon semantics) and one by RunCtx with a progress callback,
+// must produce identical measurements.
+func TestRunCtxChunkedMatchesRun(t *testing.T) {
+	build := func() Environment {
+		env, err := BuildDumbbell(DefaultDumbbellConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	opt := RunOptions{Warmup: 2 * time.Second, Measure: 3 * time.Second}
+
+	plain, err := Run(build(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fracs []float64
+	chunkedOpt := opt
+	chunkedOpt.Progress = func(f float64) { fracs = append(fracs, f) }
+	chunked, err := RunCtx(context.Background(), build(), chunkedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Delivered != chunked.Delivered {
+		t.Errorf("delivered: %d plain vs %d chunked", plain.Delivered, chunked.Delivered)
+	}
+	if !reflect.DeepEqual(plain.PerFlow, chunked.PerFlow) {
+		t.Errorf("per-flow deliveries diverge:\nplain   %v\nchunked %v", plain.PerFlow, chunked.PerFlow)
+	}
+	if plain.Timeouts != chunked.Timeouts || plain.FastRecoveries != chunked.FastRecoveries ||
+		plain.Retransmits != chunked.Retransmits || plain.SegmentsSent != chunked.SegmentsSent {
+		t.Errorf("counters diverge: plain %+v chunked %+v", *plain, *chunked)
+	}
+
+	if len(fracs) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i := 1; i < len(fracs); i++ {
+		if fracs[i] <= fracs[i-1] {
+			t.Fatalf("progress not strictly monotone at %d: %v", i, fracs)
+		}
+	}
+	if got := fracs[len(fracs)-1]; got != 1 {
+		t.Errorf("final progress %v, want exactly 1", got)
+	}
+}
+
+// TestRunCtxCancelAborts checks a done context stops a run between horizon
+// slices with the context's error.
+func TestRunCtxCancelAborts(t *testing.T) {
+	env, err := BuildDumbbell(DefaultDumbbellConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := RunOptions{Warmup: 2 * time.Second, Measure: 3 * time.Second}
+	opt.Progress = func(f float64) {
+		if f >= 0.25 {
+			cancel()
+		}
+	}
+	_, err = RunCtx(ctx, env, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFigureKeyDiscriminates checks the figure cache key covers every knob
+// that can change a series, and excludes the one that cannot (Parallel).
+func TestFigureKeyDiscriminates(t *testing.T) {
+	base := QuickScale()
+	k0, err := FigureKey("fig6", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runcache.IsKey(k0) {
+		t.Fatalf("FigureKey %q is not a valid cache key", k0)
+	}
+
+	perturbed := map[string]Scale{}
+	s := base
+	s.Measure += time.Second
+	perturbed["measure"] = s
+	s = base
+	s.Warmup += time.Second
+	perturbed["warmup"] = s
+	s = base
+	s.Seed++
+	perturbed["seed"] = s
+	s = base
+	s.Gammas = append([]float64{0.11}, base.Gammas...)
+	perturbed["gammas"] = s
+	for name, sc := range perturbed {
+		k, err := FigureKey("fig6", sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == k0 {
+			t.Errorf("perturbing %s did not change the figure key", name)
+		}
+	}
+
+	if k, _ := FigureKey("fig7", base); k == k0 {
+		t.Error("different figure ids share a key")
+	}
+
+	par := base
+	par.Parallel = 8
+	if k, _ := FigureKey("fig6", par); k != k0 {
+		t.Error("Parallel changed the key; worker count must not affect the content address")
+	}
+}
+
+// TestRunFigureJobsCached checks the memoized figure pipeline: the first
+// sweep computes and populates the store, the second decodes from disk
+// without invoking any Build, and both return identical figures. A nil
+// store degrades to the uncached path.
+func TestRunFigureJobsCached(t *testing.T) {
+	store, err := runcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	job := func(id string, value float64) FigureJob {
+		return FigureJob{ID: id, Build: func(sc Scale) (*FigureResult, error) {
+			builds.Add(1)
+			return &FigureResult{
+				ID:     id,
+				Title:  "synthetic " + id,
+				Series: []Series{{Label: id, Points: []Point{{X: 1, Y: value}, {X: 2, Y: value * 2}}}},
+				Notes:  []string{"synthetic"},
+			}, nil
+		}}
+	}
+	jobs := []FigureJob{job("syn-a", 1.5), job("syn-b", 2.5)}
+	scale := QuickScale()
+
+	cold, err := RunFigureJobsCached(jobs, scale, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("cold sweep ran %d builds, want 2", n)
+	}
+
+	warm, err := RunFigureJobsCached(jobs, scale, 2, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("warm sweep re-ran builds (%d total), want cache hits", n)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cached figures diverge from computed:\ncold %+v\nwarm %+v", cold[0], warm[0])
+	}
+	if st := store.Stats(); st.Hits < 2 || st.Misses < 2 {
+		t.Errorf("stats = %+v, want >= 2 hits and >= 2 misses", st)
+	}
+
+	builds.Store(0)
+	if _, err := RunFigureJobsCached(jobs, scale, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 2 {
+		t.Errorf("nil store ran %d builds, want the uncached path (2)", n)
+	}
+}
+
+// TestRunFigureJobsCachedPropagatesErrors checks a failing Build surfaces
+// instead of poisoning the store.
+func TestRunFigureJobsCachedPropagatesErrors(t *testing.T) {
+	store, err := runcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("build exploded")
+	jobs := []FigureJob{{ID: "syn-err", Build: func(Scale) (*FigureResult, error) { return nil, boom }}}
+	if _, err := RunFigureJobsCached(jobs, QuickScale(), 1, store); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the build error", err)
+	}
+	if st := store.Stats(); st.Entries != 0 {
+		t.Errorf("failed build left %d cache entries", st.Entries)
+	}
+}
+
+// TestScalePointCacheRoundTrip checks the sweep-point artifact round-trips
+// bit for bit and that the key separates populations and physics knobs.
+func TestScalePointCacheRoundTrip(t *testing.T) {
+	store, err := runcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultScaleSweepConfig()
+	key, err := ScaleKey(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !runcache.IsKey(key) {
+		t.Fatalf("ScaleKey %q is not a valid cache key", key)
+	}
+	if k2, _ := ScaleKey(cfg, 200); k2 == key {
+		t.Error("different populations share a scale key")
+	}
+	mut := cfg
+	mut.Gamma += 0.1
+	if k2, _ := ScaleKey(mut, 100); k2 == key {
+		t.Error("different gammas share a scale key")
+	}
+
+	if _, ok := cachedScalePoint(store, key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	p := ScalePoint{Flows: 100, WallSeconds: 1.25, EventsPerSec: 3e6, AttackedBytes: 123456, DeliveredMatch: true}
+	storeScalePoint(store, key, 100, p)
+	got, ok := cachedScalePoint(store, key)
+	if !ok {
+		t.Fatal("stored point not found")
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round-trip diverged: stored %+v got %+v", p, got)
+	}
+}

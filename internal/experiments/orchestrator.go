@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -13,8 +15,20 @@ import (
 // are the caller's responsibility, partitioned by index; RunTasks reports
 // the lowest-index error once every started task has finished.
 func RunTasks(parallel, n int, run func(i int) error) error {
+	return RunTasksCtx(context.Background(), parallel, n, run)
+}
+
+// RunTasksCtx is RunTasks with cancellation: once ctx is done no further
+// task starts (tasks already running finish — the kernel itself polls the
+// context only at RunCtx slice boundaries). The return value prefers the
+// lowest-index task error over the context error, so a sweep that failed
+// *and* was canceled still reports what broke first.
+func RunTasksCtx(ctx context.Context, parallel, n int, run func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if parallel > n {
 		parallel = n
@@ -22,11 +36,17 @@ func RunTasks(parallel, n int, run func(i int) error) error {
 	if parallel <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			if err := run(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-		return firstErr
+		if firstErr != nil {
+			return firstErr
+		}
+		return ctx.Err()
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -37,21 +57,30 @@ func RunTasks(parallel, n int, run func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
 				errs[i] = run(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, ctx.Err()) {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // FigureJob names one regenerable figure. Build must be a pure function of

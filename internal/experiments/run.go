@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -70,6 +71,13 @@ type RunOptions struct {
 	// MeasureJitter attaches an RFC 3550-style inter-departure jitter meter
 	// to the bottleneck's data traffic (§2.3's "increase in jitter").
 	MeasureJitter bool
+
+	// Progress, when non-nil, is called after each executed timeline slice
+	// with the completed fraction in (0, 1]. RunCtx slices the run into
+	// runChunks horizons to poll cancellation; the slicing is invisible to
+	// results — both the serial kernel and the conservative engine produce
+	// identical output for any monotone RunUntil horizon sequence.
+	Progress func(frac float64)
 }
 
 // RunResult carries everything a scenario produced.
@@ -89,6 +97,22 @@ type RunResult struct {
 
 // Run executes one scenario on a freshly built environment.
 func Run(env Environment, opt RunOptions) (*RunResult, error) {
+	return RunCtx(context.Background(), env, opt)
+}
+
+// runChunks is the number of horizons RunCtx slices the timeline into: each
+// slice ends with a cancellation poll and a Progress callback. 64 keeps the
+// poll overhead invisible (a RunUntil call is just a loop bound) while an
+// aborted HTTP request or an exceeded wall budget stops a run within ~2% of
+// its timeline instead of running it to completion.
+const runChunks = 64
+
+// RunCtx is Run with cancellation: the timeline executes in runChunks
+// monotone RunUntil slices, and a done context aborts between slices with
+// the context's error. Results are byte-identical to a single-horizon Run —
+// the kernel fires events by (when, at, seq) regardless of how the horizon
+// advances, and the parallel engine's window boundaries never reach output.
+func RunCtx(ctx context.Context, env Environment, opt RunOptions) (*RunResult, error) {
 	if env == nil {
 		return nil, errors.New("experiments: nil environment")
 	}
@@ -133,8 +157,30 @@ func Run(env Environment, opt RunOptions) (*RunResult, error) {
 			runUntil = eng.RunUntil
 		}
 	}
-	if err := runUntil(end); err != nil {
-		return nil, fmt.Errorf("experiments: run: %w", err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	step := end / runChunks
+	if step <= 0 {
+		step = end
+	}
+	for t := step; ; t += step {
+		if t > end {
+			t = end
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: run canceled before %v of %v: %w",
+				t.Duration(), end.Duration(), err)
+		}
+		if err := runUntil(t); err != nil {
+			return nil, fmt.Errorf("experiments: run: %w", err)
+		}
+		if opt.Progress != nil {
+			opt.Progress(float64(t) / float64(end))
+		}
+		if t == end {
+			break
+		}
 	}
 	env.StopFlows()
 	if gen != nil {

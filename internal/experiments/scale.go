@@ -12,6 +12,7 @@ import (
 	"pulsedos/internal/model"
 	"pulsedos/internal/netem"
 	"pulsedos/internal/perf/clock"
+	"pulsedos/internal/runcache"
 	"pulsedos/internal/sim"
 	"pulsedos/internal/trace"
 )
@@ -56,6 +57,13 @@ type ScaleSweepConfig struct {
 	// this bound, recording a partial point with SkippedOOM instead of
 	// taking down the whole sweep. 0 = no guard.
 	MaxHeapBytes uint64
+
+	// Cache, when non-nil, memoizes each point under its content address
+	// (ScaleKey): re-running a sweep replays cached points and computes only
+	// populations it has never seen on this engine version. A replayed
+	// point's physics are exact; its perf fields (wall seconds, events/sec)
+	// are the numbers recorded when the point actually ran.
+	Cache *runcache.Store
 }
 
 // DefaultScaleSweepConfig returns the BENCH_2 sweep: 100 → 50k flows, 60
@@ -156,8 +164,11 @@ const (
 	sweepBaseFootprint  = 64 << 20
 )
 
-// projectedHeapBytes estimates a point's build footprint for the OOM guard.
-func projectedHeapBytes(packet, fluid int) uint64 {
+// ProjectedHeapBytes estimates the build footprint of a run with the given
+// packet-accurate and fluid-aggregated flow populations, for MaxHeapBytes
+// admission guards (the scale sweep's OOM skip, pdos-serve's per-run heap
+// budget).
+func ProjectedHeapBytes(packet, fluid int) uint64 {
 	return uint64(packet)*packetFlowFootprint + uint64(fluid)*fluidFlowFootprint + sweepBaseFootprint
 }
 
@@ -207,7 +218,7 @@ func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, erro
 	for _, flows := range cfg.FlowCounts {
 		packet, fluid := cfg.splitFlows(flows)
 		if cfg.MaxHeapBytes > 0 {
-			if proj := projectedHeapBytes(packet, fluid); proj > cfg.MaxHeapBytes {
+			if proj := ProjectedHeapBytes(packet, fluid); proj > cfg.MaxHeapBytes {
 				say("scale: %d flows skipped: projected %.0f MiB exceeds the %.0f MiB heap guard",
 					flows, float64(proj)/(1<<20), float64(cfg.MaxHeapBytes)/(1<<20))
 				p := ScalePoint{Flows: flows, SkippedOOM: true}
@@ -218,11 +229,27 @@ func ScaleSweep(cfg ScaleSweepConfig, progress func(string)) ([]ScalePoint, erro
 				continue
 			}
 		}
+		var key string
+		if cfg.Cache != nil {
+			k, err := ScaleKey(cfg, flows)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scale point %d flows: %w", flows, err)
+			}
+			key = k
+			if p, ok := cachedScalePoint(cfg.Cache, key); ok {
+				say("scale: %d flows replayed from cache (%.1fs wall when computed)", flows, p.WallSeconds)
+				points = append(points, p)
+				continue
+			}
+		}
 		say("scale: %d flows (%.0f Mbps bottleneck, %v measured)...",
 			flows, cfg.PerFlowRate*float64(flows)/1e6, cfg.measureFor(flows))
 		p, err := measureScalePoint(cfg, flows)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scale point %d flows: %w", flows, err)
+		}
+		if cfg.Cache != nil {
+			storeScalePoint(cfg.Cache, key, flows, p)
 		}
 		say("scale: %d flows done: %.1fs wall, %.2fM events/sec, %.1f ns/flow/vsec, %.4f allocs/packet, degradation %.3f (model %.3f)",
 			flows, p.WallSeconds, p.EventsPerSec/1e6, p.NsPerFlowPerSec, p.AllocsPerPacket,

@@ -1,0 +1,13 @@
+package experiments
+
+// EngineVersion stamps every content-addressed run-cache key (see
+// internal/runcache and scenario.Key). Determinism linting guarantees a
+// run's result is a pure function of (scenario document, code version); the
+// document half is covered by scenario.Config.Canonical, and this constant
+// is the code-version half. Bump it whenever a change alters what any
+// scenario produces — TCP dynamics, queue disciplines, attack trains, RNG
+// draw order, result encoding — so stale cache entries miss instead of
+// serving results the current engine would not reproduce. Pure performance
+// work (scheduling, sharding, memoization itself) does not require a bump:
+// the equivalence suites pin those to byte-identical output.
+const EngineVersion = "pulsedos-engine/7"

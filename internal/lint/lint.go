@@ -95,6 +95,16 @@ func Default() Config {
 			"pulsedos/internal/scenario",
 			"pulsedos/internal/experiments",
 			"pulsedos/internal/topo",
+			// trace aggregates measurements that land verbatim in cached,
+			// content-addressed artifacts; a map-order float sum here breaks
+			// byte-identity (the JitterMeter.Mean ulp bug).
+			"pulsedos/internal/trace",
+			// runcache and serve memoize those artifacts. Their scheduling
+			// layers (worker pool, singleflight, HTTP) are inherently
+			// concurrent and carry //pdos:nondeterministic-ok at each site;
+			// everything they persist or serve must stay deterministic.
+			"pulsedos/internal/runcache",
+			"pulsedos/internal/serve",
 		},
 		KernelPkg: "pulsedos/internal/sim",
 		FloatPkgs: []string{

@@ -66,6 +66,35 @@ type Report struct {
 	// check. Speedup cells are only meaningful when NumCPU/MaxProcs cover
 	// the worker count; the guard test skips the speedup floor otherwise.
 	Parallel []experiments.ShardScalePoint `json:"parallel,omitempty"`
+
+	// Serve carries the pdos-serve memoization study (BENCH_5 onward): one
+	// scenario sweep submitted cold (every document computes) and again warm
+	// (every document is a cache hit), with the byte-identity check between
+	// cached artifacts and a direct recompute.
+	Serve *ServeBench `json:"serve,omitempty"`
+}
+
+// ServeBench is the BENCH_5 payload: pdos-serve's warm/cold sweep
+// throughput ratio and cache counters. It is a plain data mirror of what
+// cmd/pdos-bench measures against a live server — this package deliberately
+// does not import internal/serve.
+type ServeBench struct {
+	Scenarios       int     `json:"scenarios"`
+	Workers         int     `json:"workers"`
+	ColdWallSeconds float64 `json:"cold_wall_seconds"`
+	WarmWallSeconds float64 `json:"warm_wall_seconds"`
+	// WarmSpeedup = ColdWallSeconds / WarmWallSeconds; the memoization win.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// ByteIdentical: every warm artifact matched its direct recompute bit
+	// for bit — the determinism premise the cache stores under, asserted.
+	ByteIdentical bool `json:"byte_identical"`
+
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheDeduped   uint64 `json:"cache_deduped"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     int64  `json:"cache_bytes"`
 }
 
 // baseline is a pre-optimization measurement of one hot path, taken with the

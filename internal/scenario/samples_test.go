@@ -6,6 +6,23 @@ import (
 	"testing"
 )
 
+// shippedKeys pins the content address of every shipped scenario on the
+// current engine version. These change ONLY when a scenario document changes
+// semantically, the canonicalization changes, or experiments.EngineVersion is
+// bumped — each of which deliberately invalidates the run cache. If this
+// table fails unexpectedly, canonical hashing has destabilized and cached
+// results no longer correspond to their keys; update the pins only alongside
+// the change that legitimately moved them.
+var shippedKeys = map[string]string{
+	"cross-traffic.json":     "057b0efe7991e38f8f2d08684c68231cce1ba4e6c68c3af0db3c8535b953b889",
+	"defended-jittered.json": "bf35dc196ad02045e2ceac9372caa3d4378c08460aa41d5b4c5226f351259dc1",
+	"fig8-style.json":        "d6c5203ee24c56cff2028953df80905f426e85b3c7ca7141db08f78694bd987a",
+	"flood-baseline.json":    "7ab920ac54e932aca0e81ffa266dabcb626e72c44e0d4e6883ef7571755592c6",
+	"parkinglot.json":        "4471f2df18693c1b01f53d541ce718591abbec113b6e829df0c09f59296045fc",
+	"shrew-resonance.json":   "231065f044a7f41b1148c94392b905befa446d48eb4cf3805acd7c48afa47735",
+	"testbed-fig12.json":     "fe11ac633093667e8298f1904839b8dbb0a50b4acc7b431feb3b65519ffc0026",
+}
+
 // TestShippedScenariosAreValid round-trips every JSON file under scenarios/:
 // it must parse, validate, build through topo.Build, produce a train, and
 // survive a short smoke simulation (the shipped windows are shrunk so the
@@ -19,6 +36,15 @@ func TestShippedScenariosAreValid(t *testing.T) {
 	if len(entries) < 3 {
 		t.Fatalf("only %d shipped scenarios", len(entries))
 	}
+	present := map[string]bool{}
+	for _, e := range entries {
+		present[e.Name()] = true
+	}
+	for name := range shippedKeys {
+		if !present[name] {
+			t.Errorf("pinned scenario %s no longer shipped; drop its key pin deliberately", name)
+		}
+	}
 	for _, e := range entries {
 		e := e
 		t.Run(e.Name(), func(t *testing.T) {
@@ -30,6 +56,17 @@ func TestShippedScenariosAreValid(t *testing.T) {
 			cfg, err := Load(f)
 			if err != nil {
 				t.Fatal(err)
+			}
+			key, err := Key(cfg)
+			if err != nil {
+				t.Fatalf("canonical key: %v", err)
+			}
+			want, pinned := shippedKeys[e.Name()]
+			switch {
+			case !pinned:
+				t.Errorf("no pinned canonical key for %s; add %q to shippedKeys", e.Name(), key)
+			case key != want:
+				t.Errorf("canonical key drifted:\n got %s\nwant %s\n(cache entries keyed under the old hash are now unreachable)", key, want)
 			}
 			env, err := cfg.Build()
 			if err != nil {

@@ -30,6 +30,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -464,6 +465,16 @@ func (c Config) Train(env experiments.Environment) (*attack.Train, error) {
 
 // Run executes the scenario end to end.
 func (c Config) Run() (*experiments.RunResult, error) {
+	return c.RunContext(context.Background(), nil)
+}
+
+// RunContext executes the scenario end to end under a context: the timeline
+// runs in slices (experiments.RunCtx), so cancellation — an aborted HTTP
+// request, an exceeded wall budget — aborts mid-run instead of running the
+// scenario to completion. progress, when non-nil, receives the completed
+// fraction of the virtual timeline after each slice. Results are
+// byte-identical to Run.
+func (c Config) RunContext(ctx context.Context, progress func(frac float64)) (*experiments.RunResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -483,9 +494,10 @@ func (c Config) Run() (*experiments.RunResult, error) {
 		Measure:       time.Duration(c.MeasureSec * float64(time.Second)),
 		Train:         train,
 		MeasureJitter: c.Jitter,
+		Progress:      progress,
 	}
 	if c.RateBinMs > 0 {
 		opt.RateBin = time.Duration(c.RateBinMs * float64(time.Millisecond))
 	}
-	return experiments.Run(env, opt)
+	return experiments.RunCtx(ctx, env, opt)
 }

@@ -87,6 +87,63 @@ func TestValidateErrors(t *testing.T) {
 	}
 }
 
+// TestLoadErrorPaths drives Load with malformed documents end to end and
+// pins that each rejection names the offending knob — these strings are what
+// pdos-serve hands back as HTTP 400 bodies, so they must stay diagnostic.
+func TestLoadErrorPaths(t *testing.T) {
+	tests := []struct {
+		name    string
+		doc     string
+		wantSub string
+	}{
+		{"not json", `{nope`, "parse"},
+		{"unknown top-level field", `{"topology": {"kind": "dumbbell"}, "measureSec": 3, "bogusKnob": true}`, "bogusKnob"},
+		{"unknown nested field", `{"topology": {"kind": "dumbbell", "wings": 2}, "measureSec": 3}`, "wings"},
+		{"wrong type", `{"topology": {"kind": "dumbbell"}, "measureSec": "three"}`, "parse"},
+		{"unknown topology kind", `{"topology": {"kind": "star"}, "measureSec": 3}`, `"star"`},
+		{"graph without spec", `{"topology": {"kind": "graph"}, "measureSec": 3}`, "graph spec"},
+		{"bad group model", `{"topology": {"kind": "graph", "graph": {
+			"routers": ["A", "B"],
+			"trunks": [{"from": 0, "to": 1, "rateMbps": 10, "delayMs": 5, "queuePackets": 100}],
+			"groups": [{"flows": 2, "ingress": 0, "egress": 1, "accessRateMbps": 100, "model": "quantum"}],
+			"sink": 1}}, "measureSec": 3}`, `"quantum"`},
+		{"negative flows", `{"topology": {"kind": "dumbbell", "flows": -3}, "measureSec": 3}`, "flows"},
+		{"negative workers", `{"topology": {"kind": "dumbbell", "workers": -1}, "measureSec": 3}`, "workers"},
+		{"missing measure", `{"topology": {"kind": "dumbbell"}}`, "measureSec"},
+		{"negative measure", `{"topology": {"kind": "dumbbell"}, "measureSec": -2}`, "measureSec"},
+		{"negative warmup", `{"topology": {"kind": "dumbbell"}, "measureSec": 3, "warmupSec": -1}`, "warmupSec"},
+		{"unknown attack kind", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "tsunami", "rateMbps": 10}}`, `"tsunami"`},
+		{"aimd without extent", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "gamma": 0.5}}`, "extentMs"},
+		{"aimd without gamma or period", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50}}`, "gamma or periodMs"},
+		{"aimd gamma and period conflict", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50, "gamma": 0.5, "periodMs": 600}}`, "pick one"},
+		{"gamma out of range", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50, "gamma": 1.5}}`, "gamma"},
+		{"attack without rate", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "flood"}}`, "rateMbps"},
+		{"shrew without extent", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "shrew", "rateMbps": 10}}`, "extentMs"},
+		{"jittered without jitterFrac", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "jittered", "rateMbps": 10, "extentMs": 50, "gamma": 0.5}}`, "jitterFrac"},
+		{"jitterFrac above one", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "jittered", "rateMbps": 10, "extentMs": 50, "gamma": 0.5, "jitterFrac": 1.5}}`, "jitterFrac"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tt.doc))
+			if err == nil {
+				t.Fatalf("document accepted:\n%s", tt.doc)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
 func TestBuildBothTopologies(t *testing.T) {
 	for _, kind := range []string{"dumbbell", "testbed", "parkinglot"} {
 		cfg := Config{Topology: Topology{Kind: kind}, MeasureSec: 1}

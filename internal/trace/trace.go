@@ -6,6 +6,8 @@
 package trace
 
 import (
+	"sort"
+
 	"pulsedos/internal/netem"
 	"pulsedos/internal/sim"
 )
@@ -185,7 +187,7 @@ func (fa *FlowAccount) Total() uint64 {
 	for _, b := range fa.dense {
 		sum += b
 	}
-	for _, b := range fa.overflow {
+	for _, b := range fa.overflow { //pdos:nondeterministic-ok — integer sum; order cannot change the total
 		sum += b
 	}
 	return sum
@@ -200,7 +202,7 @@ func (fa *FlowAccount) PerFlow() map[int]uint64 {
 			out[flow] = b
 		}
 	}
-	for flow, b := range fa.overflow {
+	for flow, b := range fa.overflow { //pdos:nondeterministic-ok — keys land in a map; iteration order never escapes
 		out[flow] = b
 	}
 	return out
@@ -278,12 +280,20 @@ func (jm *JitterMeter) OnDepart(p *netem.Packet, now sim.Time) {
 // arrivals).
 func (jm *JitterMeter) Flow(flow int) float64 { return jm.jitter[flow] }
 
-// Mean reports the average jitter across flows that produced samples.
+// Mean reports the average jitter across flows that produced samples. Flows
+// are folded in ascending id order: float addition is not associative, so a
+// map-order sum would differ in the last ulp from run to run — enough to
+// break the byte-identity the content-addressed run cache stores under.
 func (jm *JitterMeter) Mean() float64 {
+	flows := make([]int, 0, len(jm.jitter))
+	for flow := range jm.jitter { //pdos:nondeterministic-ok — keys sorted before the order-sensitive sum below
+		flows = append(flows, flow)
+	}
+	sort.Ints(flows)
 	sum, n := 0.0, 0
-	for flow, j := range jm.jitter {
+	for _, flow := range flows {
 		if jm.samples[flow] > 0 {
-			sum += j
+			sum += jm.jitter[flow]
 			n++
 		}
 	}

@@ -1,0 +1,79 @@
+package pulsedos
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"pulsedos/internal/perf"
+)
+
+// TestServeCacheBudgets guards the committed memoization trajectory: the
+// BENCH_5.json report (regenerated with `pdos-bench -serve-bench
+// BENCH_5.json`) must parse into the perf schema and uphold the two claims
+// the content-addressed run cache is built on — a warm sweep answered from
+// the cache is at least an order of magnitude faster than the cold sweep
+// that computed it, and every cached artifact is byte-identical to a direct
+// kernel recompute. Like the other report guards, this checks the committed
+// artifact rather than re-running the service, so it is deterministic on any
+// machine; regenerating the report is the moment the budgets get
+// re-litigated.
+func TestServeCacheBudgets(t *testing.T) {
+	data, err := os.ReadFile("BENCH_5.json")
+	if err != nil {
+		t.Fatalf("BENCH_5.json must be committed: %v", err)
+	}
+	var rep perf.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_5.json does not parse into perf.Report: %v", err)
+	}
+	sb := rep.Serve
+	if sb == nil {
+		t.Fatal("report carries no serve section")
+	}
+
+	// The sweep must be big enough to mean something: several distinct
+	// scenarios through a real worker pool.
+	if sb.Scenarios < 4 {
+		t.Errorf("serve bench covers %d scenarios, want >= 4", sb.Scenarios)
+	}
+	if sb.Workers < 1 {
+		t.Errorf("serve bench ran with %d workers, want >= 1", sb.Workers)
+	}
+
+	// The memoization headline: warm/cold throughput ratio >= 10x.
+	if sb.WarmSpeedup < 10 {
+		t.Errorf("warm sweep speedup %.1fx is below the 10x bar (cold %.3fs, warm %.3fs)",
+			sb.WarmSpeedup, sb.ColdWallSeconds, sb.WarmWallSeconds)
+	}
+	if sb.ColdWallSeconds <= 0 || sb.WarmWallSeconds <= 0 {
+		t.Errorf("implausible walls: cold %.6fs, warm %.6fs", sb.ColdWallSeconds, sb.WarmWallSeconds)
+	}
+
+	// The correctness premise: cached artifacts are bit-for-bit what the
+	// kernel recomputes. A false here means determinism broke somewhere
+	// between the kernel and the artifact encoders.
+	if !sb.ByteIdentical {
+		t.Error("cached artifacts diverged from direct recomputes; the cache's determinism premise is broken")
+	}
+
+	// Counter sanity: the warm sweep must have hit once per scenario, the
+	// cold sweep missed at least once per scenario, and every scenario's
+	// entry must still be resident (the bench sets no byte budget, so
+	// nothing may have been evicted).
+	if sb.CacheHits < uint64(sb.Scenarios) {
+		t.Errorf("%d cache hits for %d scenarios, want >= one hit each", sb.CacheHits, sb.Scenarios)
+	}
+	if sb.CacheMisses < uint64(sb.Scenarios) {
+		t.Errorf("%d cache misses for %d scenarios, want >= one miss each", sb.CacheMisses, sb.Scenarios)
+	}
+	if sb.CacheEvictions != 0 {
+		t.Errorf("%d evictions in an unbounded cache, want 0", sb.CacheEvictions)
+	}
+	if sb.CacheEntries != sb.Scenarios {
+		t.Errorf("%d cache entries for %d scenarios, want one per scenario", sb.CacheEntries, sb.Scenarios)
+	}
+	if sb.CacheBytes <= 0 {
+		t.Error("cache reports zero resident bytes after a computed sweep")
+	}
+}
