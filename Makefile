@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench profile clean
+.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence fusion-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench fusion-bench fusion-smoke profile clean
 
 all: build
 
@@ -50,6 +50,16 @@ topo-equivalence:
 	$(GO) test -race -count=1 \
 		-run 'TestSharded|TestTestbed|TestPlan|TestParkingLot|TestCrossTraffic|TestBuild' \
 		./internal/experiments ./internal/topo
+
+# fusion-equivalence is the event-fusion contract gate (DESIGN.md §14):
+# randomized dumbbell, parking-lot, and cross-traffic scenarios built with
+# GoldenLinks (the verbatim two-event serialize→propagate schedule) and on
+# the default fused path must produce byte-identical observables — delivered
+# bytes, per-flow accounts, TCP statistics, drop counters, normalized
+# processed-event totals, figure CSVs — at 1/2/4/8 workers, while the fused
+# build fires strictly fewer kernel events. Under the race detector.
+fusion-equivalence:
+	$(GO) test -race -count=1 -run TestFusionEquivalence ./internal/experiments
 
 # bench-smoke runs the hot-path micro-benchmarks once — enough to catch an
 # allocation or throughput regression without the full figure benches.
@@ -103,6 +113,24 @@ serve-smoke:
 # counters, and the byte-identity of cached artifacts vs direct recomputes.
 serve-bench:
 	$(GO) run ./cmd/pdos-bench -serve-bench BENCH_5.json
+
+# fusion-bench regenerates the committed BENCH_6.json: the attacked 10k-flow
+# scale point on the golden two-event link schedule versus the fused
+# one-event-per-hop default (DESIGN.md §14), recording the raw
+# kernel-events-per-packet reduction (guarded at >= 25%), the wall speedup,
+# allocs/packet, and the byte-identity checks. Takes ~5 minutes on one idle
+# core.
+fusion-bench:
+	$(GO) run ./cmd/pdos-bench -fusion-bench BENCH_6.json -fusion-flows 10000
+
+# fusion-smoke is the CI-sized slice of fusion-bench: the same golden-vs-
+# fused pipeline at a 200-flow population with truncated windows, asserting
+# the report schema, the byte-identity bits, and that fusion actually elides
+# events, in seconds. The report goes to a scratch file — only the full
+# fusion-bench run updates BENCH_6.json.
+fusion-smoke:
+	$(GO) run ./cmd/pdos-bench -fusion-bench /tmp/fusion-smoke.json \
+		-fusion-flows 200 -scale-measure-sec 3
 
 # profile captures CPU and heap pprof profiles of a representative figure
 # regeneration for `go tool pprof cpu.pprof` digestion.

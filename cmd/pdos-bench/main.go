@@ -33,6 +33,13 @@
 // answered from the cache without touching the kernel), plus a byte-identity
 // check of the cached artifacts against direct kernel recomputes.
 //
+// With -fusion-bench the command runs the event-fusion study (BENCH_6.json
+// shape): the attacked -fusion-flows scale point on the golden two-event
+// serialize→propagate link schedule and again on the fused
+// one-event-per-hop default, reporting the kernel-events-per-packet
+// reduction, the wall-clock speedup, and the byte-identity checks;
+// -scale-measure-sec shortens the windows for smoke runs.
+//
 // -cache routes figure regeneration and -scale-bench points through a
 // persistent content-addressed cache directory: re-running a sweep whose
 // parameters and engine version are unchanged replays from disk.
@@ -49,6 +56,7 @@
 //	pdos-bench -parallel-bench BENCH_3.json -workers 2,4,8
 //	pdos-bench -scale-bench BENCH_4.json -foreground-flows 10000 -scale-flows 10000,100000,1000000
 //	pdos-bench -serve-bench BENCH_5.json
+//	pdos-bench -fusion-bench BENCH_6.json -fusion-flows 10000
 //	pdos-bench -scale quick -cache results/cache
 //	pdos-bench -scale quick -figures fig6 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -111,6 +119,8 @@ func run(args []string) error {
 		parFlows  = fs.String("parallel-flows", "10000,50000", "comma-separated flow populations for -parallel-bench")
 		serveJSON = fs.String("serve-bench", "", "run the pdos-serve memoization study and write the report to this path")
 		serveWkr  = fs.Int("serve-workers", 2, "worker-pool size for -serve-bench")
+		fuseJSON  = fs.String("fusion-bench", "", "run the event-fusion study (golden two-event vs fused link schedule) and write the report to this path")
+		fuseFlows = fs.Int("fusion-flows", 10000, "victim population for -fusion-bench")
 		cacheDir  = fs.String("cache", "", "content-addressed run cache directory for figures and -scale-bench (empty = uncached)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this path on exit")
@@ -147,6 +157,9 @@ func run(args []string) error {
 			f.Close()
 			fmt.Printf("== heap profile -> %s\n", *memProf)
 		}()
+	}
+	if *fuseJSON != "" {
+		return runFusionBench(*fuseJSON, *fuseFlows, *scMeasure)
 	}
 	if *serveJSON != "" {
 		return runServeBench(*serveJSON, *serveWkr)
@@ -359,6 +372,46 @@ func runScaleBench(path, flowsCSV string, foreground, maxHeapMB int, measureSec 
 			p.NsPerFlowPerSec, p.AllocsPerPacket, float64(p.PeakRSSBytes)/(1<<20))
 	}
 	fmt.Printf("== scale bench report -> %s\n", path)
+	return nil
+}
+
+// runFusionBench executes the BENCH_6 pipeline: the attacked scale scenario
+// at one population, run on the golden two-event link schedule and again on
+// the fused one-event-per-hop default, reporting raw kernel events per
+// packet, wall-clock, allocs/packet, and the byte-identity checks. The two
+// legs run sequentially because each times wall-clock and reads the
+// allocator counters. measureSec > 0 shortens the windows for smoke runs.
+func runFusionBench(path string, flows int, measureSec float64) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+
+	cfg := experiments.DefaultFusionBenchConfig()
+	cfg.Flows = flows
+	if measureSec > 0 {
+		cfg.Scale.Measure = time.Duration(measureSec * float64(time.Second))
+		cfg.Scale.ShortMeasure = cfg.Scale.Measure
+		cfg.Scale.Warmup = cfg.Scale.Measure
+	}
+	res, err := experiments.FusionBench(cfg, func(msg string) {
+		fmt.Println("== " + msg)
+	})
+	if err != nil {
+		return err
+	}
+	rep := perf.NewReport(nil, nil)
+	rep.Fusion = res
+	writeErr := perf.WriteJSON(out, rep)
+	closeErr := out.Close()
+	if writeErr != nil {
+		return writeErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	fmt.Printf("== fusion bench report -> %s\n", path)
 	return nil
 }
 

@@ -139,10 +139,24 @@ type GeneratorStats struct {
 	BytesSent   uint64
 }
 
+// pacedBatch is the number of emissions a paced generator commits per kernel
+// event (see emitBatch): large enough that the source-side event cost per
+// packet becomes negligible, small enough that the committed-but-future
+// window stays a handful of wire-times deep.
+const pacedBatch = 64
+
 // Generator replays a pulse train onto a link. Within a pulse, packets of
 // PacketSize bytes are emitted back-to-back at the pulse rate; between
 // pulses the source is silent. Attack packets are UDP-like: no
 // acknowledgments, no congestion response.
+//
+// On a fused link the generator owns outright, emission is paced (DESIGN.md
+// §14): when a pulse's emission gap strictly exceeds the packet
+// serialization time, one kernel event commits a batch of pacedBatch future
+// packets via netem.Link.SendPaced, with every per-packet timestamp kept
+// exactly on the reference grid. Golden links, shared links, and pulses too
+// fast for the link fall back to the per-packet Send chain, which is the
+// reference schedule itself.
 type Generator struct {
 	k          *sim.Kernel
 	out        *netem.Link
@@ -156,11 +170,31 @@ type Generator struct {
 	next     sim.Timer
 	stats    GeneratorStats
 
-	// Current pulse state plus a prebuilt emission callback, so the
-	// per-packet chain reschedules without allocating a closure per packet.
+	// Current pulse state plus prebuilt emission callbacks, so the
+	// per-packet and batch chains reschedule without allocating a closure
+	// per packet.
 	curPulse Pulse
 	curEnd   sim.Time
 	emitFn   func()
+	batchFn  func()
+
+	// Emission-grid accounting. Within a pulse beginning at pulseT0, the
+	// reference schedule emits at pulseT0 + j·gap for j < pulseN (the first
+	// inline with beginPulse, the rest via one kernel event each) and fires
+	// one closing event at pulseT0 + pulseN·gap. Batched emission fires the
+	// identical closing event but only ceil(pulseN/pacedBatch) emission
+	// events; eventsFired counts scheduled source events actually fired and
+	// gridDone folds completed pulses' reference counts, so SkippedEvents —
+	// the grid count minus eventsFired — is exact at any horizon, and Stats
+	// derives emission totals from the same grid once pacing has engaged.
+	gap         sim.Time
+	pulseT0     sim.Time
+	pulseN      uint64
+	pulseActive bool
+	pacedUsed   bool
+	gridDone    uint64
+	eventsFired uint64
+	stopAt      sim.Time
 }
 
 // NewGenerator builds an attack source that emits packets of packetSize
@@ -190,12 +224,72 @@ func NewGenerator(k *sim.Kernel, out *netem.Link, train Train, packetSize int) (
 		packetSize: packetSize,
 		flow:       FlowID,
 	}
-	g.emitFn = g.emit
+	g.emitFn = g.emitEvent
+	g.batchFn = g.batchEvent
 	return g, nil
 }
 
-// Stats returns a snapshot of the generator counters.
-func (g *Generator) Stats() GeneratorStats { return g.stats }
+// Stats returns a snapshot of the generator counters. Once paced emission
+// has engaged, the emission totals are derived from the reference grid at
+// the current virtual instant, so they match per-packet operation exactly
+// even while a batch's later emissions are still in the virtual future.
+func (g *Generator) Stats() GeneratorStats {
+	s := g.stats
+	if g.pacedUsed {
+		n := g.emissions(g.k.Now())
+		s.PacketsSent = n
+		s.BytesSent = n * uint64(g.packetSize)
+	}
+	return s
+}
+
+// SkippedEvents reports how many source-side kernel events paced emission
+// has elided relative to the per-packet reference schedule, exact as of the
+// virtual instant now. A generator that never paced reports zero; the sum
+// with the link-side elisions normalizes a fused run back to reference
+// event counts (topo.Environment.Processed).
+func (g *Generator) SkippedEvents(now sim.Time) uint64 {
+	if g.stopped && now > g.stopAt {
+		now = g.stopAt
+	}
+	return g.gridEvents(now) - g.eventsFired
+}
+
+// gridEvents counts the scheduled source events the reference per-packet
+// chain would have fired by now: one per grid point pulseT0 + j·gap for
+// 1 <= j <= pulseN of the active pulse (the j = 0 emission rides the
+// beginPulse event in both modes, and j = pulseN is the closing event both
+// modes fire at the identical instant), plus the folded totals of completed
+// pulses.
+func (g *Generator) gridEvents(now sim.Time) uint64 {
+	n := g.gridDone
+	if g.pulseActive && now > g.pulseT0 {
+		e := uint64((now - g.pulseT0) / g.gap)
+		if e > g.pulseN {
+			e = g.pulseN
+		}
+		n += e
+	}
+	return n
+}
+
+// emissions counts the packets emitted by now on the reference grid: grid
+// points pulseT0 + j·gap for 0 <= j < pulseN of the active pulse, plus
+// completed pulses' totals.
+func (g *Generator) emissions(now sim.Time) uint64 {
+	if g.stopped && now > g.stopAt {
+		now = g.stopAt
+	}
+	n := g.gridDone
+	if g.pulseActive && now >= g.pulseT0 {
+		e := uint64((now-g.pulseT0)/g.gap) + 1
+		if e > g.pulseN {
+			e = g.pulseN
+		}
+		n += e
+	}
+	return n
+}
 
 // Train exposes the generator's pulse train.
 func (g *Generator) Train() Train { return g.train }
@@ -217,13 +311,25 @@ func (g *Generator) Start(at sim.Time) error {
 	return nil
 }
 
-// Stop cancels any pending transmission; in-flight packets still arrive.
+// Stop cancels any pending transmission; in-flight packets still arrive. A
+// paced generator may already have committed up to pacedBatch-1 emissions
+// beyond the current instant — those, like in-flight packets, still arrive
+// (Stop is terminal teardown, called once the measured run has ended).
 func (g *Generator) Stop() {
-	g.stopped = true
+	if !g.stopped {
+		g.stopped = true
+		g.stopAt = g.k.Now()
+	}
 	g.next.Cancel()
 }
 
-// beginPulse starts emitting the current pulse's packets.
+// beginPulse starts emitting the current pulse's packets, choosing between
+// the per-packet reference chain and batched paced emission: pacing engages
+// only when the outbound link accepts paced commitments (fused, idle,
+// exclusively ours — netem.Link.CanPace) and the emission gap strictly
+// exceeds the packet serialization time, so the reference schedule would
+// find the transmitter idle at every emission. A tie (gap equal to the
+// serialization time) must stay per-packet: the reference enqueues there.
 //
 //pdos:hotpath
 func (g *Generator) beginPulse() {
@@ -232,8 +338,57 @@ func (g *Generator) beginPulse() {
 	}
 	g.curPulse = g.train.Pulses[g.pulseIdx]
 	g.stats.PulsesSent++
-	g.curEnd = g.k.Now().Add(g.curPulse.Extent)
+	now := g.k.Now()
+	g.curEnd = now.Add(g.curPulse.Extent)
+	gap := sim.FromSeconds(float64(g.packetSize) * 8 / g.curPulse.Rate)
+	if gap < 1 {
+		gap = 1 // at least one nanosecond between emissions
+	}
+	g.gap = gap
+	g.pulseT0 = now
+	n := uint64(g.curPulse.Extent / gap)
+	if g.curPulse.Extent%gap != 0 {
+		n++
+	}
+	g.pulseN = n
+	g.pulseActive = true
+	if g.out.TxTime(g.packetSize) < gap && g.out.CanPace(now) {
+		g.pacedUsed = true
+		g.emitBatch()
+		return
+	}
 	g.emit()
+}
+
+// emitEvent is the scheduled entry point of the per-packet emission chain;
+// the inline call from beginPulse bypasses it so eventsFired counts kernel
+// events only.
+//
+//pdos:hotpath
+func (g *Generator) emitEvent() {
+	if g.stopped {
+		return
+	}
+	g.eventsFired++
+	g.emit()
+}
+
+// batchEvent is the scheduled entry point of the batched emission chain. It
+// re-checks CanPace so that any interleaved traffic on the link demotes the
+// rest of the pulse to the per-packet chain — emission instants stay on the
+// same grid either way, so the grid accounting is unaffected.
+//
+//pdos:hotpath
+func (g *Generator) batchEvent() {
+	if g.stopped {
+		return
+	}
+	g.eventsFired++
+	if !g.out.CanPace(g.k.Now()) {
+		g.emit()
+		return
+	}
+	g.emitBatch()
 }
 
 // emit sends one attack packet and chains the next emission, spacing packets
@@ -241,9 +396,6 @@ func (g *Generator) beginPulse() {
 //
 //pdos:hotpath
 func (g *Generator) emit() {
-	if g.stopped {
-		return
-	}
 	now := g.k.Now()
 	if now >= g.curEnd {
 		g.finishPulse()
@@ -258,17 +410,44 @@ func (g *Generator) emit() {
 	p.Size = g.packetSize
 	p.SentAt = now
 	g.out.Send(p)
-	gap := sim.FromSeconds(float64(g.packetSize) * 8 / g.curPulse.Rate)
-	if gap < 1 {
-		gap = 1 // at least one nanosecond between emissions
-	}
-	g.next = g.k.AfterTicks(gap, g.emitFn)
+	g.next = g.k.AfterTicks(g.gap, g.emitFn)
 }
 
-// finishPulse schedules the next pulse after the inter-pulse gap.
+// emitBatch commits up to pacedBatch emissions at their exact grid instants
+// in one kernel event, then schedules the next batch at the following grid
+// point. The loop stops at the first grid point at or past the pulse close,
+// so the chain's final event fires at pulseT0 + pulseN·gap — the identical
+// instant (and schedule stamp) at which the per-packet chain's closing
+// event runs finishPulse.
+//
+//pdos:hotpath
+func (g *Generator) emitBatch() {
+	now := g.k.Now()
+	if now >= g.curEnd {
+		g.finishPulse()
+		return
+	}
+	t := now
+	for i := 0; i < pacedBatch && t < g.curEnd; i++ {
+		p := g.out.NewPacket()
+		p.Flow = g.flow
+		p.Class = netem.ClassAttack
+		p.Dir = netem.DirForward
+		p.Size = g.packetSize
+		p.SentAt = t
+		g.out.SendPaced(p, t, g.gap)
+		t += g.gap
+	}
+	g.next = g.k.AfterTicks(t-now, g.batchFn)
+}
+
+// finishPulse folds the completed pulse's reference-grid totals and
+// schedules the next pulse after the inter-pulse gap.
 //
 //pdos:hotpath
 func (g *Generator) finishPulse() {
+	g.gridDone += g.pulseN
+	g.pulseActive = false
 	g.pulseIdx++
 	if g.pulseIdx >= len(g.train.Pulses) {
 		return

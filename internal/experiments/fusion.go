@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pulsedos/internal/attack"
+	"pulsedos/internal/perf/clock"
+	"pulsedos/internal/sim"
+	"pulsedos/internal/topo"
+)
+
+// FusionBenchConfig parameterizes the event-fusion study: the attacked
+// dumbbell of the scaling sweep at one population, run twice — once with
+// every link pinned to the golden two-event serialize→propagate schedule and
+// once on the default fused path — under identical pulse trains, seeds, and
+// measurement windows. Scale supplies the population-scaling parameters
+// (per-flow rate, pulse sizing, warm-up and measurement windows, seed); its
+// sweep-only knobs (FlowCounts, HeapBaseline, Shards, Cache) are ignored.
+type FusionBenchConfig struct {
+	Flows int
+	Scale ScaleSweepConfig
+}
+
+// DefaultFusionBenchConfig returns the BENCH_6 configuration: the BENCH_2/4
+// sweep parameters at the 10k-flow scale point (60 virtual seconds of pulsed
+// steady state over a 10 Gbps-class bottleneck).
+func DefaultFusionBenchConfig() FusionBenchConfig {
+	return FusionBenchConfig{Flows: 10000, Scale: DefaultScaleSweepConfig()}
+}
+
+// FusionLeg is one instrumented run of the fusion study, measured over the
+// post-warm-up window only (the same protocol as the scaling sweep: pulses
+// begin mid-warm-up, so every capacity high-water mark is reached before
+// counters start).
+type FusionLeg struct {
+	// KernelEvents is the raw number of scheduler events fired in the window
+	// — the heap/wheel operations actually paid for, the quantity fusion
+	// exists to reduce.
+	KernelEvents uint64 `json:"kernel_events"`
+	// ModelEvents is the normalized reference-model event count (kernel
+	// events minus RTO heartbeat ticks plus fused elisions) — identical
+	// between the legs by the equivalence contract, asserted by
+	// ModelEventsMatch.
+	ModelEvents     uint64  `json:"model_events"`
+	Packets         uint64  `json:"packets"`
+	EventsPerPacket float64 `json:"events_per_packet"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	Delivered       uint64  `json:"delivered_bytes"`
+}
+
+// FusionBenchResult is the BENCH_6 payload: the golden and fused legs side
+// by side, with the headline reduction and the equivalence checks.
+type FusionBenchResult struct {
+	Flows          int     `json:"flows"`
+	BottleneckBps  float64 `json:"bottleneck_bps"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+
+	Golden FusionLeg `json:"golden"`
+	Fused  FusionLeg `json:"fused"`
+
+	// EventsPerPacketReductionPct = 100·(1 − fused/golden) on the
+	// events-per-packet ratio; the tentpole budget is ≥ 25.
+	EventsPerPacketReductionPct float64 `json:"events_per_packet_reduction_pct"`
+	// SpeedupVsGolden = golden wall seconds / fused wall seconds.
+	SpeedupVsGolden float64 `json:"speedup_vs_golden"`
+	// FusedSkippedEvents is the number of reference-schedule events the
+	// fused leg elided in the window: tx-done events skipped by fused links
+	// plus per-packet emission events skipped by paced attack sources
+	// (netem.Link.SkippedEvents and attack.Generator.SkippedEvents summed
+	// over the build).
+	FusedSkippedEvents uint64 `json:"fused_skipped_events"`
+
+	// DeliveredMatch: both legs delivered byte-identical victim goodput and
+	// saw identical bottleneck packet counts.
+	DeliveredMatch bool `json:"delivered_match"`
+	// ModelEventsMatch: both legs fired the identical normalized
+	// reference-model event count — the golden leg's raw schedule equals the
+	// fused leg's raw schedule plus its recorded elisions.
+	ModelEventsMatch bool `json:"model_events_match"`
+}
+
+// fusionLegRaw carries one leg's counters plus the elision total.
+type fusionLegRaw struct {
+	leg     FusionLeg
+	skipped uint64
+}
+
+// FusionBench measures the event-fusion win at one population: the attacked
+// scale scenario on the golden two-event link schedule versus the default
+// fused schedule, byte-identity asserted. Runs are sequential and own the
+// process's wall clock and allocator counters, like ScaleSweep points.
+func FusionBench(cfg FusionBenchConfig, progress func(string)) (*FusionBenchResult, error) {
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(fmt.Sprintf(format, args...))
+		}
+	}
+	sc := cfg.Scale
+	if sc.Gamma <= 0 || sc.Gamma >= 1 {
+		return nil, fmt.Errorf("experiments: fusion gamma %g outside (0,1)", sc.Gamma)
+	}
+	dcfg := scaleDumbbellConfig(sc, cfg.Flows)
+	tierRate := sc.packetTierRate(cfg.Flows)
+	attackRate := sc.RateFactor * tierRate
+	period := PeriodForGamma(sc.Gamma, attackRate, sc.Extent, tierRate)
+	if period < sc.Extent {
+		return nil, fmt.Errorf("experiments: fusion gamma %g unreachable at rate factor %g", sc.Gamma, sc.RateFactor)
+	}
+	measure := sc.measureFor(cfg.Flows)
+
+	res := &FusionBenchResult{
+		Flows:          cfg.Flows,
+		BottleneckBps:  dcfg.BottleneckRate,
+		VirtualSeconds: measure.Seconds(),
+	}
+	say("fusion: %d flows, golden two-event leg (%v measured)...", cfg.Flows, measure)
+	golden, err := runFusionLeg(dcfg, sc, attackRate, period, measure, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fusion golden leg: %w", err)
+	}
+	say("fusion: golden leg done: %.3f events/packet, %.2fM events/sec, %.1fs wall",
+		golden.leg.EventsPerPacket, golden.leg.EventsPerSec/1e6, golden.leg.WallSeconds)
+	say("fusion: fused leg...")
+	fused, err := runFusionLeg(dcfg, sc, attackRate, period, measure, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fusion fused leg: %w", err)
+	}
+	say("fusion: fused leg done: %.3f events/packet, %.2fM events/sec, %.1fs wall, %d events elided",
+		fused.leg.EventsPerPacket, fused.leg.EventsPerSec/1e6, fused.leg.WallSeconds, fused.skipped)
+
+	res.Golden = golden.leg
+	res.Fused = fused.leg
+	res.FusedSkippedEvents = fused.skipped
+	if golden.leg.EventsPerPacket > 0 {
+		res.EventsPerPacketReductionPct = 100 * (1 - fused.leg.EventsPerPacket/golden.leg.EventsPerPacket)
+	}
+	if fused.leg.WallSeconds > 0 {
+		res.SpeedupVsGolden = golden.leg.WallSeconds / fused.leg.WallSeconds
+	}
+	res.DeliveredMatch = golden.leg.Delivered == fused.leg.Delivered &&
+		golden.leg.Packets == fused.leg.Packets
+	res.ModelEventsMatch = golden.leg.ModelEvents == fused.leg.ModelEvents &&
+		golden.leg.KernelEvents == fused.leg.KernelEvents+fused.skipped
+	say("fusion: %d flows: %.1f%% fewer events/packet (%.3f -> %.3f), %.2fx wall speedup, identical=%v",
+		cfg.Flows, res.EventsPerPacketReductionPct, golden.leg.EventsPerPacket,
+		fused.leg.EventsPerPacket, res.SpeedupVsGolden, res.DeliveredMatch && res.ModelEventsMatch)
+	return res, nil
+}
+
+// runFusionLeg executes one pulsed run of the fusion study on the requested
+// link schedule (GoldenLinks or the fused default), serial, instrumenting
+// the measurement window only — the same timeline as runAttackedScale: the
+// pulse train starts halfway through the warm-up so every capacity
+// high-water mark is reached before counters start, leaving the window
+// allocation-free.
+func runFusionLeg(dcfg DumbbellConfig, sc ScaleSweepConfig, attackRate float64, period, measure time.Duration, golden bool) (fusionLegRaw, error) {
+	g := topo.Dumbbell(dcfg)
+	g.GoldenLinks = golden
+	env, err := topo.Build(g, topo.Options{Workers: 1})
+	if err != nil {
+		return fusionLegRaw{}, err
+	}
+	defer env.Close()
+
+	warmup := sim.FromDuration(sc.Warmup)
+	attackStart := warmup / 2
+	end := warmup + sim.FromDuration(measure)
+	pulses := PulsesFor(measure+sc.Warmup/2, period)
+	train, err := attack.AIMDTrain(sim.FromDuration(sc.Extent), attackRate, sim.FromDuration(period), pulses)
+	if err != nil {
+		return fusionLegRaw{}, err
+	}
+	gen, err := env.Attach(train)
+	if err != nil {
+		return fusionLegRaw{}, err
+	}
+	if err := gen.Start(attackStart); err != nil {
+		return fusionLegRaw{}, err
+	}
+	env.Goodput().SetStart(warmup)
+	if err := env.StartFlows(); err != nil {
+		return fusionLegRaw{}, err
+	}
+	if err := env.RunUntil(warmup); err != nil {
+		return fusionLegRaw{}, err
+	}
+
+	stats0 := env.BottleStats()
+	kernel0 := env.KernelEvents()
+	model0 := env.Processed()
+	skip0 := env.SkippedEvents()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	wall0 := clock.Wall.Now() //pdos:wallclock — events/sec measurement, not simulation state
+	if err := env.RunUntil(end); err != nil {
+		return fusionLegRaw{}, err
+	}
+	wall := clock.Wall.Since(wall0) //pdos:wallclock — events/sec measurement, not simulation state
+	runtime.ReadMemStats(&m1)
+	stats1 := env.BottleStats()
+	env.StopFlows()
+	gen.Stop()
+
+	out := fusionLegRaw{
+		leg: FusionLeg{
+			KernelEvents: env.KernelEvents() - kernel0,
+			ModelEvents:  env.Processed() - model0,
+			Packets:      stats1.Arrivals - stats0.Arrivals,
+			WallSeconds:  wall.Seconds(),
+			Delivered:    env.Goodput().Total(),
+		},
+		skipped: env.SkippedEvents() - skip0,
+	}
+	if out.leg.Packets > 0 {
+		out.leg.EventsPerPacket = float64(out.leg.KernelEvents) / float64(out.leg.Packets)
+		out.leg.AllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(out.leg.Packets)
+	}
+	if out.leg.WallSeconds > 0 {
+		out.leg.EventsPerSec = float64(out.leg.KernelEvents) / out.leg.WallSeconds
+	}
+	return out, nil
+}

@@ -22,6 +22,20 @@ import (
 
 const legacyLoadFwd, legacyLoadRev, legacyLoadAttack = 4.0 / 7.0, 1.0 / 7.0, 2.0 / 7.0
 
+// goldenLink pins every legacy-reference link to the golden two-event
+// schedule: the legacy builders predate event fusion, so forcing the
+// original scheduling path keeps them verbatim references — and makes the
+// equivalence suites prove the fused default byte-identical to the two-event
+// model on top of the topo-layer contract.
+func goldenLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue netem.Queue, dst netem.Node) (*netem.Link, error) {
+	l, err := netem.NewLink(k, name, rate, delay, queue, dst)
+	if err != nil {
+		return nil, err
+	}
+	l.ForceGoldenPath()
+	return l, nil
+}
+
 type legacyDumbbell struct {
 	Kernel   *sim.Kernel
 	Config   DumbbellConfig
@@ -82,28 +96,28 @@ func buildLegacyDumbbell(cfg DumbbellConfig) (*legacyDumbbell, error) {
 		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
 	}
 	owd := sim.FromDuration(cfg.BottleneckOWD)
-	bottle, err := netem.NewLink(k, "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, d.RouterR)
+	bottle, err := goldenLink(k, "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, d.RouterR)
 	if err != nil {
 		return nil, err
 	}
 	d.Bottle = bottle
 	d.RouterS.SetDefault(netem.DirForward, bottle)
 
-	bottleRev, err := netem.NewLink(k, "bottleneck-rev", cfg.BottleneckRate, owd,
+	bottleRev, err := goldenLink(k, "bottleneck-rev", cfg.BottleneckRate, owd,
 		netem.NewDropTail(4096), d.RouterS)
 	if err != nil {
 		return nil, err
 	}
 	d.RouterR.SetDefault(netem.DirReverse, bottleRev)
 
-	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
+	sinkLink, err := goldenLink(k, "attack-sink", 10*netem.Gbps, 0,
 		netem.NewDropTail(1<<20), d.Sink)
 	if err != nil {
 		return nil, err
 	}
 	d.RouterR.SetDefault(netem.DirForward, sinkLink)
 
-	attackIn, err := netem.NewLink(k, "attacker", cfg.AttackAccessRate, sim.FromDuration(2*time.Millisecond),
+	attackIn, err := goldenLink(k, "attacker", cfg.AttackAccessRate, sim.FromDuration(2*time.Millisecond),
 		netem.NewDropTail(1<<20), d.RouterS)
 	if err != nil {
 		return nil, err
@@ -128,12 +142,12 @@ func buildLegacyDumbbell(cfg DumbbellConfig) (*legacyDumbbell, error) {
 		accessOWD := (sim.FromDuration(rtt)/2 - owd) / 2
 
 		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterS)
+		fwdIn, err := goldenLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterS)
 		if err != nil {
 			return nil, err
 		}
 		fwdIn.SetPool(d.Pool)
-		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterR)
+		revOut, err := goldenLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), d.RouterR)
 		if err != nil {
 			return nil, err
 		}
@@ -150,11 +164,11 @@ func buildLegacyDumbbell(cfg DumbbellConfig) (*legacyDumbbell, error) {
 		d.Senders[i] = sender
 		d.Recvs[i] = receiver
 
-		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
+		fwdOut, err := goldenLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
 		if err != nil {
 			return nil, err
 		}
-		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
+		revIn, err := goldenLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +410,7 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		fwdQueue = netem.NewRED(redCfg, rand.Split(), cfg.BottleneckRate)
 	}
 	fc, rc := plan.FwdCore, plan.RevCore
-	bottle, err := netem.NewLink(kernels[fc], "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, routerR[fc])
+	bottle, err := goldenLink(kernels[fc], "bottleneck-fwd", cfg.BottleneckRate, owd, fwdQueue, routerR[fc])
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +424,7 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		bottle.SetRemote(netem.NewDemuxRemote(byFlowFwd, nil))
 	}
 
-	bottleRev, err := netem.NewLink(kernels[rc], "bottleneck-rev", cfg.BottleneckRate, owd,
+	bottleRev, err := goldenLink(kernels[rc], "bottleneck-rev", cfg.BottleneckRate, owd,
 		netem.NewDropTail(4096), routerS[rc])
 	if err != nil {
 		return nil, err
@@ -424,14 +438,14 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		bottleRev.SetRemote(netem.NewDemuxRemote(byFlowRev, nil))
 	}
 
-	sinkLink, err := netem.NewLink(kernels[fc], "attack-sink", 10*netem.Gbps, 0,
+	sinkLink, err := goldenLink(kernels[fc], "attack-sink", 10*netem.Gbps, 0,
 		netem.NewDropTail(1<<20), sd.Sink)
 	if err != nil {
 		return nil, err
 	}
 	routerR[fc].SetDefault(netem.DirForward, sinkLink)
 
-	attackIn, err := netem.NewLink(kernels[plan.AttackShard], "attacker", cfg.AttackAccessRate, attackOWD,
+	attackIn, err := goldenLink(kernels[plan.AttackShard], "attacker", cfg.AttackAccessRate, attackOWD,
 		netem.NewDropTail(1<<20), routerS[plan.AttackShard])
 	if err != nil {
 		return nil, err
@@ -460,7 +474,7 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		accessOWD := flowOWD[i]
 		accessQ := func() netem.Queue { return netem.NewDropTail(1024) }
 
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerS[s])
+		fwdIn, err := goldenLink(k, fmt.Sprintf("acc-fwd-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerS[s])
 		if err != nil {
 			return nil, err
 		}
@@ -468,7 +482,7 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		if s != fc {
 			fwdIn.SetRemote(netem.NewSingleRemote(obToFwdS[s]))
 		}
-		revOut, err := netem.NewLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerR[s])
+		revOut, err := goldenLink(k, fmt.Sprintf("acc-rev-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), routerR[s])
 		if err != nil {
 			return nil, err
 		}
@@ -489,11 +503,11 @@ func buildLegacyShardedDumbbell(cfg DumbbellConfig, workers int) (*legacySharded
 		sd.Senders[i] = sender
 		sd.Recvs[i] = receiver
 
-		fwdOut, err := netem.NewLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
+		fwdOut, err := goldenLink(k, fmt.Sprintf("acc-fwd-out-%d", i), cfg.AccessRate, accessOWD, accessQ(), receiver)
 		if err != nil {
 			return nil, err
 		}
-		revIn, err := netem.NewLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
+		revIn, err := goldenLink(k, fmt.Sprintf("acc-rev-in-%d", i), cfg.AccessRate, accessOWD, accessQ(), sender)
 		if err != nil {
 			return nil, err
 		}
@@ -607,7 +621,7 @@ func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
 	}
 
 	victimRouter := netem.NewRouter("victim")
-	sinkLink, err := netem.NewLink(k, "attack-sink", 10*netem.Gbps, 0,
+	sinkLink, err := goldenLink(k, "attack-sink", 10*netem.Gbps, 0,
 		netem.NewDropTail(1<<20), tb.Sink)
 	if err != nil {
 		return nil, err
@@ -627,6 +641,7 @@ func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipeFwd.Link().ForceGoldenPath()
 	tb.PipeFwd = pipeFwd
 	tb.QueueLen = queueLen
 
@@ -639,8 +654,9 @@ func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipeRev.Link().ForceGoldenPath()
 
-	attackIn, err := netem.NewLink(k, "attacker", cfg.AccessRate, sim.FromDuration(cfg.AccessOWD),
+	attackIn, err := goldenLink(k, "attacker", cfg.AccessRate, sim.FromDuration(cfg.AccessOWD),
 		netem.NewDropTail(1<<20), pipeFwd)
 	if err != nil {
 		return nil, err
@@ -659,13 +675,13 @@ func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
 	tb.RTTs = make([]float64, cfg.Flows)
 	for i := 0; i < cfg.Flows; i++ {
 		tb.RTTs[i] = rtt.Seconds()
-		fwdIn, err := netem.NewLink(k, fmt.Sprintf("user-fwd-%d", i), cfg.AccessRate, accessOWD,
+		fwdIn, err := goldenLink(k, fmt.Sprintf("user-fwd-%d", i), cfg.AccessRate, accessOWD,
 			netem.NewDropTail(1024), pipeFwd)
 		if err != nil {
 			return nil, err
 		}
 		fwdIn.SetPool(tb.Pool)
-		revOut, err := netem.NewLink(k, fmt.Sprintf("victim-rev-%d", i), cfg.AccessRate, accessOWD,
+		revOut, err := goldenLink(k, fmt.Sprintf("victim-rev-%d", i), cfg.AccessRate, accessOWD,
 			netem.NewDropTail(1024), pipeRev)
 		if err != nil {
 			return nil, err
@@ -682,12 +698,12 @@ func buildLegacyTestbed(cfg TestbedConfig) (*legacyTestbed, error) {
 		tb.Senders[i] = sender
 		tb.Recvs[i] = receiver
 
-		toRecv, err := netem.NewLink(k, fmt.Sprintf("victim-fwd-%d", i), cfg.AccessRate, accessOWD,
+		toRecv, err := goldenLink(k, fmt.Sprintf("victim-fwd-%d", i), cfg.AccessRate, accessOWD,
 			netem.NewDropTail(1024), receiver)
 		if err != nil {
 			return nil, err
 		}
-		toSender, err := netem.NewLink(k, fmt.Sprintf("user-rev-%d", i), cfg.AccessRate, accessOWD,
+		toSender, err := goldenLink(k, fmt.Sprintf("user-rev-%d", i), cfg.AccessRate, accessOWD,
 			netem.NewDropTail(1024), sender)
 		if err != nil {
 			return nil, err

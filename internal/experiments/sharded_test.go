@@ -51,11 +51,12 @@ func TestPlanMatchesLegacyDumbbellPlan(t *testing.T) {
 
 // shardedScenario holds everything observable from one run.
 type shardedScenario struct {
-	res       *RunResult
-	processed uint64
-	rateCSV   []byte
-	flowCSV   []byte
-	unrouted  uint64
+	res          *RunResult
+	processed    uint64
+	kernelEvents uint64 // raw scheduler events, 0 unless the runner records it
+	rateCSV      []byte
+	flowCSV      []byte
+	unrouted     uint64
 }
 
 // collectScenario runs one built environment and snapshots every observable

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"math"
 
 	"pulsedos/internal/sim"
 )
@@ -42,6 +43,21 @@ type Tap interface {
 // Link is a simplex point-to-point channel: a queue discipline feeding a
 // transmitter of finite rate, followed by a fixed propagation delay. It is
 // the netem analogue of an ns-2 simplex link.
+//
+// Two scheduling paths implement the same model (see DESIGN.md §14):
+//
+//   - The golden two-event path charges every packet one tx-done event
+//     (serialization completion) plus one delivery event (propagation). It
+//     is the original reference implementation, kept verbatim.
+//   - The fused path (the default) schedules a single delivery event at
+//     tx-done+delay, back-stamped to sort exactly where the golden path's
+//     delivery would have, and tracks the transmitter with a busyUntil
+//     timestamp instead of a tx-done event. A tx-done-shaped chain event
+//     exists only while backlog is queued.
+//
+// Links with taps or a cross-shard remote stay on the golden path: taps
+// observe the serialization instant and the portal protocol fires at
+// tx-done, and both must keep doing so (DESIGN.md §14).
 type Link struct {
 	name  string
 	k     *sim.Kernel
@@ -52,23 +68,58 @@ type Link struct {
 	pool  *PacketPool
 
 	busy   bool
+	golden bool // two-event reference path (forced by taps, remotes, or ForceGoldenPath)
 	stats  LinkStats
 	taps   []Tap
 	remote Remote // non-nil: propagation crosses a shard boundary (portal.go)
+
+	// Fused-path transmitter state: the in-flight serialization started at
+	// txStart and ends at busyUntil (-1 = never transmitted). chained marks
+	// a pending chain event that will restart the transmitter at busyUntil.
+	// starts counts transmissions begun and chainFires chain events fired —
+	// together they recover the event count the golden path would have paid
+	// (see SkippedEvents).
+	busyUntil  sim.Time
+	txStart    sim.Time
+	chained    bool
+	starts     uint64
+	startBytes uint64
+	lastSize   int // size of the most recently started packet
+	chainFires uint64
+
+	// Paced-commit grid (SendPaced): an open-loop source owning the link has
+	// committed pacedN equally sized serializations spaced pacedGap apart,
+	// the first starting at pacedFirstAt (completing at pacedFirstDone) and
+	// the last starting at pacedAt. Some of those start instants may still be
+	// in the virtual future, so the grid counters are folded out analytically
+	// at read time to keep Stats and SkippedEvents horizon-exact while
+	// commitments are outstanding. pacedN is zero whenever no grid is
+	// tracked; any plain Send start resets it.
+	pacedN         uint64
+	pacedGap       sim.Time
+	pacedFirstAt   sim.Time
+	pacedFirstDone sim.Time
+	pacedAt        sim.Time
+	pacedSize      int
 
 	// Prebuilt kernel callbacks so the per-packet transmit/deliver events
 	// carry the packet as an argument instead of allocating a fresh closure
 	// for every packet on the wire.
 	txDoneFn  func(any)
 	deliverFn func(any)
+	fusedFn   func(any)
+	chainFn   func(any)
 }
 
-// NewLink builds a link. rate is in bits per second and must be positive;
-// delay is the one-way propagation delay; queue guards the transmitter; dst
-// receives packets after serialization + propagation.
+// NewLink builds a link. rate is in bits per second and must be positive and
+// finite; delay is the one-way propagation delay; queue guards the
+// transmitter; dst receives packets after serialization + propagation.
 func NewLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue Queue, dst Node) (*Link, error) {
 	if k == nil {
 		return nil, fmt.Errorf("netem: link %q: nil kernel", name)
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("netem: link %q: rate must be finite, got %g", name, rate)
 	}
 	if rate <= 0 {
 		return nil, fmt.Errorf("netem: link %q: rate must be positive, got %g", name, rate)
@@ -82,9 +133,11 @@ func NewLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue Que
 	if delay < 0 {
 		delay = 0
 	}
-	l := &Link{name: name, k: k, rate: rate, delay: delay, queue: queue, dst: dst}
+	l := &Link{name: name, k: k, rate: rate, delay: delay, queue: queue, dst: dst, busyUntil: -1}
 	l.txDoneFn = func(arg any) { l.finishTransmit(arg.(*Packet)) }
 	l.deliverFn = func(arg any) { l.dst.Receive(arg.(*Packet)) }
+	l.fusedFn = func(arg any) { l.fireFused(arg.(*Packet)) }
+	l.chainFn = func(any) { l.fireChain() }
 	return l, nil
 }
 
@@ -101,8 +154,70 @@ func (l *Link) Delay() sim.Time { return l.delay }
 // experiments).
 func (l *Link) Queue() Queue { return l.queue }
 
-// Stats returns a snapshot of the link counters.
-func (l *Link) Stats() LinkStats { return l.stats }
+// Stats returns a snapshot of the link counters. On the fused path the
+// departure counters are derived at read time — a departure is a completed
+// serialization (starts minus those still in flight), which is exactly when
+// the golden path's tx-done event counts it — so snapshots are identical
+// between the two paths at any horizon, even while a fused delivery event is
+// still pending. With a paced grid outstanding (SendPaced) the arrival
+// counters are likewise rolled back to the grid starts that have actually
+// been reached, matching the instants the reference schedule would have
+// counted the arrivals at.
+func (l *Link) Stats() LinkStats {
+	s := l.stats
+	if !l.golden {
+		now := l.k.Now()
+		s.Departures = l.starts
+		s.DepartureBytes = l.startBytes
+		if l.pacedN > 0 {
+			if pend := l.pacedPending(now); pend > 0 {
+				s.Departures -= pend
+				s.DepartureBytes -= pend * uint64(l.pacedSize)
+			}
+			if fut := l.pacedUnarrived(now); fut > 0 {
+				s.Arrivals -= fut
+				s.ArrivalBytes -= fut * uint64(l.pacedSize)
+			}
+		} else if l.busyUntil > now {
+			s.Departures--
+			s.DepartureBytes -= uint64(l.lastSize)
+		}
+	}
+	return s
+}
+
+// pacedPending reports how many committed paced serializations have not yet
+// completed as of now; grid completions sit at pacedFirstDone + i·pacedGap.
+func (l *Link) pacedPending(now sim.Time) uint64 {
+	if now >= l.busyUntil {
+		return 0
+	}
+	if now < l.pacedFirstDone {
+		return l.pacedN
+	}
+	done := uint64((now-l.pacedFirstDone)/l.pacedGap) + 1
+	if done >= l.pacedN {
+		return 0
+	}
+	return l.pacedN - done
+}
+
+// pacedUnarrived reports how many committed paced packets have transmission
+// start instants still in the virtual future — packets the reference
+// schedule would not have seen arrive yet.
+func (l *Link) pacedUnarrived(now sim.Time) uint64 {
+	if now >= l.pacedAt {
+		return 0
+	}
+	if now < l.pacedFirstAt {
+		return l.pacedN
+	}
+	begun := uint64((now-l.pacedFirstAt)/l.pacedGap) + 1
+	if begun >= l.pacedN {
+		return 0
+	}
+	return l.pacedN - begun
+}
 
 // SetPool attaches a packet free list. Traffic sources reached through this
 // link allocate via NewPacket, and the link releases dropped packets back to
@@ -126,7 +241,43 @@ func (l *Link) NewPacket() *Packet {
 // SetRemote routes this link's post-serialization deliveries through a shard
 // boundary (see portal.go). A nil remote (the default) keeps the serial local
 // path; the only cost on that path is one pointer nil-check per departure.
-func (l *Link) SetRemote(r Remote) { l.remote = r }
+// A remote pins the link to the golden two-event path: the portal protocol
+// transfers packets at the tx-done instant, which is what keeps the parallel
+// engine's lookahead windows conservative (the propagation delay is consumed
+// on the destination shard), so the fused single-event schedule does not
+// apply.
+func (l *Link) SetRemote(r Remote) {
+	l.remote = r
+	if r != nil {
+		l.forceGolden("SetRemote")
+	}
+}
+
+// ForceGoldenPath pins the link to the golden two-event schedule (one
+// tx-done event plus one delivery event per packet) instead of the fused
+// single-event default. The two paths are model-equivalent — the equivalence
+// suites prove byte-identical observables — so this is a reference/debug
+// knob, not a semantic one. It must be called before any traffic flows;
+// links with taps or remotes are on the golden path already.
+func (l *Link) ForceGoldenPath() { l.forceGolden("ForceGoldenPath") }
+
+// GoldenPath reports whether the link uses the golden two-event schedule.
+func (l *Link) GoldenPath() bool { return l.golden }
+
+// forceGolden switches the link onto the two-event path. Switching after
+// traffic has started would desynchronize the two transmitter-state
+// representations (busy vs busyUntil) and corrupt the schedule, so it
+// panics — mode selection is wiring-time configuration, as are taps and
+// remotes.
+func (l *Link) forceGolden(who string) {
+	if l.golden {
+		return
+	}
+	if l.stats.Arrivals > 0 || l.busyUntil >= 0 {
+		panic("netem: " + who + " on link " + l.name + " after traffic started")
+	}
+	l.golden = true
+}
 
 // deliverLocal schedules the packet's propagation and delivery on the link's
 // own kernel — the serial path, also used by remotes falling back for flows
@@ -137,10 +288,17 @@ func (l *Link) deliverLocal(p *Packet) {
 	l.k.AfterTicksArg(l.delay, l.deliverFn, p)
 }
 
-// AddTap attaches a traffic observer.
+// AddTap attaches a traffic observer. A tapped link is pinned to the golden
+// two-event path: OnDepart is an observation of the serialization instant,
+// and on the fused path the departure isn't processed until tx-done+delay —
+// a run horizon falling inside that propagation window would miss departures
+// the golden path reports (RunUntil leaves pending events unfired), breaking
+// byte-identity of tap-derived series. Only measured links pay the second
+// event; the unobserved fleet stays fused.
 func (l *Link) AddTap(t Tap) {
 	if t != nil {
 		l.taps = append(l.taps, t)
+		l.forceGolden("AddTap")
 	}
 }
 
@@ -151,6 +309,13 @@ func (l *Link) AddTap(t Tap) {
 //pdos:hotpath
 func (l *Link) Send(p *Packet) {
 	now := l.k.Now()
+	if l.pacedAt > now {
+		// A paced source has committed transmissions whose start instants are
+		// still in the future; a packet arriving now would, on the reference
+		// schedule, serialize in the idle gaps *before* those commitments.
+		// SendPaced links must carry exactly one source (see SendPaced).
+		panic("netem: Send on link " + l.name + " while paced transmissions are committed")
+	}
 	l.stats.Arrivals++
 	l.stats.ArrivalBytes += uint64(p.Size)
 	for _, t := range l.taps {
@@ -165,9 +330,139 @@ func (l *Link) Send(p *Packet) {
 		p.Release()
 		return
 	}
-	if !l.busy {
-		l.startTransmit()
+	if l.golden {
+		if !l.busy {
+			l.startTransmit()
+		}
+		return
 	}
+	if l.chained || now <= l.busyUntil {
+		// Transmitter still serializing (or its completion instant hasn't
+		// been passed within this instant yet): arm the chain event that
+		// restarts it at busyUntil. Its stamp is the in-flight packet's
+		// tx-start, the instant the golden path's tx-done event was
+		// scheduled at, so it fires at exactly the golden restart position;
+		// on a same-instant tie the kernel raises the stamp to the current
+		// sub-instant position when the golden tx-done would already have
+		// fired (see sim.Kernel.AtArgStamped).
+		if !l.chained {
+			l.chained = true
+			l.k.AtArgStamped(l.busyUntil, l.txStart, l.chainFn, nil)
+		}
+		return
+	}
+	// Idle transmitter: self-start without any tx-done event — the elision
+	// the fused path exists for.
+	l.startFused(now)
+}
+
+// pacedAdmitter marks queue disciplines whose admission decision for a
+// packet arriving to an empty queue in front of an idle transmitter is an
+// unconditional accept — the only disciplines SendPaced may bypass. DropTail
+// qualifies (an empty FIFO under any positive limit always accepts); RED
+// does not (its decaying average can drop into an instantaneously empty
+// queue).
+type pacedAdmitter interface{ PacedAdmissible() bool }
+
+// CanPace reports whether the link can accept SendPaced commitments as of
+// now: the fused path, an idle transmitter with no chain armed and nothing
+// queued, and a queue discipline that admits unconditionally when empty.
+// Sources re-check this at every batch boundary so that any interleaved
+// plain traffic demotes them back to per-packet Send, which handles busy
+// transmitters exactly.
+func (l *Link) CanPace(now sim.Time) bool {
+	if l.golden || l.chained || l.busyUntil >= now || l.queue.Len() != 0 {
+		return false
+	}
+	q, ok := l.queue.(pacedAdmitter)
+	return ok && q.PacedAdmissible()
+}
+
+// SendPaced commits a future transmission of p starting at the exact virtual
+// instant at, without the per-packet kernel event Send would have consumed.
+// It is the open-loop source counterpart of the fused link schedule
+// (DESIGN.md §14): a CBR source whose emission gap exceeds the packet's
+// serialization time finds the transmitter idle at every emission, so the
+// whole arrive→enqueue→dequeue→serialize cascade collapses to arithmetic on
+// an emission grid, and one kernel event can commit a batch of future
+// packets with timestamps identical to per-packet operation — each delivery
+// fires at at+tx+delay carrying the tx-done schedule stamp, exactly the
+// (when, at) slot the golden reference's delivery occupies.
+//
+// Preconditions (panic on violation): the fused path, no chain armed, an
+// empty queue, at not in the past and strictly after the last committed
+// completion, and the serialization time strictly below gap (a tie means
+// the reference schedule would queue the packet — use Send). Callers gate
+// engagement with CanPace and must own the link outright: a plain Send
+// while committed start instants are still in the future panics, because
+// the reference schedule would have serialized that packet inside the idle
+// gaps of the grid. Consecutive calls continuing the same (gap, size) grid
+// extend it; a non-contiguous call starts a new grid and requires the old
+// one to be fully completed. While start instants remain in the future,
+// Stats and SkippedEvents remain horizon-exact (derived from the grid), but
+// per-arrival observation points do not exist — which is fine, since taps
+// force the golden path and SendPaced refuses tapped (golden) links.
+//
+//pdos:hotpath
+func (l *Link) SendPaced(p *Packet, at, gap sim.Time) {
+	now := l.k.Now()
+	tx := l.TxTime(p.Size)
+	if l.golden || l.chained || l.queue.Len() != 0 || at < now || at <= l.busyUntil || tx >= gap {
+		panic("netem: SendPaced preconditions violated on link " + l.name)
+	}
+	l.stats.Arrivals++
+	l.stats.ArrivalBytes += uint64(p.Size)
+	txDone := at + tx
+	if txDone < at {
+		txDone = sim.MaxTime
+	}
+	when := txDone + l.delay
+	if when < txDone {
+		when = sim.MaxTime
+	}
+	if l.pacedN > 0 && at == l.pacedAt+l.pacedGap && gap == l.pacedGap && p.Size == l.pacedSize {
+		l.pacedN++
+	} else {
+		if l.pacedN > 0 && l.busyUntil > now {
+			panic("netem: SendPaced grid restarted on link " + l.name + " with prior commitments outstanding")
+		}
+		l.pacedN = 1
+		l.pacedGap = gap
+		l.pacedFirstAt = at
+		l.pacedFirstDone = txDone
+		l.pacedSize = p.Size
+	}
+	l.pacedAt = at
+	l.starts++
+	l.startBytes += uint64(p.Size)
+	l.lastSize = p.Size
+	l.txStart = at
+	l.busyUntil = txDone
+	l.k.AtArgStamped(when, txDone, l.fusedFn, p)
+}
+
+// SkippedEvents reports how many kernel events the fused path has elided
+// relative to the golden two-event schedule, exact as of the virtual instant
+// now. Per packet the golden path fires one tx-done event at serialization
+// end plus one delivery event — the delivery the fused path pays identically
+// (its fused event fires at the same instant), so the difference is the
+// tx-done firings the golden run would have accumulated (one per completed
+// serialization: starts minus the one still in flight) minus the chain
+// events the fused run actually fired in their place. Golden-path links
+// report zero. With a paced grid outstanding (SendPaced) the in-flight count
+// is the grid completions not yet reached rather than a single packet; the
+// elision arithmetic is otherwise identical. Adding the sum over all links
+// back to the raw kernel count normalizes a fused run to reference-model
+// event counts, keeping serial/sharded/golden/fused runs comparable through
+// one number (topo.Environment.Processed).
+func (l *Link) SkippedEvents(now sim.Time) uint64 {
+	n := l.starts - l.chainFires
+	if l.pacedN > 0 {
+		n -= l.pacedPending(now)
+	} else if l.busyUntil > now {
+		n--
+	}
+	return n
 }
 
 // TxTime reports the serialization delay of a packet of the given size.
@@ -187,6 +482,69 @@ func (l *Link) startTransmit() {
 	}
 	l.busy = true
 	l.k.AfterTicksArg(l.TxTime(p.Size), l.txDoneFn, p)
+}
+
+// startFused pulls the head-of-line packet and schedules the single fused
+// event that will account its departure and deliver it. The event fires at
+// tx-done+delay but is back-stamped to the tx-done instant, so it occupies
+// exactly the (when, at) slot the golden path's delivery event — scheduled
+// at tx-done — would have; the saturation arithmetic mirrors the golden
+// path's two chained clampDelta calls.
+//
+//pdos:hotpath
+func (l *Link) startFused(now sim.Time) {
+	p := l.queue.Dequeue(now)
+	if p == nil {
+		return
+	}
+	l.pacedN = 0 // any tracked grid is fully started once a plain send begins
+	l.starts++
+	l.startBytes += uint64(p.Size)
+	l.lastSize = p.Size
+	txDone := now + l.TxTime(p.Size)
+	if txDone < now {
+		txDone = sim.MaxTime
+	}
+	when := txDone + l.delay
+	if when < txDone {
+		when = sim.MaxTime
+	}
+	l.txStart = now
+	l.busyUntil = txDone
+	l.k.AtArgStamped(when, txDone, l.fusedFn, p)
+}
+
+// fireFused is the fused path's one event per packet: serialization
+// completed at now-delay (the event's back-dated schedule stamp), so it
+// performs the departure accounting the golden tx-done event would have —
+// with the exact back-dated departure timestamp — and then delivers. Fused
+// links never carry taps (AddTap pins the golden path), but the tap loop
+// keeps the back-dated OnDepart semantics defined should that ever change.
+//
+//pdos:hotpath
+func (l *Link) fireFused(p *Packet) {
+	dep := l.k.Now() - l.delay
+	for _, t := range l.taps {
+		t.OnDepart(p, dep)
+	}
+	l.dst.Receive(p)
+}
+
+// fireChain fires at busyUntil while backlog exists: it restarts the
+// transmitter exactly where the golden tx-done event would have, and rearms
+// itself for the next completion if more packets are still queued. An idle
+// link needs no chain — Send self-starts — so steady low-load traffic pays
+// one event per hop and the chain only reappears under backlog.
+//
+//pdos:hotpath
+func (l *Link) fireChain() {
+	l.chained = false
+	l.chainFires++
+	l.startFused(l.k.Now())
+	if l.queue.Len() > 0 {
+		l.chained = true
+		l.k.AtArgStamped(l.busyUntil, l.txStart, l.chainFn, nil)
+	}
 }
 
 // finishTransmit fires when serialization completes: the packet enters the

@@ -1,0 +1,86 @@
+package netem
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pulsedos/internal/sim"
+)
+
+// TestTxTimeRounding pins the serialization-time arithmetic the fused and
+// golden link schedules both build on: TxTime converts bytes at a bps rate
+// into virtual nanoseconds by truncating the fractional tick toward zero
+// (sim.FromSeconds semantics). The fused event's timestamp is
+// now + TxTime + delay, so any drift here would silently shift every
+// delivery in the simulation.
+func TestTxTimeRounding(t *testing.T) {
+	cases := []struct {
+		name string
+		rate float64 // bps
+		size int     // bytes
+		want sim.Time
+	}{
+		{"exact-millisecond", 8e6, 1000, sim.Millisecond},
+		{"exact-ticks-gigabit", 1e9, 1500, 12000 * sim.Nanosecond},
+		{"one-byte-gigabit", 1e9, 1, 8 * sim.Nanosecond},
+		{"fractional-tick-truncates", 3e6, 1000, 2666666 * sim.Nanosecond},
+		{"sub-tick-truncates-to-zero", 1e12, 1, 0},
+		{"zero-size", 8e6, 0, 0},
+		{"one-bps-megabyte", 1, 1_000_000, 8_000_000 * sim.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.New()
+			l, err := NewLink(k, "l", tc.rate, 0, NewDropTail(1), &Sink{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := l.TxTime(tc.size); got != tc.want {
+				t.Errorf("TxTime(%d) at %g bps = %v, want %v", tc.size, tc.rate, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestNewLinkRateValidation pins construction-time rejection of rates that
+// would corrupt TxTime arithmetic: NaN and ±Inf produce NaN/zero
+// serialization times, zero and negative rates produce divide-by-zero or
+// time-reversed schedules. All must fail at NewLink, before any packet
+// moves.
+func TestNewLinkRateValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		rate    float64
+		wantErr string // "" = construction must succeed
+	}{
+		{"nan", math.NaN(), "finite"},
+		{"pos-inf", math.Inf(1), "finite"},
+		{"neg-inf", math.Inf(-1), "finite"},
+		{"zero", 0, "positive"},
+		{"negative", -1e6, "positive"},
+		{"tiny-positive", 0.001, ""},
+		{"huge-finite", 1e308, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.New()
+			l, err := NewLink(k, "l", tc.rate, 0, NewDropTail(1), &Sink{})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rate %g rejected: %v", tc.rate, err)
+				}
+				if l == nil {
+					t.Fatal("nil link without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("rate %g accepted", tc.rate)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("rate %g: error %q does not mention %q", tc.rate, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -72,6 +72,12 @@ type Report struct {
 	// (every document is a cache hit), with the byte-identity check between
 	// cached artifacts and a direct recompute.
 	Serve *ServeBench `json:"serve,omitempty"`
+
+	// Fusion carries the event-fusion study (BENCH_6 onward): the attacked
+	// 10k-flow scale scenario on the golden two-event link schedule versus
+	// the fused one-event-per-hop default, with the events-per-packet
+	// reduction and the byte-identity checks.
+	Fusion *experiments.FusionBenchResult `json:"fusion,omitempty"`
 }
 
 // ServeBench is the BENCH_5 payload: pdos-serve's warm/cold sweep

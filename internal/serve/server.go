@@ -11,6 +11,12 @@
 //	                                  ?priority=N  higher drains first (default 0)
 //	                                  ?wait=1      block until the run finishes
 //	                                  ?stream=1    chunked JSON progress lines
+//	POST   /runs/batch                submit a JSON array of scenario documents;
+//	                                  each admits independently through the same
+//	                                  pipeline (cache fast path, heap budget,
+//	                                  queue bound) and the response is one
+//	                                  BatchEntry per document, in order;
+//	                                  ?priority and ?wait=1 apply to every entry
 //	GET    /runs/{id}                 job status
 //	GET    /runs/{id}/artifacts/{name} one artifact (result.json, rate.csv)
 //	GET    /runs/{id}/events          chunked JSON progress lines until terminal
@@ -32,9 +38,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -153,6 +161,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /runs", s.handleSubmit)
+	s.mux.HandleFunc("POST /runs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /runs/{id}/artifacts/{name}", s.handleArtifact)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
@@ -309,43 +318,58 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	cfg, err := scenario.Load(http.MaxBytesReader(w, r.Body, maxScenarioBytes))
+// admitDocument runs the single-document admission pipeline — parse,
+// canonical key, heap-budget guard, scheduler submit — shared by POST /runs
+// and POST /runs/batch. On error the job is nil and the status is the HTTP
+// code the failure maps to.
+func (s *Server) admitDocument(body io.Reader, priority int) (*job, int, error) {
+	cfg, err := scenario.Load(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, http.StatusBadRequest, err
 	}
 	key, err := scenario.Key(cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	priority := 0
-	if p := r.URL.Query().Get("priority"); p != "" {
-		priority, err = strconv.Atoi(p)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad priority %q", p)
-			return
-		}
+		return nil, http.StatusBadRequest, err
 	}
 	if s.opts.MaxHeapBytes > 0 {
 		g, err := cfg.Graph()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, http.StatusBadRequest, err
 		}
 		packet, fluid := flowCounts(g)
 		if proj := experiments.ProjectedHeapBytes(packet, fluid); proj > s.opts.MaxHeapBytes {
-			writeError(w, http.StatusUnprocessableEntity,
+			return nil, http.StatusUnprocessableEntity, fmt.Errorf(
 				"scenario projects %d heap bytes (%d packet + %d fluid flows), budget is %d",
 				proj, packet, fluid, s.opts.MaxHeapBytes)
-			return
 		}
 	}
+	return s.submit(cfg, key, priority)
+}
 
-	j, status, err := s.submit(cfg, key, priority)
+// parsePriority reads the shared ?priority query parameter.
+func parsePriority(r *http.Request) (int, error) {
+	p := r.URL.Query().Get("priority")
+	if p == "" {
+		return 0, nil
+	}
+	priority, err := strconv.Atoi(p)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		return 0, fmt.Errorf("bad priority %q", p)
+	}
+	return priority, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	priority, err := parsePriority(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, status, err := s.admitDocument(http.MaxBytesReader(w, r.Body, maxScenarioBytes), priority)
+	if err != nil {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, status, "%v", err)
 		return
 	}
@@ -366,6 +390,91 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func isTruthy(v string) bool {
 	return v == "1" || v == "true" || v == "yes"
+}
+
+// maxBatchRuns bounds one POST /runs/batch array; maxBatchBytes its body.
+const (
+	maxBatchRuns  = 256
+	maxBatchBytes = 16 << 20
+)
+
+// BatchEntry is one document's outcome in a POST /runs/batch response, in
+// submission order. A document that failed admission carries Error and the
+// HTTP status the failure maps to; an admitted document carries the run id
+// plus its state snapshot (terminal immediately on a cache hit).
+type BatchEntry struct {
+	Index      int        `json:"index"`
+	ID         string     `json:"id,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	HTTPStatus int        `json:"httpStatus,omitempty"` // set only on admission failure
+	Status     *JobStatus `json:"status,omitempty"`
+}
+
+// handleBatch admits a JSON array of scenario documents in one request.
+// Each document runs the same admission pipeline as POST /runs — cache fast
+// path first (a known key is answered terminally without occupying a worker
+// slot), then the heap-budget and queue-bound guards — and failures are
+// per-entry: one oversized or malformed document never rejects its
+// neighbors. ?priority applies to every entry; ?wait=1 blocks until every
+// admitted run reaches a terminal state.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	priority, err := parsePriority(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var docs []json.RawMessage
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	if err := dec.Decode(&docs); err != nil {
+		writeError(w, http.StatusBadRequest, "batch body must be a JSON array of scenario documents: %v", err)
+		return
+	}
+	if len(docs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(docs) > maxBatchRuns {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d documents exceeds the %d-run limit", len(docs), maxBatchRuns)
+		return
+	}
+
+	entries := make([]BatchEntry, len(docs))
+	jobs := make([]*job, len(docs))
+	for i, doc := range docs {
+		entries[i].Index = i
+		j, status, err := s.admitDocument(bytes.NewReader(doc), priority)
+		if err != nil {
+			entries[i].Error = err.Error()
+			entries[i].HTTPStatus = status
+			continue
+		}
+		jobs[i] = j
+		entries[i].ID = j.id
+	}
+	if isTruthy(r.URL.Query().Get("wait")) {
+		// Like the single-submit ?wait=1, a vanished client stops the wait
+		// but not the runs; the response snapshots whatever state each job
+		// had reached.
+	wait:
+		for _, j := range jobs {
+			if j == nil {
+				continue
+			}
+			select {
+			case <-j.done:
+			case <-r.Context().Done():
+				break wait
+			}
+		}
+	}
+	for i, j := range jobs {
+		if j == nil {
+			continue
+		}
+		snap := j.snapshot(false)
+		entries[i].Status = &snap
+	}
+	writeJSON(w, http.StatusOK, entries)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

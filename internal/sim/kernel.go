@@ -122,6 +122,7 @@ func (t *Timer) When() Time {
 // levels per sift).
 type Kernel struct {
 	now       Time
+	nowAt     Time     // schedule stamp (`at`) of the most recently fired event
 	events    []*event // 4-ary min-heap ordered by (when, seq)
 	free      []*event // recycled event structs
 	seq       uint64
@@ -434,6 +435,7 @@ func (k *Kernel) fire(ev *event) {
 	k.assertFire(ev)
 	k.unschedule(ev)
 	k.now = ev.when
+	k.nowAt = ev.at
 	k.processed++
 	if ev.argFn != nil {
 		fn, arg := ev.argFn, ev.arg
@@ -529,6 +531,43 @@ func (k *Kernel) RunBefore(t Time) error {
 		k.now = t
 	}
 	return nil
+}
+
+// AtArgStamped schedules fn(arg) at the absolute instant `when`, carrying an
+// explicit schedule stamp `at` in place of the current instant. It is the
+// local-kernel counterpart of InjectArg, built for event fusion: a fused link
+// delivery fires at tx-done+delay but must sort at the (when, at, seq) slot
+// the golden two-event path's delivery — scheduled at tx-done — would have
+// occupied, so the fused schedule back-stamps `at` to the tx-done instant.
+// Stamps are clamped: a stamp after `when` collapses to `when`, and a
+// same-instant schedule (`when == now`) raises the stamp to at least the
+// stamp of the currently firing event — the event must fire after the
+// current one, so a smaller stamp would both break the strictly increasing
+// (when, at, seq) firing order (the pdosassert invariant) and claim a
+// sub-instant position that has already passed. For the fused link this
+// clamp is exactly the "did the golden tx-done already fire this instant?"
+// test: if position (now, at) passed, golden's transmitter is already free
+// and its restart would happen at the current sub-instant position, which is
+// where the clamped event lands. Scheduling in the past still fails with
+// ErrPastTime.
+//
+//pdos:hotpath
+func (k *Kernel) AtArgStamped(when, at Time, fn func(any), arg any) (Timer, error) {
+	if when < k.now {
+		return Timer{}, ErrPastTime
+	}
+	if at > when {
+		at = when
+	}
+	if when == k.now && at < k.nowAt {
+		at = k.nowAt
+	}
+	ev := k.alloc(when)
+	ev.at = at
+	ev.argFn = fn
+	ev.arg = arg
+	k.enqueue(ev)
+	return Timer{k: k, ev: ev, gen: ev.gen, when: when}, nil
 }
 
 // InjectArg schedules fn(arg) at the absolute instant `when`, carrying the

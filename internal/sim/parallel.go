@@ -240,6 +240,13 @@ func (e *Engine) Processed() uint64 {
 	return n
 }
 
+// Event fusion (netem's fused link path, DESIGN.md §14) never weakens the
+// conservative lookahead protocol: cross-shard links stay on the two-event
+// path, so portal timestamps and the adaptive PeekNext window bound are
+// exactly what they were, and a fused local link's single delivery event can
+// only sit at or after the tx-done event it replaces — PeekNext horizons
+// only move later, never earlier.
+
 // Pending reports the pending events across all shards plus boundary events
 // buffered for future windows.
 func (e *Engine) Pending() int {

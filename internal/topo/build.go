@@ -174,6 +174,22 @@ func (b *builder) remote(src, dst, router int) *sim.Outbox {
 	return ob
 }
 
+// newLink constructs one link, honoring the graph's GoldenLinks knob: when
+// set, every link is pinned to the golden two-event schedule instead of the
+// fused single-event default, giving the fusion equivalence suites a
+// reference build that differs only in scheduling path (see DESIGN.md §14).
+func (b *builder) newLink(k *sim.Kernel, name string, rate float64, delay sim.Time, queue netem.Queue, dst netem.Node) (*netem.Link, error) {
+	l, err := netem.NewLink(k, name, rate, delay, queue, dst)
+	if err != nil {
+		return nil, err
+	}
+	if b.g.GoldenLinks {
+		l.ForceGoldenPath()
+	}
+	b.env.links = append(b.env.links, l)
+	return l, nil
+}
+
 // buildQueue constructs one trunk queue. This is the only build-time rng
 // consumer: RED and Adaptive RED take one child rng each, in trunk
 // declaration order (forward before reverse) — the draw order the legacy
@@ -217,7 +233,7 @@ func (b *builder) wireTrunks() error {
 		if err != nil {
 			return err
 		}
-		fwd, err := netem.NewLink(b.kernels[sf], t.Name+"-fwd", b.info.effRate[ti], sim.FromDuration(t.Delay),
+		fwd, err := b.newLink(b.kernels[sf], t.Name+"-fwd", b.info.effRate[ti], sim.FromDuration(t.Delay),
 			fq, b.routers[sf][t.To])
 		if err != nil {
 			return err
@@ -234,7 +250,7 @@ func (b *builder) wireTrunks() error {
 		if err != nil {
 			return err
 		}
-		rev, err := netem.NewLink(b.kernels[sr], t.Name+"-rev", revRate, sim.FromDuration(t.Delay),
+		rev, err := b.newLink(b.kernels[sr], t.Name+"-rev", revRate, sim.FromDuration(t.Delay),
 			rq, b.routers[sr][t.From])
 		if err != nil {
 			return err
@@ -250,7 +266,7 @@ func (b *builder) wireTrunks() error {
 // wireSinkAndAttacks terminates attack traffic in a counting sink behind the
 // sink router and builds each attacker's ingress link on its own shard.
 func (b *builder) wireSinkAndAttacks() error {
-	sinkLink, err := netem.NewLink(b.kernels[b.plan.SinkShard], "attack-sink", 10*netem.Gbps, 0,
+	sinkLink, err := b.newLink(b.kernels[b.plan.SinkShard], "attack-sink", 10*netem.Gbps, 0,
 		netem.NewDropTail(1<<20), b.env.Sink)
 	if err != nil {
 		return err
@@ -266,7 +282,7 @@ func (b *builder) wireSinkAndAttacks() error {
 		if ai > 0 {
 			name = "attacker-" + strconv.Itoa(ai)
 		}
-		l, err := netem.NewLink(b.kernels[as], name, ap.Rate, sim.FromDuration(ap.Delay),
+		l, err := b.newLink(b.kernels[as], name, ap.Rate, sim.FromDuration(ap.Delay),
 			netem.NewDropTail(1<<20), b.routers[as][ap.Router])
 		if err != nil {
 			return err
@@ -401,7 +417,7 @@ func (b *builder) wireFlow(f int) error {
 	first := fi.path[0]
 	last := fi.path[len(fi.path)-1]
 
-	fwdIn, err := netem.NewLink(k, "acc-fwd-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue),
+	fwdIn, err := b.newLink(k, "acc-fwd-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue),
 		b.routers[s][fi.ingress])
 	if err != nil {
 		return err
@@ -410,7 +426,7 @@ func (b *builder) wireFlow(f int) error {
 	if ob := b.remote(s, b.plan.TrunkFwd[first], fi.ingress); ob != nil {
 		fwdIn.SetRemote(netem.NewSingleRemote(ob))
 	}
-	revOut, err := netem.NewLink(k, "acc-rev-out-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue),
+	revOut, err := b.newLink(k, "acc-rev-out-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue),
 		b.routers[s][fi.egress])
 	if err != nil {
 		return err
@@ -432,11 +448,11 @@ func (b *builder) wireFlow(f int) error {
 	b.env.Senders[f] = sender
 	b.env.Recvs[f] = receiver
 
-	fwdOut, err := netem.NewLink(k, "acc-fwd-out-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue), receiver)
+	fwdOut, err := b.newLink(k, "acc-fwd-out-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue), receiver)
 	if err != nil {
 		return err
 	}
-	revIn, err := netem.NewLink(k, "acc-rev-in-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue), sender)
+	revIn, err := b.newLink(k, "acc-rev-in-"+id, fi.rate, fi.owd, netem.NewDropTail(fi.queue), sender)
 	if err != nil {
 		return err
 	}

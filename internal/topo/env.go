@@ -30,10 +30,12 @@ type Environment struct {
 	Sink    *netem.Sink // attack traffic terminus
 	Pools   []*netem.PacketPool
 
-	eng      *sim.Engine // nil when serial
+	eng      *sim.Engine   // nil when serial
+	links    []*netem.Link // every link Build wired, for event normalization
 	routers  [][]*netem.Router
 	attackIn []*netem.Link
 	attackK  []*sim.Kernel
+	gens     []*attack.Generator // every attached generator, for event normalization
 	rand     *rng.Source
 	tables   []*tcp.FlowTable // one per shard holding flows (for TimerTicks)
 	macros   []*tcp.Macroflow // fluid-tier aggregates, in group order
@@ -109,7 +111,12 @@ func (e *Environment) AttachAt(i int, train attack.Train) (*attack.Generator, er
 	if i < 0 || i >= len(e.attackIn) {
 		return nil, fmt.Errorf("topo: attack point %d out of range (%d points)", i, len(e.attackIn))
 	}
-	return attack.NewGenerator(e.attackK[i], e.attackIn[i], train, e.Graph.AttackPacketSize)
+	g, err := attack.NewGenerator(e.attackK[i], e.attackIn[i], train, e.Graph.AttackPacketSize)
+	if err != nil {
+		return nil, err
+	}
+	e.gens = append(e.gens, g)
+	return g, nil
 }
 
 // RunUntil advances the simulation to t through whichever executor the build
@@ -122,19 +129,51 @@ func (e *Environment) RunUntil(t sim.Time) error {
 }
 
 // Processed reports total model events fired across all shards, excluding
-// the RTO wheel's per-table heartbeat ticks: a sharded build splits one flow
-// population across per-shard tables, each running its own heartbeat chain,
-// so the raw kernel counts differ between serial and sharded builds by
-// exactly the tick total while the model event count is identical.
+// the RTO wheel's per-table heartbeat ticks and adding back the events the
+// fused link path elided. A sharded build splits one flow population across
+// per-shard tables, each running its own heartbeat chain, so the raw kernel
+// counts differ between serial and sharded builds by exactly the tick total;
+// fused links fire one kernel event where the golden two-event reference
+// fires two, paced attack sources fire one kernel event per emission batch
+// where the reference fires one per packet, and each link and generator
+// reports its elisions (netem.Link.SkippedEvents,
+// attack.Generator.SkippedEvents) so the normalized count stays the
+// reference-model event count — identical
+// across serial/sharded/golden/fused builds of the same graph. KernelEvents
+// reports the raw count the scheduler actually paid for.
 func (e *Environment) Processed() uint64 {
 	var ticks uint64
 	for _, t := range e.tables {
 		ticks += t.TimerTicks()
 	}
+	return e.KernelEvents() - ticks + e.SkippedEvents()
+}
+
+// KernelEvents reports the raw number of kernel events fired across all
+// shards — the scheduler work actually performed, which is what the fusion
+// benchmark meters (events/packet, events/sec).
+func (e *Environment) KernelEvents() uint64 {
 	if e.eng != nil {
-		return e.eng.Processed() - ticks
+		return e.eng.Processed()
 	}
-	return e.Kernel.Processed() - ticks
+	return e.Kernel.Processed()
+}
+
+// SkippedEvents reports the number of reference-model events elided by fused
+// links and by paced attack sources, summed over every link and attached
+// generator in the build as of the current virtual instant (zero on a
+// GoldenLinks build) — see netem.Link.SkippedEvents and
+// attack.Generator.SkippedEvents.
+func (e *Environment) SkippedEvents() uint64 {
+	now := e.Kernel.Now()
+	var n uint64
+	for _, l := range e.links {
+		n += l.SkippedEvents(now)
+	}
+	for _, g := range e.gens {
+		n += g.SkippedEvents(now)
+	}
+	return n
 }
 
 // BottleStats snapshots the target trunk's forward-link counters.

@@ -153,6 +153,15 @@ type Graph struct {
 	// HeapKernel forces the binary-heap scheduler (serial only; the sharded
 	// engine always runs the timing wheel).
 	HeapKernel bool
+
+	// GoldenLinks pins every link to the golden two-event schedule (one
+	// tx-done event plus one delivery event per packet) instead of the fused
+	// single-event default — the reference side of the fusion equivalence
+	// suites (see DESIGN.md §14). Observables are byte-identical either way;
+	// only the kernel event count differs — which is also why the field is
+	// excluded from the canonical scenario encoding: golden and fused runs
+	// of one graph share a content-address.
+	GoldenLinks bool `json:"-"`
 }
 
 // defaultAccessQueue is the per-flow access-link buffer used when a group
