@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint race-assert race-parallel topo-equivalence fusion-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench fusion-bench fusion-smoke profile clean
+.PHONY: all build test race vet lint lint-json race-assert race-parallel topo-equivalence fusion-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench fusion-bench fusion-smoke profile clean
 
 all: build
 
@@ -19,14 +19,22 @@ vet:
 	$(GO) vet ./...
 
 # lint runs pdos-lint (the stdlib-only analyzer suite enforcing the
-# determinism, pool-ownership, hot-path, and float-equality contracts — see
-# DESIGN.md §10) over the module, then fails on any gofmt drift.
+# determinism, pool-ownership, hot-path, float-equality, virtual-time,
+# shard-isolation, and counter-conservation contracts — see DESIGN.md §10 and
+# §15) over the module, then fails on any gofmt drift.
 lint:
 	$(GO) run ./cmd/pdos-lint ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# lint-json writes the machine-readable diagnostics to pdos-lint.json for the
+# CI artifact (always written, even when findings make the tool exit 1 —
+# `make lint` is the gate, this is the report).
+lint-json:
+	$(GO) run ./cmd/pdos-lint -json ./... > pdos-lint.json || true
+	@echo "wrote pdos-lint.json"
 
 # race-assert reruns the determinism/equivalence suites and the assertion
 # tests with the pdosassert runtime invariants compiled in (pool

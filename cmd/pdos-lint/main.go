@@ -1,22 +1,33 @@
 // Command pdos-lint runs the repository's static-analysis suite
-// (internal/lint): the determinism, pool-ownership, hot-path-hygiene, and
-// float-equality analyzers that machine-check the contracts the simulator's
-// reproducibility and 0 allocs/packet arguments rest on. It is stdlib-only —
-// go/parser + go/types with a source-mode importer — so `make lint` needs no
-// tool downloads.
+// (internal/lint): the flow-sensitive pool-ownership analyzer plus the
+// determinism, hot-path-hygiene, float-equality, virtual-time, shard-
+// isolation, counter-conservation, and directive-vocabulary analyzers that
+// machine-check the contracts the simulator's reproducibility and
+// 0 allocs/packet arguments rest on. It is stdlib-only — go/parser +
+// go/types with a source-mode importer — so `make lint` needs no tool
+// downloads.
 //
 // Usage:
 //
-//	pdos-lint [-root dir] [package-dir ...]
+//	pdos-lint [-root dir] [-json] [package-dir ...]
 //
 // With no package arguments (or the conventional "./..."), every buildable
 // package in the module is analyzed. Findings print as
-// file:line:col: [analyzer] message, and a non-empty finding set exits 1.
+// file:line:col: [analyzer] message; -json instead emits a deterministic
+// (file/line/col/analyzer-sorted) JSON array of findings on stdout.
+//
+// Exit codes are a pinned contract (CI and the run cache depend on them):
+//
+//	0 — analysis ran, no findings
+//	1 — analysis ran, at least one finding
+//	2 — analysis could not run (bad flags, unreadable module, type errors)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,19 +36,71 @@ import (
 )
 
 func main() {
-	root := flag.String("root", ".", "module root directory (holds go.mod)")
-	flag.Parse()
-
-	if err := run(*root, flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "pdos-lint:", err)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(root string, args []string) error {
+// jsonDiagnostic is the stable wire shape of one finding.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// run is the whole tool behind the exit-code contract: 0 clean, 1 findings,
+// 2 load/usage error. It never calls os.Exit itself, so tests can drive it
+// in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pdos-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "module root directory (holds go.mod)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	diags, npkgs, err := analyze(*root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "pdos-lint:", err)
+		return 2
+	}
+
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "pdos-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	fmt.Fprintf(stderr, "pdos-lint: %d package(s), %d finding(s)\n", npkgs, len(diags))
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// analyze loads the selected packages and runs the suite, returning the
+// sorted findings (lint.Run sorts by file/line/col/analyzer).
+func analyze(root string, args []string) ([]lint.Diagnostic, int, error) {
 	l, err := lint.NewLoader(root)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	paths := l.Paths()
 	if want := selectPaths(l, args); want != nil {
@@ -47,19 +110,11 @@ func run(root string, args []string) error {
 	for _, p := range paths {
 		pkg, err := l.Load(p)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := lint.Run(lint.Default(), pkgs)
-	for _, d := range diags {
-		fmt.Println(d.String())
-	}
-	fmt.Fprintf(os.Stderr, "pdos-lint: %d package(s), %d finding(s)\n", len(pkgs), len(diags))
-	if len(diags) > 0 {
-		os.Exit(1)
-	}
-	return nil
+	return lint.Run(lint.Default(), pkgs), len(pkgs), nil
 }
 
 // selectPaths maps directory arguments to import paths; "./..." (or no

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for run() to analyze. files maps
+// module-relative paths to contents; a go.mod is written unless the map
+// already has one (or omitGoMod is used via a nil map entry).
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanSrc = `package clean
+
+// Sum is ordinary code no analyzer objects to.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`
+
+// dirtySrc trips the float-equality analyzer: Default() scopes floateq to
+// the internal/model package of whatever module is loaded.
+const dirtySrc = `package model
+
+// Equal compares floats exactly — the seeded violation.
+func Equal(a, b float64) bool { return a == b }
+`
+
+// TestExitCodeContract pins the 0/1/2 contract CI and the run cache depend
+// on: clean tree 0, findings 1, unloadable module or bad usage 2 — and run()
+// must return, never os.Exit, so each case is observable in-process.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string // nil → point at an empty dir (no go.mod)
+		args  []string
+		want  int
+	}{
+		{
+			name:  "clean module exits 0",
+			files: map[string]string{"go.mod": "module pulsedos\n\ngo 1.22\n", "clean/clean.go": cleanSrc},
+			want:  0,
+		},
+		{
+			name:  "findings exit 1",
+			files: map[string]string{"go.mod": "module pulsedos\n\ngo 1.22\n", "internal/model/model.go": dirtySrc},
+			want:  1,
+		},
+		{
+			name: "missing go.mod exits 2",
+			want: 2,
+		},
+		{
+			name:  "type error exits 2",
+			files: map[string]string{"go.mod": "module pulsedos\n\ngo 1.22\n", "bad/bad.go": "package bad\n\nfunc f() int { return undefinedName }\n"},
+			want:  2,
+		},
+		{
+			name:  "bad flag exits 2",
+			files: map[string]string{"go.mod": "module pulsedos\n\ngo 1.22\n", "clean/clean.go": cleanSrc},
+			args:  []string{"-definitely-not-a-flag"},
+			want:  2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeModule(t, tc.files)
+			args := append([]string{"-root", root}, tc.args...)
+			var stdout, stderr bytes.Buffer
+			if got := run(args, &stdout, &stderr); got != tc.want {
+				t.Errorf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONOutput pins the -json wire shape: a JSON array (never null) of
+// {analyzer, file, line, col, message}, sorted by file/line/col/analyzer.
+func TestJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                  "module pulsedos\n\ngo 1.22\n",
+		"internal/model/model.go": dirtySrc,
+	})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-root", root, "-json"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", got, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "floateq" || filepath.Base(d.File) != "model.go" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected finding shape: %+v", d)
+	}
+
+	// A clean tree must emit [] — an empty array, not null — so downstream
+	// jq/artifact consumers never special-case the happy path.
+	root = writeModule(t, map[string]string{
+		"go.mod":         "module pulsedos\n\ngo 1.22\n",
+		"clean/clean.go": cleanSrc,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-root", root, "-json"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", got, stderr.String())
+	}
+	trimmed := bytes.TrimSpace(stdout.Bytes())
+	if string(trimmed) != "[]" {
+		t.Errorf("clean -json output = %q, want []", trimmed)
+	}
+}

@@ -261,6 +261,8 @@ func (g *Generator) SkippedEvents(now sim.Time) uint64 {
 // beginPulse event in both modes, and j = pulseN is the closing event both
 // modes fire at the identical instant), plus the folded totals of completed
 // pulses.
+//
+//pdos:counter emission-grid fold — the reference event count is derived analytically from the grid geometry
 func (g *Generator) gridEvents(now sim.Time) uint64 {
 	n := g.gridDone
 	if g.pulseActive && now > g.pulseT0 {
@@ -369,7 +371,7 @@ func (g *Generator) emitEvent() {
 	if g.stopped {
 		return
 	}
-	g.eventsFired++
+	g.eventsFired++ //pdos:counter emission-grid inc — one reference grid point consumed by a fired event
 	g.emit()
 }
 
@@ -383,7 +385,7 @@ func (g *Generator) batchEvent() {
 	if g.stopped {
 		return
 	}
-	g.eventsFired++
+	g.eventsFired++ //pdos:counter emission-grid inc — a batch event covers one grid point too
 	if !g.out.CanPace(g.k.Now()) {
 		g.emit()
 		return
@@ -445,6 +447,7 @@ func (g *Generator) emitBatch() {
 // schedules the next pulse after the inter-pulse gap.
 //
 //pdos:hotpath
+//pdos:counter emission-grid fold — completed pulses' grid totals folded into gridDone
 func (g *Generator) finishPulse() {
 	g.gridDone += g.pulseN
 	g.pulseActive = false

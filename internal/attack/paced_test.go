@@ -4,33 +4,46 @@ import (
 	"testing"
 
 	"pulsedos/internal/netem"
+	"pulsedos/internal/rng"
 	"pulsedos/internal/sim"
 )
 
 // pacedLeg is one instrumented replay of a train: the delivery record plus
 // per-horizon snapshots of every counter the paced path derives analytically.
 type pacedLeg struct {
-	arrivals []sim.Time
-	gen      []GeneratorStats
-	link     []netem.LinkStats
-	kernel   []uint64
-	skipped  []uint64 // link + generator elisions at the horizon
+	arrivals   []sim.Time
+	gen        []GeneratorStats
+	link       []netem.LinkStats
+	kernel     []uint64
+	skipped    []uint64 // link + generator elisions at the horizon
+	genSkipped []uint64 // generator elisions alone (pacing-engagement witness)
 }
 
-// runPacedLeg replays tr into a fresh link/kernel pair, snapshotting at every
-// horizon. golden pins the link to the two-event reference schedule, which
-// also keeps the generator on the per-packet emission chain — the reference
-// the paced path must be indistinguishable from.
-func runPacedLeg(t *testing.T, golden bool, tr Train, linkRate float64, delay sim.Time, horizons []sim.Time) pacedLeg {
+// legOpts selects the off-reference knobs a leg can exercise: the queue
+// discipline in front of the transmitter and an optional interfering plain
+// Send injected mid-run (both legs of a comparison must get the same one).
+type legOpts struct {
+	golden      bool
+	mkQueue     func() netem.Queue // nil → DropTail(1<<20)
+	interfereAt sim.Time           // 0 → no injected packet
+}
+
+// runLeg replays tr into a fresh link/kernel pair under opts, snapshotting
+// at every horizon.
+func runLeg(t *testing.T, tr Train, linkRate float64, delay sim.Time, horizons []sim.Time, opts legOpts) pacedLeg {
 	t.Helper()
 	k := sim.New()
 	var leg pacedLeg
 	capture := netem.NodeFunc(func(*netem.Packet) { leg.arrivals = append(leg.arrivals, k.Now()) })
-	link, err := netem.NewLink(k, "atk", linkRate, delay, netem.NewDropTail(1<<20), capture)
+	mk := opts.mkQueue
+	if mk == nil {
+		mk = func() netem.Queue { return netem.NewDropTail(1 << 20) }
+	}
+	link, err := netem.NewLink(k, "atk", linkRate, delay, mk(), capture)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if golden {
+	if opts.golden {
 		link.ForceGoldenPath()
 	}
 	g, err := NewGenerator(k, link, tr, 1000)
@@ -40,7 +53,18 @@ func runPacedLeg(t *testing.T, golden bool, tr Train, linkRate float64, delay si
 	if err := g.Start(sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
+	interfered := false
 	for _, h := range horizons {
+		if !interfered && opts.interfereAt > 0 && h >= opts.interfereAt {
+			if err := k.RunUntil(opts.interfereAt); err != nil {
+				t.Fatal(err)
+			}
+			p := link.NewPacket()
+			p.Size = 1000
+			p.SentAt = k.Now()
+			link.Send(p)
+			interfered = true
+		}
 		if err := k.RunUntil(h); err != nil {
 			t.Fatal(err)
 		}
@@ -48,8 +72,18 @@ func runPacedLeg(t *testing.T, golden bool, tr Train, linkRate float64, delay si
 		leg.link = append(leg.link, link.Stats())
 		leg.kernel = append(leg.kernel, k.Processed())
 		leg.skipped = append(leg.skipped, link.SkippedEvents(k.Now())+g.SkippedEvents(k.Now()))
+		leg.genSkipped = append(leg.genSkipped, g.SkippedEvents(k.Now()))
 	}
 	return leg
+}
+
+// runPacedLeg replays tr into a fresh link/kernel pair, snapshotting at every
+// horizon. golden pins the link to the two-event reference schedule, which
+// also keeps the generator on the per-packet emission chain — the reference
+// the paced path must be indistinguishable from.
+func runPacedLeg(t *testing.T, golden bool, tr Train, linkRate float64, delay sim.Time, horizons []sim.Time) pacedLeg {
+	t.Helper()
+	return runLeg(t, tr, linkRate, delay, horizons, legOpts{golden: golden})
 }
 
 // comparePacedLegs holds the equivalence contract: identical deliveries,
@@ -182,6 +216,67 @@ func TestPacedEmissionEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCanPaceDemotion pins the two demotion edges of Link.CanPace: a queue
+// discipline without the paced-admission guarantee (RED) keeps the source on
+// the per-packet chain for the whole run, and interleaved plain traffic
+// mid-pulse demotes an already-engaged paced source for the rest of the
+// pulse — in both cases with deliveries and counters byte-identical to an
+// identically-stimulated golden reference.
+func TestCanPaceDemotion(t *testing.T) {
+	tr := Uniform(200*sim.Millisecond, 8e6, 300*sim.Millisecond, 3)
+	const linkRate = 1e8
+	delay := 2 * sim.Millisecond
+	horizons := horizonsEvery(0, 7*sim.Millisecond+13*sim.Microsecond, 1600*sim.Millisecond)
+
+	t.Run("red-queue", func(t *testing.T) {
+		// RED's admission decision depends on the EWMA queue average, so it
+		// does not implement PacedAdmissible and CanPace must stay false —
+		// pacing never engages even though gap >> serialization time. The
+		// link still fuses its own events; only source-side elisions vanish.
+		mk := func() netem.Queue { return netem.NewRED(netem.DefaultREDConfig(1<<20), rng.New(7), linkRate) }
+		golden := runLeg(t, tr, linkRate, delay, horizons, legOpts{golden: true, mkQueue: mk})
+		fused := runLeg(t, tr, linkRate, delay, horizons, legOpts{mkQueue: mk})
+		comparePacedLegs(t, "red-queue", golden, fused, horizons)
+		if last := fused.genSkipped[len(fused.genSkipped)-1]; last != 0 {
+			t.Errorf("red-queue: generator elided %d events — pacing engaged over a RED queue", last)
+		}
+	})
+
+	t.Run("mid-pulse-interferer", func(t *testing.T) {
+		// The first batch event at pulse start T0 commits emission starts
+		// through T0+63·gap and the next batch fires at T0+64·gap. A plain
+		// Send at T0+63·gap+960µs is legal (all committed starts are in the
+		// past, the transmitter idle mid-gap) and its 80 µs serialization
+		// spans the batch instant, so the re-check demotes the rest of the
+		// pulse to the per-packet chain. The golden leg gets the identical
+		// interferer; equivalence must survive the demotion.
+		const gap = sim.Millisecond // 1000 B at 8 Mb/s pulse rate
+		interfereAt := sim.Millisecond /* T0 */ + 63*gap + 960*sim.Microsecond
+		golden := runLeg(t, tr, linkRate, delay, horizons, legOpts{golden: true, interfereAt: interfereAt})
+		fused := runLeg(t, tr, linkRate, delay, horizons, legOpts{interfereAt: interfereAt})
+		comparePacedLegs(t, "mid-pulse-interferer", golden, fused, horizons)
+
+		// Pacing engaged before the interference…
+		engaged := false
+		for i, h := range horizons {
+			if h < interfereAt && fused.genSkipped[i] > 0 {
+				engaged = true
+				break
+			}
+		}
+		if !engaged {
+			t.Error("mid-pulse-interferer: no source elisions before the interference — pacing never engaged")
+		}
+		// …and demotion cost real elisions versus an undisturbed run.
+		undisturbed := runLeg(t, tr, linkRate, delay, horizons, legOpts{})
+		full := undisturbed.genSkipped[len(undisturbed.genSkipped)-1]
+		got := fused.genSkipped[len(fused.genSkipped)-1]
+		if got >= full {
+			t.Errorf("mid-pulse-interferer: %d events elided, want fewer than the undisturbed run's %d — the interferer did not demote the pulse", got, full)
+		}
+	})
 }
 
 // TestPacedStopSemantics documents the teardown contract: Stop freezes the

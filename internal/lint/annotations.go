@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -23,26 +24,67 @@ import (
 //	//pdos:pool-ok               — suppress a pool-ownership finding the
 //	                               analyzer cannot see through (ownership
 //	                               held in a field, conditional transfer)
+//	//pdos:vtime-ok              — this stamp/float mix or back-stamp site
+//	                               is a sanctioned virtual-time helper (the
+//	                               rationale should name the invariant that
+//	                               keeps it safe)
+//	//pdos:shard-ok              — this goroutine spawn / store is shard-
+//	                               isolation-safe (exclusive ownership or a
+//	                               packed portal crossing)
+//	//pdos:counter <group> <role> — declare a conservation-pair site; role
+//	                               is inc, dec, or fold, describing the
+//	                               site's effect on the conserved quantity
+//	                               (see the counterpair analyzer)
 //
 // Placement: in a function's doc comment the directive covers the whole
 // function; on (or immediately above) a statement it covers that line.
+// Unknown directive words are themselves findings (annotations analyzer) —
+// a typo must not silently disable enforcement.
 const (
 	dirWallclock    = "wallclock"
 	dirNondet       = "nondeterministic-ok"
 	dirHotPath      = "hotpath"
 	dirFloatEq      = "float-eq-ok"
 	dirPoolOk       = "pool-ok"
+	dirVTimeOk      = "vtime-ok"
+	dirShardOk      = "shard-ok"
+	dirCounter      = "counter"
 	directivePrefix = "//pdos:"
 )
 
+// knownDirectives is the accepted directive vocabulary.
+var knownDirectives = map[string]bool{
+	dirWallclock: true,
+	dirNondet:    true,
+	dirHotPath:   true,
+	dirFloatEq:   true,
+	dirPoolOk:    true,
+	dirVTimeOk:   true,
+	dirShardOk:   true,
+	dirCounter:   true,
+}
+
+// directive is one parsed //pdos: comment: the word, its arguments/rationale
+// text, where it sits, and — for doc-comment directives — the function it
+// covers.
+type directive struct {
+	word string
+	args string // text after the word, space-trimmed (rationale or arguments)
+	pos  token.Pos
+	fd   *ast.FuncDecl // non-nil when the directive lives in a function doc
+}
+
 // annotations indexes every //pdos: directive in a package: by the line the
-// directive sits on, and by enclosing function declaration.
+// directive sits on, by enclosing function declaration, and as a flat list
+// for the directive-driven analyzers (counterpair, annotations).
 type annotations struct {
 	fset *token.FileSet
 	// line[file][line] holds the directives whose comment starts on that line.
-	line map[string]map[int][]string
+	line map[string]map[int][]directive
 	// funcs maps each annotated FuncDecl to its doc directives.
-	funcs map[*ast.FuncDecl][]string
+	funcs map[*ast.FuncDecl][]directive
+	// all lists every directive in the package, in file/position order.
+	all []directive
 	// decls holds every FuncDecl in the package, for enclosing-function
 	// lookups by position.
 	decls []*ast.FuncDecl
@@ -55,23 +97,25 @@ func (p *Package) buildAnnotations() {
 	}
 	a := &annotations{
 		fset:  p.Fset,
-		line:  make(map[string]map[int][]string),
-		funcs: make(map[*ast.FuncDecl][]string),
+		line:  make(map[string]map[int][]directive),
+		funcs: make(map[*ast.FuncDecl][]directive),
 	}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				dir, ok := parseDirective(c.Text)
+				word, args, ok := parseDirective(c.Text)
 				if !ok {
 					continue
 				}
+				d := directive{word: word, args: args, pos: c.Pos()}
 				pos := p.Fset.Position(c.Pos())
 				byLine := a.line[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]directive)
 					a.line[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], dir)
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				a.all = append(a.all, d)
 			}
 		}
 		for _, d := range f.Decls {
@@ -84,8 +128,15 @@ func (p *Package) buildAnnotations() {
 				continue
 			}
 			for _, c := range fd.Doc.List {
-				if dir, ok := parseDirective(c.Text); ok {
-					a.funcs[fd] = append(a.funcs[fd], dir)
+				if word, args, ok := parseDirective(c.Text); ok {
+					a.funcs[fd] = append(a.funcs[fd], directive{word: word, args: args, pos: c.Pos(), fd: fd})
+					// Doc directives are also in a.all via the comment scan
+					// above; mark the function on the recorded entry.
+					for i := range a.all {
+						if a.all[i].pos == c.Pos() {
+							a.all[i].fd = fd
+						}
+					}
 				}
 			}
 		}
@@ -93,19 +144,22 @@ func (p *Package) buildAnnotations() {
 	p.ann = a
 }
 
-// parseDirective extracts the directive word from a //pdos: comment.
-func parseDirective(text string) (string, bool) {
+// parseDirective splits a //pdos: comment into its directive word and the
+// remaining argument/rationale text.
+func parseDirective(text string) (word, args string, ok bool) {
 	if !strings.HasPrefix(text, directivePrefix) {
-		return "", false
+		return "", "", false
 	}
 	rest := strings.TrimPrefix(text, directivePrefix)
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+		word, args = rest[:i], strings.TrimSpace(rest[i+1:])
+	} else {
+		word = rest
 	}
-	return rest, rest != ""
+	return word, args, word != ""
 }
 
-// enclosingFunc returns the FuncDecl whose body spans pos, or nil.
+// enclosingFunc returns the FuncDecl whose span covers pos, or nil.
 func (a *annotations) enclosingFunc(pos token.Pos) *ast.FuncDecl {
 	for _, fd := range a.decls {
 		if fd.Pos() <= pos && pos <= fd.End() {
@@ -118,7 +172,7 @@ func (a *annotations) enclosingFunc(pos token.Pos) *ast.FuncDecl {
 // funcHas reports whether fd's doc comment carries dir.
 func (a *annotations) funcHas(fd *ast.FuncDecl, dir string) bool {
 	for _, d := range a.funcs[fd] {
-		if d == dir {
+		if d.word == dir {
 			return true
 		}
 	}
@@ -132,12 +186,12 @@ func (a *annotations) suppressed(pos token.Pos, dir string) bool {
 	p := a.fset.Position(pos)
 	if byLine := a.line[p.Filename]; byLine != nil {
 		for _, d := range byLine[p.Line] {
-			if d == dir {
+			if d.word == dir {
 				return true
 			}
 		}
 		for _, d := range byLine[p.Line-1] {
-			if d == dir {
+			if d.word == dir {
 				return true
 			}
 		}
@@ -146,4 +200,21 @@ func (a *annotations) suppressed(pos token.Pos, dir string) bool {
 		return true
 	}
 	return false
+}
+
+// runAnnotations is the annotations analyzer: every //pdos: directive must
+// use a known word. It runs on every package — a typo like //pdos:hotpah
+// would otherwise silently disable the enforcement it meant to invoke.
+func runAnnotations(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	var known []string
+	for w := range knownDirectives {
+		known = append(known, w)
+	}
+	sort.Strings(known)
+	for _, d := range pkg.ann.all {
+		if !knownDirectives[d.word] {
+			report(d.pos, "unknown //pdos: directive %q — a typo here silently disables enforcement (known directives: %s)",
+				d.word, strings.Join(known, ", "))
+		}
+	}
 }

@@ -1,0 +1,456 @@
+package lint
+
+// cfg.go is the flow-sensitive half of the analyzer suite: a per-function
+// control-flow graph built directly over go/ast (no golang.org/x/tools), plus
+// a generic forward worklist solver. The v1 analyzers were straight-line —
+// release and use had to share a statement list — which made them blind to
+// the invariant classes the fused-event and paced-grid work introduced
+// (conditional leaks, branch-dependent back-stamps). The CFG restores the
+// standard shape: basic blocks of leaf statements and condition expressions,
+// edges for every branch, loop, switch, select, goto, and labeled jump, and a
+// lattice-join fixpoint so analyzers reason about *every* path, not the one
+// the statement list happens to spell out.
+//
+// Granularity: blocks hold leaf statements (assignments, calls, sends,
+// defers, returns, …) and the condition/tag/case expressions of the control
+// statements that end them. Compound statements never appear as nodes — with
+// one exception: a RangeStmt sits in its loop-head block to stand for the
+// per-iteration key/value binding and range-expression evaluation, and
+// analyzers must treat it shallowly (its body is distributed into body
+// blocks like any other loop). Function literals are treated as opaque
+// values by the analyses (a capture is an escape), so their bodies are not
+// woven into the enclosing graph.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// cfgBlock is one basic block: nodes execute in order, then control moves to
+// exactly one successor.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. entry is where
+// execution starts; exit is a virtual block that every return statement and
+// the natural fall-off-the-end path feed into, so "at function exit" facts
+// are the join over all terminating paths.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgLoop is one enclosing breakable/continuable construct, labeled or not.
+type cfgLoop struct {
+	label string
+	brk   *cfgBlock // break target (nil inside switch/select for continue lookup)
+	cont  *cfgBlock // continue target; nil for switch/select
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *cfgBlock // nil while the current point is unreachable
+	loops  []cfgLoop
+	labels map[string]*cfgBlock
+	gotos  []struct {
+		from  *cfgBlock
+		label string
+	}
+	// pendingLabel is the label of a LabeledStmt whose statement is about to
+	// be built, so break/continue with that label resolve to the construct.
+	pendingLabel string
+	// fallthroughTo is the body block of the next case clause while a switch
+	// clause body is being built.
+	fallthroughTo *cfgBlock
+}
+
+// buildCFG constructs the control-flow graph of body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: make(map[string]*cfgBlock)}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	b.edgeTo(g.exit) // natural fall off the end
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.from.succs = append(pg.from.succs, target)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// add appends a node to the current block, materializing an (unreachable)
+// block if control cannot reach this point — dead code is still parsed but
+// never joins the fixpoint, so analyzers stay silent about it.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// edgeTo links the current block to next and leaves the current point
+// unreachable (callers reset cur as needed).
+func (b *cfgBuilder) edgeTo(next *cfgBlock) {
+	if b.cur != nil {
+		b.cur.succs = append(b.cur.succs, next)
+	}
+	b.cur = nil
+}
+
+// branchTarget resolves break/continue (optionally labeled) to its block.
+func (b *cfgBuilder) branchTarget(tok token.Token, label string) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := b.loops[i]
+		if label != "" && l.label != label {
+			continue
+		}
+		if tok == token.BREAK && l.brk != nil {
+			return l.brk
+		}
+		if tok == token.CONTINUE && l.cont != nil {
+			return l.cont
+		}
+		if label != "" {
+			return nil // labeled construct found but wrong kind
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is a join point: backward gotos and labeled continues need
+		// a block boundary here.
+		target := b.newBlock()
+		b.edgeTo(target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.g.exit)
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if t := b.branchTarget(s.Tok, label); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			if b.cur != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					b.edgeTo(t)
+				} else {
+					b.gotos = append(b.gotos, struct {
+						from  *cfgBlock
+						label string
+					}{b.cur, s.Label.Name})
+					b.cur = nil
+				}
+			}
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edgeTo(b.fallthroughTo)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		thenB := b.newBlock()
+		cond.succs = append(cond.succs, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.edgeTo(after)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			cond.succs = append(cond.succs, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edgeTo(after)
+		} else {
+			cond.succs = append(cond.succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edgeTo(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		headEnd := b.cur // cond may have grown the block; same block here
+		after := b.newBlock()
+		if s.Cond != nil {
+			headEnd.succs = append(headEnd.succs, after)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.add(s.Post)
+			b.edgeTo(head)
+			cont = post
+		}
+		body := b.newBlock()
+		headEnd.succs = append(headEnd.succs, body)
+		b.loops = append(b.loops, cfgLoop{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edgeTo(cont)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edgeTo(head)
+		head.nodes = append(head.nodes, s) // the per-iteration key/value binding
+		after := b.newBlock()
+		head.succs = append(head.succs, after) // range may be empty
+		body := b.newBlock()
+		head.succs = append(head.succs, body)
+		b.loops = append(b.loops, cfgLoop{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edgeTo(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var bodyList []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				b.add(sw.Init)
+			}
+			if sw.Tag != nil {
+				b.add(sw.Tag)
+			}
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				b.add(sw.Init)
+			}
+			b.add(sw.Assign)
+			bodyList = sw.Body.List
+		}
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		cond := b.cur
+		after := b.newBlock()
+		clauseBlocks := make([]*cfgBlock, len(bodyList))
+		hasDefault := false
+		for i, cs := range bodyList {
+			clauseBlocks[i] = b.newBlock()
+			cond.succs = append(cond.succs, clauseBlocks[i])
+			if cc, ok := cs.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			cond.succs = append(cond.succs, after)
+		}
+		b.loops = append(b.loops, cfgLoop{label: label, brk: after})
+		savedFT := b.fallthroughTo
+		for i, cs := range bodyList {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			b.cur = clauseBlocks[i]
+			for _, e := range cc.List {
+				b.add(e) // case expressions / type list are uses
+			}
+			if i+1 < len(clauseBlocks) {
+				b.fallthroughTo = clauseBlocks[i+1]
+			} else {
+				b.fallthroughTo = nil
+			}
+			b.stmtList(cc.Body)
+			b.edgeTo(after)
+		}
+		b.fallthroughTo = savedFT
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		cond := b.cur
+		after := b.newBlock()
+		b.loops = append(b.loops, cfgLoop{label: label, brk: after})
+		reachedAfter := false
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clause := b.newBlock()
+			cond.succs = append(cond.succs, clause)
+			b.cur = clause
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				reachedAfter = true
+			}
+			b.edgeTo(after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 || reachedAfter || len(after.succs) >= 0 {
+			b.cur = after
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Leaf statements: assignments, declarations, expression statements,
+		// sends, inc/dec, defer, go.
+		b.add(s)
+	}
+}
+
+// ---- generic forward worklist solver ----
+
+// dataflowFacts is the result of a forward analysis: the fact holding at
+// entry to each block (indexed by block index), plus reachability.
+type dataflowFacts[F any] struct {
+	in      []F
+	reached []bool
+}
+
+// forwardSolve runs a monotone forward dataflow analysis over g to fixpoint.
+//
+//   - bottom produces the initial (empty) fact;
+//   - transfer maps a block's entry fact to its exit fact (it must not retain
+//     or mutate the input beyond the call — clone first);
+//   - join merges a successor's out-fact (src) into its current in-fact
+//     (dst), returning the merged fact and whether anything changed.
+//
+// Lattices must have finite height for termination; every analyzer here uses
+// small bitmask or bounded-set facts.
+func forwardSolve[F any](
+	g *funcCFG,
+	bottom func() F,
+	clone func(F) F,
+	transfer func(b *cfgBlock, in F) F,
+	join func(dst, src F) (F, bool),
+) *dataflowFacts[F] {
+	n := len(g.blocks)
+	facts := &dataflowFacts[F]{in: make([]F, n), reached: make([]bool, n)}
+	for i := range facts.in {
+		facts.in[i] = bottom()
+	}
+	facts.reached[g.entry.index] = true
+	work := []int{g.entry.index}
+	queued := make([]bool, n)
+	queued[g.entry.index] = true
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		blk := g.blocks[idx]
+		out := transfer(blk, clone(facts.in[idx]))
+		for _, s := range blk.succs {
+			merged, changed := join(facts.in[s.index], out)
+			facts.in[s.index] = merged
+			if !facts.reached[s.index] {
+				facts.reached[s.index] = true
+				changed = true
+			}
+			if changed && !queued[s.index] {
+				queued[s.index] = true
+				work = append(work, s.index)
+			}
+		}
+	}
+	return facts
+}
+
+// debugString renders the graph structure for the CFG tests: one line per
+// block with its statement kinds and successor indices.
+func (g *funcCFG) debugString() string {
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.index)
+		for _, n := range blk.nodes {
+			fmt.Fprintf(&sb, " %s", nodeKind(n))
+		}
+		fmt.Fprintf(&sb, " ->")
+		for _, s := range blk.succs {
+			fmt.Fprintf(&sb, " b%d", s.index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	s := fmt.Sprintf("%T", n)
+	s = strings.TrimPrefix(s, "*ast.")
+	return s
+}

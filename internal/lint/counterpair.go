@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// runCounterPair checks declared conservation pairs. Sites are annotated
+//
+//	//pdos:counter <group> <role> [rationale…]
+//
+// where role describes the site's effect on the conserved quantity — inc
+// creates one unit, dec retires one, fold derives the live amount
+// analytically (the paced-grid pattern: no per-event bookkeeping, the
+// balance is computed from the grid). Roles track the *quantity*, not the
+// syntactic operator: in Live = gets − puts, the `puts++` statement is the
+// dec site. Groups are scoped per package.
+//
+// The analyzer is annotation-driven (it runs on every package) and enforces:
+//
+//   - well-formedness: a counter directive needs <group> and <role>, role ∈
+//     {inc, dec, fold};
+//   - anchoring: a line directive must sit on (or directly above) a
+//     statement inside a function; a function-doc directive must be a fold
+//     (a whole accounting function) — inc/dec are per-statement events;
+//   - conservation: every group with an inc site needs a dec or fold site
+//     (creation without retirement is the leak shape the pool caught
+//     dynamically), every dec needs an inc, and a fold-only group folds
+//     nothing.
+//
+// Malformed or unanchored directives are excluded from the group tally so
+// each defect reports exactly once.
+func runCounterPair(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	type site struct {
+		role string
+		pos  token.Pos
+	}
+	groups := make(map[string][]site)
+	var names []string
+
+	for _, d := range pkg.ann.all {
+		if d.word != dirCounter {
+			continue
+		}
+		// Arguments end at a nested "//" — anything after is commentary on
+		// the comment, not directive input.
+		args := d.args
+		if i := strings.Index(args, "//"); i >= 0 {
+			args = args[:i]
+		}
+		fields := strings.Fields(args)
+		if len(fields) < 2 {
+			report(d.pos, "malformed //pdos:counter directive: need //pdos:counter <group> <role> with role inc, dec, or fold")
+			continue
+		}
+		group, role := fields[0], fields[1]
+		switch role {
+		case "inc", "dec", "fold":
+		default:
+			report(d.pos, "unknown //pdos:counter role %q for group %q: role must be inc, dec, or fold (the site's effect on the conserved quantity)", role, group)
+			continue
+		}
+		if d.fd != nil {
+			// Doc-comment directive: covers the whole function.
+			if role != "fold" {
+				report(d.pos, "//pdos:counter %s %s on a function doc: only fold directives may cover a whole function — inc/dec are per-statement events", group, role)
+				continue
+			}
+		} else if !anchoredToStmt(pkg, d.pos) {
+			report(d.pos, "//pdos:counter %s %s does not anchor to a statement: put it on (or directly above) the counting statement, or in the doc comment of a fold function", group, role)
+			continue
+		}
+		if _, seen := groups[group]; !seen {
+			names = append(names, group)
+		}
+		groups[group] = append(groups[group], site{role: role, pos: d.pos})
+	}
+
+	sort.Strings(names)
+	for _, group := range names {
+		var inc, dec, fold []token.Pos
+		for _, s := range groups[group] {
+			switch s.role {
+			case "inc":
+				inc = append(inc, s.pos)
+			case "dec":
+				dec = append(dec, s.pos)
+			case "fold":
+				fold = append(fold, s.pos)
+			}
+		}
+		switch {
+		case len(inc) > 0 && len(dec) == 0 && len(fold) == 0:
+			for _, p := range inc {
+				report(p, "counter group %q has increment sites but no decrement or fold site in this package — the conserved quantity only ever grows (annotate the retiring statement //pdos:counter %s dec, or the accounting function //pdos:counter %s fold)",
+					group, group, group)
+			}
+		case len(dec) > 0 && len(inc) == 0:
+			for _, p := range dec {
+				report(p, "counter group %q has decrement sites but no increment site in this package — nothing creates what this retires (annotate the creating statement //pdos:counter %s inc)",
+					group, group)
+			}
+		case len(fold) > 0 && len(inc) == 0 && len(dec) == 0:
+			for _, p := range fold {
+				report(p, "counter group %q has only fold sites in this package — there is no counted quantity to fold (annotate the inc/dec statements, or remove the directive)",
+					group)
+			}
+		}
+	}
+}
+
+// anchoredToStmt reports whether a directive at pos sits on the same line as
+// (or the line directly above) a statement inside some function body.
+func anchoredToStmt(pkg *Package, pos token.Pos) bool {
+	fd := pkg.ann.enclosingFunc(pos)
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	dirLine := pkg.Fset.Position(pos).Line
+	anchored := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if anchored || n == nil {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			line := pkg.Fset.Position(n.Pos()).Line
+			if line == dirLine || line == dirLine+1 {
+				anchored = true
+				return false
+			}
+		}
+		return true
+	})
+	return anchored
+}

@@ -3,27 +3,44 @@
 // the conventions the simulator's correctness and performance arguments rest
 // on. PRs 1-3 made the reproduction fast *by convention* — byte-identical
 // figure CSVs at any worker count, 0 allocs/packet through PacketPool
-// ownership, deterministic seeded RNG — and one stray map iteration,
-// time.Now, or leaked pool packet silently breaks those contracts. The four
-// analyzers here turn the conventions into build failures:
+// ownership, deterministic seeded RNG — and PRs 6-8 added invariants that are
+// only proven dynamically (fused-event back-stamping, paced-grid counter
+// folds, shard isolation). One stray map iteration, time.Now, leaked pool
+// packet, raw float-on-stamp, or pointer across a shard boundary silently
+// breaks those contracts. The analyzers turn the conventions into build
+// failures:
 //
+//   - annotations: every //pdos: directive must use a known word — a typo
+//     like //pdos:hotpah must not silently disable enforcement;
 //   - determinism: no wall-clock reads, global math/rand, map iteration, or
 //     goroutine spawns in the simulation packages (annotation escape hatches:
 //     //pdos:wallclock, //pdos:nondeterministic-ok);
 //   - poolowner: PacketPool.Get / Link.NewPacket results must be released or
-//     ownership-transferred before the function returns, and never touched
-//     after Release;
+//     ownership-transferred on every path before the function returns, and
+//     never touched after Release — flow-sensitive over the per-function CFG
+//     (cfg.go), so conditional leaks and cross-branch use-after-release are
+//     caught;
 //   - hotpath: functions annotated //pdos:hotpath may not call fmt, allocate
 //     closures, box non-pointer values into interfaces, or append into
 //     anything but their own reused backing slice;
 //   - floateq: no ==/!= on floating-point expressions in the model/optimize
-//     packages outside approved tolerance helpers (//pdos:float-eq-ok).
+//     packages outside approved tolerance helpers (//pdos:float-eq-ok);
+//   - vtime: virtual-timestamp discipline — no float/wall-duration
+//     conversions into sim.Time outside sanctioned helpers, no float
+//     erosion of stamps in hot paths, and back-stamp call sites
+//     (Kernel.AtArgStamped) must prove at ≤ when (//pdos:vtime-ok);
+//   - shardsafe: shard-local pointers (Packet, Kernel, FlowTable, …) must
+//     not be captured by goroutines, sent on channels, or stored at package
+//     scope — boundary crossings use packed portal payloads
+//     (//pdos:shard-ok);
+//   - counterpair: //pdos:counter <group> <role> conservation pairs — every
+//     increment site needs a matching decrement or analytic fold site.
 //
 // The companion runtime layer lives behind the `pdosassert` build tag in
 // internal/sim and internal/netem (see DESIGN.md §10): cheap invariants —
 // pool double-release and leak accounting, kernel (when, at, seq) firing-
 // order monotonicity, shard-boundary conservation — compiled out of normal
-// builds entirely.
+// builds entirely. DESIGN.md §15 catalogs the static invariants.
 package lint
 
 import (
@@ -74,6 +91,27 @@ type Config struct {
 	// FloatPkgs are import paths where the floateq analyzer forbids ==/!=
 	// on floating-point operands.
 	FloatPkgs []string
+
+	// VTimePkgs are import paths under virtual-timestamp discipline (the
+	// vtime analyzer).
+	VTimePkgs []string
+
+	// TimeTypes are the fully qualified named types ("pkgpath.Name") that
+	// carry kernel virtual timestamps.
+	TimeTypes []string
+
+	// StampedCalls are fully qualified functions or methods
+	// ("pkgpath.Recv.Method") whose first two arguments are (when, at) with
+	// the back-stamping contract at ≤ when.
+	StampedCalls []string
+
+	// ShardSafePkgs are import paths under shard-isolation discipline (the
+	// shardsafe analyzer).
+	ShardSafePkgs []string
+
+	// ShardLocalTypes are fully qualified named types whose values are owned
+	// by exactly one engine worker and must not become cross-shard-visible.
+	ShardLocalTypes []string
 }
 
 // Default returns the repository configuration: the simulation packages whose
@@ -112,6 +150,41 @@ func Default() Config {
 			"pulsedos/internal/optimize",
 			"pulsedos/internal/analysis",
 		},
+		// Every package that manufactures or schedules stamps is under
+		// virtual-time discipline; the analytic model/optimizer packages work
+		// in float seconds by design and stay out.
+		VTimePkgs: []string{
+			"pulsedos/internal/sim",
+			"pulsedos/internal/netem",
+			"pulsedos/internal/tcp",
+			"pulsedos/internal/attack",
+			"pulsedos/internal/iperf",
+			"pulsedos/internal/workload",
+			"pulsedos/internal/scenario",
+			"pulsedos/internal/experiments",
+			"pulsedos/internal/topo",
+			"pulsedos/internal/trace",
+		},
+		TimeTypes: []string{"pulsedos/internal/sim.Time"},
+		StampedCalls: []string{
+			"pulsedos/internal/sim.Kernel.AtArgStamped",
+		},
+		// Shard isolation covers the engine itself and every package whose
+		// state the engine partitions across workers.
+		ShardSafePkgs: []string{
+			"pulsedos/internal/sim",
+			"pulsedos/internal/netem",
+			"pulsedos/internal/tcp",
+			"pulsedos/internal/attack",
+			"pulsedos/internal/topo",
+		},
+		ShardLocalTypes: []string{
+			"pulsedos/internal/netem.Packet",
+			"pulsedos/internal/netem.PacketPool",
+			"pulsedos/internal/sim.Kernel",
+			"pulsedos/internal/sim.Shard",
+			"pulsedos/internal/tcp.FlowTable",
+		},
 	}
 }
 
@@ -133,10 +206,14 @@ type analyzer struct {
 
 // analyzers is the suite, in reporting-priority order.
 var analyzers = []analyzer{
+	{"annotations", runAnnotations},
 	{"determinism", runDeterminism},
 	{"poolowner", runPoolOwner},
 	{"hotpath", runHotPath},
 	{"floateq", runFloatEq},
+	{"vtime", runVTime},
+	{"shardsafe", runShardSafe},
+	{"counterpair", runCounterPair},
 }
 
 // Run applies the full analyzer suite to pkgs under cfg and returns the

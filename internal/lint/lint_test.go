@@ -13,6 +13,11 @@ func fixtureConfig() Config {
 		DeterministicPkgs: []string{"fixture/determinism"},
 		KernelPkg:         "fixture/kernel",
 		FloatPkgs:         []string{"fixture/floateq"},
+		VTimePkgs:         []string{"fixture/vtime"},
+		TimeTypes:         []string{"fixture/vtime.Time"},
+		StampedCalls:      []string{"fixture/vtime.Kernel.AtArgStamped"},
+		ShardSafePkgs:     []string{"fixture/shardsafe"},
+		ShardLocalTypes:   []string{"fixture/shardsafe.Packet", "fixture/shardsafe.Kernel"},
 	}
 }
 
@@ -25,9 +30,11 @@ func loadFixture(t *testing.T, name string) *Package {
 	return pkg
 }
 
-// wantRE matches the expected-diagnostic markers in fixture sources:
-// a trailing comment of the form `// want "regexp"`.
-var wantRE = regexp.MustCompile(`^// want "(.+)"$`)
+// wantRE matches the expected-diagnostic markers in fixture sources: a
+// trailing comment of the form `// want "regexp"`, either as the whole
+// comment or at the end of a //pdos: directive comment (whose own position
+// is where directive-driven analyzers report).
+var wantRE = regexp.MustCompile(`(?:^|\s)// want "(.+)"$`)
 
 type wantKey struct {
 	file string
@@ -108,14 +115,19 @@ func TestDeterminismFixture(t *testing.T) { checkFixture(t, "determinism", "dete
 func TestPoolOwnerFixture(t *testing.T)   { checkFixture(t, "poolowner", "poolowner") }
 func TestHotPathFixture(t *testing.T)     { checkFixture(t, "hotpath", "hotpath") }
 func TestFloatEqFixture(t *testing.T)     { checkFixture(t, "floateq", "floateq") }
+func TestVTimeFixture(t *testing.T)       { checkFixture(t, "vtime", "vtime") }
+func TestShardSafeFixture(t *testing.T)   { checkFixture(t, "shardsafe", "shardsafe") }
+func TestCounterPairFixture(t *testing.T) { checkFixture(t, "counterpair", "counterpair") }
+func TestAnnotationsFixture(t *testing.T) { checkFixture(t, "annotations", "annotations") }
 
-// TestFixturesOutsideScopeAreQuiet pins the config scoping: the determinism
-// and floateq fixtures are riddled with violations, but with an empty Config
-// (no package in any analyzer's scope) only the annotation-driven and
-// universal analyzers run — and those fixtures contain no pool or hotpath
-// constructs, so the suite must stay silent.
+// TestFixturesOutsideScopeAreQuiet pins the config scoping: the determinism,
+// floateq, vtime, and shardsafe fixtures are riddled with violations, but
+// with an empty Config (no package in any analyzer's scope) only the
+// annotation-driven and universal analyzers run — and those fixtures contain
+// no pool/hotpath/counter constructs or unknown directives, so the suite
+// must stay silent.
 func TestFixturesOutsideScopeAreQuiet(t *testing.T) {
-	for _, name := range []string{"determinism", "floateq"} {
+	for _, name := range []string{"determinism", "floateq", "vtime", "shardsafe"} {
 		pkg := loadFixture(t, name)
 		if diags := Run(Config{}, []*Package{pkg}); len(diags) != 0 {
 			t.Errorf("fixture %q under empty config: got %d diagnostics, want 0; first: %s",

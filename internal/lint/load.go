@@ -12,7 +12,41 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// The source-mode stdlib importer re-parses and re-type-checks every stdlib
+// package it is asked for — tens of milliseconds each, and the old
+// per-Loader/per-LoadDir importers repeated that work for every fixture and
+// every `make lint` package walk. One process-wide importer caches each
+// stdlib package exactly once. It carries its own private FileSet: stdlib
+// object positions therefore do not resolve against any analyzer FileSet,
+// which is fine — diagnostics only ever point into the tree under analysis.
+var (
+	stdImporterOnce sync.Once
+	stdImporter     types.Importer
+)
+
+// sharedStdImporter returns the process-wide cached stdlib importer.
+func sharedStdImporter() types.Importer {
+	stdImporterOnce.Do(func() {
+		stdImporter = &lockedImporter{imp: importer.ForCompiler(token.NewFileSet(), "source", nil)}
+	})
+	return stdImporter
+}
+
+// lockedImporter serializes Import calls: the source-mode importer mutates
+// its internal package cache and is not safe for concurrent use.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
+}
 
 // Loader parses and type-checks the module's packages without golang.org/x/
 // tools: module-internal imports are resolved against the source tree being
@@ -46,7 +80,7 @@ func NewLoader(root string) (*Loader, error) {
 		Fset:   fset,
 		Root:   abs,
 		Module: mod,
-		std:    importer.ForCompiler(fset, "source", nil),
+		std:    sharedStdImporter(),
 		pkgs:   make(map[string]*Package),
 		dirs:   make(map[string]string),
 		busy:   make(map[string]bool),
@@ -171,10 +205,11 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 
 // LoadDir parses and type-checks a standalone package directory (used by the
 // fixture tests, whose packages only import the stdlib) under the given
-// import path.
+// import path. Stdlib dependencies come from the shared process-wide
+// importer, so consecutive fixture loads stop re-type-checking the stdlib.
 func LoadDir(dir, importPath string) (*Package, error) {
 	fset := token.NewFileSet()
-	return checkDir(fset, dir, importPath, importer.ForCompiler(fset, "source", nil))
+	return checkDir(fset, dir, importPath, sharedStdImporter())
 }
 
 // checkDir parses the non-test, build-constraint-satisfying Go files of dir

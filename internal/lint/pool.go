@@ -10,19 +10,28 @@ import (
 // whoever acquires a packet — PacketPool.Get or Link.NewPacket — owns it, and
 // before the function returns must either Release it or transfer ownership
 // (hand it to a call such as Link.Send, return it, or store it into a
-// longer-lived structure). Two function-local defects are flagged:
+// longer-lived structure). The analysis is flow-sensitive: each acquisition
+// site is tracked through the function's CFG with a may-state bitmask
+// {Owned, Released, Escaped} joined by union at merge points, so defects are
+// found across branches and loops, not just on shared statement lists:
 //
-//   - leak: an acquired packet that is never released nor transferred —
-//     correctness survives (the GC collects it) but the 0 allocs/packet
-//     steady state silently dies;
-//   - use-after-release: touching the packet after a Release on the same
-//     straight-line path — the pool may already have re-issued it.
+//   - leak: a path exists on which the packet reaches function exit (or is
+//     overwritten) still Owned — correctness survives (the GC collects it)
+//     but the 0 allocs/packet steady state silently dies;
+//   - use-after-release: a path exists on which the packet is mentioned
+//     after Release — the pool may already have re-issued it;
+//   - reacquire-while-owned: an acquisition executes while a previous
+//     acquisition through the same variable is still Owned (the classic
+//     loop-body leak).
 //
-// The analysis is deliberately function-local and straight-line (release and
-// use must share a statement list); cross-function ownership is the
-// documented protocol's job. //pdos:pool-ok suppresses a finding the
-// analyzer cannot see through (ownership parked in a field, conditional
-// transfer).
+// Ownership transfer is deliberately exact: only the packet *itself* escaping
+// — as a call argument, method receiver, return value, channel send,
+// composite-literal element, store into a non-local destination, alias copy,
+// or closure capture — ends the owning window. Passing a field (p.Size) is a
+// read, not a transfer; the straight-line v1 analyzer conflated the two.
+// //pdos:pool-ok on the acquire (or use) line, or in the function doc,
+// suppresses a finding the analyzer cannot see through (ownership parked in
+// a field by protocol, transfer by id).
 func runPoolOwner(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
@@ -34,6 +43,28 @@ func runPoolOwner(cfg Config, pkg *Package, report func(pos token.Pos, format st
 		}
 	}
 }
+
+// Ownership state bits. The lattice is the powerset under union: a bit set
+// means "on some path the packet is in this state here".
+const (
+	poolOwned    uint8 = 1 << iota // acquired, not yet released/transferred
+	poolReleased                   // Release() has run
+	poolEscaped                    // ownership left this function's view
+)
+
+// poolSite is one acquisition: a pool packet bound to a local variable.
+type poolSite struct {
+	obj  types.Object
+	pos  token.Pos
+	stmt ast.Node // the acquiring statement node in the CFG
+	// leakReported dedups the leak-class findings (reacquire, overwrite,
+	// exit) to one per site.
+	leakReported bool
+}
+
+// poolFact is the per-block entry state: one bitmask per acquisition site,
+// indexed like sites. Zero means the site's packet is not live here.
+type poolFact []uint8
 
 // acquireCall reports whether call acquires a pool packet, by method
 // identity: Get on a PacketPool or NewPacket on a Link.
@@ -51,105 +82,284 @@ func acquireCall(info *types.Info, call *ast.CallExpr) bool {
 	return false
 }
 
-// checkPoolFunc tracks every packet acquired inside fd.
+// poolAnalysis carries one function's ownership dataflow.
+type poolAnalysis struct {
+	pkg          *Package
+	fd           *ast.FuncDecl
+	sites        []*poolSite
+	siteOf       map[ast.Node][]int     // acquiring stmt → site indices
+	sitesByObj   map[types.Object][]int // variable → its sites
+	objOrder     []types.Object         // deterministic iteration order
+	namedResults map[types.Object]bool  // named result vars: naked return transfers
+	uarReported  map[token.Pos]bool     // one use-after-release finding per position
+	report       func(pos token.Pos, format string, args ...any)
+}
+
+// checkPoolFunc runs the ownership dataflow over one function.
 func checkPoolFunc(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
-	info := pkg.Info
-	// Pass 1: find acquisitions bound to simple local identifiers.
-	type acquired struct {
-		obj      types.Object
-		pos      token.Pos
-		end      token.Pos // tracking window closes at straight-line reassignment
-		blockEnd token.Pos // end of the acquire's innermost statement list
+	pa := &poolAnalysis{
+		pkg:         pkg,
+		fd:          fd,
+		siteOf:      make(map[ast.Node][]int),
+		sitesByObj:  make(map[types.Object][]int),
+		uarReported: make(map[token.Pos]bool),
+		report:      report,
 	}
-	var tracked []*acquired
-	var stack []ast.Node
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
+	pa.collectSites()
+	if len(pa.sites) == 0 {
+		return
+	}
+	if fd.Type.Results != nil {
+		pa.namedResults = make(map[types.Object]bool)
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					pa.namedResults[obj] = true
+				}
+			}
 		}
-		stack = append(stack, n)
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != 1 {
-			return true
+	}
+
+	g := buildCFG(fd.Body)
+	facts := forwardSolve(g,
+		func() poolFact { return make(poolFact, len(pa.sites)) },
+		func(f poolFact) poolFact { out := make(poolFact, len(f)); copy(out, f); return out },
+		func(b *cfgBlock, in poolFact) poolFact {
+			for _, n := range b.nodes {
+				pa.applyNode(n, in, false)
+			}
+			return in
+		},
+		func(dst, src poolFact) (poolFact, bool) {
+			changed := false
+			for i := range dst {
+				if merged := dst[i] | src[i]; merged != dst[i] {
+					dst[i] = merged
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+	)
+
+	// Reporting pass: replay each reached block from its fixed-point entry
+	// fact, in block order, so findings are deterministic and fire once.
+	for _, b := range g.blocks {
+		if !facts.reached[b.index] {
+			continue
 		}
-		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
-		if !ok || !acquireCall(info, call) || len(as.Lhs) != 1 {
-			return true
+		st := make(poolFact, len(pa.sites))
+		copy(st, facts.in[b.index])
+		for _, n := range b.nodes {
+			pa.applyNode(n, st, true)
 		}
-		id, ok := as.Lhs[0].(*ast.Ident)
-		if !ok || id.Name == "_" {
-			return true
+	}
+
+	// Exit check: any site still Owned on some terminating path leaks.
+	if facts.reached[g.exit.index] {
+		exit := facts.in[g.exit.index]
+		for i, site := range pa.sites {
+			if exit[i]&poolOwned == 0 || site.leakReported {
+				continue
+			}
+			if pkg.ann.suppressed(site.pos, dirPoolOk) {
+				continue
+			}
+			report(site.pos, "packet acquired from the pool is neither released nor ownership-transferred on every path before %s returns — this leaks the packet out of the 0 allocs/packet budget (Release it on each path, hand it to Link.Send/a Node, or annotate //pdos:pool-ok)",
+				fd.Name.Name)
+		}
+	}
+}
+
+// collectSites finds acquisitions bound to simple local identifiers, in
+// `p := pool.Get()` assignment or `var p = pool.Get()` declaration form.
+func (pa *poolAnalysis) collectSites() {
+	info := pa.pkg.Info
+	addSite := func(stmt ast.Node, id *ast.Ident, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !acquireCall(info, call) || id.Name == "_" {
+			return
 		}
 		obj := info.Defs[id]
 		if obj == nil {
 			obj = info.Uses[id]
 		}
 		if obj == nil {
-			return true
+			return
 		}
-		// The innermost enclosing statement list bounds where a later
-		// reassignment is provably sequential with this acquire (a
-		// reassignment in a sibling branch must not truncate the window).
-		blockEnd := fd.Body.End()
-		for i := len(stack) - 1; i >= 0; i-- {
-			switch b := stack[i].(type) {
-			case *ast.BlockStmt:
-				blockEnd = b.End()
-			case *ast.CaseClause:
-				blockEnd = b.End()
-			case *ast.CommClause:
-				blockEnd = b.End()
-			default:
-				continue
-			}
-			break
+		idx := len(pa.sites)
+		pa.sites = append(pa.sites, &poolSite{obj: obj, pos: stmt.Pos(), stmt: stmt})
+		pa.siteOf[stmt] = append(pa.siteOf[stmt], idx)
+		if _, seen := pa.sitesByObj[obj]; !seen {
+			pa.objOrder = append(pa.objOrder, obj)
 		}
-		tracked = append(tracked, &acquired{obj: obj, pos: as.Pos(), end: fd.Body.End(), blockEnd: blockEnd})
-		return true
-	})
-	if len(tracked) == 0 {
-		return
+		pa.sitesByObj[obj] = append(pa.sitesByObj[obj], idx)
 	}
-	// Close each acquisition's window at the next straight-line reassignment
-	// of the same variable (the name then refers to a different packet).
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok {
-			return true
-		}
-		for _, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
+	ast.Inspect(pa.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					addSite(n, id, n.Rhs[0])
+				}
 			}
-			obj := info.Uses[id]
-			if obj == nil {
-				obj = info.Defs[id]
-			}
-			for _, tr := range tracked {
-				if obj == tr.obj && as.Pos() > tr.pos && as.Pos() < tr.end && as.Pos() < tr.blockEnd {
-					tr.end = as.Pos()
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if ok && len(vs.Names) == 1 && len(vs.Values) == 1 {
+						addSite(n, vs.Names[0], vs.Values[0])
+					}
 				}
 			}
 		}
 		return true
 	})
+}
 
-	for _, tr := range tracked {
-		if pkg.ann.suppressed(tr.pos, dirPoolOk) {
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// exactIdent unwraps parens and a single address-of and returns the
+// identifier if the expression is exactly a named variable.
+func exactIdent(e ast.Expr) *ast.Ident {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// applyNode advances the fact over one CFG node; with reporting enabled it
+// also emits findings (the fixpoint pass runs with report=false so findings
+// fire exactly once, in the deterministic replay).
+func (pa *poolAnalysis) applyNode(n ast.Node, st poolFact, report bool) {
+	info := pa.pkg.Info
+
+	// A RangeStmt node stands for its head only (the body is in its own
+	// blocks): evaluate the range expression, and treat key/value bindings of
+	// a tracked variable as reassignment.
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		pa.applyNode(rs.X, st, report)
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			id, _ := e.(*ast.Ident)
+			if id == nil {
+				continue
+			}
+			obj := objOf(info, id)
+			if obj == nil {
+				continue
+			}
+			for _, j := range pa.sitesByObj[obj] {
+				st[j] = 0 // rebound each iteration; never an acquire
+			}
+		}
+		return
+	}
+
+	// Acquisition: kill prior instances of the same variable (reporting a
+	// leak if one is still owned), then open the new owning window.
+	if siteIdxs, ok := pa.siteOf[n]; ok {
+		for _, idx := range siteIdxs {
+			site := pa.sites[idx]
+			for _, j := range pa.sitesByObj[site.obj] {
+				if st[j]&poolOwned != 0 {
+					if report && !pa.sites[j].leakReported &&
+						!pa.pkg.ann.suppressed(n.Pos(), dirPoolOk) &&
+						!pa.pkg.ann.suppressed(pa.sites[j].pos, dirPoolOk) {
+						pa.sites[j].leakReported = true
+						pa.report(n.Pos(), "packet reacquired while the packet from line %d is still owned — the earlier packet is never released (leaks the 0 allocs/packet budget; Release before reacquiring or annotate //pdos:pool-ok)",
+							pa.pkg.Fset.Position(pa.sites[j].pos).Line)
+					}
+				}
+				st[j] = 0
+			}
+			st[idx] = poolOwned
+		}
+		return
+	}
+
+	// Exact Release statement: `p.Release()` on its own.
+	if id := releaseStmtOf(info, n); id != nil {
+		if obj := objOf(info, id); obj != nil {
+			if idxs := pa.sitesByObj[obj]; len(idxs) > 0 {
+				for _, j := range idxs {
+					if st[j]&poolReleased != 0 && report {
+						pa.reportUAR(n.Pos())
+					}
+					if st[j] != 0 {
+						st[j] = poolReleased
+					}
+				}
+				return
+			}
+		}
+	}
+
+	// General statement: classify each tracked variable's involvement.
+	for _, obj := range pa.objOrder {
+		idxs := pa.sitesByObj[obj]
+		if !mentionsObj(info, n, obj) {
 			continue
 		}
-		if !releasedOrTransferred(info, fd.Body, tr.obj, tr.pos, tr.end) {
-			report(tr.pos, "packet acquired from the pool is neither released nor ownership-transferred before %s returns — this leaks the packet out of the 0 allocs/packet budget (Release it, hand it to Link.Send/a Node, or annotate //pdos:pool-ok)",
-				fd.Name.Name)
+		released := false
+		for _, j := range idxs {
+			if st[j]&poolReleased != 0 {
+				released = true
+			}
 		}
-		checkUseAfterRelease(pkg, fd.Body, tr.obj, tr.pos, tr.end, report)
+		if released && report {
+			pa.reportUAR(n.Pos())
+		}
+		if pa.transfersObj(n, obj) {
+			for _, j := range idxs {
+				if st[j]&poolOwned != 0 {
+					st[j] = (st[j] &^ poolOwned) | poolEscaped
+				}
+			}
+		}
+		// Reassignment of the variable itself (not through an acquire, which
+		// returned above): the name now refers to a different packet, so the
+		// old instance dies — owned-at-that-point means it leaked.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || objOf(info, id) != obj {
+					continue
+				}
+				for _, j := range idxs {
+					if st[j]&poolOwned != 0 && report && !pa.sites[j].leakReported &&
+						!pa.pkg.ann.suppressed(n.Pos(), dirPoolOk) &&
+						!pa.pkg.ann.suppressed(pa.sites[j].pos, dirPoolOk) {
+						pa.sites[j].leakReported = true
+						pa.report(n.Pos(), "packet from line %d still owned when its variable is reassigned — the packet is never released (Release or transfer it before rebinding, or annotate //pdos:pool-ok)",
+							pa.pkg.Fset.Position(pa.sites[j].pos).Line)
+					}
+					st[j] = 0
+				}
+			}
+		}
 	}
 }
 
-// usesObj reports whether the subtree mentions obj.
-func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+// reportUAR emits the use-after-release finding (suppressible at the use,
+// deduplicated per position).
+func (pa *poolAnalysis) reportUAR(pos token.Pos) {
+	if pa.uarReported[pos] || pa.pkg.ann.suppressed(pos, dirPoolOk) {
+		return
+	}
+	pa.uarReported[pos] = true
+	pa.report(pos, "packet used after Release: the pool may have re-issued it (copy what you need before releasing, or annotate //pdos:pool-ok)")
+}
+
+// mentionsObj reports whether the node's subtree uses obj at all.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
 	found := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
@@ -160,9 +370,82 @@ func usesObj(info *types.Info, n ast.Node, obj types.Object) bool {
 	return found
 }
 
+// transfersObj reports whether executing n moves ownership of obj out of the
+// function's view: the packet itself (not a field of it) passed to a call or
+// method, returned, sent on a channel, placed in a composite literal, stored
+// into a non-local destination, copied to another name, or captured by a
+// function literal.
+func (pa *poolAnalysis) transfersObj(n ast.Node, obj types.Object) bool {
+	info := pa.pkg.Info
+	isObj := func(e ast.Expr) bool {
+		id := exactIdent(e)
+		return id != nil && objOf(info, id) == obj
+	}
+	done := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if done {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if mentionsObj(info, m.Body, obj) {
+				done = true // capture: the closure controls the packet now
+			}
+			return false
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				if isObj(arg) {
+					done = true
+				}
+			}
+			if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && isObj(sel.X) {
+				done = true // any method call on the packet may consume it
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if isObj(r) {
+					done = true
+				}
+			}
+			if len(m.Results) == 0 && pa.namedResults[obj] {
+				done = true // naked return of a named result
+			}
+		case *ast.SendStmt:
+			if isObj(m.Value) {
+				done = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isObj(el) {
+					done = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range m.Rhs {
+				if !isObj(rhs) || i >= len(m.Lhs) {
+					continue
+				}
+				switch lhs := m.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name != "_" {
+						done = true // alias copy: another name owns it now
+					}
+				default:
+					done = true // field/element/indirect store parks ownership
+				}
+			}
+		}
+		return !done
+	})
+	return done
+}
+
 // releaseStmtOf returns the receiver identifier when stmt is exactly
-// `x.Release()` (not deferred, not nested in control flow), else nil.
-func releaseStmtOf(info *types.Info, stmt ast.Stmt) *ast.Ident {
+// `x.Release()` (an expression statement), else nil.
+func releaseStmtOf(info *types.Info, stmt ast.Node) *ast.Ident {
 	es, ok := stmt.(*ast.ExprStmt)
 	if !ok {
 		return nil
@@ -181,95 +464,4 @@ func releaseStmtOf(info *types.Info, stmt ast.Stmt) *ast.Ident {
 	}
 	id, _ := sel.X.(*ast.Ident)
 	return id
-}
-
-// releasedOrTransferred reports whether obj is released or escapes ownership
-// anywhere inside [from, to): passed to a call, returned, stored into a
-// non-local destination, sent on a channel, or placed in a composite literal.
-func releasedOrTransferred(info *types.Info, body *ast.BlockStmt, obj types.Object, from, to token.Pos) bool {
-	done := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if done || n == nil || n.End() < from || n.Pos() >= to {
-			return !done
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			for _, arg := range n.Args {
-				if usesObj(info, arg, obj) {
-					done = true // transfer (or Release via method value — same outcome)
-				}
-			}
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if id, ok2 := sel.X.(*ast.Ident); ok2 && info.Uses[id] == obj {
-					done = true // any method call consuming it, incl. Release
-				}
-			}
-		case *ast.ReturnStmt:
-			for _, r := range n.Results {
-				if usesObj(info, r, obj) {
-					done = true
-				}
-			}
-		case *ast.SendStmt:
-			if usesObj(info, n.Value, obj) {
-				done = true
-			}
-		case *ast.CompositeLit:
-			if usesObj(info, n, obj) {
-				done = true
-			}
-		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				if !usesObj(info, rhs, obj) {
-					continue
-				}
-				// Storing the packet anywhere but a plain local variable
-				// (field, slice element, map entry, dereference) parks
-				// ownership beyond this function's view.
-				if i < len(n.Lhs) {
-					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
-						done = true
-					}
-				}
-			}
-		}
-		return !done
-	})
-	return done
-}
-
-// checkUseAfterRelease flags mentions of obj in statements that follow a
-// straight-line `x.Release()` in the same statement list.
-func checkUseAfterRelease(pkg *Package, body *ast.BlockStmt, obj types.Object, from, to token.Pos, report func(pos token.Pos, format string, args ...any)) {
-	info := pkg.Info
-	ast.Inspect(body, func(n ast.Node) bool {
-		var list []ast.Stmt
-		switch n := n.(type) {
-		case *ast.BlockStmt:
-			list = n.List
-		case *ast.CaseClause:
-			list = n.Body
-		case *ast.CommClause:
-			list = n.Body
-		default:
-			return true
-		}
-		relAt := -1
-		for i, stmt := range list {
-			if stmt.Pos() < from || stmt.Pos() >= to {
-				continue
-			}
-			if relAt >= 0 {
-				if usesObj(info, stmt, obj) && !pkg.ann.suppressed(stmt.Pos(), dirPoolOk) {
-					report(stmt.Pos(), "packet used after Release on line %d: the pool may have re-issued it (copy what you need before releasing)",
-						pkg.Fset.Position(list[relAt].Pos()).Line)
-				}
-				continue
-			}
-			if id := releaseStmtOf(info, stmt); id != nil && info.Uses[id] == obj {
-				relAt = i
-			}
-		}
-		return true
-	})
 }

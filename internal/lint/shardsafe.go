@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runShardSafe enforces the shard-isolation discipline the conservative
+// parallel engine rests on (DESIGN.md §8, §15): shard-local state — packets,
+// pools, kernels, flow tables (cfg.ShardLocalTypes) — is owned by exactly
+// one worker, and anything crossing a shard boundary must travel as a packed
+// portal payload (sim.Payload, [6]uint64 by value), never as a pointer.
+// Three escape routes are flagged, scoped to cfg.ShardSafePkgs:
+//
+//  1. goroutine handoff: a `go` statement whose function literal captures a
+//     shard-local variable, or that passes / is invoked on a shard-local
+//     value — the spawned goroutine races the owning worker;
+//  2. channel export: sending a shard-local value — channels are the one
+//     cross-goroutine conduit the engine does not barrier;
+//  3. global visibility: declaring a package-level variable of shard-local
+//     type, or storing a shard-local value into one — package scope is
+//     visible to every shard.
+//
+// //pdos:shard-ok suppresses a finding where isolation is maintained by
+// construction (the engine's own worker spawn, which transfers exclusive
+// shard ownership to the goroutine).
+func runShardSafe(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !hasPath(cfg.ShardSafePkgs, pkg.Path) {
+		return
+	}
+	s := &shardAnalysis{cfg: cfg, pkg: pkg, report: report}
+	for _, file := range pkg.Files {
+		// Check 3a: package-level declarations of shard-local type.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pkg.Info.Defs[name]
+					if obj == nil || !s.isShardLocal(obj.Type()) {
+						continue
+					}
+					if !pkg.ann.suppressed(name.Pos(), dirShardOk) {
+						report(name.Pos(), "package-level variable %s holds shard-local state (%s) — package scope is visible to every shard; keep it worker-owned or annotate //pdos:shard-ok",
+							name.Name, obj.Type().String())
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				s.checkGo(n)
+			case *ast.SendStmt:
+				s.checkSend(n)
+			case *ast.AssignStmt:
+				s.checkStore(n)
+			}
+			return true
+		})
+	}
+}
+
+type shardAnalysis struct {
+	cfg    Config
+	pkg    *Package
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// isShardLocal reports whether t is (or points to / contains as an element)
+// a configured shard-local named type. Container types are unwrapped —
+// *T, []T, [N]T, map[_]T, chan T — but named struct fields are not
+// recursed into: a struct that embeds a Kernel pointer is the *owner's*
+// business, and recursing would make every topology type shard-local.
+func (s *shardAnalysis) isShardLocal(t types.Type) bool {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		if hasPath(s.cfg.ShardLocalTypes, qualifiedTypeName(t)) {
+			return true
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			if s.isShardLocal(u.Key()) {
+				return true
+			}
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		case *types.Named:
+			if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+				return false
+			}
+			t = u.Underlying()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkGo flags shard-local state handed to a spawned goroutine.
+func (s *shardAnalysis) checkGo(g *ast.GoStmt) {
+	info := s.pkg.Info
+	call := g.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		s.checkCapture(g, lit)
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if rt := info.TypeOf(sel.X); rt != nil && s.isShardLocal(rt) {
+			if !s.pkg.ann.suppressed(g.Pos(), dirShardOk) {
+				s.report(g.Pos(), "goroutine invoked on shard-local %s — the spawned goroutine races the owning worker; cross shards through packed portal payloads or annotate //pdos:shard-ok",
+					info.TypeOf(sel.X).String())
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		at := info.TypeOf(arg)
+		if at == nil || !s.isShardLocal(at) {
+			continue
+		}
+		if !s.pkg.ann.suppressed(g.Pos(), dirShardOk) {
+			s.report(g.Pos(), "shard-local %s passed to a spawned goroutine — pointers must not leave the owning worker; pack the crossing into a portal payload or annotate //pdos:shard-ok",
+				at.String())
+		}
+	}
+}
+
+// checkCapture flags free variables of shard-local type inside a go'd
+// function literal.
+func (s *shardAnalysis) checkCapture(g *ast.GoStmt, lit *ast.FuncLit) {
+	info := s.pkg.Info
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || reported[v] {
+			return true
+		}
+		// Free variable: declared outside the literal.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if !s.isShardLocal(v.Type()) {
+			return true
+		}
+		reported[v] = true
+		if !s.pkg.ann.suppressed(g.Pos(), dirShardOk) {
+			s.report(g.Pos(), "goroutine captures shard-local %s %s — the spawned goroutine races the owning worker; pass a packed portal payload instead or annotate //pdos:shard-ok",
+				v.Type().String(), v.Name())
+		}
+		return true
+	})
+}
+
+// checkSend flags shard-local values crossing a channel.
+func (s *shardAnalysis) checkSend(send *ast.SendStmt) {
+	vt := s.pkg.Info.TypeOf(send.Value)
+	if vt == nil || !s.isShardLocal(vt) {
+		return
+	}
+	if !s.pkg.ann.suppressed(send.Pos(), dirShardOk) {
+		s.report(send.Pos(), "shard-local %s sent on a channel — channels bypass the engine's barrier protocol; pack the crossing into a portal payload or annotate //pdos:shard-ok",
+			vt.String())
+	}
+}
+
+// rootIdent unwraps selectors, indexing, dereferences, and parens down to
+// the base identifier of an lvalue, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch l := e.(type) {
+		case *ast.SelectorExpr:
+			e = l.X
+		case *ast.IndexExpr:
+			e = l.X
+		case *ast.StarExpr:
+			e = l.X
+		case *ast.ParenExpr:
+			e = l.X
+		default:
+			id, _ := e.(*ast.Ident)
+			return id
+		}
+	}
+}
+
+// checkStore flags shard-local values stored into package-level variables.
+func (s *shardAnalysis) checkStore(as *ast.AssignStmt) {
+	info := s.pkg.Info
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call/comma-ok: element types are never shard-local pointers
+	}
+	for i, lhs := range as.Lhs {
+		rt := info.TypeOf(as.Rhs[i])
+		if rt == nil || !s.isShardLocal(rt) {
+			continue
+		}
+		id := rootIdent(lhs)
+		if id == nil {
+			continue
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			if v, ok = info.Defs[id].(*types.Var); !ok {
+				continue
+			}
+		}
+		// Package-level: declared at package scope.
+		if v.Parent() != s.pkg.Pkg.Scope() {
+			continue
+		}
+		if !s.pkg.ann.suppressed(as.Pos(), dirShardOk) {
+			s.report(as.Pos(), "shard-local %s stored into package-level %s — package scope is visible to every shard; keep the value worker-owned or annotate //pdos:shard-ok",
+				rt.String(), v.Name())
+		}
+	}
+}

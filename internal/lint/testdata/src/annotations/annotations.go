@@ -1,0 +1,36 @@
+// Package annotations is a pdos-lint fixture for the directive-vocabulary
+// analyzer: misspelled //pdos: words are findings, because a typo in a
+// suppression or opt-in silently disables the enforcement it meant to
+// invoke.
+package annotations
+
+import "fmt"
+
+// counter is here so the correctly-spelled directives below have something
+// real to hang off.
+var counter uint64
+
+// KnownDirectives exercises correctly spelled words: all quiet.
+func KnownDirectives() {
+	counter++ //pdos:counter demo inc — paired below
+	counter-- //pdos:counter demo dec — paired above
+}
+
+// TypoHotpath meant to opt into the hot-path analyzer but misspelled the
+// word — fmt in a would-be hot path goes unchecked.
+//
+//pdos:hotpah fast per-packet path // want "unknown //pdos: directive"
+func TypoHotpath() {
+	fmt.Sprintf("%d", counter)
+}
+
+// TypoSuppression meant //pdos:pool-ok; the misspelling suppresses nothing.
+func TypoSuppression() {
+	//pdos:poolok — fixture: misspelled suppression // want "unknown //pdos: directive"
+	counter++
+}
+
+// WrongSeparator used an underscore where the vocabulary uses a hyphen.
+func WrongSeparator() {
+	counter++ //pdos:float_eq_ok // want "unknown //pdos: directive"
+}

@@ -1,0 +1,75 @@
+// Package counterpair is a pdos-lint fixture for the conservation-pair
+// analyzer: //pdos:counter <group> <role> annotations declaring inc/dec/fold
+// sites, with orphaned groups, malformed directives, and misplaced
+// placements as the seeded violations.
+package counterpair
+
+var (
+	gets     uint64
+	puts     uint64
+	enqueued uint64
+	dropped  uint64
+	started  uint64
+	retired  uint64
+	gridDone uint64
+	orphan   uint64
+)
+
+// Balanced is the canonical pair: the conserved quantity Live = gets − puts
+// has a creating site and a retiring site. Note the roles track the
+// quantity, not the operator — puts++ *decrements* Live.
+func Balanced() {
+	gets++ //pdos:counter live inc — one unit of Live created
+	puts++ //pdos:counter live dec — one unit of Live retired
+}
+
+// IncOnly creates units nothing ever retires.
+func IncOnly() {
+	enqueued++ //pdos:counter backlog inc // want "no decrement or fold site"
+}
+
+// DecOnly retires units nothing ever creates.
+func DecOnly() {
+	dropped++ //pdos:counter evictions dec // want "no increment site"
+}
+
+// FoldBalanced pairs per-event increments with an analytic fold instead of a
+// per-event decrement — the paced-grid accounting shape.
+func FoldBalanced() {
+	started++ //pdos:counter grid inc — a grid slot is committed
+}
+
+// GridLive derives the live amount analytically from the grid.
+//
+//pdos:counter grid fold
+func GridLive() uint64 {
+	return started - gridDone
+}
+
+// FoldOnly folds a quantity with no counted sites at all.
+//
+//pdos:counter phantom fold // want "only fold sites"
+func FoldOnly() uint64 {
+	return gridDone
+}
+
+// Malformed directives: missing role, unknown role.
+func Malformed() {
+	retired++ //pdos:counter // want "malformed //pdos:counter directive"
+	retired++ //pdos:counter retire sub // want "unknown //pdos:counter role"
+}
+
+// DocInc puts a per-statement role on a whole function.
+//
+//pdos:counter docgroup inc // want "only fold directives may cover a whole function"
+func DocInc() {
+	orphan++
+}
+
+// Unanchored floats a directive where no statement begins.
+func Unanchored() {
+	orphan++
+
+	//pdos:counter floating inc — nothing starts on this line or the next // want "does not anchor to a statement"
+
+}

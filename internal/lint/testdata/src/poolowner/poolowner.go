@@ -118,3 +118,79 @@ func SuppressedLeak(pl *PacketPool, sink chan<- int) {
 	p := pl.Get()
 	sink <- p.Size
 }
+
+// ConditionalLeak releases on only one branch. The straight-line v1 analyzer
+// provably missed this — any Release after the acquire satisfied it — while
+// the CFG join keeps the still-owned else path alive to function exit.
+func ConditionalLeak(pl *PacketPool, cond bool) int {
+	p := pl.Get() // want "neither released nor ownership-transferred"
+	if cond {
+		p.Release()
+		return 0
+	}
+	return p.Size
+}
+
+// LeakDespiteFieldArg: passing a *field* of the packet to a call is a read,
+// not an ownership transfer — v1 conflated the two and missed this leak.
+func LeakDespiteFieldArg(pl *PacketPool, log func(int)) {
+	p := pl.Get() // want "neither released nor ownership-transferred"
+	log(p.Size)
+}
+
+// LoopLeak reacquires on every iteration while the previous packet is still
+// owned — the classic loop-body leak v1's single window could not represent.
+func LoopLeak(pl *PacketPool, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		p := pl.Get() // want "reacquired while the packet from line"
+		total += p.Size
+	}
+	return total
+}
+
+// BranchUseAfterRelease: released on both branches, used after the join —
+// invisible to v1's same-statement-list scan.
+func BranchUseAfterRelease(pl *PacketPool, cond bool) int {
+	p := pl.Get()
+	if cond {
+		p.Release()
+	} else {
+		p.Release()
+	}
+	return p.Size // want "used after Release"
+}
+
+// LoopRelease is the legal mirror of LoopLeak: every iteration closes its
+// own window before the back edge, so no state survives the join.
+func LoopRelease(pl *PacketPool, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		p := pl.Get()
+		total += p.Size
+		p.Release()
+	}
+	return total
+}
+
+// SwitchTransfer: ownership resolved differently per case, every path legal.
+func SwitchTransfer(l *Link, mode int) *Packet {
+	p := l.NewPacket()
+	switch mode {
+	case 0:
+		l.Send(p)
+		return nil
+	case 1:
+		return p
+	default:
+		p.Release()
+		return nil
+	}
+}
+
+// OverwriteLeak rebinds the variable while the first packet is still owned.
+func OverwriteLeak(pl *PacketPool) {
+	p := pl.Get()
+	p = &Packet{} // want "still owned when its variable is reassigned"
+	p.Release()
+}

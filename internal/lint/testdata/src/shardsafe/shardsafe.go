@@ -1,0 +1,91 @@
+// Package shardsafe is a pdos-lint fixture for the shard-isolation analyzer:
+// self-contained Packet/Kernel shapes (declared shard-local via the test
+// Config) exercising every flagged escape route — goroutine capture and
+// handoff, channel export, package-scope visibility — plus the legal packed
+// payload crossing.
+package shardsafe
+
+// Packet mimics netem.Packet: shard-local, worker-owned.
+type Packet struct {
+	Size int
+	Seq  uint64
+}
+
+// Kernel mimics sim.Kernel: one per shard.
+type Kernel struct{ now int64 }
+
+// Payload mimics sim.Payload: the packed by-value crossing format.
+type Payload [6]uint64
+
+// GlobalPacket is package-scope shard-local state: visible to every shard.
+var GlobalPacket *Packet // want "package-level variable GlobalPacket holds shard-local state"
+
+// globalSeq is fine: a plain scalar at package scope is not shard-local.
+var globalSeq uint64
+
+// globalStash is declared clean (no shard-local type) so stores into it are
+// the interesting event.
+var globalStash = map[int]any{}
+
+// GoCapture spawns a goroutine that captures a shard-local pointer.
+func GoCapture(p *Packet, done chan struct{}) {
+	go func() { // want "goroutine captures shard-local"
+		p.Size++
+		close(done)
+	}()
+}
+
+// GoArg hands the pointer over as an argument instead: same escape.
+func GoArg(p *Packet, f func(*Packet)) {
+	go f(p) // want "shard-local .* passed to a spawned goroutine"
+}
+
+// step is a worker tick; spawning it is the receiver-escape shape.
+func (k *Kernel) step() {}
+
+// SpawnKernel races the owning worker on the kernel itself.
+func SpawnKernel(k *Kernel) {
+	go k.step() // want "goroutine invoked on shard-local"
+}
+
+// SpawnOwned is the engine's own worker-spawn shape: exclusive ownership
+// transfers to the goroutine, stated by annotation.
+func SpawnOwned(k *Kernel) {
+	//pdos:shard-ok — fixture: ownership of k transfers wholesale to the worker
+	go k.step()
+}
+
+// ChanExport sends a shard-local pointer across a channel.
+func ChanExport(ch chan *Packet, p *Packet) {
+	ch <- p // want "shard-local .* sent on a channel"
+}
+
+// ChanPacked is the sanctioned crossing: pack by value, send the payload.
+func ChanPacked(ch chan Payload, p *Packet) {
+	var pay Payload
+	pay[0] = uint64(p.Size)
+	pay[1] = p.Seq
+	ch <- pay
+}
+
+// StoreGlobal parks a shard-local pointer where every shard can see it.
+func StoreGlobal(p *Packet) {
+	GlobalPacket = p // want "shard-local .* stored into package-level"
+}
+
+// StoreGlobalField stores through a package-level composite.
+func StoreGlobalField(p *Packet) {
+	globalStash[0] = p // want "shard-local .* stored into package-level"
+}
+
+// StoreLocal keeps the pointer worker-owned: allowed.
+func StoreLocal(p *Packet) *Packet {
+	local := p
+	globalSeq++
+	return local
+}
+
+// GoScalarArgs spawns with only by-value scalars: allowed.
+func GoScalarArgs(n int, f func(int)) {
+	go f(n)
+}

@@ -1,0 +1,111 @@
+// Package vtime is a pdos-lint fixture for the virtual-timestamp analyzer:
+// a self-contained Time/Kernel pair (wired up via the test Config's
+// TimeTypes/StampedCalls) exercising float and wall-duration conversions
+// into stamps, hot-path float erosion, and back-stamp provability.
+package vtime
+
+import "time"
+
+// Time mimics sim.Time: an int64 virtual-clock position.
+type Time int64
+
+// MaxTime mimics the sim.MaxTime overflow sentinel.
+const MaxTime = Time(1<<63 - 1)
+
+// Kernel mimics sim.Kernel for the back-stamp call matching.
+type Kernel struct{ now Time }
+
+// AtArgStamped mimics the fused-event kernel API: schedule fn at `when`,
+// accounted as if emitted at `at`, contract at ≤ when.
+func (k *Kernel) AtArgStamped(when, at Time, fn func(int), arg int) {
+	if at > when {
+		at = when
+	}
+	fn(arg)
+}
+
+// FloatToStamp manufactures a stamp from a float — the rounding must live in
+// one sanctioned helper, not at call sites.
+func FloatToStamp(s float64) Time {
+	return Time(s * 1e9) // want "float value converted to virtual-time stamp"
+}
+
+// SanctionedHelper is that one helper: same conversion, annotated.
+func SanctionedHelper(s float64) Time {
+	//pdos:vtime-ok — fixture: the one rounding seam, mirrors sim.FromSeconds
+	return Time(s * 1e9)
+}
+
+// DurationToStamp crosses the wall/virtual boundary without the helper.
+func DurationToStamp(d time.Duration) Time {
+	return Time(d) // want "wall-clock time.Duration converted to virtual-time stamp"
+}
+
+// IntToStamp is the legal construction: integer in, integer out.
+func IntToStamp(n int64) Time {
+	return Time(n)
+}
+
+// ConstStamp is exact by construction and must stay quiet.
+func ConstStamp() Time {
+	return Time(1e6)
+}
+
+// HotFloat erodes a stamp to float inside a declared hot path.
+//
+//pdos:hotpath
+func HotFloat(t Time) float64 {
+	return float64(t) // want "virtual-time stamp converted to float in hot-path function"
+}
+
+// HotFloatSanctioned is the same erosion with a stated invariant.
+//
+//pdos:hotpath
+func HotFloatSanctioned(t Time) float64 {
+	//pdos:vtime-ok — fixture: display-only conversion, result never re-enters scheduling
+	return float64(t)
+}
+
+// ColdFloat converts outside any hot path: allowed (the model layer works in
+// float seconds by design).
+func ColdFloat(t Time) float64 {
+	return float64(t)
+}
+
+// BackStampInline derives when from at in the argument itself: provable.
+func BackStampInline(k *Kernel, at, delta Time, fn func(int)) {
+	k.AtArgStamped(at+delta, at, fn, 0)
+}
+
+// BackStampSame schedules at the accounting instant itself: provable.
+func BackStampSame(k *Kernel, at Time, fn func(int)) {
+	k.AtArgStamped(at, at, fn, 0)
+}
+
+// BackStampGuarded is the real-code shape: when = at + delta with a MaxTime
+// overflow clamp; every reaching definition is provably ≥ at.
+func BackStampGuarded(k *Kernel, at, delta Time, fn func(int)) {
+	when := at + delta
+	if when < at {
+		when = MaxTime
+	}
+	k.AtArgStamped(when, at, fn, 0)
+}
+
+// BackStampUnprovable passes an unrelated parameter as when.
+func BackStampUnprovable(k *Kernel, when, at Time, fn func(int)) {
+	k.AtArgStamped(when, at, fn, 0) // want "cannot prove at ≤ when"
+}
+
+// BackStampClobbered derives when correctly, then overwrites it.
+func BackStampClobbered(k *Kernel, at, other Time, fn func(int)) {
+	when := at + 5
+	when = other
+	k.AtArgStamped(when, at, fn, 0) // want "cannot prove at ≤ when"
+}
+
+// BackStampSuppressed documents an invariant the analyzer cannot derive.
+func BackStampSuppressed(k *Kernel, deadline, at Time, fn func(int)) {
+	//pdos:vtime-ok — fixture: caller contract guarantees at ≤ deadline
+	k.AtArgStamped(deadline, at, fn, 0)
+}

@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runVTime enforces the virtual-timestamp discipline (DESIGN.md §15): kernel
+// stamps (sim.Time and friends, cfg.TimeTypes) are int64 nanosecond
+// positions on the simulated clock, and the byte-identity guarantees rest on
+// them never silently passing through floating-point or wall-time values.
+// Three checks, scoped to cfg.VTimePkgs:
+//
+//  1. construction: a conversion TimeType(e) where e is floating-point or a
+//     time.Duration is flagged — float rounding must be centralized in the
+//     sanctioned helpers (sim.FromSeconds, sim.FromDuration), which carry
+//     //pdos:vtime-ok themselves;
+//  2. hot-path erosion: float32/float64(t) of a stamp inside a
+//     //pdos:hotpath function is flagged — per-packet float conversions of
+//     stamps are exactly how grid arithmetic drifts off the integer lattice;
+//  3. back-stamping: at a cfg.StampedCalls site f(when, at, …) — the fused-
+//     event kernel API that retro-dates work — the analyzer must be able to
+//     prove at ≤ when from the source: `when` is syntactically `at`,
+//     `at + d`, or a local whose every reaching definition (computed over
+//     the CFG) is `at + d`, `at`, or the MaxTime sentinel. The kernel clamps
+//     at runtime, so a violation here is silent skew, not a crash — which is
+//     why it needs a static guard.
+//
+// //pdos:vtime-ok suppresses any of the three at the line or function level;
+// the rationale should name the invariant that keeps the site safe.
+func runVTime(cfg Config, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !hasPath(cfg.VTimePkgs, pkg.Path) {
+		return
+	}
+	v := &vtimeAnalysis{cfg: cfg, pkg: pkg, report: report}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			v.checkConversion(call)
+			v.checkStampedCall(call)
+			return true
+		})
+	}
+}
+
+type vtimeAnalysis struct {
+	cfg    Config
+	pkg    *Package
+	report func(pos token.Pos, format string, args ...any)
+
+	// defsCache holds per-function reaching-definition results for check 3,
+	// built lazily (most functions have no back-stamp sites).
+	defsCache map[*ast.FuncDecl]*reachingDefs
+}
+
+// qualifiedTypeName renders a named type as "pkgpath.Name", or "".
+func qualifiedTypeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// isTimeType reports whether t is one of the configured stamp types.
+func (v *vtimeAnalysis) isTimeType(t types.Type) bool {
+	return hasPath(v.cfg.TimeTypes, qualifiedTypeName(t))
+}
+
+// checkConversion handles checks 1 and 2: T(e) conversions into and out of
+// stamp types. Constant expressions are exempt — they are exact by
+// construction and the compiler rejects unrepresentable ones.
+func (v *vtimeAnalysis) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := v.pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	arg := call.Args[0]
+	if av, ok := v.pkg.Info.Types[arg]; ok && av.Value != nil {
+		return // constant: exact or a compile error
+	}
+	argType := v.pkg.Info.TypeOf(arg)
+	if argType == nil {
+		return
+	}
+	target := tv.Type
+
+	// Check 1: float / wall-duration value converted into a stamp.
+	if v.isTimeType(target) {
+		switch {
+		case isFloat(argType):
+			if !v.pkg.ann.suppressed(call.Pos(), dirVTimeOk) {
+				v.report(call.Pos(), "float value converted to virtual-time stamp %s — rounding must go through the sanctioned helper (sim.FromSeconds) so every caller lands on the same integer lattice (or annotate //pdos:vtime-ok with the invariant)",
+					qualifiedTypeName(target))
+			}
+		case qualifiedTypeName(argType) == "time.Duration":
+			if !v.pkg.ann.suppressed(call.Pos(), dirVTimeOk) {
+				v.report(call.Pos(), "wall-clock time.Duration converted to virtual-time stamp %s — use sim.FromDuration so the wall/virtual boundary stays explicit (or annotate //pdos:vtime-ok)",
+					qualifiedTypeName(target))
+			}
+		}
+		return
+	}
+
+	// Check 2: stamp converted to float inside a declared hot path.
+	if isFloat(target) && v.isTimeType(argType) {
+		fd := v.pkg.ann.enclosingFunc(call.Pos())
+		if fd == nil || !v.pkg.ann.funcHas(fd, dirHotPath) {
+			return
+		}
+		if !v.pkg.ann.suppressed(call.Pos(), dirVTimeOk) {
+			v.report(call.Pos(), "virtual-time stamp converted to float in hot-path function %s — per-packet float arithmetic on stamps drifts off the integer grid; keep stamps integral or annotate //pdos:vtime-ok",
+				fd.Name.Name)
+		}
+	}
+}
+
+// stampedCallName renders the callee as "pkgpath.Recv.Method" (or
+// "pkgpath.Func") for matching against cfg.StampedCalls.
+func stampedCallName(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if recv := recvTypeName(f); recv != "" {
+		return f.Pkg().Path() + "." + recv + "." + f.Name()
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// checkStampedCall handles check 3: prove at ≤ when at back-stamp sites.
+func (v *vtimeAnalysis) checkStampedCall(call *ast.CallExpr) {
+	f := funcObj(v.pkg.Info, call)
+	if f == nil || len(call.Args) < 2 || !hasPath(v.cfg.StampedCalls, stampedCallName(f)) {
+		return
+	}
+	when, at := call.Args[0], call.Args[1]
+	atStr := exprString(at)
+	if v.provableLE(when, atStr, call) {
+		return
+	}
+	if v.pkg.ann.suppressed(call.Pos(), dirVTimeOk) {
+		return
+	}
+	v.report(call.Pos(), "back-stamped schedule %s(when=%s, at=%s): cannot prove at ≤ when — the kernel clamps silently, masking a virtual-time discipline violation; derive when as %s + delta (with a MaxTime overflow guard) or annotate //pdos:vtime-ok with the invariant",
+		f.Name(), exprString(when), atStr, atStr)
+}
+
+// provableLE reports whether the analyzer can prove at ≤ when from source
+// shape: when is exactly at, at + d (deltas are validated non-negative at
+// construction throughout the simulator), the MaxTime sentinel, or a local
+// variable whose every reaching definition at the call has one of those
+// shapes.
+func (v *vtimeAnalysis) provableLE(when ast.Expr, atStr string, call *ast.CallExpr) bool {
+	if provableExpr(when, atStr) {
+		return true
+	}
+	id, ok := ast.Unparen(when).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := objOf(v.pkg.Info, id)
+	if obj == nil {
+		return false
+	}
+	fd := v.pkg.ann.enclosingFunc(call.Pos())
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	rd := v.reachingDefsFor(fd)
+	defs := rd.defsAt(call, obj)
+	if len(defs) == 0 {
+		return false // parameter or untracked: no visible definition
+	}
+	for _, d := range defs {
+		if d == nil || !provableExpr(d, atStr) {
+			return false
+		}
+	}
+	return true
+}
+
+// provableExpr reports whether e is syntactically at, at + d / d + at, or
+// the MaxTime sentinel.
+func provableExpr(e ast.Expr, atStr string) bool {
+	e = ast.Unparen(e)
+	if exprString(e) == atStr {
+		return true
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return exprString(ast.Unparen(be.X)) == atStr || exprString(ast.Unparen(be.Y)) == atStr
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "MaxTime"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "MaxTime"
+	}
+	return false
+}
+
+// ---- reaching definitions over the CFG ----
+
+// reachingDefs computes, for every statement in a function, which
+// definitions of each local variable may reach it. Definitions are the RHS
+// expressions of assignments; nil marks an unanalyzable definition
+// (multi-value assignment, compound assignment, range binding, inc/dec,
+// address-taken or closure-captured variables).
+type reachingDefs struct {
+	pkg   *Package
+	g     *funcCFG
+	facts *dataflowFacts[defsFact]
+	// tainted vars have their address taken or are captured by a closure —
+	// any definition set for them is untrustworthy.
+	tainted map[types.Object]bool
+}
+
+type defsFact map[types.Object][]ast.Expr
+
+func (v *vtimeAnalysis) reachingDefsFor(fd *ast.FuncDecl) *reachingDefs {
+	if v.defsCache == nil {
+		v.defsCache = make(map[*ast.FuncDecl]*reachingDefs)
+	}
+	if rd, ok := v.defsCache[fd]; ok {
+		return rd
+	}
+	rd := &reachingDefs{pkg: v.pkg, tainted: make(map[types.Object]bool)}
+	info := v.pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						rd.tainted[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						rd.tainted[obj] = true
+					}
+					if obj := info.Defs[id]; obj != nil {
+						rd.tainted[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	rd.g = buildCFG(fd.Body)
+	rd.facts = forwardSolve(rd.g,
+		func() defsFact { return make(defsFact) },
+		func(f defsFact) defsFact {
+			out := make(defsFact, len(f))
+			for k, v := range f {
+				out[k] = v
+			}
+			return out
+		},
+		func(b *cfgBlock, in defsFact) defsFact {
+			for _, n := range b.nodes {
+				rd.apply(n, in)
+			}
+			return in
+		},
+		joinDefs,
+	)
+	v.defsCache[fd] = rd
+	return rd
+}
+
+// joinDefs unions definition sets per variable (dedup by expression node).
+func joinDefs(dst, src defsFact) (defsFact, bool) {
+	changed := false
+	for obj, defs := range src {
+		have := dst[obj]
+	next:
+		for _, d := range defs {
+			for _, h := range have {
+				if h == d {
+					continue next
+				}
+			}
+			have = append(have, d)
+			changed = true
+		}
+		dst[obj] = have
+	}
+	return dst, changed
+}
+
+// apply records the definitions a node generates (kills are implicit: a new
+// assignment replaces the variable's def set).
+func (rd *reachingDefs) apply(n ast.Node, st defsFact) {
+	info := rd.pkg.Info
+	set := func(id *ast.Ident, def ast.Expr) {
+		obj := objOf(info, id)
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		st[obj] = []ast.Expr{def} // def == nil marks "unanalyzable"
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		simple := (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) && len(n.Lhs) == len(n.Rhs)
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if simple {
+				set(id, n.Rhs[i])
+			} else {
+				set(id, nil)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if len(vs.Values) == len(vs.Names) {
+						set(name, vs.Values[i])
+					} else {
+						set(name, nil)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			set(id, nil)
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				set(id, nil)
+			}
+		}
+	}
+}
+
+// defsAt returns the definitions of obj reaching the statement that contains
+// call. A tainted variable or an unreached site yields unknown
+// conservatively. The containing node is the *smallest* one spanning the
+// call so that loop-head RangeStmt nodes (whose span covers their body) do
+// not shadow the leaf statement inside the body.
+func (rd *reachingDefs) defsAt(call *ast.CallExpr, obj types.Object) []ast.Expr {
+	if rd.tainted[obj] {
+		return []ast.Expr{nil}
+	}
+	bestBlock, bestNode := -1, -1
+	var bestSpan token.Pos = -1
+	for _, b := range rd.g.blocks {
+		for i, n := range b.nodes {
+			if !containsNode(n, call) {
+				continue
+			}
+			span := n.End() - n.Pos()
+			if bestSpan < 0 || span < bestSpan {
+				bestBlock, bestNode, bestSpan = b.index, i, span
+			}
+		}
+	}
+	if bestBlock < 0 || !rd.facts.reached[bestBlock] {
+		return nil
+	}
+	st := make(defsFact, len(rd.facts.in[bestBlock]))
+	for k, v := range rd.facts.in[bestBlock] {
+		st[k] = v
+	}
+	for _, n := range rd.g.blocks[bestBlock].nodes[:bestNode] {
+		rd.apply(n, st)
+	}
+	return st[obj]
+}
+
+// containsNode reports whether target sits in n's subtree.
+func containsNode(n ast.Node, target ast.Node) bool {
+	if n.Pos() > target.Pos() || n.End() < target.End() {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -188,6 +188,8 @@ func (l *Link) Stats() LinkStats {
 
 // pacedPending reports how many committed paced serializations have not yet
 // completed as of now; grid completions sit at pacedFirstDone + i·pacedGap.
+//
+//pdos:counter paced-grid fold — outstanding commitments derived analytically from the grid, no per-event bookkeeping
 func (l *Link) pacedPending(now sim.Time) uint64 {
 	if now >= l.busyUntil {
 		return 0
@@ -205,6 +207,8 @@ func (l *Link) pacedPending(now sim.Time) uint64 {
 // pacedUnarrived reports how many committed paced packets have transmission
 // start instants still in the virtual future — packets the reference
 // schedule would not have seen arrive yet.
+//
+//pdos:counter paced-grid fold — future commitments derived analytically from the grid
 func (l *Link) pacedUnarrived(now sim.Time) uint64 {
 	if now >= l.pacedAt {
 		return 0
@@ -347,6 +351,7 @@ func (l *Link) Send(p *Packet) {
 		// fired (see sim.Kernel.AtArgStamped).
 		if !l.chained {
 			l.chained = true
+			//pdos:vtime-ok — busyUntil = txStart + serialization delay by construction (startTransmit/startFused), so at ≤ when holds across the field reads the analyzer cannot relate
 			l.k.AtArgStamped(l.busyUntil, l.txStart, l.chainFn, nil)
 		}
 		return
@@ -421,12 +426,12 @@ func (l *Link) SendPaced(p *Packet, at, gap sim.Time) {
 		when = sim.MaxTime
 	}
 	if l.pacedN > 0 && at == l.pacedAt+l.pacedGap && gap == l.pacedGap && p.Size == l.pacedSize {
-		l.pacedN++
+		l.pacedN++ //pdos:counter paced-grid inc — one more serialization committed on the open grid
 	} else {
 		if l.pacedN > 0 && l.busyUntil > now {
 			panic("netem: SendPaced grid restarted on link " + l.name + " with prior commitments outstanding")
 		}
-		l.pacedN = 1
+		l.pacedN = 1 //pdos:counter paced-grid inc — a fresh grid opens with its first commitment
 		l.pacedGap = gap
 		l.pacedFirstAt = at
 		l.pacedFirstDone = txDone
@@ -543,6 +548,7 @@ func (l *Link) fireChain() {
 	l.startFused(l.k.Now())
 	if l.queue.Len() > 0 {
 		l.chained = true
+		//pdos:vtime-ok — busyUntil = txStart + serialization delay by construction (startFused just set both), so at ≤ when holds across the field reads the analyzer cannot relate
 		l.k.AtArgStamped(l.busyUntil, l.txStart, l.chainFn, nil)
 	}
 }

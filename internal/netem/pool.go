@@ -45,7 +45,7 @@ func NewPacketPool() *PacketPool {
 //
 //pdos:hotpath
 func (pl *PacketPool) Get() *Packet {
-	pl.gets++
+	pl.gets++ //pdos:counter pool-live inc — one packet goes live (Live = gets − puts)
 	if n := len(pl.free); n > 0 {
 		p := pl.free[n-1]
 		pl.free[n-1] = nil
@@ -65,7 +65,7 @@ func (pl *PacketPool) Get() *Packet {
 //
 //pdos:hotpath
 func (pl *PacketPool) put(p *Packet) {
-	pl.puts++
+	pl.puts++ //pdos:counter pool-live dec — the packet returns to the free list
 	pl.free = append(pl.free, p)
 }
 

@@ -331,7 +331,7 @@ func (k *Kernel) release(ev *event) {
 //
 //pdos:hotpath
 func (k *Kernel) enqueue(ev *event) {
-	k.pending++
+	k.pending++ //pdos:counter kernel-pending inc — one event enters the pending set
 	if k.pending == 1 {
 		k.solo = ev
 	} else {

@@ -387,6 +387,7 @@ func (e *Engine) ensureWorkers() {
 	for _, s := range e.shards {
 		s.start = make(chan shardCmd, 1)
 		s.done = make(chan error, 1)
+		//pdos:shard-ok — the engine's own worker spawn: the shard is owned exclusively by this goroutine from here on, the engine only talks to it through start/done
 		go s.run()
 	}
 }

@@ -92,7 +92,7 @@ func (k *Kernel) place(ev *event) {
 //
 //pdos:hotpath
 func (k *Kernel) unschedule(ev *event) {
-	k.pending--
+	k.pending-- //pdos:counter kernel-pending dec — the event leaves the pending set (fire or cancel)
 	k.solo = nil
 	if ev.index >= 0 {
 		k.remove(int(ev.index))

@@ -59,7 +59,7 @@ func (t *FlowTable) wheelSize() int {
 	if t.cfg.RTOJitter > 0 {
 		maxRTO *= 1 + t.cfg.RTOJitter
 	}
-	span := int(sim.Time(maxRTO)>>rtoEpochShift) + 2
+	span := int(int64(maxRTO)>>rtoEpochShift) + 2
 	size := 1
 	for size <= span {
 		size *= 2

@@ -406,6 +406,7 @@ func (s *Sender) restartRTOTimer() {
 	h := &t.hot[i]
 	rto := t.rto(i)
 	if s.rtoRand != nil {
+		//pdos:vtime-ok — randomized-RTO defense: one bounded stretch of an integral rto, re-rounded immediately; drift cannot compound because every call starts from the integer-grid rto
 		rto = sim.Time(float64(rto) * (1 + t.cfg.RTOJitter*s.rtoRand.Float64()))
 	}
 	now := s.k.Now()

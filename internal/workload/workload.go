@@ -48,6 +48,7 @@ func NewPoisson(ratePerSec float64, origin sim.Time, rand *rng.Source) (*Poisson
 
 // Next implements Arrivals.
 func (p *Poisson) Next() sim.Time {
+	//pdos:vtime-ok — exponential inter-arrival draw: the one float in the Poisson process, re-rounded to the grid immediately and clamped ≥ 1ns below
 	gap := sim.Time(float64(p.mean) * p.rand.ExpFloat64())
 	if gap < 1 {
 		gap = 1
