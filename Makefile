@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json race-assert race-parallel topo-equivalence fusion-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench fusion-bench fusion-smoke profile clean
+.PHONY: all build test race vet lint lint-json race-assert race-parallel topo-equivalence fusion-equivalence figure-equivalence bench-smoke figures scale-bench parallel-bench million-bench scale-smoke serve-smoke serve-bench fusion-bench fusion-smoke profile clean
 
 all: build
 
@@ -68,6 +68,15 @@ topo-equivalence:
 # build fires strictly fewer kernel events. Under the race detector.
 fusion-equivalence:
 	$(GO) test -race -count=1 -run TestFusionEquivalence ./internal/experiments
+
+# figure-equivalence is the figure pipeline's migration contract gate: every
+# figure regenerated through the scenario-native path (documents → run cache
+# → artifact assembly, internal/figures) must equal its legacy
+# internal/experiments driver byte for byte, and a warm AllFigures replay
+# must be served entirely from the content-addressed cache. Under the race
+# detector.
+figure-equivalence:
+	$(GO) test -race -count=1 -run 'TestFigureEquivalence|TestAllFiguresWarmCache' ./internal/figures
 
 # bench-smoke runs the hot-path micro-benchmarks once — enough to catch an
 # allocation or throughput regression without the full figure benches.

@@ -2,9 +2,11 @@
 // evaluation (§4): Figs. 1–4, 6–10, and 12 plus the Proposition 3
 // cross-validation, the design ablations, and the extension studies. Series
 // are written as CSV files into -out, with an optional single-page SVG
-// report (-html); summary notes are printed to stdout. Figures fan out
-// across -parallel workers (each on a private kernel, so the CSVs are
-// byte-identical to a sequential run). With -bench-json the command also
+// report (-html); summary notes are printed to stdout. Each figure is
+// compiled into scenario documents and executed through the scenario-native
+// pipeline (internal/figures); the expanded points fan out across -parallel
+// workers (each on a private kernel, so the CSVs are byte-identical to a
+// sequential run). With -bench-json the command also
 // measures the simulator's hot paths and writes a machine-readable
 // benchmark report (ns/op, allocs/op, events/sec, peak gain per figure).
 //
@@ -80,6 +82,7 @@ import (
 	"time"
 
 	"pulsedos/internal/experiments"
+	"pulsedos/internal/figures"
 	"pulsedos/internal/perf"
 	"pulsedos/internal/report"
 	"pulsedos/internal/runcache"
@@ -92,12 +95,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdos-bench:", err)
 		os.Exit(1)
 	}
-}
-
-// jobs returns every regenerable figure in paper order: the paper's own
-// plots first, then the ablations and extension studies.
-func jobs() []experiments.FigureJob {
-	return append(experiments.PaperFigures(), experiments.ExtendedFigures()...)
 }
 
 func run(args []string) error {
@@ -208,19 +205,24 @@ func run(args []string) error {
 			wanted[strings.TrimSpace(id)] = true
 		}
 	}
-	selected := jobs()
+	selected := figures.IDs()
 	if len(wanted) > 0 {
 		kept := selected[:0]
-		for _, j := range selected {
-			if wanted[j.ID] {
-				kept = append(kept, j)
+		for _, id := range selected {
+			if wanted[id] {
+				kept = append(kept, id)
+				delete(wanted, id)
 			}
 		}
 		selected = kept
+		for id := range wanted {
+			return fmt.Errorf("-figures: unknown figure %q (known: %s)", id, strings.Join(figures.IDs(), ","))
+		}
 	}
 
 	start := time.Now()
-	generated, err := experiments.RunFigureJobsCached(selected, scale, *parallel, store)
+	generated, err := figures.RunJobs(context.Background(), selected, scale,
+		figures.Options{Cache: store, Parallel: *parallel})
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pulsedos/internal/figures"
 )
 
 func TestRunAnalyticFigures(t *testing.T) {
@@ -45,11 +47,18 @@ func TestBuildersCoverAllFigures(t *testing.T) {
 		"fig6": true, "fig7": true, "fig8": true, "fig9": true, "fig10": true,
 		"fig12": true, "prop3": true,
 	}
-	for _, j := range jobs() {
-		delete(want, j.ID)
+	for _, id := range figures.IDs() {
+		delete(want, id)
 	}
 	if len(want) != 0 {
-		t.Errorf("figure jobs missing figures: %v", want)
+		t.Errorf("figure registry missing figures: %v", want)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	err := run([]string{"-out", t.TempDir(), "-figures", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), `unknown figure "fig99"`) {
+		t.Errorf("unknown figure id not rejected: %v", err)
 	}
 }
 

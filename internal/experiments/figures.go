@@ -71,17 +71,14 @@ func (f *FigureResult) note(format string, args ...any) {
 func Figure1(scale Scale) (*FigureResult, error) {
 	cfg := DefaultDumbbellConfig(1)
 	cfg.Seed = scale.Seed
-	cfg.RTTMin = 100 * time.Millisecond
-	cfg.RTTMax = 100 * time.Millisecond
+	cfg.RTTMin = Fig1RTT
+	cfg.RTTMax = Fig1RTT
 	env, err := BuildDumbbell(cfg)
 	if err != nil {
 		return nil, err
 	}
-	// Each pulse must overflow the bottleneck buffer to cut the lone
-	// victim's window: 100 ms at 100 Mbps ≈ 1250 packets against a
-	// 400-packet queue.
-	period := 500 * time.Millisecond
-	train, err := attack.AIMDTrain(sim.FromDuration(100*time.Millisecond), 100e6,
+	period := Fig1Period
+	train, err := attack.AIMDTrain(sim.FromDuration(Fig1Extent), Fig1Rate,
 		sim.FromDuration(period), PulsesFor(scale.Measure, period))
 	if err != nil {
 		return nil, err
@@ -122,8 +119,8 @@ func Figure2(scale Scale) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	period := 2 * time.Second
-	train, err := attack.AIMDTrain(sim.FromDuration(100*time.Millisecond), 40e6,
+	period := Fig2Period
+	train, err := attack.AIMDTrain(sim.FromDuration(Fig2Extent), Fig2Rate,
 		sim.FromDuration(period), PulsesFor(scale.Measure, period))
 	if err != nil {
 		return nil, err
@@ -132,7 +129,7 @@ func Figure2(scale Scale) (*FigureResult, error) {
 		Warmup:  scale.Warmup,
 		Measure: scale.Measure,
 		Train:   &train,
-		RateBin: 50 * time.Millisecond,
+		RateBin: Fig2RateBin,
 	})
 	if err != nil {
 		return nil, err
@@ -157,9 +154,9 @@ func syncFigure(
 	period := extent + space
 	train := attack.Uniform(sim.FromDuration(extent), rate, sim.FromDuration(space),
 		PulsesFor(scale.SyncDuration, period))
-	frames := int(scale.SyncDuration / (250 * time.Millisecond))
+	frames := int(scale.SyncDuration / SyncFrameStep)
 	sync, err := SyncSnapshot(env, train, scale.Warmup, scale.SyncDuration,
-		50*time.Millisecond, frames)
+		SyncRateBin, frames)
 	if err != nil {
 		return nil, err
 	}
@@ -182,27 +179,29 @@ func syncFigure(
 // Figure3a regenerates the ns-2 synchronization snapshot: 24 victim flows,
 // T_extent = 50 ms, T_space = 1950 ms, R_attack = 100 Mbps ⇒ period 2 s.
 func Figure3a(scale Scale) (*FigureResult, error) {
-	cfg := DefaultDumbbellConfig(24)
+	st := Fig3aSetting()
+	cfg := DefaultDumbbellConfig(st.Flows)
 	cfg.Seed = scale.Seed
 	env, err := BuildDumbbell(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return syncFigure("fig3a", "quasi-global synchronization (ns-2 dumbbell)",
-		env, 50*time.Millisecond, 100e6, 1950*time.Millisecond, scale)
+		env, st.Extent, st.Rate, st.Space, scale)
 }
 
 // Figure3b regenerates the test-bed synchronization snapshot: 15 flows,
 // T_extent = 100 ms, T_space = 2400 ms, R_attack = 50 Mbps ⇒ period 2.5 s.
 func Figure3b(scale Scale) (*FigureResult, error) {
-	cfg := DefaultTestbedConfig(15)
+	st := Fig3bSetting()
+	cfg := DefaultTestbedConfig(st.Flows)
 	cfg.Seed = scale.Seed
 	env, err := BuildTestbed(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return syncFigure("fig3b", "quasi-global synchronization (test-bed)",
-		env, 100*time.Millisecond, 50e6, 2400*time.Millisecond, scale)
+		env, st.Extent, st.Rate, st.Space, scale)
 }
 
 // Figure4 regenerates the risk-preference curves (1-γ)^κ.
@@ -220,7 +219,7 @@ func gainFigure(id string, rate float64, scale Scale) (*FigureResult, error) {
 		ID:    id,
 		Title: fmt.Sprintf("attack gain vs gamma, R_attack = %.0f Mbps", rate/1e6),
 	}
-	extents := []time.Duration{50 * time.Millisecond, 75 * time.Millisecond, 100 * time.Millisecond}
+	extents := GainFigureExtents()
 	for _, flows := range scale.FlowCounts {
 		for _, extent := range extents {
 			label := fmt.Sprintf("flows=%d Textent=%dms", flows, extent.Milliseconds())
@@ -256,16 +255,24 @@ func gainFigure(id string, rate float64, scale Scale) (*FigureResult, error) {
 }
 
 // Figure6 regenerates Fig. 6 (R_attack = 25 Mbps).
-func Figure6(scale Scale) (*FigureResult, error) { return gainFigure("fig6", 25e6, scale) }
+func Figure6(scale Scale) (*FigureResult, error) {
+	return gainFigure("fig6", GainFigureRates()[0], scale)
+}
 
 // Figure7 regenerates Fig. 7 (R_attack = 30 Mbps).
-func Figure7(scale Scale) (*FigureResult, error) { return gainFigure("fig7", 30e6, scale) }
+func Figure7(scale Scale) (*FigureResult, error) {
+	return gainFigure("fig7", GainFigureRates()[1], scale)
+}
 
 // Figure8 regenerates Fig. 8 (R_attack = 35 Mbps).
-func Figure8(scale Scale) (*FigureResult, error) { return gainFigure("fig8", 35e6, scale) }
+func Figure8(scale Scale) (*FigureResult, error) {
+	return gainFigure("fig8", GainFigureRates()[2], scale)
+}
 
 // Figure9 regenerates Fig. 9 (R_attack = 40 Mbps).
-func Figure9(scale Scale) (*FigureResult, error) { return gainFigure("fig9", 40e6, scale) }
+func Figure9(scale Scale) (*FigureResult, error) {
+	return gainFigure("fig9", GainFigureRates()[3], scale)
+}
 
 // Figure10 regenerates the shrew-resonance study: the paper's three
 // (R_attack, T_extent) settings with the γ grid augmented by the exact
@@ -273,20 +280,13 @@ func Figure9(scale Scale) (*FigureResult, error) { return gainFigure("fig9", 40e
 // analysis.
 func Figure10(scale Scale) (*FigureResult, error) {
 	res := &FigureResult{ID: "fig10", Title: "PDoS attacks vs shrew resonances"}
-	settings := []struct {
-		rate   float64
-		extent time.Duration
-	}{
-		{30e6, 100 * time.Millisecond},
-		{40e6, 75 * time.Millisecond},
-		{50e6, 50 * time.Millisecond},
-	}
-	const minRTO = time.Second // ns-2 stack RTO_min
+	settings := ShrewFigureSettings()
+	const minRTO = ShrewFigureMinRTO // ns-2 stack RTO_min
 	bottleneck := DefaultDumbbellConfig(15).BottleneckRate
 	for _, st := range settings {
-		label := fmt.Sprintf("R=%.0fM Textent=%dms", st.rate/1e6, st.extent.Milliseconds())
+		label := fmt.Sprintf("R=%.0fM Textent=%dms", st.Rate/1e6, st.Extent.Milliseconds())
 		gammas := append(append([]float64(nil), scale.Gammas...),
-			ShrewGammas(st.rate, st.extent, bottleneck, minRTO, 3)...)
+			ShrewGammas(st.Rate, st.Extent, bottleneck, minRTO, ShrewFigureMaxHarmonic)...)
 		points, err := ShrewStudy(ShrewStudyConfig{
 			Sweep: SweepConfig{
 				Factory: func() (Environment, error) {
@@ -294,8 +294,8 @@ func Figure10(scale Scale) (*FigureResult, error) {
 					cfg.Seed = scale.Seed
 					return BuildDumbbell(cfg)
 				},
-				AttackRate: st.rate,
-				Extent:     st.extent,
+				AttackRate: st.Rate,
+				Extent:     st.Extent,
 				Kappa:      1,
 				Gammas:     gammas,
 				Warmup:     scale.Warmup,
@@ -303,7 +303,7 @@ func Figure10(scale Scale) (*FigureResult, error) {
 				Parallel:   scale.Parallel,
 			},
 			MinRTO:      minRTO,
-			MaxHarmonic: 3,
+			MaxHarmonic: ShrewFigureMaxHarmonic,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig10 %s: %w", label, err)
@@ -329,16 +329,16 @@ func Figure10(scale Scale) (*FigureResult, error) {
 // R_attack ∈ {15, 20, 30} Mbps.
 func Figure12(scale Scale) (*FigureResult, error) {
 	res := &FigureResult{ID: "fig12", Title: "test-bed attack gain vs gamma"}
-	for _, rate := range []float64{15e6, 20e6, 30e6} {
+	for _, rate := range TestbedFigureRates() {
 		label := fmt.Sprintf("R=%.0fM", rate/1e6)
 		points, err := GainSweep(SweepConfig{
 			Factory: func() (Environment, error) {
-				cfg := DefaultTestbedConfig(10)
+				cfg := DefaultTestbedConfig(TestbedFigureFlows)
 				cfg.Seed = scale.Seed
 				return BuildTestbed(cfg)
 			},
 			AttackRate: rate,
-			Extent:     150 * time.Millisecond,
+			Extent:     TestbedFigureExtent,
 			Kappa:      1,
 			Gammas:     scale.Gammas,
 			Warmup:     scale.Warmup,
@@ -412,8 +412,8 @@ func AblationREDvsDropTail(scale Scale) (*FigureResult, error) {
 				cfg.AdaptiveRED = name == "adaptive-red"
 				return BuildDumbbell(cfg)
 			},
-			AttackRate: 35e6,
-			Extent:     75 * time.Millisecond,
+			AttackRate: AblationRate,
+			Extent:     AblationExtent,
 			Kappa:      1,
 			Gammas:     scale.Gammas,
 			Warmup:     scale.Warmup,
@@ -445,8 +445,8 @@ func AblationDelayedACK(scale Scale) (*FigureResult, error) {
 				cfg.TCP.AckEvery = d
 				return BuildDumbbell(cfg)
 			},
-			AttackRate: 35e6,
-			Extent:     75 * time.Millisecond,
+			AttackRate: AblationRate,
+			Extent:     AblationExtent,
 			Kappa:      1,
 			Gammas:     scale.Gammas,
 			Warmup:     scale.Warmup,
@@ -484,8 +484,8 @@ func AblationAIMD(scale Scale) (*FigureResult, error) {
 				cfg.TCP.DecreaseB = st.b
 				return BuildDumbbell(cfg)
 			},
-			AttackRate: 35e6,
-			Extent:     75 * time.Millisecond,
+			AttackRate: AblationRate,
+			Extent:     AblationExtent,
 			Kappa:      1,
 			Gammas:     scale.Gammas,
 			Warmup:     scale.Warmup,
@@ -548,8 +548,8 @@ func MiceFigure(scale Scale) (*FigureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	period := 400 * time.Millisecond
-	train, err := attack.AIMDTrain(sim.FromDuration(75*time.Millisecond), 40e6,
+	period := MiceAttackPeriod
+	train, err := attack.AIMDTrain(sim.FromDuration(MiceAttackExtent), MiceAttackRate,
 		sim.FromDuration(period), PulsesFor(cfg.Measure, period))
 	if err != nil {
 		return nil, err
@@ -595,8 +595,8 @@ func AblationAttackPacketSize(scale Scale) (*FigureResult, error) {
 				cfg.AttackPacketSize = size
 				return BuildDumbbell(cfg)
 			},
-			AttackRate: 35e6,
-			Extent:     75 * time.Millisecond,
+			AttackRate: AblationRate,
+			Extent:     AblationExtent,
 			Kappa:      1,
 			Gammas:     scale.Gammas,
 			Warmup:     scale.Warmup,

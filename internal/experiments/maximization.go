@@ -128,6 +128,14 @@ func MaximizationStudy(cfg MaximizationStudyConfig) ([]MaximizationPoint, error)
 	return out, nil
 }
 
+// ImpliedCPsi recovers the calibrated C_Ψ from a sweep's analytic points via
+// C_Ψ = γ·(1 - Γ) at the first point with meaningful degradation. Exported
+// for the scenario-native figure pipeline (internal/figures), which rebuilds
+// the §4.1.2 comparison from cached artifacts and must land on the same C_Ψ.
+func ImpliedCPsi(points []GainPoint) float64 {
+	return impliedCPsi(points)
+}
+
 // impliedCPsi recovers the calibrated C_Ψ from a sweep's analytic points via
 // C_Ψ = γ·(1 - Γ) at the first point with meaningful degradation.
 func impliedCPsi(points []GainPoint) float64 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -139,6 +140,132 @@ func MiceStudy(cfg MiceConfig) (*MiceResult, error) {
 	}
 	if err := k.RunUntil(end); err != nil {
 		return nil, err
+	}
+	env.StopFlows()
+	if gen != nil {
+		gen.Stop()
+	}
+
+	for i := 0; i < cfg.Elephants; i++ {
+		res.ElephantBytes += env.Account.Flow(i)
+	}
+	if len(res.FCTs) > 0 {
+		res.MeanFCT, _ = stats.Mean(res.FCTs)
+		res.MedianFCT, _ = stats.Median(res.FCTs)
+		res.P95FCT, _ = stats.Percentile(res.FCTs, 95)
+	}
+	return res, nil
+}
+
+// MiceRunConfig parameterizes RunMiceCtx on a caller-built environment. It is
+// the scenario-document form of MiceConfig: the topology (and so the seed)
+// lives in the environment, everything else is the workload schedule.
+type MiceRunConfig struct {
+	Elephants    int
+	Mice         int
+	MiceSegments int64
+	Sizes        workload.Sizes // nil = Fixed{MiceSegments}
+	ArrivalSpan  time.Duration
+	Warmup       time.Duration
+	Measure      time.Duration
+	Train        *attack.Train
+	StartSpread  time.Duration // elephant start jitter window
+}
+
+// RunMiceCtx executes the mice study's flow schedule on env: the same draw
+// order, start choreography, and accounting as MiceStudy — the two are held
+// byte-identical by the figure-equivalence contract — but on an environment
+// the caller built (so a scenario document supplies the topology) and with
+// the timeline sliced for cancellation like RunCtx.
+func RunMiceCtx(ctx context.Context, env *Dumbbell, cfg MiceRunConfig) (*MiceResult, error) {
+	if cfg.Elephants < 1 || cfg.Mice < 1 || cfg.MiceSegments < 1 {
+		return nil, errors.New("experiments: mice study needs elephants, mice, and a size")
+	}
+	if cfg.Measure <= 0 || cfg.ArrivalSpan <= 0 {
+		return nil, errors.New("experiments: mice study needs positive windows")
+	}
+	if len(env.Senders) < cfg.Elephants+cfg.Mice {
+		return nil, errors.New("experiments: mice study needs elephants + mice senders")
+	}
+
+	k := env.Kernel
+	warmup := sim.FromDuration(cfg.Warmup)
+	end := warmup + sim.FromDuration(cfg.Measure)
+
+	// Elephants: flows [0, E), jittered starts inside the warm-up.
+	spread := sim.FromDuration(cfg.StartSpread)
+	for i := 0; i < cfg.Elephants; i++ {
+		at := sim.Time(env.Rand().Int63n(int64(spread) + 1))
+		if err := env.Senders[i].Start(at); err != nil {
+			return nil, err
+		}
+	}
+
+	// Mice: flows [E, E+M), Poisson arrivals across ArrivalSpan, each a
+	// finite transfer timed from its own start.
+	res := &MiceResult{}
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = &workload.Fixed{Segments: cfg.MiceSegments}
+	}
+	arrivals, err := workload.NewPoisson(
+		float64(cfg.Mice)/cfg.ArrivalSpan.Seconds(), warmup, env.Rand().Split())
+	if err != nil {
+		return nil, err
+	}
+	flows, err := workload.Generate(cfg.Mice, arrivals, sizes)
+	if err != nil {
+		return nil, err
+	}
+	for i, fl := range flows {
+		at := fl.At
+		if at >= end {
+			break
+		}
+		sender := env.Senders[cfg.Elephants+i]
+		sender.LimitSegments(fl.Segments)
+		startAt := at
+		sender.OnComplete(func(now sim.Time) {
+			res.Completed++
+			res.FCTs = append(res.FCTs, now.Sub(startAt).Seconds())
+		})
+		if err := sender.Start(at); err != nil {
+			return nil, err
+		}
+		res.Started++
+	}
+
+	env.Account.SetStart(warmup)
+	var gen *attack.Generator
+	if cfg.Train != nil && len(cfg.Train.Pulses) > 0 {
+		gen, err = env.Attach(*cfg.Train)
+		if err != nil {
+			return nil, err
+		}
+		if err := gen.Start(warmup); err != nil {
+			return nil, err
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	step := end / runChunks
+	if step <= 0 {
+		step = end
+	}
+	for t := step; ; t += step {
+		if t > end {
+			t = end
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := k.RunUntil(t); err != nil {
+			return nil, err
+		}
+		if t == end {
+			break
+		}
 	}
 	env.StopFlows()
 	if gen != nil {

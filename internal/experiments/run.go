@@ -72,6 +72,24 @@ type RunOptions struct {
 	// to the bottleneck's data traffic (§2.3's "increase in jitter").
 	MeasureJitter bool
 
+	// CaptureSRTT records every victim's smoothed RTT estimate at run end
+	// (RunResult.SRTTs, in env.Flows() order) — the calibration input the
+	// gain sweeps feed back into the analytic model.
+	CaptureSRTT bool
+
+	// CaptureCwnd registers a congestion-window observer on flow CwndFlow
+	// before the run starts; samples land in RunResult.Cwnd. The observer
+	// only appends to the result, so a tapped run's delivery observables are
+	// byte-identical to an untapped one.
+	CaptureCwnd bool
+	CwndFlow    int
+
+	// QueueBin, when positive, samples the bottleneck queue depth every
+	// QueueBin of virtual time across the measurement window. The sampler
+	// events are pure reads: they shift kernel sequence numbers uniformly
+	// and never perturb delivery observables.
+	QueueBin time.Duration
+
 	// Progress, when non-nil, is called after each executed timeline slice
 	// with the completed fraction in (0, 1]. RunCtx slices the run into
 	// runChunks horizons to poll cancellation; the slicing is invisible to
@@ -93,6 +111,21 @@ type RunResult struct {
 	FastRecoveries uint64 // victim fast-recovery episodes (FR state entries)
 	Retransmits    uint64
 	SegmentsSent   uint64
+
+	// Tap captures, populated only when the matching RunOptions ask for them.
+	SRTTs []float64     // per-flow smoothed RTT (s), env.Flows() order
+	Cwnd  []CwndSample  // congestion-window trace of RunOptions.CwndFlow
+	Queue []QueueSample // bottleneck queue-depth samples
+
+	// Mice carries the structured-workload outcome when the run executed the
+	// mice study instead of the long-lived-flow schedule.
+	Mice *MiceResult
+}
+
+// QueueSample is one bottleneck queue-depth reading.
+type QueueSample struct {
+	TimeSec float64
+	Depth   int
 }
 
 // Run executes one scenario on a freshly built environment.
@@ -134,6 +167,32 @@ func RunCtx(ctx context.Context, env Environment, opt RunOptions) (*RunResult, e
 		res.Jitter = trace.NewJitterMeter()
 		res.Jitter.SetStart(warmup)
 		env.Target().AddTap(res.Jitter)
+	}
+	if opt.CaptureCwnd {
+		flows := env.Flows()
+		if opt.CwndFlow < 0 || opt.CwndFlow >= len(flows) {
+			return nil, fmt.Errorf("experiments: cwnd flow %d out of range [0,%d)", opt.CwndFlow, len(flows))
+		}
+		flows[opt.CwndFlow].Observe(func(now sim.Time, cwnd float64) {
+			res.Cwnd = append(res.Cwnd, CwndSample{TimeSec: now.Seconds(), Cwnd: cwnd})
+		})
+	}
+	if opt.QueueBin > 0 {
+		if pe, ok := env.(engineEnv); ok && pe.Engine() != nil {
+			return nil, errors.New("experiments: queue sampling needs a serial environment")
+		}
+		q := env.Target().Queue()
+		for t := warmup; t <= end; t += sim.FromDuration(opt.QueueBin) {
+			if t == 0 {
+				continue
+			}
+			at := t
+			if _, err := k.At(at, func() {
+				res.Queue = append(res.Queue, QueueSample{TimeSec: at.Seconds(), Depth: q.Len()})
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	env.Goodput().SetStart(warmup)
 
@@ -190,6 +249,13 @@ func RunCtx(ctx context.Context, env Environment, opt RunOptions) (*RunResult, e
 
 	res.Delivered = env.Goodput().Total()
 	res.PerFlow = env.Goodput().PerFlow()
+	if opt.CaptureSRTT {
+		flows := env.Flows()
+		res.SRTTs = make([]float64, len(flows))
+		for i, s := range flows {
+			res.SRTTs[i] = s.SRTT()
+		}
+	}
 	for _, s := range env.Flows() {
 		st := s.Stats()
 		res.Timeouts += st.Timeouts

@@ -1,0 +1,136 @@
+package figures
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/scenario"
+)
+
+// The decoders reverse internal/scenario's artifact encodings. Both sides use
+// exact float representations (JSON and strconv shortest round-trip form), so
+// a figure assembled from decoded artifacts is bit-identical to one assembled
+// from the in-memory RunResult.
+
+// artifact fetches one named file from a point's artifact set.
+func artifact(files Artifacts, name string) ([]byte, error) {
+	buf, ok := files[name]
+	if !ok {
+		return nil, fmt.Errorf("figures: artifact %s missing", name)
+	}
+	return buf, nil
+}
+
+// decodeSummary decodes result.json.
+func decodeSummary(files Artifacts) (*scenario.RunSummary, error) {
+	buf, err := artifact(files, scenario.ArtifactResult)
+	if err != nil {
+		return nil, err
+	}
+	var sum scenario.RunSummary
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		return nil, fmt.Errorf("figures: decode %s: %w", scenario.ArtifactResult, err)
+	}
+	return &sum, nil
+}
+
+// decodeSRTT decodes the "srtt" tap's per-flow smoothed-RTT vector.
+func decodeSRTT(files Artifacts) ([]float64, error) {
+	buf, err := artifact(files, scenario.ArtifactSRTT)
+	if err != nil {
+		return nil, err
+	}
+	var srtts []float64
+	if err := json.Unmarshal(buf, &srtts); err != nil {
+		return nil, fmt.Errorf("figures: decode %s: %w", scenario.ArtifactSRTT, err)
+	}
+	return srtts, nil
+}
+
+// decodeSync decodes the "sync" tap's PAA frames and period estimates.
+func decodeSync(files Artifacts) (*scenario.SyncArtifact, error) {
+	buf, err := artifact(files, scenario.ArtifactSync)
+	if err != nil {
+		return nil, err
+	}
+	var art scenario.SyncArtifact
+	if err := json.Unmarshal(buf, &art); err != nil {
+		return nil, fmt.Errorf("figures: decode %s: %w", scenario.ArtifactSync, err)
+	}
+	return &art, nil
+}
+
+// decodeMice decodes the mice workload's FCT summary.
+func decodeMice(files Artifacts) (*scenario.MiceArtifact, error) {
+	buf, err := artifact(files, scenario.ArtifactMice)
+	if err != nil {
+		return nil, err
+	}
+	var art scenario.MiceArtifact
+	if err := json.Unmarshal(buf, &art); err != nil {
+		return nil, fmt.Errorf("figures: decode %s: %w", scenario.ArtifactMice, err)
+	}
+	return &art, nil
+}
+
+// decodeCwnd decodes the "cwnd" tap's trace (timeSec,cwnd rows).
+func decodeCwnd(files Artifacts) ([]experiments.CwndSample, error) {
+	rows, err := csvRows(files, scenario.ArtifactCwnd, "timeSec,cwnd")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]experiments.CwndSample, len(rows))
+	for i, r := range rows {
+		out[i] = experiments.CwndSample{TimeSec: r[0], Cwnd: r[1]}
+	}
+	return out, nil
+}
+
+// decodeRate decodes rate.csv's per-bin byte counts (the binStartSec column
+// is derivable and dropped).
+func decodeRate(files Artifacts) ([]float64, error) {
+	rows, err := csvRows(files, scenario.ArtifactRate, "binStartSec,bytes")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[1]
+	}
+	return out, nil
+}
+
+// csvRows parses a two-column float CSV artifact, checking its header.
+func csvRows(files Artifacts, name, header string) ([][2]float64, error) {
+	buf, err := artifact(files, name)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(buf), "\n")
+	if len(lines) == 0 || lines[0] != header {
+		return nil, fmt.Errorf("figures: %s: want header %q", name, header)
+	}
+	var out [][2]float64
+	for _, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		a, b, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("figures: %s: malformed row %q", name, line)
+		}
+		x, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", name, err)
+		}
+		y, err := strconv.ParseFloat(b, 64)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %s: %w", name, err)
+		}
+		out = append(out, [2]float64{x, y})
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/optimize"
+	"pulsedos/internal/scenario"
+)
+
+// ablationPlan compiles a §5 ablation: one gain curve per topology variant at
+// the shared ablation attack point, with per-arm series selected by the
+// caller (the AQM and packet-size ablations plot measured-only curves).
+func ablationPlan(
+	id, title string,
+	arms []struct {
+		label string
+		top   scenario.Topology
+	},
+	measuredOnly bool,
+	peakNotes bool,
+	trailingNote string,
+) func(experiments.Scale) (*figurePlan, error) {
+	return func(scale experiments.Scale) (*figurePlan, error) {
+		cs := &curveSet{}
+		for _, arm := range arms {
+			c, err := compileGainCurve(id+"/"+arm.label, arm.top, scale,
+				experiments.AblationRate, experiments.AblationExtent, scale.Gammas, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", arm.label, err)
+			}
+			cs.add(arm.label, c)
+		}
+		return &figurePlan{
+			docs: cs.docs,
+			assemble: func(arts [][]Artifacts) (*experiments.FigureResult, error) {
+				res := &experiments.FigureResult{ID: id, Title: title}
+				for i, label := range cs.labels {
+					points, err := cs.points(arts, i)
+					if err != nil {
+						return nil, err
+					}
+					analytic, measured := experiments.GainSeries(label, points)
+					if measuredOnly {
+						res.Series = append(res.Series, measured)
+					} else {
+						res.Series = append(res.Series, analytic, measured)
+					}
+					if peakNotes {
+						peak, err := experiments.PeakPoint(points)
+						if err != nil {
+							return nil, err
+						}
+						note(res, "%s: peak measured gain %.3f at gamma=%.2f",
+							label, peak.MeasuredGain, peak.Gamma)
+					}
+				}
+				if trailingNote != "" {
+					note(res, "%s", trailingNote)
+				}
+				return res, nil
+			},
+		}, nil
+	}
+}
+
+func dumbbell15(mutate func(*scenario.Topology)) scenario.Topology {
+	top := scenario.Topology{Kind: "dumbbell", Flows: 15}
+	if mutate != nil {
+		mutate(&top)
+	}
+	return top
+}
+
+type ablationArm = struct {
+	label string
+	top   scenario.Topology
+}
+
+// aqmPlan compiles the RED vs drop-tail vs Adaptive RED comparison.
+var aqmPlan = ablationPlan("ablation-aqm", "RED vs drop-tail vs Adaptive RED under PDoS",
+	[]ablationArm{
+		{"red", dumbbell15(nil)},
+		{"droptail", dumbbell15(func(t *scenario.Topology) { t.DropTail = true })},
+		{"adaptive-red", dumbbell15(func(t *scenario.Topology) { t.AdaptiveRED = true })},
+	}, true, true, "")
+
+// dackPlan compiles the delayed-ACK ratio comparison (the d in Eq. 1).
+var dackPlan = ablationPlan("ablation-dack", "delayed-ACK ratio d under PDoS",
+	[]ablationArm{
+		{"d=1", dumbbell15(func(t *scenario.Topology) { t.AckEvery = 1 })},
+		{"d=2", dumbbell15(func(t *scenario.Topology) { t.AckEvery = 2 })},
+	}, false, false,
+	"Eq. 1: Wc scales as 1/d, so d=2 victims hold smaller windows and degrade more")
+
+// aimdPlan compiles the AIMD(a,b) variant comparison.
+var aimdPlan = ablationPlan("ablation-aimd", "AIMD(a,b) variants under PDoS",
+	[]ablationArm{
+		{"AIMD(1,0.5)", dumbbell15(func(t *scenario.Topology) {
+			t.AIMDIncreaseA = 1
+			t.AIMDDecreaseB = 0.5
+		})},
+		{"AIMD(0.5,0.875)", dumbbell15(func(t *scenario.Topology) {
+			t.AIMDIncreaseA = 0.5
+			t.AIMDDecreaseB = 0.875
+		})},
+	}, false, false, "")
+
+// pktsizePlan compiles the attack-packet-size comparison under packet-mode
+// RED.
+var pktsizePlan = ablationPlan("ablation-pktsize", "attack packet size vs gain (packet-mode RED)",
+	[]ablationArm{
+		{"pkt=1000B", dumbbell15(func(t *scenario.Topology) { t.AttackPacketBytes = 1000 })},
+		{"pkt=50B", dumbbell15(func(t *scenario.Topology) { t.AttackPacketBytes = 50 })},
+	}, true, true, "")
+
+// defensePlan compiles the §1.1 defense study: per defense, one baseline plus
+// one run per attack archetype, degradation read off the delivery accounts.
+func defensePlan(scale experiments.Scale) (*figurePlan, error) {
+	cfg := experiments.DefaultDefenseStudyConfig()
+	cfg.Warmup = scale.Warmup
+	cfg.Measure = scale.Measure
+	cfg.Seed = scale.Seed
+	defenses := []string{"none", "rto-jitter", "adaptive-red"}
+	attacks := []string{"aimd", "shrew"}
+
+	var docs []scenario.Config
+	for _, defense := range defenses {
+		top := scenario.Topology{Kind: "dumbbell", Flows: cfg.Flows, RTOMinMs: ms(cfg.MinRTO)}
+		switch defense {
+		case "rto-jitter":
+			top.RTOJitter = cfg.RTOJitter
+		case "adaptive-red":
+			top.AdaptiveRED = true
+		}
+		base := scenario.Config{
+			Name:       "ext-defense/" + defense + "/baseline",
+			Topology:   top,
+			WarmupSec:  cfg.Warmup.Seconds(),
+			MeasureSec: cfg.Measure.Seconds(),
+			Seed:       cfg.Seed,
+		}
+		docs = append(docs, base)
+		for _, atk := range attacks {
+			d := base
+			d.Name = "ext-defense/" + defense + "/" + atk
+			switch atk {
+			case "aimd":
+				d.Attack = &scenario.Attack{
+					Kind:     "aimd",
+					RateMbps: cfg.AttackRate / 1e6,
+					ExtentMs: ms(cfg.Extent),
+					PeriodMs: ms(cfg.AIMDPeriod),
+				}
+			case "shrew":
+				// The shrew period resolves at run time from the victims'
+				// RTO floor (minRTO/harmonic), which the topology's rtoMinMs
+				// pins to cfg.MinRTO.
+				d.Attack = &scenario.Attack{
+					Kind:     "shrew",
+					RateMbps: cfg.AttackRate / 1e6,
+					ExtentMs: ms(cfg.Extent),
+					Harmonic: 1,
+				}
+			}
+			docs = append(docs, d)
+		}
+	}
+	return &figurePlan{
+		docs: docs,
+		assemble: func(arts [][]Artifacts) (*experiments.FigureResult, error) {
+			res := &experiments.FigureResult{
+				ID:    "ext-defense",
+				Title: "RTO randomization & Adaptive RED vs both attack archetypes",
+			}
+			byAttack := map[string]*experiments.Series{}
+			for di, defense := range defenses {
+				base, err := decodeSummary(arts[di*3][0])
+				if err != nil {
+					return nil, err
+				}
+				if base.Delivered == 0 {
+					return nil, fmt.Errorf("figures: defense %q baseline delivered nothing", defense)
+				}
+				for ai, atk := range attacks {
+					sum, err := decodeSummary(arts[di*3+1+ai][0])
+					if err != nil {
+						return nil, err
+					}
+					deg := 1 - float64(sum.Delivered)/float64(base.Delivered)
+					if deg < 0 {
+						deg = 0
+					}
+					s, ok := byAttack[atk]
+					if !ok {
+						s = &experiments.Series{Label: atk + " degradation"}
+						byAttack[atk] = s
+					}
+					s.Points = append(s.Points, experiments.Point{X: float64(len(s.Points)), Y: deg})
+					note(res, "%s vs %s: degradation %.3f (TO=%d FR=%d)",
+						defense, atk, deg, sum.Timeouts, sum.FastRecoveries)
+				}
+			}
+			for _, name := range attacks {
+				if s := byAttack[name]; s != nil {
+					res.Series = append(res.Series, *s)
+				}
+			}
+			return res, nil
+		},
+	}, nil
+}
+
+// micePlan compiles the mice-vs-elephants FCT study: a baseline and an
+// attacked run of the structured workload, compared by completion times.
+func micePlan(scale experiments.Scale) (*figurePlan, error) {
+	cfg := experiments.DefaultMiceConfig()
+	cfg.Warmup = scale.Warmup
+	cfg.Measure = scale.Measure
+	cfg.Seed = scale.Seed
+	base := scenario.Config{
+		Name:     "ext-mice/baseline",
+		Topology: scenario.Topology{Kind: "dumbbell", Flows: cfg.Elephants + cfg.Mice},
+		Workload: &scenario.Workload{
+			Kind:           "mice",
+			Elephants:      cfg.Elephants,
+			Mice:           cfg.Mice,
+			MiceSegments:   cfg.MiceSegments,
+			ArrivalSpanSec: cfg.ArrivalSpan.Seconds(),
+		},
+		WarmupSec:  cfg.Warmup.Seconds(),
+		MeasureSec: cfg.Measure.Seconds(),
+		Seed:       cfg.Seed,
+	}
+	attacked := base
+	attacked.Name = "ext-mice/attacked"
+	attacked.Attack = &scenario.Attack{
+		Kind:     "aimd",
+		RateMbps: experiments.MiceAttackRate / 1e6,
+		ExtentMs: ms(experiments.MiceAttackExtent),
+		PeriodMs: ms(experiments.MiceAttackPeriod),
+	}
+	return &figurePlan{
+		docs: []scenario.Config{base, attacked},
+		assemble: func(arts [][]Artifacts) (*experiments.FigureResult, error) {
+			baseRes, err := decodeMice(arts[0][0])
+			if err != nil {
+				return nil, err
+			}
+			atkRes, err := decodeMice(arts[1][0])
+			if err != nil {
+				return nil, err
+			}
+			res := &experiments.FigureResult{ID: "ext-mice", Title: "short-flow completion times under PDoS"}
+			res.Series = append(res.Series,
+				experiments.Series{Label: "baseline FCT (s)", Points: fctPoints(baseRes.FCTs)},
+				experiments.Series{Label: "attacked FCT (s)", Points: fctPoints(atkRes.FCTs)})
+			note(res, "baseline: %d/%d completed, mean FCT %.2fs, p95 %.2fs",
+				baseRes.Completed, baseRes.Started, baseRes.MeanFCT, baseRes.P95FCT)
+			note(res, "attacked: %d/%d completed, mean FCT %.2fs, p95 %.2fs",
+				atkRes.Completed, atkRes.Started, atkRes.MeanFCT, atkRes.P95FCT)
+			return res, nil
+		},
+	}, nil
+}
+
+// fctPoints renders completion times as an indexed series.
+func fctPoints(fcts []float64) []experiments.Point {
+	out := make([]experiments.Point, len(fcts))
+	for i, f := range fcts {
+		out[i] = experiments.Point{X: float64(i), Y: f}
+	}
+	return out
+}
+
+// maximizationPlan compiles the §4.1.2 comparison: per attack setting, the
+// analytic γ* (Proposition 3 on the sweep's implied C_Ψ) against the measured
+// gain peak.
+func maximizationPlan(scale experiments.Scale) (*figurePlan, error) {
+	cfg := experiments.DefaultMaximizationStudyConfig()
+	cfg.Gammas = scale.Gammas
+	cfg.Warmup = scale.Warmup
+	cfg.Measure = scale.Measure
+	cfg.Seed = scale.Seed
+	if len(cfg.Gammas) < 3 {
+		return nil, errors.New("figures: maximization study needs a real gamma grid")
+	}
+	gridStep := 1.0
+	for i := 1; i < len(cfg.Gammas); i++ {
+		if step := cfg.Gammas[i] - cfg.Gammas[i-1]; step > 0 && step < gridStep {
+			gridStep = step
+		}
+	}
+	cs := &curveSet{}
+	for _, st := range cfg.Settings {
+		label := fmt.Sprintf("R=%.0fM Textent=%dms", st.Rate/1e6, st.Extent.Milliseconds())
+		name := fmt.Sprintf("ext-maximization/rate=%.0fM/extent=%dms", st.Rate/1e6, st.Extent.Milliseconds())
+		c, err := compileGainCurve(name,
+			scenario.Topology{Kind: "dumbbell", Flows: cfg.Flows},
+			scale, st.Rate, st.Extent, cfg.Gammas, cfg.Kappa)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		cs.add(label, c)
+	}
+	return &figurePlan{
+		docs: cs.docs,
+		assemble: func(arts [][]Artifacts) (*experiments.FigureResult, error) {
+			res := &experiments.FigureResult{
+				ID:    "ext-maximization",
+				Title: "analytic gamma* vs measured gain peak (§4.1.2)",
+			}
+			s := experiments.Series{Label: "measured peak vs analytic gamma*"}
+			for i, label := range cs.labels {
+				points, err := cs.points(arts, i)
+				if err != nil {
+					return nil, err
+				}
+				if len(points) == 0 {
+					continue
+				}
+				peak, err := experiments.PeakPoint(points)
+				if err != nil {
+					return nil, err
+				}
+				cPsi := experiments.ImpliedCPsi(points)
+				gammaStar := math.NaN()
+				analyticPeak := 0.0
+				if g, err := optimize.OptimalGamma(cPsi, cfg.Kappa); err == nil {
+					gammaStar = g
+					for _, p := range points {
+						if p.AnalyticGain > analyticPeak {
+							analyticPeak = p.AnalyticGain
+						}
+					}
+				}
+				s.Points = append(s.Points, experiments.Point{X: gammaStar, Y: peak.Gamma})
+				note(res, "%s: gamma*=%.3f measured-peak=%.2f (±%.2f grid) gains %.3f/%.3f class=%s",
+					label, gammaStar, peak.Gamma, gridStep,
+					analyticPeak, peak.MeasuredGain, experiments.ClassifyGain(points, 0.05))
+			}
+			res.Series = append(res.Series, s)
+			return res, nil
+		},
+	}, nil
+}

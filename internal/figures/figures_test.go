@@ -1,0 +1,187 @@
+package figures_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"pulsedos/internal/experiments"
+	"pulsedos/internal/figures"
+	"pulsedos/internal/runcache"
+)
+
+// equivalenceScale shrinks every dimension so the full legacy-vs-scenario
+// comparison stays fast enough for -race CI runs. Three gammas keep the
+// maximization study's grid guard satisfied.
+func equivalenceScale() experiments.Scale {
+	return experiments.Scale{
+		Warmup:       2 * time.Second,
+		Measure:      3 * time.Second,
+		SyncDuration: 4 * time.Second,
+		Gammas:       []float64{0.3, 0.5, 0.8},
+		FlowCounts:   []int{4},
+		ScaleFlows:   []int{50},
+		Seed:         1,
+		Parallel:     runtime.NumCPU(),
+	}
+}
+
+// legacyJobs indexes the legacy drivers by figure ID.
+func legacyJobs(t *testing.T) map[string]func(experiments.Scale) (*experiments.FigureResult, error) {
+	t.Helper()
+	out := map[string]func(experiments.Scale) (*experiments.FigureResult, error){}
+	for _, job := range append(experiments.PaperFigures(), experiments.ExtendedFigures()...) {
+		out[job.ID] = job.Build
+	}
+	return out
+}
+
+// TestFigureEquivalence is the migration contract: every figure regenerated
+// through the scenario-native pipeline — documents, cached artifacts, decode,
+// assemble — must equal the legacy driver's FigureResult byte for byte. The
+// comparison uses %#v, whose shortest-round-trip float formatting makes it
+// exact (and NaN-safe, unlike JSON: the maximization figure's AnalyticGammaStar
+// is NaN when no analytic optimum exists).
+func TestFigureEquivalence(t *testing.T) {
+	scale := equivalenceScale()
+	legacy := legacyJobs(t)
+	store, err := runcache.Open(t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := figures.Options{Cache: store, Parallel: scale.Parallel}
+	for _, id := range figures.IDs() {
+		if id == "scale" {
+			// The scaling sweep delegates to the same ScaleFigure on both
+			// sides (its observables include wall-clock timings a document
+			// cannot cache); running it twice here proves nothing.
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			build, ok := legacy[id]
+			if !ok {
+				t.Fatalf("no legacy driver for %s", id)
+			}
+			want, err := build(scale)
+			if err != nil {
+				t.Fatalf("legacy %s: %v", id, err)
+			}
+			got, err := figures.Run(context.Background(), id, scale, opt)
+			if err != nil {
+				t.Fatalf("figures.Run(%s): %v", id, err)
+			}
+			a, b := fmt.Sprintf("%#v", want), fmt.Sprintf("%#v", got)
+			if a != b {
+				t.Errorf("figure %s diverged from legacy driver\nlegacy: %s\nnew:    %s", id, a, b)
+			}
+		})
+	}
+}
+
+// TestAllFiguresWarmCache asserts the pipeline's replay property: a second
+// AllFigures pass at the same scale computes nothing — every expanded point
+// is served from the content-addressed cache.
+func TestAllFiguresWarmCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickScale figure sweep in -short mode")
+	}
+	store, err := runcache.Open(t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := experiments.QuickScale()
+	scale.Parallel = runtime.NumCPU()
+	opt := figures.Options{Cache: store, Parallel: scale.Parallel}
+
+	cold, err := figures.AllFigures(context.Background(), scale, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldStats := store.Stats()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold run computed nothing — cache keys are not reaching the store")
+	}
+
+	warm, err := figures.AllFigures(context.Background(), scale, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmStats := store.Stats()
+	if d := warmStats.Misses - coldStats.Misses; d != 0 {
+		t.Errorf("warm run recomputed %d points; want 0", d)
+	}
+	lookups := (warmStats.Hits - coldStats.Hits) + (warmStats.Misses - coldStats.Misses)
+	if lookups == 0 {
+		t.Fatal("warm run performed no cache lookups")
+	}
+	if hitFrac := float64(warmStats.Hits-coldStats.Hits) / float64(lookups); hitFrac < 0.9 {
+		t.Errorf("warm run hit fraction %.2f; want >= 0.90", hitFrac)
+	}
+
+	if len(cold) != len(warm) {
+		t.Fatalf("cold run produced %d figures, warm %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if a, b := fmt.Sprintf("%#v", cold[i]), fmt.Sprintf("%#v", warm[i]); a != b {
+			t.Errorf("figure %s: warm replay diverged from cold run", cold[i].ID)
+		}
+	}
+}
+
+// TestDocumentsAreSelfContained: every compiled document must validate and
+// expand on its own — the property that lets a figure be shipped to
+// pdos-serve's batch endpoint without the figures package on the other side.
+func TestDocumentsAreSelfContained(t *testing.T) {
+	scale := equivalenceScale()
+	for _, id := range figures.IDs() {
+		docs, err := figures.Documents(id, scale)
+		if err != nil {
+			t.Fatalf("Documents(%s): %v", id, err)
+		}
+		for _, d := range docs {
+			if d.Name == "" {
+				t.Errorf("%s: document without a name", id)
+			}
+			pts, err := d.Expand()
+			if err != nil {
+				t.Errorf("%s: document %s does not expand: %v", id, d.Name, err)
+				continue
+			}
+			for _, pt := range pts {
+				if err := pt.Validate(); err != nil {
+					t.Errorf("%s: expanded point %s invalid: %v", id, pt.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRequiresSeed pins the seed-zero guard: the legacy drivers stamp
+// Scale.Seed into every topology unconditionally, while a scenario document
+// treats seed 0 as "kind default" — so a zero seed cannot be represented
+// equivalently and must be rejected.
+func TestRunRequiresSeed(t *testing.T) {
+	scale := equivalenceScale()
+	scale.Seed = 0
+	if _, err := figures.Run(context.Background(), "fig2", scale, figures.Options{}); err == nil {
+		t.Fatal("Run with zero seed succeeded; want error")
+	}
+	// Analytic figures run no simulation and need no seed.
+	if _, err := figures.Run(context.Background(), "fig4", scale, figures.Options{}); err != nil {
+		t.Fatalf("analytic figure rejected zero seed: %v", err)
+	}
+}
+
+// TestUnknownFigure pins the lookup error.
+func TestUnknownFigure(t *testing.T) {
+	_, err := figures.Run(context.Background(), "fig99", equivalenceScale(), figures.Options{})
+	if err == nil {
+		t.Fatal("unknown figure succeeded")
+	}
+	if want := `figures: unknown figure "fig99"`; err.Error() != want {
+		t.Fatalf("error %q; want %q", err, want)
+	}
+}

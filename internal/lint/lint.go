@@ -143,6 +143,10 @@ func Default() Config {
 			// everything they persist or serve must stay deterministic.
 			"pulsedos/internal/runcache",
 			"pulsedos/internal/serve",
+			// figures compiles documents and assembles cached artifacts into
+			// figure output; a map-order iteration or wall-clock read there
+			// would break the legacy-vs-scenario byte-identity contract.
+			"pulsedos/internal/figures",
 		},
 		KernelPkg: "pulsedos/internal/sim",
 		FloatPkgs: []string{

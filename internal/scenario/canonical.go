@@ -29,14 +29,19 @@ const canonicalVersion = 1
 // Topology.Workers (the sharded engine is proven byte-identical to the
 // serial kernel at any worker count, so a sweep re-run with more cores must
 // hit the same cache entries).
+// The measure and workload blocks are omitempty pointers: documents that
+// predate them canonicalize to the exact bytes they always did, which is what
+// keeps every pre-extension scenario.Key (and so every cache entry) stable.
 type canonicalDoc struct {
-	Canon      int              `json:"canon"`
-	Graph      topo.Graph       `json:"graph"`
-	Attack     *canonicalAttack `json:"attack,omitempty"`
-	WarmupSec  float64          `json:"warmupSec"`
-	MeasureSec float64          `json:"measureSec"`
-	RateBinMs  float64          `json:"rateBinMs"`
-	Jitter     bool             `json:"measureJitter"`
+	Canon      int                `json:"canon"`
+	Graph      topo.Graph         `json:"graph"`
+	Attack     *canonicalAttack   `json:"attack,omitempty"`
+	Workload   *canonicalWorkload `json:"workload,omitempty"`
+	Measure    *canonicalMeasure  `json:"measure,omitempty"`
+	WarmupSec  float64            `json:"warmupSec"`
+	MeasureSec float64            `json:"measureSec"`
+	RateBinMs  float64            `json:"rateBinMs"`
+	Jitter     bool               `json:"measureJitter"`
 }
 
 // canonicalAttack is the normalized attack: defaults materialized, fields
@@ -97,6 +102,8 @@ func (c Config) Canonical() ([]byte, error) {
 	doc := canonicalDoc{
 		Canon:      canonicalVersion,
 		Graph:      g,
+		Workload:   c.canonicalizeWorkload(),
+		Measure:    c.canonicalizeMeasure(),
 		WarmupSec:  c.WarmupSec,
 		MeasureSec: c.MeasureSec,
 		RateBinMs:  c.RateBinMs,

@@ -15,6 +15,7 @@ import (
 // the change that legitimately moved them.
 var shippedKeys = map[string]string{
 	"cross-traffic.json":     "057b0efe7991e38f8f2d08684c68231cce1ba4e6c68c3af0db3c8535b953b889",
+	"fig6-gain-sweep.json":   "c2e0575b5a75f333d0b2d4f0e311b285836b115e471e3460d8ce26c081a92acd",
 	"defended-jittered.json": "bf35dc196ad02045e2ceac9372caa3d4378c08460aa41d5b4c5226f351259dc1",
 	"fig8-style.json":        "d6c5203ee24c56cff2028953df80905f426e85b3c7ca7141db08f78694bd987a",
 	"flood-baseline.json":    "7ab920ac54e932aca0e81ffa266dabcb626e72c44e0d4e6883ef7571755592c6",
@@ -68,14 +69,24 @@ func TestShippedScenariosAreValid(t *testing.T) {
 			case key != want:
 				t.Errorf("canonical key drifted:\n got %s\nwant %s\n(cache entries keyed under the old hash are now unreachable)", key, want)
 			}
-			env, err := cfg.Build()
+			// A sweep carrier is not runnable itself; expand it and exercise
+			// its first point. Plain documents expand to themselves.
+			points, err := cfg.Expand()
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			if cfg.Sweeps() && len(points) < 2 {
+				t.Fatalf("sweep carrier expanded to %d points", len(points))
+			}
+			run := points[0]
+			env, err := run.Build()
 			if err != nil {
 				t.Fatal(err)
 			}
 			if cl, ok := env.(interface{ Close() }); ok {
 				defer cl.Close()
 			}
-			if _, err := cfg.Train(env); err != nil {
+			if _, err := run.Train(env); err != nil {
 				t.Fatal(err)
 			}
 			if testing.Short() {
@@ -83,16 +94,16 @@ func TestShippedScenariosAreValid(t *testing.T) {
 			}
 			// Smoke-run the scenario on compressed windows: the same topology
 			// and attack shape, 2 virtual seconds of measurement.
-			cfg.WarmupSec = 1
-			cfg.MeasureSec = 2
-			res, err := cfg.Run()
+			run.WarmupSec = 1
+			run.MeasureSec = 2
+			res, err := run.Run()
 			if err != nil {
 				t.Fatalf("smoke run: %v", err)
 			}
 			if res.Delivered == 0 {
 				t.Error("smoke run delivered no victim bytes")
 			}
-			if cfg.Attack != nil && res.AttackStats.PacketsSent == 0 {
+			if run.Attack != nil && res.AttackStats.PacketsSent == 0 {
 				t.Error("smoke run: attack never fired")
 			}
 		})

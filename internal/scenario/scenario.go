@@ -72,6 +72,18 @@ type Topology struct {
 	AckEvery        int     `json:"ackEvery,omitempty"`
 	RTOJitter       float64 `json:"rtoJitter,omitempty"`
 	LimitedTransmit bool    `json:"limitedTransmit,omitempty"`
+
+	// AIMD parameter overrides (zero = default: a=1, b=0.5).
+	AIMDIncreaseA float64 `json:"aimdIncreaseA,omitempty"`
+	AIMDDecreaseB float64 `json:"aimdDecreaseB,omitempty"`
+
+	// RTT band overrides in ms (zero = default); dumbbell only.
+	RTTMinMs float64 `json:"rttMinMs,omitempty"`
+	RTTMaxMs float64 `json:"rttMaxMs,omitempty"`
+
+	// AttackPacketBytes overrides the attack packet wire size (0 = 1000 B);
+	// ignored by "graph".
+	AttackPacketBytes int `json:"attackPacketBytes,omitempty"`
 }
 
 // GraphSpec is the JSON shape of a declarative topo.Graph: routers by name,
@@ -143,9 +155,11 @@ type Attack struct {
 
 // Config is a complete scenario.
 type Config struct {
-	Name     string   `json:"name"`
-	Topology Topology `json:"topology"`
-	Attack   *Attack  `json:"attack,omitempty"`
+	Name     string    `json:"name"`
+	Topology Topology  `json:"topology"`
+	Attack   *Attack   `json:"attack,omitempty"`
+	Workload *Workload `json:"workload,omitempty"`
+	Measure  *Measure  `json:"measure,omitempty"`
 
 	WarmupSec  float64 `json:"warmupSec"`
 	MeasureSec float64 `json:"measureSec"`
@@ -199,6 +213,28 @@ func (c Config) Validate() error {
 	if c.WarmupSec < 0 {
 		return errors.New("scenario: negative warmupSec")
 	}
+	if c.Topology.Kind != "dumbbell" && (c.Topology.RTTMinMs > 0 || c.Topology.RTTMaxMs > 0) {
+		return errors.New("scenario: rttMinMs/rttMaxMs apply to the dumbbell only")
+	}
+	if c.Topology.RTTMinMs < 0 || c.Topology.RTTMaxMs < 0 {
+		return errors.New("scenario: negative RTT override")
+	}
+	if c.Topology.RTTMinMs > 0 && c.Topology.RTTMaxMs > 0 && c.Topology.RTTMaxMs < c.Topology.RTTMinMs {
+		return errors.New("scenario: rttMaxMs below rttMinMs")
+	}
+	if c.Topology.AIMDIncreaseA < 0 || c.Topology.AIMDDecreaseB < 0 || c.Topology.AIMDDecreaseB >= 1 {
+		return errors.New("scenario: aimdIncreaseA must be >= 0 and aimdDecreaseB in [0,1)")
+	}
+	if c.Topology.AttackPacketBytes < 0 {
+		return errors.New("scenario: negative attackPacketBytes")
+	}
+	// A sweep may own the axis the attack would otherwise be required to
+	// set: the carrier document leaves the swept field zero and Expand
+	// substitutes it per point.
+	sweepAxis := ""
+	if c.Sweeps() {
+		sweepAxis = c.Measure.Sweep.Axis
+	}
 	if c.Attack != nil {
 		a := c.Attack
 		switch a.Kind {
@@ -206,7 +242,7 @@ func (c Config) Validate() error {
 			if a.ExtentMs <= 0 {
 				return fmt.Errorf("scenario: %s attack needs extentMs", a.Kind)
 			}
-			if a.Gamma == 0 && a.PeriodMs == 0 {
+			if a.Gamma == 0 && a.PeriodMs == 0 && sweepAxis != "gamma" {
 				return fmt.Errorf("scenario: %s attack needs gamma or periodMs", a.Kind)
 			}
 			if a.Gamma != 0 && a.PeriodMs != 0 {
@@ -225,14 +261,20 @@ func (c Config) Validate() error {
 		default:
 			return fmt.Errorf("scenario: attack kind %q", a.Kind)
 		}
-		if a.RateMbps <= 0 {
+		if a.RateMbps <= 0 && sweepAxis != "attackRateMbps" {
+			return errors.New("scenario: attack needs rateMbps")
+		}
+		if a.RateMbps < 0 {
 			return errors.New("scenario: attack needs rateMbps")
 		}
 		if a.Kind == "jittered" && (a.JitterFrac <= 0 || a.JitterFrac > 1) {
 			return errors.New("scenario: jittered attack needs jitterFrac in (0,1]")
 		}
 	}
-	return nil
+	if err := c.validateWorkload(); err != nil {
+		return err
+	}
+	return c.validateMeasure()
 }
 
 // Build wires the environment the scenario describes: every kind resolves to
@@ -267,7 +309,16 @@ func (c Config) Graph() (topo.Graph, error) {
 		}
 		dc.DropTail = top.DropTail
 		dc.AdaptiveRED = top.AdaptiveRED
-		applyTCP(&dc.TCP.RTOMin, &dc.TCP.AckEvery, &dc.TCP.RTOJitter, &dc.TCP.LimitedTransmit, top)
+		if top.RTTMinMs > 0 {
+			dc.RTTMin = time.Duration(top.RTTMinMs * float64(time.Millisecond))
+		}
+		if top.RTTMaxMs > 0 {
+			dc.RTTMax = time.Duration(top.RTTMaxMs * float64(time.Millisecond))
+		}
+		if top.AttackPacketBytes > 0 {
+			dc.AttackPacketSize = top.AttackPacketBytes
+		}
+		applyTCP(&dc.TCP, top)
 		return topo.Dumbbell(dc), nil
 	case "testbed":
 		if flows == 0 {
@@ -284,7 +335,10 @@ func (c Config) Graph() (topo.Graph, error) {
 			tc.QueueLen = top.QueuePackets
 		}
 		tc.DropTail = top.DropTail
-		applyTCP(&tc.TCP.RTOMin, &tc.TCP.AckEvery, &tc.TCP.RTOJitter, &tc.TCP.LimitedTransmit, top)
+		if top.AttackPacketBytes > 0 {
+			tc.AttackPacketSize = top.AttackPacketBytes
+		}
+		applyTCP(&tc.TCP, top)
 		return topo.Testbed(tc), nil
 	case "parkinglot":
 		pc := topo.DefaultParkingLotConfig()
@@ -307,7 +361,10 @@ func (c Config) Graph() (topo.Graph, error) {
 			pc.QueueLimit = top.QueuePackets
 		}
 		pc.DropTail = top.DropTail
-		applyTCP(&pc.TCP.RTOMin, &pc.TCP.AckEvery, &pc.TCP.RTOJitter, &pc.TCP.LimitedTransmit, top)
+		if top.AttackPacketBytes > 0 {
+			pc.AttackPacketSize = top.AttackPacketBytes
+		}
+		applyTCP(&pc.TCP, top)
 		return topo.ParkingLot(pc), nil
 	case "graph":
 		if top.Graph == nil {
@@ -335,7 +392,7 @@ func (c Config) declaredGraph() (topo.Graph, error) {
 	if c.Seed != 0 {
 		g.Seed = c.Seed
 	}
-	applyTCP(&g.TCP.RTOMin, &g.TCP.AckEvery, &g.TCP.RTOJitter, &g.TCP.LimitedTransmit, c.Topology)
+	applyTCP(&g.TCP, c.Topology)
 	for i, t := range spec.Trunks {
 		kind := topo.QueueRED
 		switch {
@@ -385,19 +442,25 @@ func (c Config) declaredGraph() (topo.Graph, error) {
 	return g, nil
 }
 
-// applyTCP folds the TCP overrides into a config's fields.
-func applyTCP(rtoMin *time.Duration, ackEvery *int, rtoJitter *float64, limited *bool, top Topology) {
+// applyTCP folds the TCP overrides into a config.
+func applyTCP(cfg *tcp.Config, top Topology) {
 	if top.RTOMinMs > 0 {
-		*rtoMin = time.Duration(top.RTOMinMs * float64(time.Millisecond))
+		cfg.RTOMin = time.Duration(top.RTOMinMs * float64(time.Millisecond))
 	}
 	if top.AckEvery > 0 {
-		*ackEvery = top.AckEvery
+		cfg.AckEvery = top.AckEvery
 	}
 	if top.RTOJitter > 0 {
-		*rtoJitter = top.RTOJitter
+		cfg.RTOJitter = top.RTOJitter
 	}
 	if top.LimitedTransmit {
-		*limited = true
+		cfg.LimitedTransmit = true
+	}
+	if top.AIMDIncreaseA > 0 {
+		cfg.IncreaseA = top.AIMDIncreaseA
+	}
+	if top.AIMDDecreaseB > 0 {
+		cfg.DecreaseB = top.AIMDDecreaseB
 	}
 }
 
@@ -478,6 +541,9 @@ func (c Config) RunContext(ctx context.Context, progress func(frac float64)) (*e
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if c.Sweeps() {
+		return nil, errors.New("scenario: sweep document must be expanded (Expand) before running")
+	}
 	env, err := c.Build()
 	if err != nil {
 		return nil, err
@@ -489,6 +555,9 @@ func (c Config) RunContext(ctx context.Context, progress func(frac float64)) (*e
 	if err != nil {
 		return nil, err
 	}
+	if c.Workload != nil {
+		return c.runWorkload(ctx, env, train)
+	}
 	opt := experiments.RunOptions{
 		Warmup:        time.Duration(c.WarmupSec * float64(time.Second)),
 		Measure:       time.Duration(c.MeasureSec * float64(time.Second)),
@@ -499,5 +568,47 @@ func (c Config) RunContext(ctx context.Context, progress func(frac float64)) (*e
 	if c.RateBinMs > 0 {
 		opt.RateBin = time.Duration(c.RateBinMs * float64(time.Millisecond))
 	}
+	if m := c.Measure; m != nil {
+		opt.CaptureSRTT = m.HasTap("srtt")
+		if m.HasTap("cwnd") {
+			opt.CaptureCwnd = true
+			opt.CwndFlow = m.CwndFlow
+		}
+		if m.HasTap("queue") {
+			opt.QueueBin = time.Duration(m.queueBinMs() * float64(time.Millisecond))
+		}
+	}
 	return experiments.RunCtx(ctx, env, opt)
+}
+
+// runWorkload executes the structured-workload branch: the mice study runs
+// its own flow schedule (Poisson short-flow arrivals over elephants), so it
+// bypasses RunCtx's start/stop choreography.
+func (c Config) runWorkload(ctx context.Context, env experiments.Environment, train *attack.Train) (*experiments.RunResult, error) {
+	denv, ok := env.(*experiments.Dumbbell)
+	if !ok {
+		return nil, errors.New("scenario: mice workload needs a serial dumbbell environment")
+	}
+	g, err := c.Graph()
+	if err != nil {
+		return nil, err
+	}
+	w := c.Workload
+	mice, err := experiments.RunMiceCtx(ctx, denv, experiments.MiceRunConfig{
+		Elephants:    w.Elephants,
+		Mice:         w.Mice,
+		MiceSegments: w.MiceSegments,
+		ArrivalSpan:  time.Duration(w.ArrivalSpanSec * float64(time.Second)),
+		Warmup:       time.Duration(c.WarmupSec * float64(time.Second)),
+		Measure:      time.Duration(c.MeasureSec * float64(time.Second)),
+		Train:        train,
+		StartSpread:  g.StartSpread,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.RunResult{
+		Delivered: denv.Account.Total(),
+		Mice:      mice,
+	}, nil
 }

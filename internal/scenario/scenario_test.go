@@ -130,6 +130,29 @@ func TestLoadErrorPaths(t *testing.T) {
 			"attack": {"kind": "jittered", "rateMbps": 10, "extentMs": 50, "gamma": 0.5}}`, "jitterFrac"},
 		{"jitterFrac above one", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
 			"attack": {"kind": "jittered", "rateMbps": 10, "extentMs": 50, "gamma": 0.5, "jitterFrac": 1.5}}`, "jitterFrac"},
+		{"unknown measure tap", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"measure": {"taps": ["goodput", "throughput"]}}`, `measure tap "throughput"`},
+		{"repeated measure tap", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"measure": {"taps": ["srtt", "srtt"]}}`, `tap "srtt" repeated`},
+		{"sweep without axis", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"measure": {"sweep": {"values": [0.5]}}}`, "needs an axis"},
+		{"unknown sweep axis", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"measure": {"sweep": {"axis": "queueDepth", "values": [10]}}}`, `sweep axis "queueDepth"`},
+		{"sweep axis without values", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50},
+			"measure": {"sweep": {"axis": "gamma", "values": []}}}`, `axis "gamma" has no values`},
+		{"flows sweep on graph topology", `{"topology": {"kind": "graph", "graph": {
+			"routers": ["A", "B"],
+			"trunks": [{"from": 0, "to": 1, "rateMbps": 10, "delayMs": 5, "queuePackets": 100}],
+			"groups": [{"flows": 2, "ingress": 0, "egress": 1, "accessRateMbps": 100}],
+			"sink": 1}}, "measureSec": 3,
+			"measure": {"sweep": {"axis": "flows", "values": [2, 4]}}}`, "no flows field to sweep"},
+		{"gamma sweep conflicts with fixed gamma", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50, "gamma": 0.5},
+			"measure": {"sweep": {"axis": "gamma", "values": [0.3, 0.6]}}}`, "leave both zero"},
+		{"gamma sweep value out of range", `{"topology": {"kind": "dumbbell"}, "measureSec": 3,
+			"attack": {"kind": "aimd", "rateMbps": 10, "extentMs": 50},
+			"measure": {"sweep": {"axis": "gamma", "values": [0.5, 1.2]}}}`, "outside (0,1)"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

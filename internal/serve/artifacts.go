@@ -1,123 +1,26 @@
 package serve
 
 import (
-	"context"
-	"encoding/json"
-	"fmt"
-	"strconv"
-	"strings"
-
-	"pulsedos/internal/experiments"
 	"pulsedos/internal/scenario"
 )
 
-// Artifact names every run produces. The set is part of the cache contract:
-// runcache entries written under one engine version hold exactly these files
-// (rate.csv only when the scenario requests a rate series), and BENCH_5's
-// byte-identity check compares them file by file.
+// The artifact layer moved to internal/scenario so the figure pipeline can
+// encode and decode run artifacts without importing the server. These
+// aliases keep the serve-side names (and every caller) stable; the encoding
+// itself is byte-identical to what this package produced before the move.
 const (
 	// ArtifactResult is the deterministic JSON summary of a run.
-	ArtifactResult = "result.json"
+	ArtifactResult = scenario.ArtifactResult
 	// ArtifactRate is the binned bottleneck traffic series, when measured.
-	ArtifactRate = "rate.csv"
+	ArtifactRate = scenario.ArtifactRate
 )
 
-// RunSummary is the JSON shape of result.json. Field order is fixed by this
-// declaration and map keys are sorted by encoding/json, so encoding the same
-// RunResult always yields byte-identical artifacts — the property the
-// content-addressed cache stores under.
-type RunSummary struct {
-	Name          string         `json:"name,omitempty"`
-	EngineVersion string         `json:"engineVersion"`
-	Delivered     uint64         `json:"delivered"`
-	PerFlow       map[int]uint64 `json:"perFlow,omitempty"`
+// RunSummary is the JSON shape of result.json.
+type RunSummary = scenario.RunSummary
 
-	DropsTotal   uint64            `json:"dropsTotal"`
-	DropsByClass map[string]uint64 `json:"dropsByClass,omitempty"`
+// EncodeResult renders a run's outcome as the cacheable artifact set.
+var EncodeResult = scenario.EncodeResult
 
-	Timeouts       uint64 `json:"timeouts"`
-	FastRecoveries uint64 `json:"fastRecoveries"`
-	Retransmits    uint64 `json:"retransmits"`
-	SegmentsSent   uint64 `json:"segmentsSent"`
-
-	AttackPulses  int    `json:"attackPulses,omitempty"`
-	AttackPackets uint64 `json:"attackPackets,omitempty"`
-	AttackBytes   uint64 `json:"attackBytes,omitempty"`
-
-	JitterMeanSec *float64 `json:"jitterMeanSec,omitempty"`
-	RateBinSec    float64  `json:"rateBinSec,omitempty"`
-	RateBins      int      `json:"rateBins,omitempty"`
-}
-
-// EncodeResult renders a run's outcome as the cacheable artifact set:
-// result.json always, rate.csv when the scenario collected a rate series.
-// The encoding is deterministic — same result, same bytes.
-func EncodeResult(cfg scenario.Config, res *experiments.RunResult) (map[string][]byte, error) {
-	sum := RunSummary{
-		Name:           cfg.Name,
-		EngineVersion:  experiments.EngineVersion,
-		Delivered:      res.Delivered,
-		PerFlow:        res.PerFlow,
-		Timeouts:       res.Timeouts,
-		FastRecoveries: res.FastRecoveries,
-		Retransmits:    res.Retransmits,
-		SegmentsSent:   res.SegmentsSent,
-		AttackPulses:   res.AttackStats.PulsesSent,
-		AttackPackets:  res.AttackStats.PacketsSent,
-		AttackBytes:    res.AttackStats.BytesSent,
-	}
-	if res.Drops != nil {
-		sum.DropsTotal = res.Drops.Total
-		if len(res.Drops.ByClass) > 0 {
-			sum.DropsByClass = make(map[string]uint64, len(res.Drops.ByClass))
-			for c, n := range res.Drops.ByClass { //pdos:nondeterministic-ok — keys land in a JSON map, which encoding/json sorts
-				sum.DropsByClass[c.String()] = n
-			}
-		}
-	}
-	if res.Jitter != nil {
-		mean := res.Jitter.Mean()
-		sum.JitterMeanSec = &mean
-	}
-	if res.Rate != nil {
-		sum.RateBinSec = res.Rate.BinWidth().Seconds()
-		sum.RateBins = len(res.Rate.Bytes())
-	}
-	raw, err := json.MarshalIndent(sum, "", "  ")
-	if err != nil {
-		return nil, fmt.Errorf("serve: encode result: %w", err)
-	}
-	files := map[string][]byte{ArtifactResult: append(raw, '\n')}
-	if res.Rate != nil {
-		files[ArtifactRate] = encodeRateCSV(res)
-	}
-	return files, nil
-}
-
-// encodeRateCSV renders the binned traffic series with full float precision,
-// one row per bin: the bin's start offset (seconds past the measurement
-// start) and the bytes that arrived in it.
-func encodeRateCSV(res *experiments.RunResult) []byte {
-	var b strings.Builder
-	b.WriteString("binStartSec,bytes\n")
-	width := res.Rate.BinWidth().Seconds()
-	for i, bytes := range res.Rate.Bytes() {
-		b.WriteString(strconv.FormatFloat(float64(i)*width, 'g', -1, 64))
-		b.WriteByte(',')
-		b.WriteString(strconv.FormatFloat(bytes, 'g', -1, 64))
-		b.WriteByte('\n')
-	}
-	return []byte(b.String())
-}
-
-// ComputeArtifacts executes the scenario under ctx and encodes its artifacts.
-// This is the compute function pdos-serve memoizes through runcache, exported
-// so benchmarks can recompute outside the cache and assert byte-identity
-// against cached entries.
-func ComputeArtifacts(ctx context.Context, cfg scenario.Config, progress func(frac float64)) (map[string][]byte, error) {
-	res, err := cfg.RunContext(ctx, progress)
-	if err != nil {
-		return nil, err
-	}
-	return EncodeResult(cfg, res)
-}
+// ComputeArtifacts executes the scenario under ctx and encodes its
+// artifacts — the compute function pdos-serve memoizes through runcache.
+var ComputeArtifacts = scenario.ComputeArtifacts

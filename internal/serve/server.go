@@ -319,14 +319,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // admitDocument runs the single-document admission pipeline — parse,
-// canonical key, heap-budget guard, scheduler submit — shared by POST /runs
-// and POST /runs/batch. On error the job is nil and the status is the HTTP
-// code the failure maps to.
+// canonical key, heap-budget guard, scheduler submit — for POST /runs. A
+// sweep-bearing figure document expands to many runs and is rejected here
+// with a pointer to the batch endpoint, which expands it.
 func (s *Server) admitDocument(body io.Reader, priority int) (*job, int, error) {
 	cfg, err := scenario.Load(body)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	if cfg.Sweeps() {
+		return nil, http.StatusBadRequest, fmt.Errorf(
+			"sweep document expands to %d runs; submit it via POST /runs/batch",
+			len(cfg.Measure.Sweep.Values))
+	}
+	return s.admitConfig(cfg, priority)
+}
+
+// admitConfig admits one already-parsed, runnable (non-sweep) scenario:
+// canonical key, heap-budget guard, scheduler submit.
+func (s *Server) admitConfig(cfg scenario.Config, priority int) (*job, int, error) {
 	key, err := scenario.Key(cfg)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
@@ -398,12 +409,16 @@ const (
 	maxBatchBytes = 16 << 20
 )
 
-// BatchEntry is one document's outcome in a POST /runs/batch response, in
-// submission order. A document that failed admission carries Error and the
-// HTTP status the failure maps to; an admitted document carries the run id
-// plus its state snapshot (terminal immediately on a cache hit).
+// BatchEntry is one run's outcome in a POST /runs/batch response, in
+// submission order. A plain document yields one entry; a sweep-bearing
+// figure document yields one entry per expanded point, Point numbering them
+// in sweep-value order under the document's Index. A document that failed
+// admission carries Error and the HTTP status the failure maps to; an
+// admitted run carries its id plus its state snapshot (terminal immediately
+// on a cache hit).
 type BatchEntry struct {
 	Index      int        `json:"index"`
+	Point      int        `json:"point,omitempty"` // sweep point ordinal within Index
 	ID         string     `json:"id,omitempty"`
 	Error      string     `json:"error,omitempty"`
 	HTTPStatus int        `json:"httpStatus,omitempty"` // set only on admission failure
@@ -438,18 +453,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	entries := make([]BatchEntry, len(docs))
-	jobs := make([]*job, len(docs))
+	// Expand first: a sweep-bearing figure document becomes one runnable
+	// point per sweep value, and the expanded total — not the document
+	// count — is what the batch bound meters. Parse failures consume one
+	// entry and never reject their neighbors.
+	var entries []BatchEntry
+	var points []scenario.Config
+	runs := 0
 	for i, doc := range docs {
-		entries[i].Index = i
-		j, status, err := s.admitDocument(bytes.NewReader(doc), priority)
+		cfg, err := scenario.Load(bytes.NewReader(doc))
+		var pts []scenario.Config
+		if err == nil {
+			pts, err = cfg.Expand()
+		}
 		if err != nil {
-			entries[i].Error = err.Error()
-			entries[i].HTTPStatus = status
+			entries = append(entries, BatchEntry{Index: i, Error: err.Error(), HTTPStatus: http.StatusBadRequest})
+			points = append(points, scenario.Config{})
 			continue
 		}
-		jobs[i] = j
-		entries[i].ID = j.id
+		runs += len(pts)
+		if runs > maxBatchRuns {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch expands to more than the %d-run limit at document %d", maxBatchRuns, i)
+			return
+		}
+		for p, pt := range pts {
+			entries = append(entries, BatchEntry{Index: i, Point: p})
+			points = append(points, pt)
+		}
+	}
+	jobs := make([]*job, len(entries))
+	for e := range entries {
+		if entries[e].Error != "" {
+			continue
+		}
+		j, status, err := s.admitConfig(points[e], priority)
+		if err != nil {
+			entries[e].Error = err.Error()
+			entries[e].HTTPStatus = status
+			continue
+		}
+		jobs[e] = j
+		entries[e].ID = j.id
 	}
 	if isTruthy(r.URL.Query().Get("wait")) {
 		// Like the single-submit ?wait=1, a vanished client stops the wait
